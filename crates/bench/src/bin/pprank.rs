@@ -1,0 +1,181 @@
+//! Command-line entry point for a single benchmark run.
+//!
+//! ```text
+//! cargo run --release -p ppbench-bench --bin pprank -- \
+//!     [--scale S] [--edge-factor K] [--seed N] [--files N] \
+//!     [--variant optimized|naive|dataframe|parallel] \
+//!     [--generator kronecker|ppl|erdos-renyi] \
+//!     [--sort-end] [--diagonal] [--budget EDGES] [--validate none|invariants|eigen] \
+//!     [--dir PATH] [--keep] [--top K]
+//! ```
+//!
+//! Runs all four kernels, prints per-kernel timings in the paper's
+//! edges/second metric, validation results, and the top-ranked vertices.
+
+use std::path::PathBuf;
+use std::process::exit;
+
+use ppbench_core::kernel3::DanglingStrategy;
+use ppbench_core::{Pipeline, PipelineConfig, ValidationLevel, Variant};
+use ppbench_dist::{run_distributed, DistConfig};
+use ppbench_gen::GeneratorKind;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: pprank [--scale S] [--edge-factor K] [--seed N] [--files N]\n\
+         \x20             [--variant NAME] [--generator NAME] [--sort-end] [--diagonal]\n\
+         \x20             [--budget EDGES] [--validate none|invariants|eigen]\n\
+         \x20             [--dangling omit|redistribute|sink] [--converge TOL]\n\
+         \x20             [--iterations N] [--damping C] [--dir PATH] [--keep] [--top K]\n\
+         \x20             [--workers W   (simulated distributed mode)] [--report PATH]"
+    );
+    exit(2)
+}
+
+fn main() {
+    let mut builder = PipelineConfig::builder().scale(14);
+    let mut dir: Option<PathBuf> = None;
+    let mut keep = false;
+    let mut top = 5usize;
+    let mut workers: Option<usize> = None;
+    let mut report: Option<PathBuf> = None;
+
+    let mut argv = std::env::args().skip(1);
+    while let Some(flag) = argv.next() {
+        let mut value = || argv.next().unwrap_or_else(|| usage());
+        builder = match flag.as_str() {
+            "--scale" => builder.scale(value().parse().unwrap_or_else(|_| usage())),
+            "--edge-factor" => builder.edge_factor(value().parse().unwrap_or_else(|_| usage())),
+            "--seed" => builder.seed(value().parse().unwrap_or_else(|_| usage())),
+            "--files" => builder.num_files(value().parse().unwrap_or_else(|_| usage())),
+            "--variant" => builder.variant(Variant::parse(&value()).unwrap_or_else(|| usage())),
+            "--generator" => {
+                builder.generator(GeneratorKind::parse(&value()).unwrap_or_else(|| usage()))
+            }
+            "--sort-end" => builder.sort_key(ppbench_sort::SortKey::StartEnd),
+            "--dangling" => {
+                builder.dangling(DanglingStrategy::parse(&value()).unwrap_or_else(|| usage()))
+            }
+            "--converge" => {
+                builder.convergence_tolerance(value().parse().unwrap_or_else(|_| usage()))
+            }
+            "--iterations" => builder.iterations(value().parse().unwrap_or_else(|_| usage())),
+            "--damping" => builder.damping(value().parse().unwrap_or_else(|_| usage())),
+            "--diagonal" => builder.add_diagonal_to_empty(true),
+            "--budget" => builder.sort_memory_budget(value().parse().unwrap_or_else(|_| usage())),
+            "--validate" => builder.validation(match value().as_str() {
+                "none" => ValidationLevel::None,
+                "invariants" => ValidationLevel::Invariants,
+                "eigen" => ValidationLevel::Eigenvector,
+                _ => usage(),
+            }),
+            "--dir" => {
+                dir = Some(PathBuf::from(value()));
+                builder
+            }
+            "--keep" => {
+                keep = true;
+                builder
+            }
+            "--top" => {
+                top = value().parse().unwrap_or_else(|_| usage());
+                builder
+            }
+            "--workers" => {
+                workers = Some(value().parse().unwrap_or_else(|_| usage()));
+                builder
+            }
+            "--report" => {
+                report = Some(PathBuf::from(value()));
+                builder
+            }
+            _ => usage(),
+        };
+    }
+    let cfg = builder.build();
+
+    // Distributed mode: run the simulated cluster, report communication
+    // volume, and exit (no kernel files are produced).
+    if let Some(workers) = workers {
+        let out = run_distributed(&DistConfig {
+            pipeline: cfg.clone(),
+            workers,
+        });
+        println!("distributed run on {workers} workers: {}", cfg.describe());
+        let mb = |b: u64| b as f64 / 1e6;
+        println!(
+            "  K1 shuffle traffic:     {:10.2} MB ({} messages)",
+            mb(out.comm_k1.bytes),
+            out.comm_k1.messages
+        );
+        println!(
+            "  K2 aggregation traffic: {:10.2} MB ({} messages)",
+            mb(out.comm_k2.bytes),
+            out.comm_k2.messages
+        );
+        println!(
+            "  K3 reduction traffic:   {:10.2} MB ({} messages)",
+            mb(out.comm_k3.bytes),
+            out.comm_k3.messages
+        );
+        println!("  global nnz after filter: {}", out.nnz_after);
+        let mut pairs: Vec<(u64, f64)> = out
+            .ranks
+            .iter()
+            .enumerate()
+            .map(|(i, &r)| (i as u64, r))
+            .collect();
+        pairs.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        println!("  top {top} vertices by rank:");
+        for (v, r) in pairs.into_iter().take(top) {
+            println!("    vertex {v:>10}  rank {r:.6e}");
+        }
+        return;
+    }
+
+    let (work_dir, ephemeral) = match dir {
+        Some(d) => (d, false),
+        None => (
+            std::env::temp_dir().join(format!("pprank-{}", std::process::id())),
+            true,
+        ),
+    };
+
+    let result = match Pipeline::new(cfg.clone(), &work_dir).run() {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("pipeline failed: {e}");
+            exit(1);
+        }
+    };
+    print!("{}", result.summary());
+    if let Some(path) = &report {
+        let record = ppbench_core::report::RunRecord::from_result(&result);
+        if let Err(e) = record.save(path) {
+            eprintln!("failed to write report {}: {e}", path.display());
+            exit(1);
+        }
+        println!("run record written to {}", path.display());
+    }
+    if let Some(k3) = &result.kernel3 {
+        if k3.iterations < cfg.iterations {
+            println!(
+                "converged after {} iterations (final L1 delta {:.2e})",
+                k3.iterations, k3.final_delta
+            );
+        }
+        println!("top {top} vertices by rank:");
+        for (v, r) in k3.top_k(top) {
+            println!("  vertex {v:>10}  rank {r:.6e}");
+        }
+    }
+    if let Some(v) = &result.validation {
+        println!("\nvalidation detail:\n{}", v.detail());
+    }
+
+    if ephemeral && !keep {
+        let _ = std::fs::remove_dir_all(&work_dir);
+    } else {
+        println!("\nkernel files kept under {}", work_dir.display());
+    }
+}

@@ -1,0 +1,44 @@
+//! Evaluation harness for the PageRank Pipeline Benchmark.
+//!
+//! Regenerates every table and figure of the paper's evaluation:
+//!
+//! | Artifact | Binary | Library pieces |
+//! |---|---|---|
+//! | Table I (source lines of code) | `table1` | [`sloc`] |
+//! | Table II (run sizes) | `table2` | `ppbench_core::table` |
+//! | Figures 4–7 (kernel throughput vs. edges, per variant) | `figures` | [`sweep`], [`plot`] |
+//!
+//! plus Criterion microbenches (`cargo bench`) for each kernel and the
+//! ablations DESIGN.md calls out (sort algorithm, SpMV form, generator,
+//! file count).
+
+#![warn(missing_docs)]
+
+pub mod plot;
+pub mod sloc;
+pub mod sweep;
+
+/// Parses a `lo:hi` (inclusive) scale-range CLI argument.
+pub fn parse_scale_range(s: &str) -> Option<std::ops::RangeInclusive<u32>> {
+    let (lo, hi) = s.split_once(':')?;
+    let lo: u32 = lo.parse().ok()?;
+    let hi: u32 = hi.parse().ok()?;
+    if lo > hi || hi > 40 {
+        return None;
+    }
+    Some(lo..=hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_range_parses() {
+        assert_eq!(parse_scale_range("16:22"), Some(16..=22));
+        assert_eq!(parse_scale_range("5:5"), Some(5..=5));
+        assert_eq!(parse_scale_range("9:4"), None);
+        assert_eq!(parse_scale_range("junk"), None);
+        assert_eq!(parse_scale_range("1:99"), None);
+    }
+}

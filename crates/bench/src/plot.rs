@@ -1,0 +1,142 @@
+//! ASCII log–log scatter plots, in the style of the paper's Figures 4–7
+//! (edges per second vs. number of edges, one marker per variant).
+
+/// A named series of (x, y) points.
+pub type Series = (String, Vec<(f64, f64)>);
+
+/// Marker characters assigned to series in order.
+const MARKERS: &[char] = &['o', 'x', '+', '*', '#', '@', '%', '&'];
+
+/// Renders series as an ASCII log–log plot of `width × height` characters
+/// (plus axes and legend). Points with non-positive coordinates are
+/// skipped (log axes).
+pub fn loglog(series: &[Series], width: usize, height: usize) -> String {
+    let pts: Vec<(f64, f64)> = series
+        .iter()
+        .flat_map(|(_, v)| v.iter().copied())
+        .filter(|&(x, y)| x > 0.0 && y > 0.0)
+        .collect();
+    if pts.is_empty() {
+        return "(no data)\n".to_string();
+    }
+    let (mut x_lo, mut x_hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y_lo, mut y_hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(x, y) in &pts {
+        x_lo = x_lo.min(x.log10());
+        x_hi = x_hi.max(x.log10());
+        y_lo = y_lo.min(y.log10());
+        y_hi = y_hi.max(y.log10());
+    }
+    // Pad degenerate ranges so a single point still renders.
+    if (x_hi - x_lo).abs() < 1e-9 {
+        x_lo -= 0.5;
+        x_hi += 0.5;
+    }
+    if (y_hi - y_lo).abs() < 1e-9 {
+        y_lo -= 0.5;
+        y_hi += 0.5;
+    }
+
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, (_, points)) in series.iter().enumerate() {
+        let marker = MARKERS[si % MARKERS.len()];
+        for &(x, y) in points {
+            if x <= 0.0 || y <= 0.0 {
+                continue;
+            }
+            let cx = ((x.log10() - x_lo) / (x_hi - x_lo) * (width - 1) as f64).round() as usize;
+            let cy = ((y.log10() - y_lo) / (y_hi - y_lo) * (height - 1) as f64).round() as usize;
+            let row = height - 1 - cy;
+            // Later series overwrite on collision; acceptable for a gist
+            // plot.
+            grid[row][cx] = marker;
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:>9.2e} +{}\n",
+        10f64.powf(y_hi),
+        "-".repeat(width)
+    ));
+    for row in grid {
+        out.push_str("          |");
+        out.extend(row);
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "{:>9.2e} +{}\n",
+        10f64.powf(y_lo),
+        "-".repeat(width)
+    ));
+    out.push_str(&format!(
+        "           {:<.2e}{}{:>.2e}  (x: edges, y: edges/s, log-log)\n",
+        10f64.powf(x_lo),
+        " ".repeat(width.saturating_sub(16)),
+        10f64.powf(x_hi),
+    ));
+    for (si, (label, _)) in series.iter().enumerate() {
+        out.push_str(&format!(
+            "           {} {}\n",
+            MARKERS[si % MARKERS.len()],
+            label
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Series> {
+        vec![
+            ("fast".into(), vec![(1e6, 1e7), (1e7, 9e6), (1e8, 8e6)]),
+            ("slow".into(), vec![(1e6, 1e5), (1e7, 1e5), (1e8, 9e4)]),
+        ]
+    }
+
+    #[test]
+    fn renders_markers_and_legend() {
+        let plot = loglog(&sample(), 40, 10);
+        assert!(plot.contains('o'), "{plot}");
+        assert!(plot.contains('x'), "{plot}");
+        assert!(plot.contains("fast"), "{plot}");
+        assert!(plot.contains("slow"), "{plot}");
+    }
+
+    #[test]
+    fn fast_series_plots_above_slow() {
+        let plot = loglog(&sample(), 40, 12);
+        let o_line = plot.lines().position(|l| l.contains('o')).unwrap();
+        let x_line = plot.lines().position(|l| l.contains('x')).unwrap();
+        assert!(o_line < x_line, "higher rate must render higher:\n{plot}");
+    }
+
+    #[test]
+    fn empty_input_safe() {
+        assert_eq!(loglog(&[], 10, 5), "(no data)\n");
+        let empty_series = vec![("e".to_string(), vec![])];
+        assert_eq!(loglog(&empty_series, 10, 5), "(no data)\n");
+    }
+
+    #[test]
+    fn single_point_does_not_panic() {
+        let s = vec![("p".to_string(), vec![(1e6, 1e6)])];
+        let plot = loglog(&s, 20, 6);
+        assert!(plot.contains('o'));
+    }
+
+    #[test]
+    fn nonpositive_points_skipped() {
+        let s = vec![("p".to_string(), vec![(0.0, 1.0), (-5.0, 2.0), (1e3, 1e3)])];
+        let plot = loglog(&s, 20, 6);
+        // Exactly one marker inside the grid (lines beginning with "|").
+        let grid_markers: usize = plot
+            .lines()
+            .filter(|l| l.trim_start().starts_with('|'))
+            .map(|l| l.matches('o').count())
+            .sum();
+        assert_eq!(grid_markers, 1, "{plot}");
+    }
+}

@@ -1,0 +1,231 @@
+//! The tuned native backend — the comparison's "C++".
+//!
+//! Uses every fast path the substrates offer: chunked streaming generation,
+//! the hand-rolled integer formatter/parser inside `ppbench-io`'s buffered
+//! writer/reader, LSD radix sort (or the out-of-core sorter beyond the
+//! memory budget), the sorted-input CSR construction fast path, and
+//! buffer-reusing scatter SpMV.
+
+use std::path::Path;
+
+use ppbench_gen::EdgeGenerator;
+use ppbench_io::{EdgeReader, EdgeWriter, Manifest};
+use ppbench_sort::Algorithm;
+use ppbench_sparse::{spmv, Csr};
+
+use crate::backend::{require_sorted, Backend, Kernel2Output};
+use crate::config::PipelineConfig;
+use crate::error::Result;
+use crate::{kernel0, kernel1, kernel2, kernel3};
+
+/// Tuned native implementation of the four kernels.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OptimizedBackend;
+
+impl Backend for OptimizedBackend {
+    fn name(&self) -> &'static str {
+        "optimized"
+    }
+
+    fn kernel0(&self, cfg: &PipelineConfig, dir: &Path) -> Result<Manifest> {
+        let generator = kernel0::build_generator(cfg);
+        let m = cfg.spec.num_edges();
+        let mut writer = EdgeWriter::create(dir, "edges", cfg.num_files, m)?;
+        let mut lo = 0u64;
+        while lo < m {
+            let hi = (lo + kernel0::GENERATION_CHUNK).min(m);
+            writer.write_all(&generator.edges_chunk(lo, hi))?;
+            lo = hi;
+        }
+        Ok(writer.finish(
+            Some(cfg.spec.scale()),
+            Some(cfg.spec.num_vertices()),
+            ppbench_io::SortState::Unsorted,
+        )?)
+    }
+
+    fn kernel1(&self, cfg: &PipelineConfig, in_dir: &Path, out_dir: &Path) -> Result<Manifest> {
+        kernel1::sort_file_set(
+            in_dir,
+            out_dir,
+            cfg.num_files,
+            cfg.sort_key,
+            Algorithm::Radix,
+            cfg.sort_memory_budget,
+        )
+    }
+
+    fn kernel2(&self, cfg: &PipelineConfig, in_dir: &Path) -> Result<Kernel2Output> {
+        let (manifest, iter) = EdgeReader::open_dir(in_dir)?;
+        require_sorted(&manifest, in_dir)?;
+        // Stream the sorted edges straight into CSR construction — no
+        // intermediate edge vector — while checking the manifest's
+        // contracts: the digest (catches tampered/truncated files) and the
+        // sort order (catches a forged sort state) both surface as errors,
+        // not silent bad math.
+        let mut digest = ppbench_io::checksum::EdgeDigest::new();
+        let mut stream_err: Option<crate::Error> = None;
+        let mut prev_start: Option<u64> = None;
+        let counts = {
+            let digest = &mut digest;
+            let stream_err = &mut stream_err;
+            let prev_start = &mut prev_start;
+            Csr::<u64>::from_sorted_edge_iter(
+                cfg.spec.num_vertices(),
+                iter.map_while(move |r| match r {
+                    Ok(e) => {
+                        if prev_start.is_some_and(|p| p > e.u) {
+                            *stream_err = Some(crate::Error::Contract(format!(
+                                "claims sorted order but start {} follows {}",
+                                e.u,
+                                prev_start.expect("checked")
+                            )));
+                            return None;
+                        }
+                        *prev_start = Some(e.u);
+                        digest.update(e);
+                        Some((e.u, e.v))
+                    }
+                    Err(e) => {
+                        *stream_err = Some(e.into());
+                        None
+                    }
+                }),
+            )
+        };
+        if let Some(e) = stream_err {
+            return Err(e);
+        }
+        if !digest.same_stream(&manifest.digest) {
+            return Err(crate::Error::Contract(format!(
+                "{}: edge stream does not match manifest digest",
+                in_dir.display()
+            )));
+        }
+        let (matrix, stats) = kernel2::filter_matrix(&counts, cfg.add_diagonal_to_empty);
+        Ok(Kernel2Output { matrix, stats })
+    }
+
+    fn kernel3(&self, cfg: &PipelineConfig, matrix: &Csr<f64>) -> Result<kernel3::PageRankRun> {
+        use ppbench_sparse::vector;
+        let n = cfg.spec.num_vertices();
+        let opts = cfg.pagerank_options();
+        let c = opts.damping;
+        let dangling = ppbench_sparse::ops::empty_rows(matrix);
+        let mut r = kernel3::init_ranks(n, cfg.seed);
+        let mut scratch = vec![0.0; n as usize];
+        let mut delta = f64::INFINITY;
+        let mut done = 0;
+        for i in 1..=opts.max_iterations {
+            // Scatter into the scratch buffer, then apply damping+teleport
+            // in place and swap — no per-iteration allocation. Arithmetic
+            // mirrors `kernel3::step_with` expression-for-expression so
+            // serial backends stay bit-identical.
+            let teleport = (1.0 - c) * vector::sum(&r) / n as f64;
+            let dangling_mass: f64 = match opts.dangling {
+                kernel3::DanglingStrategy::Omit => 0.0,
+                _ => r
+                    .iter()
+                    .zip(&dangling)
+                    .filter(|&(_, &d)| d)
+                    .map(|(&x, _)| x)
+                    .sum(),
+            };
+            spmv::vxm_into(&r, matrix, &mut scratch);
+            match opts.dangling {
+                kernel3::DanglingStrategy::Omit => {
+                    for x in scratch.iter_mut() {
+                        *x = c * *x + teleport;
+                    }
+                }
+                kernel3::DanglingStrategy::Redistribute => {
+                    let spread = c * dangling_mass / n as f64;
+                    for x in scratch.iter_mut() {
+                        *x = c * *x + teleport + spread;
+                    }
+                }
+                kernel3::DanglingStrategy::Sink => {
+                    for ((x, &r_u), &d) in scratch.iter_mut().zip(&r).zip(&dangling) {
+                        *x = c * *x + teleport + if d { c * r_u } else { 0.0 };
+                    }
+                }
+            }
+            if opts.tolerance.is_some() {
+                delta = vector::l1_distance(&scratch, &r);
+            }
+            std::mem::swap(&mut r, &mut scratch);
+            done = i;
+            if opts.tolerance.is_some_and(|tol| delta < tol) {
+                break;
+            }
+        }
+        Ok(kernel3::PageRankRun {
+            ranks: r,
+            iterations: done,
+            final_delta: delta,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppbench_io::tempdir::TempDir;
+
+    fn cfg(scale: u32) -> PipelineConfig {
+        PipelineConfig::builder()
+            .scale(scale)
+            .edge_factor(8)
+            .seed(3)
+            .num_files(2)
+            .build()
+    }
+
+    #[test]
+    fn kernel0_writes_expected_count() {
+        let td = TempDir::new("ppbench-opt").unwrap();
+        let cfg = cfg(6);
+        let m = OptimizedBackend.kernel0(&cfg, td.path()).unwrap();
+        assert_eq!(m.edges, cfg.spec.num_edges());
+        assert_eq!(m.scale, Some(6));
+        assert_eq!(m.files.len(), 2);
+    }
+
+    #[test]
+    fn kernel1_sorts_kernel0_output() {
+        let td = TempDir::new("ppbench-opt").unwrap();
+        let cfg = cfg(6);
+        OptimizedBackend.kernel0(&cfg, &td.join("k0")).unwrap();
+        let m = OptimizedBackend
+            .kernel1(&cfg, &td.join("k0"), &td.join("k1"))
+            .unwrap();
+        assert!(m.sort_state.is_sorted_by_start());
+        let (_, edges) = EdgeReader::read_dir_all(&td.join("k1")).unwrap();
+        assert!(edges.windows(2).all(|w| w[0].u <= w[1].u));
+    }
+
+    #[test]
+    fn kernel2_rejects_unsorted_input() {
+        let td = TempDir::new("ppbench-opt").unwrap();
+        let cfg = cfg(5);
+        OptimizedBackend.kernel0(&cfg, &td.join("k0")).unwrap();
+        let err = OptimizedBackend.kernel2(&cfg, &td.join("k0")).unwrap_err();
+        assert!(err.to_string().contains("sorted"), "{err}");
+    }
+
+    #[test]
+    fn full_chain_produces_plausible_ranks() {
+        let td = TempDir::new("ppbench-opt").unwrap();
+        let cfg = cfg(7);
+        OptimizedBackend.kernel0(&cfg, &td.join("k0")).unwrap();
+        OptimizedBackend
+            .kernel1(&cfg, &td.join("k0"), &td.join("k1"))
+            .unwrap();
+        let k2 = OptimizedBackend.kernel2(&cfg, &td.join("k1")).unwrap();
+        assert_eq!(k2.stats.total_edge_count, cfg.spec.num_edges());
+        let ranks = OptimizedBackend.kernel3(&cfg, &k2.matrix).unwrap().ranks;
+        assert_eq!(ranks.len() as u64, cfg.spec.num_vertices());
+        let mass: f64 = ranks.iter().sum();
+        assert!(mass > 0.0 && mass <= 1.0 + 1e-9, "mass {mass}");
+    }
+}

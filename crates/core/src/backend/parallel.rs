@@ -1,0 +1,198 @@
+//! The rayon-parallel backend — the paper's stated future work.
+//!
+//! "It is expected that measurements of Kernel 3 in a parallel
+//! implementation will show a wider dispersion in performance between the
+//! languages" (§IV). This backend parallelizes what the paper's
+//! decomposition discussion describes: chunked deterministic generation,
+//! parallel sort, and the gather-form SpMV where "each processor would
+//! compute its own value of r".
+//!
+//! Output is identical to the serial backends except kernel 3, where the
+//! gather form reassociates floating-point sums (bounded by a few ulps per
+//! entry — the integration tests pin the tolerance).
+
+use std::path::Path;
+
+use ppbench_gen::EdgeGenerator;
+use ppbench_io::{EdgeReader, EdgeWriter, Manifest};
+use ppbench_sort::Algorithm;
+use ppbench_sparse::{spmv, Csr};
+
+use crate::backend::{require_sorted, Backend, Kernel2Output};
+use crate::config::PipelineConfig;
+use crate::error::Result;
+use crate::{kernel0, kernel1, kernel2, kernel3};
+
+/// rayon-parallel implementation of the four kernels.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ParallelBackend;
+
+impl Backend for ParallelBackend {
+    fn name(&self) -> &'static str {
+        "parallel"
+    }
+
+    fn kernel0(&self, cfg: &PipelineConfig, dir: &Path) -> Result<Manifest> {
+        let generator = kernel0::build_generator(cfg);
+        // Deterministic parallel generation (identical stream to serial),
+        // then a single writer thread — the file write is inherently
+        // sequential per file.
+        let edges = generator.edges_parallel(kernel0::GENERATION_CHUNK);
+        let mut writer = EdgeWriter::create(dir, "edges", cfg.num_files, cfg.spec.num_edges())?;
+        writer.write_all(&edges)?;
+        Ok(writer.finish(
+            Some(cfg.spec.scale()),
+            Some(cfg.spec.num_vertices()),
+            ppbench_io::SortState::Unsorted,
+        )?)
+    }
+
+    fn kernel1(&self, cfg: &PipelineConfig, in_dir: &Path, out_dir: &Path) -> Result<Manifest> {
+        kernel1::sort_file_set(
+            in_dir,
+            out_dir,
+            cfg.num_files,
+            cfg.sort_key,
+            Algorithm::Parallel,
+            cfg.sort_memory_budget,
+        )
+    }
+
+    fn kernel2(&self, cfg: &PipelineConfig, in_dir: &Path) -> Result<Kernel2Output> {
+        let (manifest, iter) = EdgeReader::open_dir(in_dir)?;
+        require_sorted(&manifest, in_dir)?;
+        // Stream the sorted edges straight into CSR construction — no
+        // intermediate edge vector — while checking the manifest's
+        // contracts: the digest (catches tampered/truncated files) and the
+        // sort order (catches a forged sort state) both surface as errors,
+        // not silent bad math.
+        let mut digest = ppbench_io::checksum::EdgeDigest::new();
+        let mut stream_err: Option<crate::Error> = None;
+        let mut prev_start: Option<u64> = None;
+        let counts = {
+            let digest = &mut digest;
+            let stream_err = &mut stream_err;
+            let prev_start = &mut prev_start;
+            Csr::<u64>::from_sorted_edge_iter(
+                cfg.spec.num_vertices(),
+                iter.map_while(move |r| match r {
+                    Ok(e) => {
+                        if prev_start.is_some_and(|p| p > e.u) {
+                            *stream_err = Some(crate::Error::Contract(format!(
+                                "claims sorted order but start {} follows {}",
+                                e.u,
+                                prev_start.expect("checked")
+                            )));
+                            return None;
+                        }
+                        *prev_start = Some(e.u);
+                        digest.update(e);
+                        Some((e.u, e.v))
+                    }
+                    Err(e) => {
+                        *stream_err = Some(e.into());
+                        None
+                    }
+                }),
+            )
+        };
+        if let Some(e) = stream_err {
+            return Err(e);
+        }
+        if !digest.same_stream(&manifest.digest) {
+            return Err(crate::Error::Contract(format!(
+                "{}: edge stream does not match manifest digest",
+                in_dir.display()
+            )));
+        }
+        let (matrix, stats) = kernel2::filter_matrix(&counts, cfg.add_diagonal_to_empty);
+        Ok(Kernel2Output { matrix, stats })
+    }
+
+    fn kernel3(&self, cfg: &PipelineConfig, matrix: &Csr<f64>) -> Result<kernel3::PageRankRun> {
+        // Precompute the transpose once (gather layout), then run each
+        // iteration as an embarrassingly parallel per-vertex reduction;
+        // the dangling/teleport policy is shared with the serial backends.
+        let at = matrix.transpose();
+        let dangling = ppbench_sparse::ops::empty_rows(matrix);
+        Ok(kernel3::run(
+            kernel3::init_ranks(cfg.spec.num_vertices(), cfg.seed),
+            |r| spmv::par_vxm_gather(r, &at),
+            &dangling,
+            &cfg.pagerank_options(),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::OptimizedBackend;
+    use ppbench_io::tempdir::TempDir;
+
+    fn cfg(scale: u32) -> PipelineConfig {
+        PipelineConfig::builder()
+            .scale(scale)
+            .edge_factor(8)
+            .seed(3)
+            .num_files(2)
+            .build()
+    }
+
+    #[test]
+    fn parallel_kernel0_identical_to_serial() {
+        let td = TempDir::new("ppbench-par").unwrap();
+        let cfg = cfg(6);
+        let m_par = ParallelBackend.kernel0(&cfg, &td.join("par")).unwrap();
+        let m_opt = OptimizedBackend.kernel0(&cfg, &td.join("opt")).unwrap();
+        assert!(m_par.digest.same_stream(&m_opt.digest));
+    }
+
+    #[test]
+    fn parallel_sort_correct_even_if_unstable() {
+        let td = TempDir::new("ppbench-par").unwrap();
+        let cfg = cfg(6);
+        ParallelBackend.kernel0(&cfg, &td.join("k0")).unwrap();
+        let m = ParallelBackend
+            .kernel1(&cfg, &td.join("k0"), &td.join("k1"))
+            .unwrap();
+        assert!(m.sort_state.is_sorted_by_start());
+        // Multiset preserved vs input (stream may differ from stable sorts).
+        let m0 = Manifest::load(&td.join("k0")).unwrap();
+        assert!(m.digest.same_multiset(&m0.digest));
+    }
+
+    #[test]
+    fn parallel_kernel2_matrix_identical() {
+        // The matrix does not depend on edge order within a start vertex,
+        // so even after an unstable parallel sort it matches.
+        let td = TempDir::new("ppbench-par").unwrap();
+        let cfg = cfg(6);
+        ParallelBackend.kernel0(&cfg, &td.join("k0")).unwrap();
+        ParallelBackend
+            .kernel1(&cfg, &td.join("k0"), &td.join("k1p"))
+            .unwrap();
+        OptimizedBackend
+            .kernel1(&cfg, &td.join("k0"), &td.join("k1o"))
+            .unwrap();
+        let k2p = ParallelBackend.kernel2(&cfg, &td.join("k1p")).unwrap();
+        let k2o = OptimizedBackend.kernel2(&cfg, &td.join("k1o")).unwrap();
+        assert_eq!(k2p.matrix, k2o.matrix);
+        assert_eq!(k2p.stats, k2o.stats);
+    }
+
+    #[test]
+    fn parallel_kernel3_agrees_within_float_tolerance() {
+        let td = TempDir::new("ppbench-par").unwrap();
+        let cfg = cfg(7);
+        OptimizedBackend.kernel0(&cfg, &td.join("k0")).unwrap();
+        OptimizedBackend
+            .kernel1(&cfg, &td.join("k0"), &td.join("k1"))
+            .unwrap();
+        let k2 = OptimizedBackend.kernel2(&cfg, &td.join("k1")).unwrap();
+        let r_par = ParallelBackend.kernel3(&cfg, &k2.matrix).unwrap().ranks;
+        let r_opt = OptimizedBackend.kernel3(&cfg, &k2.matrix).unwrap().ranks;
+        let dist = ppbench_sparse::vector::l1_distance(&r_par, &r_opt);
+        assert!(dist < 1e-12, "gather/scatter L1 gap {dist}");
+    }
+}

@@ -1,0 +1,349 @@
+//! Pipeline configuration.
+//!
+//! Every knob the benchmark specification exposes — plus every option the
+//! paper's §V "community feedback" list raises — lives here, so a single
+//! config value describes a run completely and two runs with equal configs
+//! are bit-identical (up to the floating-point reassociation of the
+//! parallel backend).
+
+use ppbench_gen::{GeneratorKind, GraphSpec};
+use ppbench_sort::SortKey;
+
+use crate::backend::Variant;
+use crate::kernel3::{DanglingStrategy, PageRankOptions};
+use crate::{DAMPING, ITERATIONS};
+
+/// How much checking the pipeline performs after the kernels finish.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ValidationLevel {
+    /// No validation (pure benchmark timing).
+    None,
+    /// Cheap invariants: digests between kernels, adjacency mass, row
+    /// stochasticity, rank-vector sanity. The default.
+    #[default]
+    Invariants,
+    /// Invariants plus the paper's eigenvector check: compare kernel 3's
+    /// output against the dominant eigenvector of `c·Aᵀ + (1−c)/N·𝟙`
+    /// computed by matrix-free power iteration.
+    Eigenvector,
+}
+
+/// Complete description of a pipeline run.
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    /// Graph size: scale and edge factor.
+    pub spec: GraphSpec,
+    /// Master seed; all randomness (generation, permutations, PageRank
+    /// init) derives from it deterministically.
+    pub seed: u64,
+    /// Number of files kernel 0 and kernel 1 write (the spec's free
+    /// parameter).
+    pub num_files: usize,
+    /// Which generator kernel 0 uses (§V: "should a more deterministic
+    /// generator be used?").
+    pub generator: GeneratorKind,
+    /// Whether kernel 0 permutes vertex labels (Graph500's `randperm(N)`).
+    pub permute_vertices: bool,
+    /// Whether kernel 0 shuffles edge order (Graph500's `randperm(M)`).
+    pub shuffle_edges: bool,
+    /// Which implementation style runs the kernels.
+    pub variant: Variant,
+    /// Sort key for kernel 1 (§V: "should the end vertices also be
+    /// sorted?").
+    pub sort_key: SortKey,
+    /// In-memory edge budget for kernel 1; when the edge count exceeds it
+    /// the out-of-core external sorter is used instead. `None` = always in
+    /// memory.
+    pub sort_memory_budget: Option<usize>,
+    /// §V option: add a diagonal entry to empty rows/columns so the chain
+    /// has no dangling states.
+    pub add_diagonal_to_empty: bool,
+    /// PageRank damping factor (`c`, 0.85 in the spec).
+    pub damping: f64,
+    /// Number of PageRank iterations (20 in the spec).
+    pub iterations: u32,
+    /// Dangling-row treatment in kernel 3 (the spec omits the correction;
+    /// the appendix names the alternatives).
+    pub dangling: DanglingStrategy,
+    /// Optional convergence tolerance: stop kernel 3 early once the L1
+    /// change per iteration drops below it (the "real application" mode
+    /// §IV.D describes before fixing the iteration count).
+    pub convergence_tolerance: Option<f64>,
+    /// Post-run validation level.
+    pub validation: ValidationLevel,
+}
+
+impl PipelineConfig {
+    /// Starts a builder with the spec's defaults.
+    pub fn builder() -> PipelineConfigBuilder {
+        PipelineConfigBuilder::default()
+    }
+
+    /// The kernel-3 options implied by this configuration.
+    pub fn pagerank_options(&self) -> PageRankOptions {
+        PageRankOptions {
+            damping: self.damping,
+            max_iterations: self.iterations,
+            dangling: self.dangling,
+            tolerance: self.convergence_tolerance,
+        }
+    }
+
+    /// Human-readable one-line description.
+    pub fn describe(&self) -> String {
+        format!(
+            "{} | seed {} | {} files | gen {} | backend {} | {} iter, c={}",
+            self.spec,
+            self.seed,
+            self.num_files,
+            self.generator.name(),
+            self.variant.name(),
+            self.iterations,
+            self.damping,
+        )
+    }
+}
+
+/// Builder for [`PipelineConfig`]; every setter has a spec-conformant
+/// default.
+#[derive(Debug, Clone)]
+pub struct PipelineConfigBuilder {
+    scale: u32,
+    edge_factor: u64,
+    seed: u64,
+    num_files: usize,
+    generator: GeneratorKind,
+    permute_vertices: bool,
+    shuffle_edges: bool,
+    variant: Variant,
+    sort_key: SortKey,
+    sort_memory_budget: Option<usize>,
+    add_diagonal_to_empty: bool,
+    damping: f64,
+    iterations: u32,
+    dangling: DanglingStrategy,
+    convergence_tolerance: Option<f64>,
+    validation: ValidationLevel,
+}
+
+impl Default for PipelineConfigBuilder {
+    fn default() -> Self {
+        Self {
+            scale: 16,
+            edge_factor: ppbench_gen::DEFAULT_EDGE_FACTOR,
+            seed: 1,
+            num_files: 1,
+            generator: GeneratorKind::Kronecker,
+            permute_vertices: true,
+            shuffle_edges: false,
+            variant: Variant::Optimized,
+            sort_key: SortKey::Start,
+            sort_memory_budget: None,
+            add_diagonal_to_empty: false,
+            damping: DAMPING,
+            iterations: ITERATIONS,
+            dangling: DanglingStrategy::Omit,
+            convergence_tolerance: None,
+            validation: ValidationLevel::Invariants,
+        }
+    }
+}
+
+impl PipelineConfigBuilder {
+    /// Sets the Graph500 scale factor `S` (N = 2^S).
+    pub fn scale(mut self, scale: u32) -> Self {
+        self.scale = scale;
+        self
+    }
+
+    /// Sets the edges-per-vertex factor `k` (spec default 16).
+    pub fn edge_factor(mut self, k: u64) -> Self {
+        self.edge_factor = k;
+        self
+    }
+
+    /// Sets the master seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets how many files kernels 0 and 1 write.
+    pub fn num_files(mut self, n: usize) -> Self {
+        self.num_files = n;
+        self
+    }
+
+    /// Selects the kernel-0 generator.
+    pub fn generator(mut self, g: GeneratorKind) -> Self {
+        self.generator = g;
+        self
+    }
+
+    /// Toggles the kernel-0 vertex-label permutation.
+    pub fn permute_vertices(mut self, on: bool) -> Self {
+        self.permute_vertices = on;
+        self
+    }
+
+    /// Toggles the kernel-0 edge-order shuffle.
+    pub fn shuffle_edges(mut self, on: bool) -> Self {
+        self.shuffle_edges = on;
+        self
+    }
+
+    /// Selects the implementation variant.
+    pub fn variant(mut self, v: Variant) -> Self {
+        self.variant = v;
+        self
+    }
+
+    /// Selects the kernel-1 sort key.
+    pub fn sort_key(mut self, k: SortKey) -> Self {
+        self.sort_key = k;
+        self
+    }
+
+    /// Caps kernel 1's in-memory edge buffer, forcing the out-of-core path
+    /// beyond it.
+    pub fn sort_memory_budget(mut self, edges: usize) -> Self {
+        self.sort_memory_budget = Some(edges);
+        self
+    }
+
+    /// Enables the §V dangling-node diagonal repair in kernel 2.
+    pub fn add_diagonal_to_empty(mut self, on: bool) -> Self {
+        self.add_diagonal_to_empty = on;
+        self
+    }
+
+    /// Overrides the damping factor.
+    pub fn damping(mut self, c: f64) -> Self {
+        self.damping = c;
+        self
+    }
+
+    /// Overrides the PageRank iteration count.
+    pub fn iterations(mut self, n: u32) -> Self {
+        self.iterations = n;
+        self
+    }
+
+    /// Selects the dangling-row strategy for kernel 3.
+    pub fn dangling(mut self, d: DanglingStrategy) -> Self {
+        self.dangling = d;
+        self
+    }
+
+    /// Enables convergence-test stopping for kernel 3.
+    pub fn convergence_tolerance(mut self, tol: f64) -> Self {
+        self.convergence_tolerance = Some(tol);
+        self
+    }
+
+    /// Sets the validation level.
+    pub fn validation(mut self, v: ValidationLevel) -> Self {
+        self.validation = v;
+        self
+    }
+
+    /// Finalizes the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics on nonsensical values (zero files, damping outside (0, 1),
+    /// zero iterations) — these are programming errors, not runtime data.
+    pub fn build(self) -> PipelineConfig {
+        assert!(self.num_files >= 1, "num_files must be at least 1");
+        assert!(
+            self.damping > 0.0 && self.damping < 1.0,
+            "damping must lie strictly between 0 and 1"
+        );
+        assert!(
+            self.iterations >= 1,
+            "at least one PageRank iteration required"
+        );
+        PipelineConfig {
+            spec: GraphSpec::new(self.scale, self.edge_factor),
+            seed: self.seed,
+            num_files: self.num_files,
+            generator: self.generator,
+            permute_vertices: self.permute_vertices,
+            shuffle_edges: self.shuffle_edges,
+            variant: self.variant,
+            sort_key: self.sort_key,
+            sort_memory_budget: self.sort_memory_budget,
+            add_diagonal_to_empty: self.add_diagonal_to_empty,
+            damping: self.damping,
+            iterations: self.iterations,
+            dangling: self.dangling,
+            convergence_tolerance: self.convergence_tolerance,
+            validation: self.validation,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_spec() {
+        let cfg = PipelineConfig::builder().build();
+        assert_eq!(cfg.spec.scale(), 16);
+        assert_eq!(cfg.spec.edge_factor(), 16);
+        assert_eq!(cfg.damping, 0.85);
+        assert_eq!(cfg.iterations, 20);
+        assert_eq!(cfg.sort_key, SortKey::Start);
+        assert!(cfg.permute_vertices);
+        assert!(!cfg.shuffle_edges);
+        assert!(!cfg.add_diagonal_to_empty);
+    }
+
+    #[test]
+    fn builder_setters_apply() {
+        let cfg = PipelineConfig::builder()
+            .scale(8)
+            .edge_factor(4)
+            .seed(99)
+            .num_files(3)
+            .variant(Variant::Naive)
+            .sort_key(SortKey::StartEnd)
+            .sort_memory_budget(1000)
+            .add_diagonal_to_empty(true)
+            .damping(0.9)
+            .iterations(5)
+            .validation(ValidationLevel::Eigenvector)
+            .build();
+        assert_eq!(cfg.spec.num_vertices(), 256);
+        assert_eq!(cfg.spec.num_edges(), 1024);
+        assert_eq!(cfg.seed, 99);
+        assert_eq!(cfg.num_files, 3);
+        assert_eq!(cfg.variant, Variant::Naive);
+        assert_eq!(cfg.sort_key, SortKey::StartEnd);
+        assert_eq!(cfg.sort_memory_budget, Some(1000));
+        assert!(cfg.add_diagonal_to_empty);
+        assert_eq!(cfg.damping, 0.9);
+        assert_eq!(cfg.iterations, 5);
+        assert_eq!(cfg.validation, ValidationLevel::Eigenvector);
+    }
+
+    #[test]
+    #[should_panic(expected = "damping")]
+    fn damping_must_be_in_unit_interval() {
+        let _ = PipelineConfig::builder().damping(1.0).build();
+    }
+
+    #[test]
+    #[should_panic(expected = "num_files")]
+    fn zero_files_rejected() {
+        let _ = PipelineConfig::builder().num_files(0).build();
+    }
+
+    #[test]
+    fn describe_mentions_key_facts() {
+        let d = PipelineConfig::builder().scale(5).build().describe();
+        assert!(d.contains("scale 5"), "{d}");
+        assert!(d.contains("optimized"), "{d}");
+    }
+}

@@ -1,0 +1,79 @@
+//! Error type for pipeline runs.
+
+use std::fmt;
+
+/// Result alias for pipeline operations.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors surfaced by pipeline kernels and validation.
+#[derive(Debug)]
+pub enum Error {
+    /// Storage-layer failure (file I/O, parse, manifest).
+    Storage(ppbench_io::Error),
+    /// Dataframe-layer failure (only the dataframe backend produces these).
+    Frame(ppbench_frame::FrameError),
+    /// A kernel's input did not satisfy its contract (e.g. kernel 2 fed
+    /// unsorted files).
+    Contract(String),
+    /// Validation detected an incorrect result.
+    Validation(String),
+    /// Invalid configuration.
+    Config(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Storage(e) => write!(f, "storage error: {e}"),
+            Error::Frame(e) => write!(f, "dataframe error: {e}"),
+            Error::Contract(m) => write!(f, "kernel contract violated: {m}"),
+            Error::Validation(m) => write!(f, "validation failed: {m}"),
+            Error::Config(m) => write!(f, "bad configuration: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Storage(e) => Some(e),
+            Error::Frame(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ppbench_io::Error> for Error {
+    fn from(e: ppbench_io::Error) -> Self {
+        Error::Storage(e)
+    }
+}
+
+impl From<ppbench_frame::FrameError> for Error {
+    fn from(e: ppbench_frame::FrameError) -> Self {
+        Error::Frame(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_prefixed() {
+        assert!(Error::Contract("x".into()).to_string().contains("contract"));
+        assert!(Error::Validation("x".into())
+            .to_string()
+            .contains("validation"));
+        assert!(Error::Config("x".into())
+            .to_string()
+            .contains("configuration"));
+    }
+
+    #[test]
+    fn from_io_error() {
+        let e: Error = ppbench_io::Error::InvalidConfig("y".into()).into();
+        assert!(matches!(e, Error::Storage(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

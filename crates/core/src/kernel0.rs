@@ -1,0 +1,90 @@
+//! Kernel 0 — Generate Graph: shared machinery.
+//!
+//! "Kernel 0 generates a list of edges from an approximately power-law graph
+//! using the Graph500 graph generator […] After the edges are generated they
+//! are written to files on non-volatile storage as pairs of tab separated
+//! numeric strings." The generation itself is untimed by the spec; the
+//! write is what Figure 4 measures.
+
+use ppbench_gen::{EdgeGenerator, GeneratorKind, Kronecker};
+
+use crate::config::PipelineConfig;
+
+/// Builds the configured edge generator, honoring the vertex-permutation
+/// and edge-shuffle toggles (which only the Kronecker generator has — the
+/// alternatives are deterministic by design).
+pub fn build_generator(cfg: &PipelineConfig) -> Box<dyn EdgeGenerator + Send + Sync> {
+    match cfg.generator {
+        GeneratorKind::Kronecker => {
+            let mut g = Kronecker::new(cfg.spec, cfg.seed);
+            if !cfg.permute_vertices {
+                g = g.without_vertex_permutation();
+            }
+            if cfg.shuffle_edges {
+                g = g.with_edge_shuffle();
+            }
+            Box::new(g)
+        }
+        other => other.build(cfg.spec, cfg.seed),
+    }
+}
+
+/// Chunk size used when streaming generation into the writer; large enough
+/// to amortize per-chunk overhead, small enough to keep the resident buffer
+/// modest.
+pub const GENERATION_CHUNK: u64 = 1 << 16;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PipelineConfig;
+    use ppbench_gen::degree;
+
+    fn cfg(scale: u32) -> PipelineConfig {
+        PipelineConfig::builder()
+            .scale(scale)
+            .edge_factor(4)
+            .seed(5)
+            .build()
+    }
+
+    #[test]
+    fn generator_respects_spec() {
+        let cfg = cfg(6);
+        let g = build_generator(&cfg);
+        assert_eq!(g.spec(), cfg.spec);
+        assert_eq!(g.edges().len() as u64, cfg.spec.num_edges());
+    }
+
+    #[test]
+    fn permute_toggle_changes_labels() {
+        let base = cfg(8);
+        let permuted = build_generator(&base).edges();
+        let mut no_perm_cfg = PipelineConfig::builder()
+            .scale(8)
+            .edge_factor(4)
+            .seed(5)
+            .permute_vertices(false)
+            .build();
+        no_perm_cfg.validation = base.validation;
+        let raw = build_generator(&no_perm_cfg).edges();
+        assert_ne!(permuted, raw);
+        // Raw R-MAT concentrates on vertex 0.
+        let din = degree::in_degrees(&raw, 256);
+        let argmax = (0..256).max_by_key(|&i| din[i as usize]).unwrap();
+        assert_eq!(argmax, 0);
+    }
+
+    #[test]
+    fn alternative_generators_selectable() {
+        for kind in ppbench_gen::GeneratorKind::ALL {
+            let cfg = PipelineConfig::builder()
+                .scale(5)
+                .edge_factor(2)
+                .generator(kind)
+                .build();
+            let g = build_generator(&cfg);
+            assert_eq!(g.edges().len(), 64);
+        }
+    }
+}

@@ -1,0 +1,454 @@
+//! Kernel 3 — PageRank: shared mathematical steps.
+//!
+//! From the spec (§IV.D and the appendix):
+//!
+//! ```text
+//! r = rand(1, N);  r = r ./ norm(r, 1);
+//! for 20 iterations:
+//!     r = ((c .* r) * A) + ((1 - c) .* sum(r, 2) ./ N)
+//! ```
+//!
+//! The §IV.D body of the paper drops the `./ N` when "simplifying"; the
+//! appendix and the definition of the damping vector
+//! `a = ones(1,N).*(1-c)./N` both retain it. We implement the appendix form
+//! (the correct stochastic update) and note the discrepancy in
+//! EXPERIMENTS.md.
+//!
+//! Every backend calls [`init_ranks`] with the same derived seed, so all
+//! four produce comparable rank vectors; what differs is the
+//! implementation of the `r * A` product, supplied as a closure.
+
+use ppbench_prng::{Rng64, SeedableRng64, SplitMix64, Xoshiro256pp};
+use ppbench_sparse::vector;
+
+/// Derives the rank-initialization seed from the master seed (kept separate
+/// from the generator's streams).
+fn rank_seed(master: u64) -> u64 {
+    SplitMix64::mix(master ^ 0x5241_4E4B_5345_4544) // "RANKSEED"
+}
+
+/// `r = rand(1, N); r = r ./ norm(r, 1)` — the spec's initialization.
+pub fn init_ranks(n: u64, master_seed: u64) -> Vec<f64> {
+    let mut rng = Xoshiro256pp::seed_from_u64(rank_seed(master_seed));
+    let mut r: Vec<f64> = (0..n).map(|_| rng.next_f64()).collect();
+    vector::normalize_l1(&mut r);
+    r
+}
+
+/// One PageRank update: `r ← c·(r·A) + (1−c)·sum(r)/N`, with the `r·A`
+/// product supplied by the caller.
+pub fn step(r: &[f64], multiply: impl FnOnce(&[f64]) -> Vec<f64>, damping: f64) -> Vec<f64> {
+    let n = r.len() as f64;
+    let teleport = (1.0 - damping) * vector::sum(r) / n;
+    let mut next = multiply(r);
+    for x in next.iter_mut() {
+        *x = damping * *x + teleport;
+    }
+    next
+}
+
+/// Runs `iterations` PageRank updates from `r0` (the spec's fixed-count,
+/// dangling-mass-leaking mode).
+pub fn pagerank(
+    r0: Vec<f64>,
+    mut multiply: impl FnMut(&[f64]) -> Vec<f64>,
+    damping: f64,
+    iterations: u32,
+) -> Vec<f64> {
+    let mut r = r0;
+    for _ in 0..iterations {
+        r = step(&r, &mut multiply, damping);
+    }
+    r
+}
+
+/// How the iteration treats rows with no out-edges. The benchmark spec
+/// *omits* any correction ("the additional term for the dangling nodes in
+/// the iterative formulation has been omitted"); the appendix names the
+/// classical alternatives, implemented here as extensions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DanglingStrategy {
+    /// The spec: dangling mass leaks out of the system each iteration.
+    #[default]
+    Omit,
+    /// Strongly preferential PageRank: the mass sitting on dangling rows is
+    /// redistributed uniformly each iteration (`+ c·(Σ_dangling r_u)/N`),
+    /// making the chain exactly stochastic.
+    Redistribute,
+    /// Sink PageRank: dangling rows keep their damped mass in place
+    /// (equivalent to a self-loop added at iteration time rather than in
+    /// the matrix).
+    Sink,
+}
+
+impl DanglingStrategy {
+    /// Stable name for CLI flags and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            DanglingStrategy::Omit => "omit",
+            DanglingStrategy::Redistribute => "redistribute",
+            DanglingStrategy::Sink => "sink",
+        }
+    }
+
+    /// Parses a CLI name.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "omit" => Some(Self::Omit),
+            "redistribute" | "strong" => Some(Self::Redistribute),
+            "sink" => Some(Self::Sink),
+            _ => None,
+        }
+    }
+}
+
+/// Full kernel-3 options, superset of the benchmark spec.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PageRankOptions {
+    /// Damping factor `c`.
+    pub damping: f64,
+    /// Maximum iterations (the spec runs exactly this many).
+    pub max_iterations: u32,
+    /// Dangling-row treatment.
+    pub dangling: DanglingStrategy,
+    /// When set, stop early once the L1 change between iterations drops
+    /// below this ("in a real application, PageRank would be run until the
+    /// result passes a convergence test").
+    pub tolerance: Option<f64>,
+}
+
+impl Default for PageRankOptions {
+    fn default() -> Self {
+        Self {
+            damping: crate::DAMPING,
+            max_iterations: crate::ITERATIONS,
+            dangling: DanglingStrategy::Omit,
+            tolerance: None,
+        }
+    }
+}
+
+/// Outcome of a kernel-3 run under [`PageRankOptions`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PageRankRun {
+    /// The final rank vector.
+    pub ranks: Vec<f64>,
+    /// Iterations actually performed (< `max_iterations` only when a
+    /// tolerance was set and met).
+    pub iterations: u32,
+    /// L1 change of the final iteration.
+    pub final_delta: f64,
+}
+
+/// One update under a dangling strategy. `dangling_rows[u]` flags rows
+/// with no out-edges in the (filtered, normalized) matrix.
+pub fn step_with(
+    r: &[f64],
+    multiply: impl FnOnce(&[f64]) -> Vec<f64>,
+    dangling_rows: &[bool],
+    opts: &PageRankOptions,
+) -> Vec<f64> {
+    let n = r.len() as f64;
+    let c = opts.damping;
+    let teleport = (1.0 - c) * vector::sum(r) / n;
+    let dangling_mass: f64 = match opts.dangling {
+        DanglingStrategy::Omit => 0.0,
+        _ => r
+            .iter()
+            .zip(dangling_rows)
+            .filter(|&(_, &d)| d)
+            .map(|(&x, _)| x)
+            .sum(),
+    };
+    let mut next = multiply(r);
+    match opts.dangling {
+        DanglingStrategy::Omit => {
+            for x in next.iter_mut() {
+                *x = c * *x + teleport;
+            }
+        }
+        DanglingStrategy::Redistribute => {
+            let spread = c * dangling_mass / n;
+            for x in next.iter_mut() {
+                *x = c * *x + teleport + spread;
+            }
+        }
+        DanglingStrategy::Sink => {
+            for ((x, &r_u), &d) in next.iter_mut().zip(r).zip(dangling_rows) {
+                *x = c * *x + teleport + if d { c * r_u } else { 0.0 };
+            }
+        }
+    }
+    next
+}
+
+/// Runs kernel 3 under full options: dangling strategy and optional
+/// convergence stopping.
+///
+/// # Panics
+///
+/// Panics if `dangling_rows.len() != r0.len()`.
+pub fn run(
+    r0: Vec<f64>,
+    mut multiply: impl FnMut(&[f64]) -> Vec<f64>,
+    dangling_rows: &[bool],
+    opts: &PageRankOptions,
+) -> PageRankRun {
+    assert_eq!(
+        dangling_rows.len(),
+        r0.len(),
+        "dangling mask length mismatch"
+    );
+    let mut r = r0;
+    let mut delta = f64::INFINITY;
+    let mut done = 0;
+    for i in 1..=opts.max_iterations {
+        let next = step_with(&r, &mut multiply, dangling_rows, opts);
+        delta = vector::l1_distance(&next, &r);
+        r = next;
+        done = i;
+        if opts.tolerance.is_some_and(|tol| delta < tol) {
+            break;
+        }
+    }
+    PageRankRun {
+        ranks: r,
+        iterations: done,
+        final_delta: delta,
+    }
+}
+
+/// The L1 mass retained after a run. With no dangling rows this stays at
+/// 1.0; dangling rows leak `c·(their mass)` per iteration, which the
+/// benchmark tolerates (the spec explicitly omits the dangling-node
+/// correction term).
+pub fn rank_mass(r: &[f64]) -> f64 {
+    vector::sum(r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppbench_sparse::{eigen, ops, spmv, Coo, Csr};
+
+    fn ring(n: u64) -> Csr<f64> {
+        let mut coo = Coo::<u64>::new(n, n);
+        for i in 0..n {
+            coo.push(i, (i + 1) % n, 1);
+        }
+        ops::normalize_rows(&coo.compress())
+    }
+
+    #[test]
+    fn init_is_normalized_and_deterministic() {
+        let r1 = init_ranks(100, 7);
+        let r2 = init_ranks(100, 7);
+        let r3 = init_ranks(100, 8);
+        assert_eq!(r1, r2);
+        assert_ne!(r1, r3);
+        assert!((vector::norm_l1(&r1) - 1.0).abs() < 1e-12);
+        assert!(r1.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn mass_is_conserved_without_dangling_rows() {
+        let a = ring(8);
+        let r0 = init_ranks(8, 1);
+        let r = pagerank(r0, |x| spmv::vxm(x, &a), 0.85, 20);
+        assert!((rank_mass(&r) - 1.0).abs() < 1e-9, "mass {}", rank_mass(&r));
+    }
+
+    #[test]
+    fn symmetric_ring_converges_to_uniform() {
+        let a = ring(6);
+        let r0 = init_ranks(6, 3);
+        let r = pagerank(r0, |x| spmv::vxm(x, &a), 0.85, 200);
+        for &x in &r {
+            assert!((x - 1.0 / 6.0).abs() < 1e-9, "rank {x} not uniform");
+        }
+    }
+
+    #[test]
+    fn matches_eigenvector_of_pagerank_matrix() {
+        // The paper's validation: after enough iterations, r equals the
+        // dominant eigenvector of c·Aᵀ + (1−c)/N·𝟙 (L1-normalized).
+        let mut coo = Coo::<u64>::new(5, 5);
+        for (u, v) in [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 0), (0, 3)] {
+            coo.push(u, v, 1);
+        }
+        let a = ops::normalize_rows(&coo.compress());
+        let at = a.transpose();
+        let r = pagerank(init_ranks(5, 2), |x| spmv::vxm(x, &a), 0.85, 300);
+        let mut r_norm = r.clone();
+        vector::normalize_l1(&mut r_norm);
+        let eig = eigen::pagerank_eigenvector(&at, 0.85, 5000, 1e-14);
+        assert!(eig.converged);
+        assert!(
+            vector::l1_distance(&r_norm, &eig.vector) < 1e-10,
+            "iterated {r_norm:?} vs eigenvector {:?}",
+            eig.vector
+        );
+    }
+
+    #[test]
+    fn dangling_rows_leak_mass() {
+        // Single edge 0→1, vertex 1 dangles: mass decays.
+        let mut coo = Coo::<u64>::new(2, 2);
+        coo.push(0, 1, 1);
+        let a = ops::normalize_rows(&coo.compress());
+        let r = pagerank(init_ranks(2, 1), |x| spmv::vxm(x, &a), 0.85, 20);
+        assert!(rank_mass(&r) < 1.0);
+        assert!(rank_mass(&r) > 0.0);
+    }
+
+    #[test]
+    fn damping_zero_limit_is_uniform_teleport() {
+        // c → 0 gives r = sum(r)/N everywhere after one step.
+        let a = ring(4);
+        let r0 = vec![0.4, 0.3, 0.2, 0.1];
+        let r = step(&r0, |x| spmv::vxm(x, &a), 1e-12);
+        for &x in &r {
+            assert!((x - 0.25).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn redistribute_conserves_mass_with_dangling_rows() {
+        // 0→1, vertex 1 dangles.
+        let mut coo = Coo::<u64>::new(2, 2);
+        coo.push(0, 1, 1);
+        let a = ops::normalize_rows(&coo.compress());
+        let dangling = [false, true];
+        let opts = PageRankOptions {
+            dangling: DanglingStrategy::Redistribute,
+            ..Default::default()
+        };
+        let out = run(init_ranks(2, 1), |x| spmv::vxm(x, &a), &dangling, &opts);
+        assert_eq!(out.iterations, 20);
+        assert!(
+            (rank_mass(&out.ranks) - 1.0).abs() < 1e-12,
+            "strongly preferential PageRank conserves mass: {}",
+            rank_mass(&out.ranks)
+        );
+    }
+
+    #[test]
+    fn sink_strategy_conserves_mass_and_favors_sinks() {
+        let mut coo = Coo::<u64>::new(3, 3);
+        coo.push(0, 1, 1);
+        coo.push(0, 2, 1);
+        coo.push(1, 2, 1); // vertex 2 is a sink
+        let a = ops::normalize_rows(&coo.compress());
+        let dangling = [false, false, true];
+        let opts = PageRankOptions {
+            dangling: DanglingStrategy::Sink,
+            max_iterations: 100,
+            ..Default::default()
+        };
+        let out = run(init_ranks(3, 1), |x| spmv::vxm(x, &a), &dangling, &opts);
+        assert!((rank_mass(&out.ranks) - 1.0).abs() < 1e-12);
+        assert!(
+            out.ranks[2] > out.ranks[0] && out.ranks[2] > out.ranks[1],
+            "the sink should accumulate the most mass: {:?}",
+            out.ranks
+        );
+    }
+
+    #[test]
+    fn sink_equals_diagonal_repair_in_the_matrix() {
+        // Adding self-loops in the matrix (the §V kernel-2 repair) and the
+        // Sink strategy at iteration time are the same Markov chain.
+        let mut coo = Coo::<u64>::new(4, 4);
+        for (u, v) in [(0, 1), (1, 2), (2, 0)] {
+            coo.push(u, v, 1);
+        }
+        let counts = coo.compress();
+        let plain = ops::normalize_rows(&counts);
+        let dangling = ops::empty_rows(&plain);
+        let repaired = ops::normalize_rows(&ops::add_diagonal_where(
+            &counts,
+            |i| dangling[i as usize],
+            1,
+        ));
+        let opts_sink = PageRankOptions {
+            dangling: DanglingStrategy::Sink,
+            max_iterations: 30,
+            ..Default::default()
+        };
+        let opts_omit = PageRankOptions {
+            max_iterations: 30,
+            ..Default::default()
+        };
+        let a = run(
+            init_ranks(4, 2),
+            |x| spmv::vxm(x, &plain),
+            &dangling,
+            &opts_sink,
+        );
+        let b = run(
+            init_ranks(4, 2),
+            |x| spmv::vxm(x, &repaired),
+            &[false; 4],
+            &opts_omit,
+        );
+        for i in 0..4 {
+            assert!(
+                (a.ranks[i] - b.ranks[i]).abs() < 1e-12,
+                "sink vs repaired diverge at {i}: {} vs {}",
+                a.ranks[i],
+                b.ranks[i]
+            );
+        }
+    }
+
+    #[test]
+    fn omit_strategy_via_run_matches_plain_pagerank() {
+        let a = ring(6);
+        let opts = PageRankOptions::default();
+        let via_run = run(init_ranks(6, 9), |x| spmv::vxm(x, &a), &[false; 6], &opts);
+        let plain = pagerank(init_ranks(6, 9), |x| spmv::vxm(x, &a), 0.85, 20);
+        assert_eq!(via_run.ranks, plain);
+        assert_eq!(via_run.iterations, 20);
+    }
+
+    #[test]
+    fn convergence_mode_stops_early() {
+        let a = ring(8);
+        let opts = PageRankOptions {
+            max_iterations: 10_000,
+            tolerance: Some(1e-12),
+            ..Default::default()
+        };
+        let out = run(init_ranks(8, 3), |x| spmv::vxm(x, &a), &[false; 8], &opts);
+        assert!(out.iterations < 10_000, "never converged");
+        assert!(out.final_delta < 1e-12);
+        // Converged to uniform on the symmetric ring.
+        for &x in &out.ranks {
+            assert!((x - 0.125).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn dangling_strategy_names_roundtrip() {
+        for s in [
+            DanglingStrategy::Omit,
+            DanglingStrategy::Redistribute,
+            DanglingStrategy::Sink,
+        ] {
+            assert_eq!(DanglingStrategy::parse(s.name()), Some(s));
+        }
+        assert_eq!(DanglingStrategy::parse("vanish"), None);
+    }
+
+    #[test]
+    fn step_is_linear_in_r() {
+        let a = ring(5);
+        let r: Vec<f64> = vec![0.1, 0.3, 0.2, 0.25, 0.15];
+        let doubled: Vec<f64> = r.iter().map(|x| x * 2.0).collect();
+        let s1 = step(&r, |x| spmv::vxm(x, &a), 0.85);
+        let s2 = step(&doubled, |x| spmv::vxm(x, &a), 0.85);
+        for i in 0..5 {
+            assert!((s2[i] - 2.0 * s1[i]).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,258 @@
+//! Pipeline orchestration: run the four kernels in order, time each, and
+//! validate the results.
+//!
+//! "Each kernel in the pipeline must be fully completed before the next
+//! kernel can begin" — the pipeline enforces that sequencing and owns the
+//! working directory layout (`<dir>/k0` for generated files, `<dir>/k1` for
+//! sorted files).
+
+use std::path::{Path, PathBuf};
+
+use crate::backend::Kernel2Output;
+use crate::config::{PipelineConfig, ValidationLevel};
+use crate::error::{Error, Result};
+use crate::results::{Kernel0Result, Kernel1Result, Kernel2Result, Kernel3Result, PipelineResult};
+use crate::timing::Stopwatch;
+use crate::{kernel3, validate};
+
+/// A configured pipeline bound to a working directory.
+#[derive(Debug)]
+pub struct Pipeline {
+    cfg: PipelineConfig,
+    work_dir: PathBuf,
+}
+
+impl Pipeline {
+    /// Binds `cfg` to `work_dir` (created on demand; kernel files are
+    /// written beneath it).
+    pub fn new(cfg: PipelineConfig, work_dir: &Path) -> Self {
+        Self {
+            cfg,
+            work_dir: work_dir.to_path_buf(),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.cfg
+    }
+
+    /// Directory kernel 0 writes into.
+    pub fn k0_dir(&self) -> PathBuf {
+        self.work_dir.join("k0")
+    }
+
+    /// Directory kernel 1 writes into.
+    pub fn k1_dir(&self) -> PathBuf {
+        self.work_dir.join("k1")
+    }
+
+    /// Runs all four kernels plus the configured validation.
+    pub fn run(&self) -> Result<PipelineResult> {
+        self.run_through(3)
+    }
+
+    /// Runs kernels `0..=last_kernel` (the spec allows kernels to "be run
+    /// together or independently"); validation uses whatever ran.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `last_kernel > 3`.
+    pub fn run_through(&self, last_kernel: u8) -> Result<PipelineResult> {
+        assert!(last_kernel <= 3, "kernels are numbered 0..=3");
+        let cfg = &self.cfg;
+        let backend = cfg.variant.backend();
+        let m = cfg.spec.num_edges();
+
+        // Kernel 0 — untimed by spec, measured for Figure 4.
+        let sw = Stopwatch::start();
+        let manifest0 = backend.kernel0(cfg, &self.k0_dir())?;
+        let k0 = Kernel0Result {
+            timing: sw.finish(m),
+            edges: manifest0.edges,
+            files: manifest0.files.len(),
+            digest: manifest0.digest,
+        };
+
+        let mut result = PipelineResult {
+            config: cfg.describe(),
+            scale: cfg.spec.scale(),
+            edges: m,
+            variant: cfg.variant.name(),
+            kernel0: Some(k0),
+            kernel1: None,
+            kernel2: None,
+            kernel3: None,
+            validation: None,
+        };
+
+        let mut k2_output: Option<Kernel2Output> = None;
+        if last_kernel >= 1 {
+            let sw = Stopwatch::start();
+            let manifest1 = backend.kernel1(cfg, &self.k0_dir(), &self.k1_dir())?;
+            result.kernel1 = Some(Kernel1Result {
+                timing: sw.finish(m),
+                digest: manifest1.digest,
+                sort_state: manifest1.sort_state,
+                out_of_core: cfg.sort_memory_budget.is_some_and(|b| m > b as u64),
+            });
+        }
+        if last_kernel >= 2 {
+            let sw = Stopwatch::start();
+            let out = backend.kernel2(cfg, &self.k1_dir())?;
+            result.kernel2 = Some(Kernel2Result {
+                timing: sw.finish(m),
+                stats: out.stats,
+            });
+            k2_output = Some(out);
+        }
+        if last_kernel >= 3 {
+            let matrix = &k2_output.as_ref().expect("kernel 2 ran").matrix;
+            let sw = Stopwatch::start();
+            let run = backend.kernel3(cfg, matrix)?;
+            // Kernel 3's work-item count is iterations × M ("20M divided by
+            // the run time"), using the iterations actually performed.
+            let timing = sw.finish(m * run.iterations as u64);
+            let mass = kernel3::rank_mass(&run.ranks);
+            result.kernel3 = Some(Kernel3Result {
+                timing,
+                ranks: run.ranks,
+                mass,
+                iterations: run.iterations,
+                final_delta: run.final_delta,
+            });
+        }
+
+        self.validate(&mut result, k2_output.as_ref())?;
+        Ok(result)
+    }
+
+    fn validate(
+        &self,
+        result: &mut PipelineResult,
+        k2_output: Option<&Kernel2Output>,
+    ) -> Result<()> {
+        let cfg = &self.cfg;
+        if cfg.validation == ValidationLevel::None {
+            return Ok(());
+        }
+        let mut report = validate::check_invariants(
+            cfg.spec.num_edges(),
+            cfg.spec.num_vertices(),
+            result.kernel0.as_ref().map(|k| &k.digest),
+            result.kernel1.as_ref().map(|k| &k.digest),
+            result.kernel2.as_ref().map(|k| &k.stats),
+            result.kernel3.as_ref().map(|k| k.ranks.as_slice()),
+        );
+        if let Some(out) = k2_output {
+            report
+                .checks
+                .extend(validate::check_matrix(&out.matrix).checks);
+        }
+        if cfg.validation == ValidationLevel::Eigenvector {
+            if let (Some(out), Some(k3)) = (k2_output, &result.kernel3) {
+                let eig = validate::check_eigenvector(
+                    &out.matrix,
+                    &k3.ranks,
+                    cfg.damping,
+                    cfg.iterations,
+                );
+                report.eigen_residual = eig.eigen_residual;
+                report.checks.extend(eig.checks);
+            }
+        }
+        let passed = report.passed();
+        let detail = report.detail();
+        result.validation = Some(report);
+        if !passed {
+            return Err(Error::Validation(detail));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Variant;
+    use ppbench_io::tempdir::TempDir;
+
+    fn base(scale: u32) -> crate::PipelineConfigBuilder {
+        PipelineConfig::builder()
+            .scale(scale)
+            .edge_factor(8)
+            .seed(11)
+    }
+
+    #[test]
+    fn full_run_with_invariant_validation() {
+        let td = TempDir::new("ppbench-pipe").unwrap();
+        let result = Pipeline::new(base(7).build(), td.path()).run().unwrap();
+        assert!(result.kernel0.is_some());
+        assert!(result.kernel1.is_some());
+        assert!(result.kernel2.is_some());
+        assert!(result.kernel3.is_some());
+        let v = result.validation.as_ref().unwrap();
+        assert!(v.passed(), "{}", v.detail());
+        let summary = result.summary();
+        assert!(summary.contains("K3 pagerank"), "{summary}");
+    }
+
+    #[test]
+    fn eigenvector_validation_passes_on_real_run() {
+        let td = TempDir::new("ppbench-pipe").unwrap();
+        let cfg = base(6)
+            .add_diagonal_to_empty(true)
+            .validation(crate::ValidationLevel::Eigenvector)
+            .build();
+        let result = Pipeline::new(cfg, td.path()).run().unwrap();
+        let v = result.validation.as_ref().unwrap();
+        assert!(v.passed(), "{}", v.detail());
+        assert!(v.eigen_residual.is_some());
+    }
+
+    #[test]
+    fn partial_run_stops_after_requested_kernel() {
+        let td = TempDir::new("ppbench-pipe").unwrap();
+        let result = Pipeline::new(base(6).build(), td.path())
+            .run_through(1)
+            .unwrap();
+        assert!(result.kernel0.is_some());
+        assert!(result.kernel1.is_some());
+        assert!(result.kernel2.is_none());
+        assert!(result.kernel3.is_none());
+        assert!(result.validation.as_ref().unwrap().passed());
+    }
+
+    #[test]
+    fn all_variants_run_end_to_end() {
+        for variant in Variant::ALL {
+            let td = TempDir::new("ppbench-pipe").unwrap();
+            let cfg = base(6).variant(variant).build();
+            let result = Pipeline::new(cfg, td.path()).run().unwrap();
+            assert!(
+                result.validation.as_ref().unwrap().passed(),
+                "{}: {}",
+                variant.name(),
+                result.validation.as_ref().unwrap().detail()
+            );
+        }
+    }
+
+    #[test]
+    fn out_of_core_kernel1_works_in_pipeline() {
+        let td = TempDir::new("ppbench-pipe").unwrap();
+        let cfg = base(6).sort_memory_budget(64).build();
+        let result = Pipeline::new(cfg, td.path()).run().unwrap();
+        assert!(result.kernel1.as_ref().unwrap().out_of_core);
+        assert!(result.validation.as_ref().unwrap().passed());
+    }
+
+    #[test]
+    fn validation_none_skips_reporting() {
+        let td = TempDir::new("ppbench-pipe").unwrap();
+        let cfg = base(5).validation(crate::ValidationLevel::None).build();
+        let result = Pipeline::new(cfg, td.path()).run().unwrap();
+        assert!(result.validation.is_none());
+    }
+}

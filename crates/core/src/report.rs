@@ -1,0 +1,256 @@
+//! Machine-readable run records.
+//!
+//! A benchmark is only useful if its numbers outlive the process. This
+//! module persists a [`crate::PipelineResult`] as a self-describing
+//! tab-separated record (same zero-dependency philosophy as the edge-file
+//! manifests) and loads it back for longitudinal comparison — e.g. a CI
+//! job diffing tonight's rates against last week's.
+
+use std::path::Path;
+
+use crate::results::PipelineResult;
+use crate::{Error, Result};
+
+/// A persisted (or reloaded) run record: the subset of a
+/// [`PipelineResult`] that is meaningful across processes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunRecord {
+    /// Backend name.
+    pub variant: String,
+    /// Scale factor.
+    pub scale: u32,
+    /// Edge count M.
+    pub edges: u64,
+    /// Per-kernel `(seconds, edges_per_second)`, index 0–3; `None` for
+    /// kernels that did not run.
+    pub kernels: [Option<(f64, f64)>; 4],
+    /// Whether validation passed (`None` if validation did not run).
+    pub validation_passed: Option<bool>,
+}
+
+impl RunRecord {
+    /// Extracts the record from a completed result.
+    pub fn from_result(result: &PipelineResult) -> Self {
+        let timing = |t: Option<&crate::KernelTiming>| t.map(|t| (t.seconds, t.rate()));
+        Self {
+            variant: result.variant.to_string(),
+            scale: result.scale,
+            edges: result.edges,
+            kernels: [
+                timing(result.kernel0.as_ref().map(|k| &k.timing)),
+                timing(result.kernel1.as_ref().map(|k| &k.timing)),
+                timing(result.kernel2.as_ref().map(|k| &k.timing)),
+                timing(result.kernel3.as_ref().map(|k| &k.timing)),
+            ],
+            validation_passed: result.validation.as_ref().map(|v| v.passed()),
+        }
+    }
+
+    /// Serializes the record as tab-separated `key value` lines.
+    pub fn to_text(&self) -> String {
+        let mut out = String::from("record\tppbench-run-v1\n");
+        out.push_str(&format!("variant\t{}\n", self.variant));
+        out.push_str(&format!("scale\t{}\n", self.scale));
+        out.push_str(&format!("edges\t{}\n", self.edges));
+        for (k, slot) in self.kernels.iter().enumerate() {
+            if let Some((secs, rate)) = slot {
+                out.push_str(&format!("kernel\t{k}\t{secs:.9}\t{rate:.3}\n"));
+            }
+        }
+        if let Some(passed) = self.validation_passed {
+            out.push_str(&format!("validation\t{passed}\n"));
+        }
+        out
+    }
+
+    /// Parses a record produced by [`RunRecord::to_text`].
+    pub fn from_text(text: &str) -> Result<Self> {
+        let mut record = RunRecord {
+            variant: String::new(),
+            scale: 0,
+            edges: 0,
+            kernels: [None; 4],
+            validation_passed: None,
+        };
+        let mut saw_header = false;
+        for (lineno, line) in text.lines().enumerate() {
+            if line.is_empty() {
+                continue;
+            }
+            let fields: Vec<&str> = line.split('\t').collect();
+            let bad = |msg: &str| Error::Contract(format!("run record line {}: {msg}", lineno + 1));
+            match fields[0] {
+                "record" => {
+                    if fields.get(1) != Some(&"ppbench-run-v1") {
+                        return Err(bad("unknown record version"));
+                    }
+                    saw_header = true;
+                }
+                "variant" => {
+                    record.variant = fields
+                        .get(1)
+                        .ok_or_else(|| bad("missing variant"))?
+                        .to_string();
+                }
+                "scale" => {
+                    record.scale = fields
+                        .get(1)
+                        .and_then(|v| v.parse().ok())
+                        .ok_or_else(|| bad("bad scale"))?;
+                }
+                "edges" => {
+                    record.edges = fields
+                        .get(1)
+                        .and_then(|v| v.parse().ok())
+                        .ok_or_else(|| bad("bad edge count"))?;
+                }
+                "kernel" => {
+                    let k: usize = fields
+                        .get(1)
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&k| k < 4)
+                        .ok_or_else(|| bad("bad kernel index"))?;
+                    let secs: f64 = fields
+                        .get(2)
+                        .and_then(|v| v.parse().ok())
+                        .ok_or_else(|| bad("bad seconds"))?;
+                    let rate: f64 = fields
+                        .get(3)
+                        .and_then(|v| v.parse().ok())
+                        .ok_or_else(|| bad("bad rate"))?;
+                    record.kernels[k] = Some((secs, rate));
+                }
+                "validation" => {
+                    record.validation_passed = Some(
+                        fields
+                            .get(1)
+                            .and_then(|v| v.parse().ok())
+                            .ok_or_else(|| bad("bad validation flag"))?,
+                    );
+                }
+                other => return Err(bad(&format!("unknown key {other:?}"))),
+            }
+        }
+        if !saw_header {
+            return Err(Error::Contract("run record missing header line".into()));
+        }
+        Ok(record)
+    }
+
+    /// Writes the record to a file.
+    pub fn save(&self, path: &Path) -> Result<()> {
+        std::fs::write(path, self.to_text())
+            .map_err(|e| Error::Storage(ppbench_io::Error::io(path, e)))
+    }
+
+    /// Loads a record from a file.
+    pub fn load(path: &Path) -> Result<Self> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| Error::Storage(ppbench_io::Error::io(path, e)))?;
+        Self::from_text(&text)
+    }
+
+    /// Rate ratio (`self / baseline`) per kernel — > 1 means this run was
+    /// faster. `None` where either run lacks the kernel.
+    pub fn speedup_vs(&self, baseline: &RunRecord) -> [Option<f64>; 4] {
+        let mut out = [None; 4];
+        for (slot, (mine, theirs)) in out
+            .iter_mut()
+            .zip(self.kernels.iter().zip(&baseline.kernels))
+        {
+            if let (Some((_, a)), Some((_, b))) = (mine, theirs) {
+                if *b > 0.0 {
+                    *slot = Some(a / b);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Pipeline, PipelineConfig};
+    use ppbench_io::tempdir::TempDir;
+
+    fn sample() -> RunRecord {
+        let td = TempDir::new("report").unwrap();
+        let cfg = PipelineConfig::builder()
+            .scale(6)
+            .edge_factor(4)
+            .seed(2)
+            .build();
+        let result = Pipeline::new(cfg, td.path()).run().unwrap();
+        RunRecord::from_result(&result)
+    }
+
+    #[test]
+    fn roundtrip_through_text() {
+        let record = sample();
+        let parsed = RunRecord::from_text(&record.to_text()).unwrap();
+        assert_eq!(parsed.variant, record.variant);
+        assert_eq!(parsed.scale, record.scale);
+        assert_eq!(parsed.edges, record.edges);
+        assert_eq!(parsed.validation_passed, Some(true));
+        for k in 0..4 {
+            let (a, b) = (record.kernels[k].unwrap(), parsed.kernels[k].unwrap());
+            assert!((a.0 - b.0).abs() < 1e-9, "kernel {k} seconds");
+            assert!((a.1 - b.1).abs() / a.1 < 1e-6, "kernel {k} rate");
+        }
+    }
+
+    #[test]
+    fn roundtrip_through_file() {
+        let record = sample();
+        let td = TempDir::new("report").unwrap();
+        let path = td.join("run.tsv");
+        record.save(&path).unwrap();
+        let loaded = RunRecord::load(&path).unwrap();
+        assert_eq!(loaded.variant, record.variant);
+        assert_eq!(loaded.edges, record.edges);
+    }
+
+    #[test]
+    fn rejects_malformed_records() {
+        assert!(RunRecord::from_text("").is_err(), "missing header");
+        assert!(RunRecord::from_text("record\tppbench-run-v9\n").is_err());
+        assert!(
+            RunRecord::from_text("record\tppbench-run-v1\nkernel\t7\t1.0\t2.0\n").is_err(),
+            "kernel index out of range"
+        );
+        assert!(
+            RunRecord::from_text("record\tppbench-run-v1\nbogus\tx\n").is_err(),
+            "unknown key"
+        );
+    }
+
+    #[test]
+    fn speedup_compares_rates() {
+        let mut a = sample();
+        let mut b = a.clone();
+        a.kernels[1] = Some((1.0, 200.0));
+        b.kernels[1] = Some((2.0, 100.0));
+        b.kernels[2] = None;
+        let s = a.speedup_vs(&b);
+        assert_eq!(s[1], Some(2.0));
+        assert_eq!(s[2], None);
+    }
+
+    #[test]
+    fn partial_runs_serialize() {
+        let td = TempDir::new("report").unwrap();
+        let cfg = PipelineConfig::builder()
+            .scale(5)
+            .edge_factor(2)
+            .seed(2)
+            .build();
+        let result = Pipeline::new(cfg, td.path()).run_through(1).unwrap();
+        let record = RunRecord::from_result(&result);
+        assert!(record.kernels[0].is_some());
+        assert!(record.kernels[1].is_some());
+        assert!(record.kernels[2].is_none());
+        let parsed = RunRecord::from_text(&record.to_text()).unwrap();
+        assert!(parsed.kernels[3].is_none());
+    }
+}

@@ -1,0 +1,141 @@
+//! Reproduction of the paper's Table II ("Benchmark Run Sizes").
+//!
+//! The table lists, per scale factor 16–22: maximum vertices, maximum
+//! edges, and the approximate memory footprint. The printed memory column
+//! is consistent with **24 bytes/edge in decimal units** (25 MB at scale 16
+//! … 1.6 GB at scale 22) even though the surrounding text says "16 bytes
+//! per edge" — we reproduce the table's numbers and record the discrepancy
+//! in EXPERIMENTS.md.
+
+use ppbench_gen::GraphSpec;
+
+/// Bytes/edge that reproduces the paper's printed memory column.
+pub const TABLE2_BYTES_PER_EDGE: u64 = 24;
+
+/// One row of Table II.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunSizeRow {
+    /// Scale factor S.
+    pub scale: u32,
+    /// N = 2^S.
+    pub max_vertices: u64,
+    /// M = 16·N.
+    pub max_edges: u64,
+    /// Approximate footprint in bytes (at [`TABLE2_BYTES_PER_EDGE`]).
+    pub memory_bytes: u64,
+}
+
+impl RunSizeRow {
+    /// Builds the row for one scale.
+    pub fn for_scale(scale: u32) -> Self {
+        let spec = GraphSpec::with_scale(scale);
+        Self {
+            scale,
+            max_vertices: spec.num_vertices(),
+            max_edges: spec.num_edges(),
+            memory_bytes: spec.memory_bytes(TABLE2_BYTES_PER_EDGE),
+        }
+    }
+}
+
+/// The rows of Table II for an inclusive scale range.
+pub fn run_sizes(scales: std::ops::RangeInclusive<u32>) -> Vec<RunSizeRow> {
+    scales.map(RunSizeRow::for_scale).collect()
+}
+
+/// Formats a count the way the paper's table does (decimal truncation to
+/// K/M/G: 65,536 → "65K", 4,194,304 → "4M").
+pub fn humanize_count(n: u64) -> String {
+    if n >= 1_000_000_000 {
+        format!("{}G", n / 1_000_000_000)
+    } else if n >= 1_000_000 {
+        format!("{}M", n / 1_000_000)
+    } else if n >= 1_000 {
+        format!("{}K", n / 1_000)
+    } else {
+        n.to_string()
+    }
+}
+
+/// Formats a byte count the way the paper's memory column does
+/// (decimal MB/GB, one decimal place for GB).
+pub fn humanize_bytes(bytes: u64) -> String {
+    if bytes >= 1_000_000_000 {
+        format!("{:.1}GB", bytes as f64 / 1e9)
+    } else {
+        format!("{}MB", bytes / 1_000_000)
+    }
+}
+
+/// Renders Table II as aligned text.
+pub fn render_table2(scales: std::ops::RangeInclusive<u32>) -> String {
+    let mut out = String::from("Scale  Max Vertices  Max Edges  ~Memory\n");
+    for row in run_sizes(scales) {
+        out.push_str(&format!(
+            "{:<6} {:<13} {:<10} {}\n",
+            row.scale,
+            humanize_count(row.max_vertices),
+            humanize_count(row.max_edges),
+            humanize_bytes(row.memory_bytes),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The full Table II from the paper, verbatim.
+    #[test]
+    fn reproduces_paper_table2_exactly() {
+        let expected = [
+            (16, "65K", "1M", "25MB"),
+            (17, "131K", "2M", "50MB"),
+            (18, "262K", "4M", "100MB"),
+            (19, "524K", "8M", "201MB"),
+            (20, "1M", "16M", "402MB"),
+            (21, "2M", "33M", "805MB"),
+            (22, "4M", "67M", "1.6GB"),
+        ];
+        for (scale, vertices, edges, memory) in expected {
+            let row = RunSizeRow::for_scale(scale);
+            assert_eq!(
+                humanize_count(row.max_vertices),
+                vertices,
+                "scale {scale} vertices"
+            );
+            assert_eq!(humanize_count(row.max_edges), edges, "scale {scale} edges");
+            assert_eq!(
+                humanize_bytes(row.memory_bytes),
+                memory,
+                "scale {scale} memory"
+            );
+        }
+    }
+
+    #[test]
+    fn humanize_count_boundaries() {
+        assert_eq!(humanize_count(0), "0");
+        assert_eq!(humanize_count(999), "999");
+        assert_eq!(humanize_count(1_000), "1K");
+        assert_eq!(humanize_count(999_999), "999K");
+        assert_eq!(humanize_count(1_000_000), "1M");
+        assert_eq!(humanize_count(2_500_000_000), "2G");
+    }
+
+    #[test]
+    fn render_contains_all_rows() {
+        let table = render_table2(16..=22);
+        assert_eq!(table.lines().count(), 8); // header + 7 rows
+        assert!(table.contains("1.6GB"), "{table}");
+    }
+
+    #[test]
+    fn run_sizes_range() {
+        let rows = run_sizes(16..=18);
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].scale, 16);
+        assert_eq!(rows[2].max_edges, 4_194_304);
+    }
+}

@@ -1,0 +1,118 @@
+//! Property-based tests at the pipeline level: the spec invariants must
+//! hold for *every* seed, scale and option combination, not just the ones
+//! the unit tests pick.
+
+use ppbench_core::{kernel2, kernel3, Pipeline, PipelineConfig, ValidationLevel};
+use ppbench_io::tempdir::TempDir;
+use ppbench_sparse::{ops, spmv, Coo, Csr};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The full pipeline runs and validates for arbitrary small configs.
+    #[test]
+    fn pipeline_validates_for_arbitrary_configs(
+        scale in 3u32..7,
+        edge_factor in 1u64..6,
+        seed: u64,
+        files in 1usize..4,
+        diagonal: bool,
+    ) {
+        let cfg = PipelineConfig::builder()
+            .scale(scale)
+            .edge_factor(edge_factor)
+            .seed(seed)
+            .num_files(files)
+            .add_diagonal_to_empty(diagonal)
+            .validation(ValidationLevel::Invariants)
+            .build();
+        let td = TempDir::new("core-prop").unwrap();
+        let result = Pipeline::new(cfg, td.path()).run().unwrap();
+        prop_assert!(result.validation.unwrap().passed());
+    }
+
+    /// filter_matrix invariants hold on arbitrary count matrices: mass
+    /// accounting, row stochasticity, and the column-elimination contract.
+    #[test]
+    fn filter_matrix_invariants(
+        triplets in proptest::collection::vec((0u64..12, 0u64..12), 0..150),
+        diagonal: bool,
+    ) {
+        let mut coo = Coo::<u64>::new(12, 12);
+        for &(u, v) in &triplets {
+            coo.push(u, v, 1);
+        }
+        let counts = coo.compress();
+        let din_before = ops::col_sums(&counts);
+        let dmax = din_before.iter().copied().max().unwrap_or(0);
+        let (a, stats) = kernel2::filter_matrix(&counts, diagonal);
+
+        prop_assert_eq!(stats.total_edge_count, triplets.len() as u64);
+        prop_assert!(stats.nnz_before <= triplets.len());
+        prop_assert_eq!(stats.max_in_degree, dmax);
+        // Every row is stochastic or empty.
+        for (r, &s) in ops::row_sums(&a).iter().enumerate() {
+            if a.row_nnz(r as u64) > 0 {
+                prop_assert!((s - 1.0).abs() < 1e-9, "row {r} sums to {s}");
+            }
+        }
+        // Eliminated columns are empty (diagonal repair may repopulate the
+        // diagonal entry of an eliminated column, which the spec's own
+        // option permits — skip those).
+        if !diagonal {
+            for (c, &d) in din_before.iter().enumerate() {
+                if (dmax > 0 && d == dmax) || d == 1 {
+                    prop_assert_eq!(ops::col_sums(&a)[c], 0.0, "column {} survived", c);
+                }
+            }
+            prop_assert_eq!(stats.diagonal_repairs, 0);
+        } else {
+            prop_assert_eq!(stats.dangling_rows, 0);
+        }
+    }
+
+    /// PageRank update properties for arbitrary stochastic matrices: mass
+    /// conservation (no dangling rows), positivity, and linearity.
+    #[test]
+    fn pagerank_step_properties(
+        triplets in proptest::collection::vec((0u64..8, 0u64..8), 8..80),
+        seed: u64,
+        damping in 0.05f64..0.95,
+    ) {
+        let mut coo = Coo::<u64>::new(8, 8);
+        for &(u, v) in &triplets {
+            coo.push(u, v, 1);
+        }
+        let counts = coo.compress();
+        prop_assume!((0..8).all(|r| counts.row_nnz(r) > 0));
+        let a: Csr<f64> = ops::normalize_rows(&counts);
+        let r0 = kernel3::init_ranks(8, seed);
+        let r1 = kernel3::step(&r0, |x| spmv::vxm(x, &a), damping);
+        let mass0: f64 = r0.iter().sum();
+        let mass1: f64 = r1.iter().sum();
+        prop_assert!((mass0 - mass1).abs() < 1e-9, "mass {mass0} -> {mass1}");
+        prop_assert!(r1.iter().all(|&x| x > 0.0), "teleport keeps ranks positive");
+    }
+
+    /// Rank-order utilities: tau is symmetric, reflexive and bounded for
+    /// arbitrary vectors.
+    #[test]
+    fn kendall_tau_axioms(
+        a in proptest::collection::vec(0.0f64..1.0, 2..60),
+        shift in 0.0f64..0.5,
+    ) {
+        use ppbench_core::rank::kendall_tau;
+        let n = a.len();
+        let b: Vec<f64> = a.iter().rev().map(|x| x + shift).collect();
+        let tau_ab = kendall_tau(&a, &b);
+        let tau_ba = kendall_tau(&b, &a);
+        prop_assert!((tau_ab - tau_ba).abs() < 1e-12, "symmetry");
+        prop_assert!((-1.0..=1.0).contains(&tau_ab));
+        prop_assert_eq!(kendall_tau(&a, &a), 1.0, "reflexivity");
+        // Monotone transforms preserve the ordering entirely.
+        let scaled: Vec<f64> = a.iter().map(|x| 3.0 * x + 1.0).collect();
+        prop_assert_eq!(kendall_tau(&a, &scaled), 1.0);
+        let _ = n;
+    }
+}

@@ -1,0 +1,104 @@
+//! Row-block partitioning of the vertex space.
+//!
+//! The paper's decomposition: "a common decomposition would be to have each
+//! processor hold a set of rows, since this would correspond to how the
+//! files have been sorted in kernel 1". Vertices are split into contiguous
+//! blocks of near-equal size; worker `w` owns rows `range(w)`.
+
+/// A contiguous row-block partition of `0..n` over `workers` workers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Partition {
+    n: u64,
+    workers: usize,
+}
+
+impl Partition {
+    /// Creates the partition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers == 0`.
+    pub fn new(n: u64, workers: usize) -> Self {
+        assert!(workers > 0, "need at least one worker");
+        Self { n, workers }
+    }
+
+    /// Number of workers.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Total number of vertices.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// The vertex range owned by worker `w` (may be empty when there are
+    /// more workers than vertices).
+    pub fn range(&self, w: usize) -> std::ops::Range<u64> {
+        assert!(w < self.workers, "worker {w} out of {}", self.workers);
+        let per = self.n.div_ceil(self.workers as u64);
+        let lo = (w as u64 * per).min(self.n);
+        let hi = ((w as u64 + 1) * per).min(self.n);
+        lo..hi
+    }
+
+    /// The worker owning vertex `v`.
+    pub fn owner(&self, v: u64) -> usize {
+        debug_assert!(v < self.n, "vertex {v} out of {}", self.n);
+        let per = self.n.div_ceil(self.workers as u64);
+        ((v / per) as usize).min(self.workers - 1)
+    }
+
+    /// Number of vertices owned by worker `w`.
+    pub fn len(&self, w: usize) -> u64 {
+        let r = self.range(w);
+        r.end - r.start
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_tile_the_space() {
+        for (n, w) in [(100u64, 4usize), (7, 3), (16, 16), (5, 8), (1, 1)] {
+            let p = Partition::new(n, w);
+            let mut covered = 0u64;
+            let mut expected_start = 0u64;
+            for rank in 0..w {
+                let r = p.range(rank);
+                assert_eq!(r.start, expected_start, "n={n} w={w} rank={rank}");
+                expected_start = r.end;
+                covered += r.end - r.start;
+            }
+            assert_eq!(covered, n, "n={n} w={w}");
+        }
+    }
+
+    #[test]
+    fn owner_matches_range() {
+        for (n, w) in [(100u64, 4usize), (7, 3), (33, 5)] {
+            let p = Partition::new(n, w);
+            for v in 0..n {
+                let o = p.owner(v);
+                assert!(p.range(o).contains(&v), "n={n} w={w} v={v} owner={o}");
+            }
+        }
+    }
+
+    #[test]
+    fn more_workers_than_vertices() {
+        let p = Partition::new(3, 8);
+        let owned: Vec<u64> = (0..8).map(|w| p.len(w)).collect();
+        assert_eq!(owned.iter().sum::<u64>(), 3);
+        assert!(owned.iter().all(|&l| l <= 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_rejected() {
+        let _ = Partition::new(10, 0);
+    }
+}

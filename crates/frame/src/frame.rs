@@ -1,0 +1,350 @@
+//! The frame: an ordered set of equal-length named columns.
+
+use crate::{FrameError, Result, Series};
+
+/// A columnar table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Frame {
+    columns: Vec<(String, Series)>,
+    rows: usize,
+}
+
+impl Frame {
+    /// Builds a frame from named columns.
+    ///
+    /// # Errors
+    ///
+    /// Errors if columns have different lengths or duplicate names.
+    pub fn new(columns: Vec<(String, Series)>) -> Result<Self> {
+        let rows = columns.first().map_or(0, |(_, s)| s.len());
+        let mut seen = std::collections::HashSet::new();
+        for (name, series) in &columns {
+            if series.len() != rows {
+                return Err(FrameError::LengthMismatch {
+                    expected: rows,
+                    actual: series.len(),
+                });
+            }
+            if !seen.insert(name.as_str()) {
+                return Err(FrameError::DuplicateColumn(name.clone()));
+            }
+        }
+        Ok(Self { columns, rows })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Column names in order.
+    pub fn column_names(&self) -> Vec<&str> {
+        self.columns.iter().map(|(n, _)| n.as_str()).collect()
+    }
+
+    /// Looks up a column by name.
+    pub fn column(&self, name: &str) -> Result<&Series> {
+        self.columns
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, s)| s)
+            .ok_or_else(|| FrameError::NoSuchColumn(name.to_string()))
+    }
+
+    /// Adds (or replaces) a column.
+    ///
+    /// # Errors
+    ///
+    /// Errors if the new column's length differs from the frame's row count
+    /// (unless the frame is empty of columns).
+    pub fn with_column(mut self, name: &str, series: Series) -> Result<Self> {
+        if self.columns.is_empty() {
+            self.rows = series.len();
+        } else if series.len() != self.rows {
+            return Err(FrameError::LengthMismatch {
+                expected: self.rows,
+                actual: series.len(),
+            });
+        }
+        if let Some(slot) = self.columns.iter_mut().find(|(n, _)| n == name) {
+            slot.1 = series;
+        } else {
+            self.columns.push((name.to_string(), series));
+        }
+        Ok(self)
+    }
+
+    /// Stable argsort of the frame by the named u64 columns
+    /// (lexicographic, first name most significant).
+    pub fn argsort(&self, by: &[&str]) -> Result<Vec<usize>> {
+        let keys: Vec<&[u64]> = by
+            .iter()
+            .map(|n| self.column(n)?.as_u64())
+            .collect::<Result<_>>()?;
+        let mut idx: Vec<usize> = (0..self.rows).collect();
+        idx.sort_by(|&a, &b| {
+            for k in &keys {
+                match k[a].cmp(&k[b]) {
+                    std::cmp::Ordering::Equal => continue,
+                    other => return other,
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+        Ok(idx)
+    }
+
+    /// Returns the frame sorted by the named u64 columns (argsort + gather —
+    /// the canonical columnar sort).
+    pub fn sort_by(&self, by: &[&str]) -> Result<Frame> {
+        let idx = self.argsort(by)?;
+        Ok(self.take(&idx))
+    }
+
+    /// Gathers rows by index into a new frame.
+    pub fn take(&self, indices: &[usize]) -> Frame {
+        Frame {
+            columns: self
+                .columns
+                .iter()
+                .map(|(n, s)| (n.clone(), s.take(indices)))
+                .collect(),
+            rows: indices.len(),
+        }
+    }
+
+    /// Keeps the rows where `mask` is true.
+    ///
+    /// # Errors
+    ///
+    /// Errors if the mask length differs from the row count.
+    pub fn filter(&self, mask: &[bool]) -> Result<Frame> {
+        let columns = self
+            .columns
+            .iter()
+            .map(|(n, s)| Ok((n.clone(), s.filter(mask)?)))
+            .collect::<Result<Vec<_>>>()?;
+        let rows = mask.iter().filter(|&&m| m).count();
+        Ok(Frame { columns, rows })
+    }
+
+    /// Number of distinct row tuples over the named u64 columns — the
+    /// columnar `drop_duplicates().shape[0]`.
+    ///
+    /// # Errors
+    ///
+    /// Errors if a column is missing or not u64.
+    pub fn distinct_rows(&self, by: &[&str]) -> Result<usize> {
+        let keys: Vec<&[u64]> = by
+            .iter()
+            .map(|n| self.column(n)?.as_u64())
+            .collect::<Result<_>>()?;
+        let mut seen = std::collections::HashSet::with_capacity(self.rows);
+        for i in 0..self.rows {
+            let tuple: Vec<u64> = keys.iter().map(|k| k[i]).collect();
+            seen.insert(tuple);
+        }
+        Ok(seen.len())
+    }
+
+    /// Renders the first `limit` rows as an aligned text table — the
+    /// `head()` every dataframe user reaches for.
+    pub fn head(&self, limit: usize) -> String {
+        let n = self.rows.min(limit);
+        let mut out = String::new();
+        out.push_str(
+            &self
+                .columns
+                .iter()
+                .map(|(name, _)| name.as_str())
+                .collect::<Vec<_>>()
+                .join("\t"),
+        );
+        out.push('\n');
+        for i in 0..n {
+            let row: Vec<String> = self
+                .columns
+                .iter()
+                .map(|(_, s)| match s {
+                    Series::U64(v) => v[i].to_string(),
+                    Series::F64(v) => format!("{:.6}", v[i]),
+                })
+                .collect();
+            out.push_str(&row.join("\t"));
+            out.push('\n');
+        }
+        if self.rows > n {
+            out.push_str(&format!("... ({} more rows)\n", self.rows - n));
+        }
+        out
+    }
+
+    /// Group-by-count on a u64 column: returns `counts[key] = occurrences`
+    /// as a dense vector indexed by key, sized `domain`.
+    ///
+    /// This is the columnar `value_counts` specialized to dense integer
+    /// keys, which is all the benchmark's degree computations need.
+    ///
+    /// # Errors
+    ///
+    /// Errors if the column is missing or not u64.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a key is `>= domain`.
+    pub fn group_by_count(&self, column: &str, domain: u64) -> Result<Vec<u64>> {
+        let keys = self.column(column)?.as_u64()?;
+        let mut counts = vec![0u64; usize::try_from(domain).expect("domain fits usize")];
+        for &k in keys {
+            counts[k as usize] += 1;
+        }
+        Ok(counts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Frame {
+        Frame::new(vec![
+            ("u".into(), Series::U64(vec![2, 0, 1, 0])),
+            ("v".into(), Series::U64(vec![9, 8, 7, 6])),
+            ("w".into(), Series::F64(vec![0.1, 0.2, 0.3, 0.4])),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_checks_lengths() {
+        let err = Frame::new(vec![
+            ("a".into(), Series::U64(vec![1])),
+            ("b".into(), Series::U64(vec![1, 2])),
+        ])
+        .unwrap_err();
+        assert_eq!(
+            err,
+            FrameError::LengthMismatch {
+                expected: 1,
+                actual: 2
+            }
+        );
+    }
+
+    #[test]
+    fn construction_checks_duplicates() {
+        let err = Frame::new(vec![
+            ("a".into(), Series::U64(vec![1])),
+            ("a".into(), Series::U64(vec![2])),
+        ])
+        .unwrap_err();
+        assert_eq!(err, FrameError::DuplicateColumn("a".into()));
+    }
+
+    #[test]
+    fn column_lookup() {
+        let f = sample();
+        assert_eq!(f.rows(), 4);
+        assert_eq!(f.column_names(), vec!["u", "v", "w"]);
+        assert_eq!(f.column("v").unwrap().as_u64().unwrap(), &[9, 8, 7, 6]);
+        assert!(matches!(f.column("zzz"), Err(FrameError::NoSuchColumn(_))));
+    }
+
+    #[test]
+    fn sort_by_single_key_is_stable() {
+        let f = sample();
+        let sorted = f.sort_by(&["u"]).unwrap();
+        assert_eq!(sorted.column("u").unwrap().as_u64().unwrap(), &[0, 0, 1, 2]);
+        // Stability: the two u=0 rows keep their original order (v=8 then 6).
+        assert_eq!(sorted.column("v").unwrap().as_u64().unwrap(), &[8, 6, 7, 9]);
+        // f64 columns ride along.
+        assert_eq!(
+            sorted.column("w").unwrap().as_f64().unwrap(),
+            &[0.2, 0.4, 0.3, 0.1]
+        );
+    }
+
+    #[test]
+    fn sort_by_two_keys() {
+        let f = Frame::new(vec![
+            ("u".into(), Series::U64(vec![1, 0, 1, 0])),
+            ("v".into(), Series::U64(vec![5, 9, 2, 1])),
+        ])
+        .unwrap();
+        let sorted = f.sort_by(&["u", "v"]).unwrap();
+        assert_eq!(sorted.column("u").unwrap().as_u64().unwrap(), &[0, 0, 1, 1]);
+        assert_eq!(sorted.column("v").unwrap().as_u64().unwrap(), &[1, 9, 2, 5]);
+    }
+
+    #[test]
+    fn sort_by_f64_column_is_type_error() {
+        assert!(matches!(
+            sample().sort_by(&["w"]),
+            Err(FrameError::TypeMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn filter_keeps_matching_rows() {
+        let f = sample();
+        let kept = f.filter(&[false, true, true, false]).unwrap();
+        assert_eq!(kept.rows(), 2);
+        assert_eq!(kept.column("u").unwrap().as_u64().unwrap(), &[0, 1]);
+    }
+
+    #[test]
+    fn group_by_count_dense() {
+        let f = sample();
+        let counts = f.group_by_count("u", 3).unwrap();
+        assert_eq!(counts, vec![2, 1, 1]);
+    }
+
+    #[test]
+    fn distinct_rows_counts_tuples() {
+        let f = Frame::new(vec![
+            ("u".into(), Series::U64(vec![1, 1, 2, 1])),
+            ("v".into(), Series::U64(vec![5, 5, 5, 6])),
+        ])
+        .unwrap();
+        assert_eq!(f.distinct_rows(&["u", "v"]).unwrap(), 3);
+        assert_eq!(f.distinct_rows(&["u"]).unwrap(), 2);
+        assert!(f.distinct_rows(&["nope"]).is_err());
+    }
+
+    #[test]
+    fn head_renders_and_truncates() {
+        let f = sample();
+        let h = f.head(2);
+        assert!(h.starts_with("u\tv\tw\n"), "{h}");
+        assert!(h.contains("(2 more rows)"), "{h}");
+        assert_eq!(f.head(10).matches('\n').count(), 5); // header + 4 rows
+    }
+
+    #[test]
+    fn with_column_adds_and_replaces() {
+        let f = sample()
+            .with_column("deg", Series::U64(vec![1, 1, 2, 2]))
+            .unwrap()
+            .with_column("u", Series::U64(vec![5, 5, 5, 5]))
+            .unwrap();
+        assert_eq!(f.column("deg").unwrap().as_u64().unwrap(), &[1, 1, 2, 2]);
+        assert_eq!(f.column("u").unwrap().as_u64().unwrap(), &[5, 5, 5, 5]);
+        assert_eq!(f.column_names().len(), 4);
+    }
+
+    #[test]
+    fn with_column_on_empty_frame_sets_rows() {
+        let f = Frame::new(vec![]).unwrap();
+        let f = f.with_column("x", Series::U64(vec![1, 2])).unwrap();
+        assert_eq!(f.rows(), 2);
+        assert!(f.with_column("y", Series::U64(vec![1])).is_err());
+    }
+
+    #[test]
+    fn empty_frame_operations() {
+        let f = Frame::new(vec![("u".into(), Series::U64(vec![]))]).unwrap();
+        assert_eq!(f.rows(), 0);
+        assert_eq!(f.sort_by(&["u"]).unwrap().rows(), 0);
+        assert_eq!(f.group_by_count("u", 4).unwrap(), vec![0, 0, 0, 0]);
+    }
+}

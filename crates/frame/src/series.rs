@@ -1,0 +1,194 @@
+//! Typed columns.
+
+use crate::{FrameError, Result};
+
+/// A single typed column of a [`crate::Frame`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Series {
+    /// Unsigned 64-bit integers (vertex ids, counts).
+    U64(Vec<u64>),
+    /// Doubles (ranks, normalized weights).
+    F64(Vec<f64>),
+}
+
+impl Series {
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        match self {
+            Series::U64(v) => v.len(),
+            Series::F64(v) => v.len(),
+        }
+    }
+
+    /// True when the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The dtype name ("u64" / "f64").
+    pub fn dtype(&self) -> &'static str {
+        match self {
+            Series::U64(_) => "u64",
+            Series::F64(_) => "f64",
+        }
+    }
+
+    /// Borrows the integer data, or errors if the column is not u64.
+    pub fn as_u64(&self) -> Result<&[u64]> {
+        match self {
+            Series::U64(v) => Ok(v),
+            other => Err(FrameError::TypeMismatch(format!(
+                "expected u64 column, found {}",
+                other.dtype()
+            ))),
+        }
+    }
+
+    /// Borrows the double data, or errors if the column is not f64.
+    pub fn as_f64(&self) -> Result<&[f64]> {
+        match self {
+            Series::F64(v) => Ok(v),
+            other => Err(FrameError::TypeMismatch(format!(
+                "expected f64 column, found {}",
+                other.dtype()
+            ))),
+        }
+    }
+
+    /// Gathers rows by index: `out[i] = self[indices[i]]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn take(&self, indices: &[usize]) -> Series {
+        match self {
+            Series::U64(v) => Series::U64(indices.iter().map(|&i| v[i]).collect()),
+            Series::F64(v) => Series::F64(indices.iter().map(|&i| v[i]).collect()),
+        }
+    }
+
+    /// Keeps only rows where `mask` is true.
+    ///
+    /// # Errors
+    ///
+    /// Errors if `mask.len() != self.len()`.
+    pub fn filter(&self, mask: &[bool]) -> Result<Series> {
+        if mask.len() != self.len() {
+            return Err(FrameError::LengthMismatch {
+                expected: self.len(),
+                actual: mask.len(),
+            });
+        }
+        Ok(match self {
+            Series::U64(v) => Series::U64(
+                v.iter()
+                    .zip(mask)
+                    .filter(|&(_, &m)| m)
+                    .map(|(&x, _)| x)
+                    .collect(),
+            ),
+            Series::F64(v) => Series::F64(
+                v.iter()
+                    .zip(mask)
+                    .filter(|&(_, &m)| m)
+                    .map(|(&x, _)| x)
+                    .collect(),
+            ),
+        })
+    }
+
+    /// Sum of an integer column.
+    pub fn sum_u64(&self) -> Result<u64> {
+        Ok(self.as_u64()?.iter().sum())
+    }
+
+    /// Maximum of an integer column (`None` when empty).
+    pub fn max_u64(&self) -> Result<Option<u64>> {
+        Ok(self.as_u64()?.iter().copied().max())
+    }
+
+    /// Sum of a double column.
+    pub fn sum_f64(&self) -> Result<f64> {
+        Ok(self.as_f64()?.iter().sum())
+    }
+
+    /// Mean of a double column (`None` when empty).
+    pub fn mean_f64(&self) -> Result<Option<f64>> {
+        let v = self.as_f64()?;
+        Ok(if v.is_empty() {
+            None
+        } else {
+            Some(v.iter().sum::<f64>() / v.len() as f64)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn len_and_dtype() {
+        let s = Series::U64(vec![1, 2, 3]);
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+        assert_eq!(s.dtype(), "u64");
+        assert_eq!(Series::F64(vec![]).dtype(), "f64");
+        assert!(Series::F64(vec![]).is_empty());
+    }
+
+    #[test]
+    fn typed_accessors() {
+        let s = Series::U64(vec![4, 5]);
+        assert_eq!(s.as_u64().unwrap(), &[4, 5]);
+        assert!(s.as_f64().is_err());
+        let f = Series::F64(vec![0.5]);
+        assert_eq!(f.as_f64().unwrap(), &[0.5]);
+        assert!(f.as_u64().is_err());
+    }
+
+    #[test]
+    fn take_gathers() {
+        let s = Series::U64(vec![10, 20, 30]);
+        assert_eq!(s.take(&[2, 0, 2]).as_u64().unwrap(), &[30, 10, 30]);
+        let f = Series::F64(vec![1.0, 2.0]);
+        assert_eq!(f.take(&[1]).as_f64().unwrap(), &[2.0]);
+    }
+
+    #[test]
+    fn filter_respects_mask() {
+        let s = Series::U64(vec![1, 2, 3, 4]);
+        let kept = s.filter(&[true, false, true, false]).unwrap();
+        assert_eq!(kept.as_u64().unwrap(), &[1, 3]);
+    }
+
+    #[test]
+    fn filter_length_mismatch_errors() {
+        let s = Series::U64(vec![1, 2]);
+        assert_eq!(
+            s.filter(&[true]),
+            Err(FrameError::LengthMismatch {
+                expected: 2,
+                actual: 1
+            })
+        );
+    }
+
+    #[test]
+    fn aggregates() {
+        let s = Series::U64(vec![3, 1, 4]);
+        assert_eq!(s.sum_u64().unwrap(), 8);
+        assert_eq!(s.max_u64().unwrap(), Some(4));
+        assert_eq!(Series::U64(vec![]).max_u64().unwrap(), None);
+        assert!(Series::F64(vec![1.0]).sum_u64().is_err());
+    }
+
+    #[test]
+    fn f64_aggregates() {
+        let s = Series::F64(vec![1.0, 2.0, 3.0]);
+        assert_eq!(s.sum_f64().unwrap(), 6.0);
+        assert_eq!(s.mean_f64().unwrap(), Some(2.0));
+        assert_eq!(Series::F64(vec![]).mean_f64().unwrap(), None);
+        assert!(Series::U64(vec![1]).sum_f64().is_err());
+    }
+}

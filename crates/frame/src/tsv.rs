@@ -1,0 +1,128 @@
+//! Glue between frames and the benchmark's edge files.
+//!
+//! The dataframe backend reads kernel files with `read_edge_tsv` (the
+//! columnar analogue of `pandas.read_csv(sep='\t')`) and writes them back
+//! with `write_edge_tsv`.
+
+use std::path::Path;
+
+use ppbench_io::{Edge, EdgeReader, EdgeWriter, Result as IoResult, SortState};
+
+use crate::{Frame, Series};
+
+/// Column name for start vertices.
+pub const COL_U: &str = "u";
+/// Column name for end vertices.
+pub const COL_V: &str = "v";
+
+/// Builds a two-column ("u", "v") frame from an edge slice.
+pub fn frame_from_edges(edges: &[Edge]) -> Frame {
+    let u: Vec<u64> = edges.iter().map(|e| e.u).collect();
+    let v: Vec<u64> = edges.iter().map(|e| e.v).collect();
+    Frame::new(vec![
+        (COL_U.to_string(), Series::U64(u)),
+        (COL_V.to_string(), Series::U64(v)),
+    ])
+    .expect("two equal-length fresh columns")
+}
+
+/// Extracts the ("u", "v") columns of a frame as edges.
+///
+/// # Errors
+///
+/// Errors (as [`crate::FrameError`]) if the columns are missing or mistyped.
+pub fn frame_to_edges(frame: &Frame) -> crate::Result<Vec<Edge>> {
+    let u = frame.column(COL_U)?.as_u64()?;
+    let v = frame.column(COL_V)?.as_u64()?;
+    Ok(u.iter().zip(v).map(|(&a, &b)| Edge::new(a, b)).collect())
+}
+
+/// Reads a manifest-described edge directory into a ("u", "v") frame.
+pub fn read_edge_tsv(dir: &Path) -> IoResult<Frame> {
+    let (manifest, iter) = EdgeReader::open_dir(dir)?;
+    let cap = manifest.edges as usize;
+    let mut u = Vec::with_capacity(cap);
+    let mut v = Vec::with_capacity(cap);
+    for e in iter {
+        let e = e?;
+        u.push(e.u);
+        v.push(e.v);
+    }
+    Ok(Frame::new(vec![
+        (COL_U.to_string(), Series::U64(u)),
+        (COL_V.to_string(), Series::U64(v)),
+    ])
+    .expect("two equal-length fresh columns"))
+}
+
+/// Writes the ("u", "v") columns of a frame as an edge directory.
+///
+/// # Panics
+///
+/// Panics if the frame lacks well-typed "u"/"v" columns (a programming
+/// error in the caller, not a data error).
+pub fn write_edge_tsv(
+    frame: &Frame,
+    dir: &Path,
+    num_files: usize,
+    scale: Option<u32>,
+    vertex_bound: Option<u64>,
+    sort_state: SortState,
+) -> IoResult<ppbench_io::Manifest> {
+    let u = frame
+        .column(COL_U)
+        .and_then(|s| s.as_u64())
+        .expect("frame has u64 'u' column");
+    let v = frame
+        .column(COL_V)
+        .and_then(|s| s.as_u64())
+        .expect("frame has u64 'v' column");
+    let mut w = EdgeWriter::create(dir, "edges", num_files, frame.rows() as u64)?;
+    for (&a, &b) in u.iter().zip(v) {
+        w.write(Edge::new(a, b))?;
+    }
+    w.finish(scale, vertex_bound, sort_state)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppbench_io::tempdir::TempDir;
+
+    fn edges() -> Vec<Edge> {
+        vec![Edge::new(3, 1), Edge::new(0, 2), Edge::new(3, 3)]
+    }
+
+    #[test]
+    fn edges_frame_roundtrip() {
+        let es = edges();
+        let f = frame_from_edges(&es);
+        assert_eq!(f.rows(), 3);
+        assert_eq!(frame_to_edges(&f).unwrap(), es);
+    }
+
+    #[test]
+    fn tsv_roundtrip_through_disk() {
+        let td = TempDir::new("ppbench-frame").unwrap();
+        let f = frame_from_edges(&edges());
+        write_edge_tsv(&f, td.path(), 2, Some(2), Some(4), SortState::Unsorted).unwrap();
+        let back = read_edge_tsv(td.path()).unwrap();
+        assert_eq!(back, f);
+    }
+
+    #[test]
+    fn frame_to_edges_needs_columns() {
+        let f = Frame::new(vec![("x".into(), Series::U64(vec![1]))]).unwrap();
+        assert!(frame_to_edges(&f).is_err());
+    }
+
+    #[test]
+    fn columnar_sort_then_write_is_sorted_on_disk() {
+        let td = TempDir::new("ppbench-frame").unwrap();
+        let f = frame_from_edges(&edges()).sort_by(&["u"]).unwrap();
+        write_edge_tsv(&f, td.path(), 1, None, None, SortState::ByStart).unwrap();
+        let (manifest, got) = EdgeReader::read_dir_all(td.path()).unwrap();
+        assert!(manifest.sort_state.is_sorted_by_start());
+        assert!(got.windows(2).all(|w| w[0].u <= w[1].u));
+    }
+}

@@ -1,0 +1,281 @@
+//! BTER-style generator: block two-level Erdős–Rényi.
+//!
+//! The paper's §IV.A lists "block two-level Erdos-Rényi (BTER) [Seshadhri
+//! et al 2012]" among the generators worth investigating. BTER reproduces
+//! both a heavy-tailed degree distribution *and* community structure
+//! (high clustering), which plain Kronecker graphs lack.
+//!
+//! This implementation keeps the two BTER phases but restructures them so
+//! each edge is a pure function of `(seed, edge index)` — the workspace's
+//! determinism/chunkability contract:
+//!
+//! 1. **Affinity blocks.** Vertices are grouped into contiguous blocks
+//!    whose size tracks the power-law head (hub vertices sit in small,
+//!    dense blocks). A configurable fraction of edges is *intra-block*
+//!    Erdős–Rényi, allocated to blocks proportionally to their internal
+//!    pair count.
+//! 2. **Chung–Lu background.** The remaining edges pick both endpoints
+//!    from a power-law weight distribution by inverse-CDF sampling,
+//!    providing the global heavy tail.
+
+use ppbench_io::Edge;
+use ppbench_prng::{Rng64, SplitMix64};
+
+use crate::spec::GraphSpec;
+use crate::EdgeGenerator;
+
+/// Default fraction of edges placed inside affinity blocks.
+pub const DEFAULT_INTRA_FRACTION: f64 = 0.5;
+
+/// Default power-law exponent for block sizes and background weights.
+pub const DEFAULT_ALPHA: f64 = 1.2;
+
+/// BTER-style generator.
+#[derive(Debug, Clone)]
+pub struct Bter {
+    spec: GraphSpec,
+    seed: u64,
+    /// Block boundaries: block b spans vertices `blocks[b] .. blocks[b+1]`.
+    blocks: Vec<u64>,
+    /// Number of intra-block edges (stream indices `0 .. intra_edges`).
+    intra_edges: u64,
+    /// Cumulative intra-pair weight per block, for index → block lookup.
+    intra_prefix: Vec<f64>,
+    /// Cumulative Chung–Lu endpoint weights.
+    cum_weights: Vec<f64>,
+}
+
+impl Bter {
+    /// Creates a BTER generator with default parameters.
+    pub fn new(spec: GraphSpec, seed: u64) -> Self {
+        Self::with_params(spec, seed, DEFAULT_INTRA_FRACTION, DEFAULT_ALPHA)
+    }
+
+    /// Creates a BTER generator with explicit intra-block edge fraction
+    /// (`0..=1`) and power-law exponent (`> 0`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range parameters.
+    pub fn with_params(spec: GraphSpec, seed: u64, intra_fraction: f64, alpha: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&intra_fraction),
+            "intra_fraction must be within [0, 1], got {intra_fraction}"
+        );
+        assert!(alpha.is_finite() && alpha > 0.0, "alpha must be positive");
+        let n = spec.num_vertices();
+
+        // Affinity blocks grow geometrically: the head of the degree
+        // distribution lives in many tiny blocks, the tail in a few huge
+        // ones (mirroring BTER's degree-grouped construction).
+        let mut blocks = vec![0u64];
+        let mut size = 2u64;
+        while *blocks.last().expect("nonempty") < n {
+            let next = (blocks.last().unwrap() + size).min(n);
+            blocks.push(next);
+            // Grow by ~1.6x each block, capped so a block never exceeds
+            // n/4 (keeps several communities even at tiny scales).
+            size = ((size as f64 * 1.6) as u64).clamp(2, (n / 4).max(2));
+        }
+
+        // Intra-block capacity ∝ ordered pairs excluding self loops.
+        let mut intra_prefix = Vec::with_capacity(blocks.len() - 1);
+        let mut acc = 0.0;
+        for w in blocks.windows(2) {
+            let s = (w[1] - w[0]) as f64;
+            acc += s * (s - 1.0);
+            intra_prefix.push(acc);
+        }
+
+        let intra_edges = (spec.num_edges() as f64 * intra_fraction).round() as u64;
+
+        // Chung–Lu background weights: power law over vertex rank.
+        let mut cum_weights = Vec::with_capacity(n as usize);
+        let mut cw = 0.0;
+        for i in 0..n {
+            cw += ((i + 1) as f64).powf(-alpha);
+            cum_weights.push(cw);
+        }
+
+        Self {
+            spec,
+            seed,
+            blocks,
+            intra_edges,
+            intra_prefix,
+            cum_weights,
+        }
+    }
+
+    /// Number of affinity blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len() - 1
+    }
+
+    /// The block index containing vertex `v`.
+    pub fn block_of(&self, v: u64) -> usize {
+        debug_assert!(v < self.spec.num_vertices());
+        self.blocks.partition_point(|&b| b <= v) - 1
+    }
+
+    fn sample_intra<R: Rng64>(&self, block: usize, rng: &mut R) -> Edge {
+        let lo = self.blocks[block];
+        let hi = self.blocks[block + 1];
+        let size = hi - lo;
+        let u = lo + rng.next_below(size);
+        // Avoid self loops inside blocks by drawing the offset from 1..size.
+        let off = 1 + rng.next_below(size - 1);
+        let v = lo + (u - lo + off) % size;
+        Edge::new(u, v)
+    }
+
+    fn sample_background<R: Rng64>(&self, rng: &mut R) -> Edge {
+        let total = *self.cum_weights.last().expect("nonempty");
+        let draw = |rng: &mut R| {
+            let x = rng.next_f64() * total;
+            self.cum_weights.partition_point(|&c| c < x) as u64
+        };
+        Edge::new(draw(rng), draw(rng))
+    }
+}
+
+impl EdgeGenerator for Bter {
+    fn spec(&self) -> GraphSpec {
+        self.spec
+    }
+
+    fn edges_chunk(&self, lo: u64, hi: u64) -> Vec<Edge> {
+        assert!(
+            lo <= hi && hi <= self.spec.num_edges(),
+            "bad chunk [{lo}, {hi})"
+        );
+        let total_weight = *self.intra_prefix.last().expect("at least one block");
+        let mut out = Vec::with_capacity((hi - lo) as usize);
+        for idx in lo..hi {
+            let mut rng =
+                SplitMix64::new(SplitMix64::mix(self.seed ^ SplitMix64::mix(idx << 1 | 1)));
+            let e = if idx < self.intra_edges && total_weight > 0.0 {
+                // Pick the block proportionally to its pair capacity.
+                let x = rng.next_f64() * total_weight;
+                let block = self.intra_prefix.partition_point(|&c| c < x);
+                let block = block.min(self.num_blocks() - 1);
+                self.sample_intra(block, &mut rng)
+            } else {
+                self.sample_background(&mut rng)
+            };
+            out.push(e);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::degree;
+
+    fn spec() -> GraphSpec {
+        GraphSpec::new(10, 16)
+    }
+
+    #[test]
+    fn contract_edge_count_and_range() {
+        let g = Bter::new(spec(), 7);
+        let edges = g.edges();
+        assert_eq!(edges.len() as u64, spec().num_edges());
+        assert!(edges
+            .iter()
+            .all(|e| e.u < spec().num_vertices() && e.v < spec().num_vertices()));
+    }
+
+    #[test]
+    fn deterministic_and_chunkable() {
+        let g = Bter::new(spec(), 3);
+        let all = g.edges();
+        assert_eq!(all, Bter::new(spec(), 3).edges());
+        assert_eq!(&all[100..300], &g.edges_chunk(100, 300)[..]);
+        assert_eq!(all, g.edges_parallel(97));
+    }
+
+    #[test]
+    fn blocks_partition_the_vertices() {
+        let g = Bter::new(spec(), 1);
+        assert!(
+            g.num_blocks() >= 4,
+            "want several communities, got {}",
+            g.num_blocks()
+        );
+        let n = spec().num_vertices();
+        for v in [0u64, 1, 5, 100, n - 1] {
+            let b = g.block_of(v);
+            assert!(g.blocks[b] <= v && v < g.blocks[b + 1]);
+        }
+    }
+
+    #[test]
+    fn has_community_structure() {
+        // The fraction of intra-block edges must far exceed what uniform
+        // endpoints would produce.
+        let g = Bter::new(spec(), 5);
+        let edges = g.edges();
+        let intra = edges
+            .iter()
+            .filter(|e| g.block_of(e.u) == g.block_of(e.v))
+            .count() as f64
+            / edges.len() as f64;
+        // Uniform baseline: sum over blocks of (size/n)^2 — tiny.
+        let n = spec().num_vertices() as f64;
+        let baseline: f64 = g
+            .blocks
+            .windows(2)
+            .map(|w| {
+                let s = (w[1] - w[0]) as f64 / n;
+                s * s
+            })
+            .sum();
+        assert!(
+            intra > 2.5 * baseline && intra > 0.3,
+            "intra fraction {intra:.3} vs baseline {baseline:.3}"
+        );
+    }
+
+    #[test]
+    fn heavy_tail_from_background_phase() {
+        let g = Bter::new(spec(), 9);
+        let edges = g.edges();
+        let din = degree::in_degrees(&edges, spec().num_vertices());
+        let stats = degree::DegreeStats::from_degrees(&din);
+        assert!(
+            stats.max as f64 > 4.0 * stats.mean,
+            "max {} vs mean {:.1}: no heavy tail",
+            stats.max,
+            stats.mean
+        );
+    }
+
+    #[test]
+    fn no_intra_fraction_degenerates_to_chung_lu() {
+        let g = Bter::with_params(spec(), 2, 0.0, 1.2);
+        let edges = g.edges();
+        assert_eq!(edges.len() as u64, spec().num_edges());
+        // With alpha = 1.2 the low ranks dominate endpoints.
+        let low = edges.iter().filter(|e| e.v < 64).count() as f64 / edges.len() as f64;
+        assert!(low > 0.3, "head share {low}");
+    }
+
+    #[test]
+    fn intra_edges_have_no_self_loops() {
+        let g = Bter::with_params(spec(), 4, 1.0, 1.2);
+        let edges = g.edges();
+        assert!(
+            edges.iter().all(|e| !e.is_loop()),
+            "intra phase must avoid loops"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "intra_fraction")]
+    fn rejects_bad_fraction() {
+        let _ = Bter::with_params(spec(), 0, 1.5, 1.2);
+    }
+}

@@ -1,0 +1,193 @@
+//! Degree statistics and power-law diagnostics.
+//!
+//! Used by tests to check that generated graphs actually have the
+//! "approximately power-law" shape the spec requires, and by examples to
+//! report graph structure.
+
+use ppbench_io::Edge;
+
+/// In-degree of every vertex (number of edges ending at it).
+pub fn in_degrees(edges: &[Edge], num_vertices: u64) -> Vec<u64> {
+    let mut d = vec![0u64; num_vertices as usize];
+    for e in edges {
+        d[e.v as usize] += 1;
+    }
+    d
+}
+
+/// Out-degree of every vertex (number of edges starting at it).
+pub fn out_degrees(edges: &[Edge], num_vertices: u64) -> Vec<u64> {
+    let mut d = vec![0u64; num_vertices as usize];
+    for e in edges {
+        d[e.u as usize] += 1;
+    }
+    d
+}
+
+/// Log2-binned degree histogram: `bins[b]` counts vertices whose degree `d`
+/// satisfies `2^b <= d < 2^(b+1)`; vertices of degree 0 are counted
+/// separately.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DegreeHistogram {
+    /// Number of degree-0 vertices.
+    pub zeros: u64,
+    /// Counts per log2 bin.
+    pub bins: Vec<u64>,
+}
+
+impl DegreeHistogram {
+    /// Builds the histogram from a degree vector.
+    pub fn from_degrees(degrees: &[u64]) -> Self {
+        let mut zeros = 0u64;
+        let mut bins: Vec<u64> = Vec::new();
+        for &d in degrees {
+            if d == 0 {
+                zeros += 1;
+                continue;
+            }
+            let b = 63 - d.leading_zeros() as usize; // floor(log2 d)
+            if bins.len() <= b {
+                bins.resize(b + 1, 0);
+            }
+            bins[b] += 1;
+        }
+        Self { zeros, bins }
+    }
+
+    /// Total vertices folded in.
+    pub fn total(&self) -> u64 {
+        self.zeros + self.bins.iter().sum::<u64>()
+    }
+}
+
+/// Summary statistics of a degree vector.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DegreeStats {
+    /// Largest degree.
+    pub max: u64,
+    /// Mean degree.
+    pub mean: f64,
+    /// Number of degree-0 vertices.
+    pub zeros: u64,
+    /// Number of degree-1 vertices (kernel 2's "leaves").
+    pub ones: u64,
+}
+
+impl DegreeStats {
+    /// Computes the summary.
+    pub fn from_degrees(degrees: &[u64]) -> Self {
+        let max = degrees.iter().copied().max().unwrap_or(0);
+        let sum: u64 = degrees.iter().sum();
+        let mean = if degrees.is_empty() {
+            0.0
+        } else {
+            sum as f64 / degrees.len() as f64
+        };
+        let zeros = degrees.iter().filter(|&&d| d == 0).count() as u64;
+        let ones = degrees.iter().filter(|&&d| d == 1).count() as u64;
+        Self {
+            max,
+            mean,
+            zeros,
+            ones,
+        }
+    }
+}
+
+/// Estimates the power-law slope of a degree histogram by least-squares on
+/// the log2-binned counts: returns the fitted exponent `gamma` in
+/// `count(bin) ∝ 2^(-gamma·bin)`, or `None` if fewer than 3 nonempty bins.
+///
+/// A genuinely heavy-tailed distribution fits with `gamma` roughly in
+/// 0.5–3; a concentrated (uniform/Poisson) distribution has too few bins to
+/// fit at all, which is itself the diagnostic.
+pub fn fit_power_law_slope(hist: &DegreeHistogram) -> Option<f64> {
+    let points: Vec<(f64, f64)> = hist
+        .bins
+        .iter()
+        .enumerate()
+        .filter(|&(_, &c)| c > 0)
+        .map(|(b, &c)| (b as f64, (c as f64).log2()))
+        .collect();
+    if points.len() < 3 {
+        return None;
+    }
+    let n = points.len() as f64;
+    let sx: f64 = points.iter().map(|p| p.0).sum();
+    let sy: f64 = points.iter().map(|p| p.1).sum();
+    let sxx: f64 = points.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = points.iter().map(|p| p.0 * p.1).sum();
+    let denom = n * sxx - sx * sx;
+    if denom.abs() < f64::EPSILON {
+        return None;
+    }
+    let slope = (n * sxy - sx * sy) / denom;
+    Some(-slope)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{EdgeGenerator, ErdosRenyi, GraphSpec, Kronecker};
+
+    #[test]
+    fn degrees_count_correctly() {
+        let edges = [
+            Edge::new(0, 1),
+            Edge::new(0, 2),
+            Edge::new(1, 2),
+            Edge::new(2, 2),
+        ];
+        assert_eq!(out_degrees(&edges, 3), vec![2, 1, 1]);
+        assert_eq!(in_degrees(&edges, 3), vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn histogram_bins_are_log2() {
+        let degs = [0u64, 1, 1, 2, 3, 4, 7, 8, 100];
+        let h = DegreeHistogram::from_degrees(&degs);
+        assert_eq!(h.zeros, 1);
+        assert_eq!(h.bins[0], 2); // degree 1
+        assert_eq!(h.bins[1], 2); // degrees 2..3
+        assert_eq!(h.bins[2], 2); // degrees 4..7
+        assert_eq!(h.bins[3], 1); // degree 8
+        assert_eq!(h.bins[6], 1); // degree 100 (64..127)
+        assert_eq!(h.total(), degs.len() as u64);
+    }
+
+    #[test]
+    fn stats_summary() {
+        let s = DegreeStats::from_degrees(&[0, 1, 1, 4]);
+        assert_eq!(s.max, 4);
+        assert_eq!(s.zeros, 1);
+        assert_eq!(s.ones, 2);
+        assert!((s.mean - 1.5).abs() < 1e-12);
+        let empty = DegreeStats::from_degrees(&[]);
+        assert_eq!(empty.max, 0);
+        assert_eq!(empty.mean, 0.0);
+    }
+
+    #[test]
+    fn kronecker_fits_power_law_erdos_does_not() {
+        let spec = GraphSpec::new(12, 16);
+        let kron = Kronecker::new(spec, 5).edges();
+        let er = ErdosRenyi::new(spec, 5).edges();
+        let h_kron = DegreeHistogram::from_degrees(&in_degrees(&kron, spec.num_vertices()));
+        let h_er = DegreeHistogram::from_degrees(&in_degrees(&er, spec.num_vertices()));
+        let slope = fit_power_law_slope(&h_kron).expect("kronecker should have a wide histogram");
+        assert!(slope > 0.2, "kronecker slope {slope} not decaying");
+        // The Poisson-like ER histogram spans far fewer bins.
+        assert!(
+            h_er.bins.len() < h_kron.bins.len(),
+            "ER bins {} !< Kronecker bins {}",
+            h_er.bins.len(),
+            h_kron.bins.len()
+        );
+    }
+
+    #[test]
+    fn slope_fit_requires_enough_bins() {
+        let h = DegreeHistogram::from_degrees(&[1, 1, 1]);
+        assert_eq!(fit_power_law_slope(&h), None);
+    }
+}

@@ -1,0 +1,91 @@
+//! Uniform Erdős–Rényi G(N, M) generator (with replacement).
+//!
+//! Not part of the benchmark spec, but invaluable as a *control*: it has the
+//! same N and M as the Kronecker graph with none of the skew, so ablation
+//! benches can separate "cost of the data volume" from "cost of the
+//! power-law hotspots".
+
+use ppbench_io::Edge;
+use ppbench_prng::{Rng64, SplitMix64};
+
+use crate::spec::GraphSpec;
+use crate::EdgeGenerator;
+
+/// Uniform random edges: both endpoints i.i.d. uniform over `0..N`.
+#[derive(Debug, Clone, Copy)]
+pub struct ErdosRenyi {
+    spec: GraphSpec,
+    seed: u64,
+}
+
+impl ErdosRenyi {
+    /// Creates the generator.
+    pub fn new(spec: GraphSpec, seed: u64) -> Self {
+        Self { spec, seed }
+    }
+}
+
+impl EdgeGenerator for ErdosRenyi {
+    fn spec(&self) -> GraphSpec {
+        self.spec
+    }
+
+    fn edges_chunk(&self, lo: u64, hi: u64) -> Vec<Edge> {
+        assert!(
+            lo <= hi && hi <= self.spec.num_edges(),
+            "bad chunk [{lo}, {hi})"
+        );
+        let n = self.spec.num_vertices();
+        let mut out = Vec::with_capacity((hi - lo) as usize);
+        for idx in lo..hi {
+            let mut rng = SplitMix64::new(SplitMix64::mix(self.seed ^ SplitMix64::mix(!idx)));
+            let u = rng.next_below(n);
+            let v = rng.next_below(n);
+            out.push(Edge::new(u, v));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::degree;
+
+    #[test]
+    fn uniformity_no_heavy_hub() {
+        let spec = GraphSpec::new(12, 16);
+        let edges = ErdosRenyi::new(spec, 1).edges();
+        let din = degree::in_degrees(&edges, spec.num_vertices());
+        let max = *din.iter().max().unwrap();
+        // Poisson(16) tail: max over 4096 vertices stays well under 64.
+        assert!(
+            max < 4 * spec.edge_factor(),
+            "uniform graph has hub of degree {max}"
+        );
+    }
+
+    #[test]
+    fn both_endpoints_cover_range() {
+        let spec = GraphSpec::new(6, 16);
+        let edges = ErdosRenyi::new(spec, 2).edges();
+        let n = spec.num_vertices();
+        let mut seen_u = vec![false; n as usize];
+        let mut seen_v = vec![false; n as usize];
+        for e in &edges {
+            seen_u[e.u as usize] = true;
+            seen_v[e.v as usize] = true;
+        }
+        // 1024 edges over 64 vertices: overwhelmingly likely all touched.
+        assert!(seen_u.iter().filter(|&&b| b).count() > 60);
+        assert!(seen_v.iter().filter(|&&b| b).count() > 60);
+    }
+
+    #[test]
+    fn deterministic_chunks() {
+        let spec = GraphSpec::new(5, 8);
+        let g = ErdosRenyi::new(spec, 77);
+        let all = g.edges();
+        assert_eq!(&all[32..64], &g.edges_chunk(32, 64)[..]);
+    }
+}

@@ -1,0 +1,192 @@
+//! A format-preserving pseudorandom permutation on `0..2^bits`.
+//!
+//! Kernel 0 of the Graph500 generator applies `randperm(N)` to vertex labels
+//! so that vertex id carries no information about degree. Materializing that
+//! permutation costs `8N` bytes and a serial shuffle; a balanced Feistel
+//! network gives the same statistical effect as an O(1)-memory bijection
+//! that can be evaluated independently (and thus in parallel) for every
+//! edge. Four rounds with a SplitMix-style round function are plenty for
+//! benchmark-grade mixing.
+
+/// A bijection on `0..2^bits` built from a 4-round Feistel network.
+#[derive(Debug, Clone, Copy)]
+pub struct FeistelPermutation {
+    bits: u32,
+    half_lo: u32, // bits in the low half
+    keys: [u64; FeistelPermutation::ROUNDS],
+}
+
+impl FeistelPermutation {
+    const ROUNDS: usize = 4;
+
+    /// Creates the permutation on `0..2^bits` determined by `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is 0 or greater than 63.
+    pub fn new(bits: u32, seed: u64) -> Self {
+        assert!(
+            (1..=63).contains(&bits),
+            "bits must be in 1..=63, got {bits}"
+        );
+        let mut keys = [0u64; Self::ROUNDS];
+        let mut s = seed;
+        for k in &mut keys {
+            s = mix(s.wrapping_add(0xA076_1D64_78BD_642F));
+            *k = s;
+        }
+        Self {
+            bits,
+            half_lo: bits / 2,
+            keys,
+        }
+    }
+
+    /// Domain size `2^bits`.
+    pub fn domain(&self) -> u64 {
+        1u64 << self.bits
+    }
+
+    /// Applies the permutation.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `x` is outside the domain.
+    #[inline]
+    pub fn apply(&self, x: u64) -> u64 {
+        debug_assert!(
+            x < self.domain(),
+            "input {x} outside domain 2^{}",
+            self.bits
+        );
+        if self.bits == 1 {
+            // Degenerate domain {0,1}: swap or identity based on the key.
+            return x ^ (self.keys[0] & 1);
+        }
+        let lo_bits = self.half_lo;
+        let hi_bits = self.bits - lo_bits;
+        let lo_mask = (1u64 << lo_bits) - 1;
+        let hi_mask = (1u64 << hi_bits) - 1;
+        let mut lo = x & lo_mask;
+        let mut hi = (x >> lo_bits) & hi_mask;
+        // Unbalanced-tolerant Feistel: alternate which half is keyed.
+        for (round, &key) in self.keys.iter().enumerate() {
+            if round % 2 == 0 {
+                lo ^= mix(hi ^ key) & lo_mask;
+            } else {
+                hi ^= mix(lo ^ key) & hi_mask;
+            }
+        }
+        (hi << lo_bits) | lo
+    }
+
+    /// Applies the inverse permutation.
+    #[inline]
+    pub fn invert(&self, y: u64) -> u64 {
+        debug_assert!(
+            y < self.domain(),
+            "input {y} outside domain 2^{}",
+            self.bits
+        );
+        if self.bits == 1 {
+            return y ^ (self.keys[0] & 1);
+        }
+        let lo_bits = self.half_lo;
+        let hi_bits = self.bits - lo_bits;
+        let lo_mask = (1u64 << lo_bits) - 1;
+        let hi_mask = (1u64 << hi_bits) - 1;
+        let mut lo = y & lo_mask;
+        let mut hi = (y >> lo_bits) & hi_mask;
+        for (round, &key) in self.keys.iter().enumerate().rev() {
+            if round % 2 == 0 {
+                lo ^= mix(hi ^ key) & lo_mask;
+            } else {
+                hi ^= mix(lo ^ key) & hi_mask;
+            }
+        }
+        (hi << lo_bits) | lo
+    }
+}
+
+/// SplitMix64 finalizer (duplicated here to keep this module free-standing;
+/// the canonical copy lives in `ppbench-prng`).
+#[inline]
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn is_a_bijection_for_various_widths() {
+        for bits in [1u32, 2, 3, 8, 11] {
+            let p = FeistelPermutation::new(bits, 42);
+            let n = p.domain();
+            let mut seen = vec![false; n as usize];
+            for x in 0..n {
+                let y = p.apply(x);
+                assert!(y < n, "bits={bits}: output {y} out of range");
+                assert!(!seen[y as usize], "bits={bits}: collision at {y}");
+                seen[y as usize] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn invert_roundtrips() {
+        for bits in [1u32, 5, 16, 33, 63] {
+            let p = FeistelPermutation::new(bits, 1234);
+            for i in 0..1000u64 {
+                let x = mix(i) & (p.domain() - 1);
+                assert_eq!(p.invert(p.apply(x)), x, "bits={bits}, x={x}");
+                assert_eq!(p.apply(p.invert(x)), x, "bits={bits}, x={x}");
+            }
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_permutations() {
+        let a = FeistelPermutation::new(16, 1);
+        let b = FeistelPermutation::new(16, 2);
+        let differs = (0..1000u64).any(|x| a.apply(x) != b.apply(x));
+        assert!(differs);
+    }
+
+    #[test]
+    fn actually_scrambles() {
+        // The permutation should not be close to the identity: over a sample,
+        // nearly all points should move.
+        let p = FeistelPermutation::new(20, 7);
+        let moved = (0..10_000u64).filter(|&x| p.apply(x) != x).count();
+        assert!(moved > 9_990, "only {moved}/10000 points moved");
+    }
+
+    #[test]
+    fn output_spreads_across_domain() {
+        // Consecutive inputs should map across the whole domain, not cluster:
+        // check the top-3-bit bucket histogram of the first 8192 outputs.
+        let p = FeistelPermutation::new(30, 99);
+        let mut buckets = [0u32; 8];
+        for x in 0..8192u64 {
+            let y = p.apply(x);
+            buckets[(y >> 27) as usize] += 1;
+        }
+        for (i, &c) in buckets.iter().enumerate() {
+            assert!(
+                (c as f64 - 1024.0).abs() < 300.0,
+                "bucket {i} has {c} of 8192 (expected ~1024)"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bits must be in")]
+    fn zero_bits_rejected() {
+        let _ = FeistelPermutation::new(0, 1);
+    }
+}

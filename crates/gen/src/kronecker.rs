@@ -1,0 +1,332 @@
+//! The Graph500 stochastic Kronecker (R-MAT) generator — kernel 0's
+//! reference generator.
+//!
+//! Faithful port of the octave `kronecker_generator(SCALE, edgefactor)` from
+//! graph500.org, restructured so each edge is a pure function of
+//! `(seed, edge_index)`:
+//!
+//! ```text
+//! ab = A + B;  c_norm = C/(1 - (A+B));  a_norm = A/(A+B);
+//! for each of SCALE bit levels:
+//!     ii_bit = rand > ab
+//!     jj_bit = rand > (c_norm if ii_bit else a_norm)
+//!     u |= ii_bit << level;  v |= jj_bit << level
+//! ```
+//!
+//! followed by a vertex-label permutation (the reference's `randperm(N)`,
+//! realized here as an O(1)-memory [`FeistelPermutation`]) and an optional
+//! edge-order shuffle (the reference's `randperm(M)`, realized as an index
+//! permutation with cycle-walking). Both are deterministic in the seed, so
+//! serial and parallel generation produce identical streams.
+
+use ppbench_io::Edge;
+use ppbench_prng::{Rng64, SplitMix64};
+
+use crate::feistel::FeistelPermutation;
+use crate::spec::GraphSpec;
+use crate::EdgeGenerator;
+
+/// Initiator probabilities of the 2×2 Kronecker seed matrix.
+///
+/// `d` is implied: `d = 1 - a - b - c`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KroneckerProbs {
+    /// Probability of the (0,0) quadrant.
+    pub a: f64,
+    /// Probability of the (0,1) quadrant.
+    pub b: f64,
+    /// Probability of the (1,0) quadrant.
+    pub c: f64,
+}
+
+impl Default for KroneckerProbs {
+    /// The official Graph500 initiator: A = 0.57, B = 0.19, C = 0.19.
+    fn default() -> Self {
+        Self {
+            a: 0.57,
+            b: 0.19,
+            c: 0.19,
+        }
+    }
+}
+
+impl KroneckerProbs {
+    /// Validates and returns the derived per-level thresholds.
+    fn thresholds(&self) -> Thresholds {
+        assert!(
+            self.a > 0.0 && self.b >= 0.0 && self.c >= 0.0,
+            "probabilities must be non-negative (a positive)"
+        );
+        assert!(
+            self.a + self.b + self.c < 1.0,
+            "a + b + c must be < 1 so quadrant d has positive probability"
+        );
+        Thresholds {
+            ab: self.a + self.b,
+            c_norm: self.c / (1.0 - (self.a + self.b)),
+            a_norm: self.a / (self.a + self.b),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Thresholds {
+    ab: f64,
+    c_norm: f64,
+    a_norm: f64,
+}
+
+/// The Graph500 Kronecker edge generator.
+#[derive(Debug, Clone)]
+pub struct Kronecker {
+    spec: GraphSpec,
+    seed: u64,
+    thresholds: Thresholds,
+    vertex_perm: Option<FeistelPermutation>,
+    shuffle_edges: bool,
+    edge_perm: FeistelPermutation,
+}
+
+impl Kronecker {
+    /// Creates the generator with default probabilities, vertex permutation
+    /// on and edge shuffling off.
+    ///
+    /// Edge shuffling defaults to off because per-index sampling already
+    /// makes the stream exchangeable; turn it on with
+    /// [`Kronecker::with_edge_shuffle`] to mimic the reference's `randperm(M)`
+    /// exactly.
+    pub fn new(spec: GraphSpec, seed: u64) -> Self {
+        Self::with_probs(spec, seed, KroneckerProbs::default())
+    }
+
+    /// Creates the generator with explicit initiator probabilities.
+    pub fn with_probs(spec: GraphSpec, seed: u64, probs: KroneckerProbs) -> Self {
+        let thresholds = probs.thresholds();
+        let vertex_perm = if spec.scale() >= 1 {
+            Some(FeistelPermutation::new(
+                spec.scale(),
+                derive_seed(seed, 0xF00D),
+            ))
+        } else {
+            None
+        };
+        // Edge-index permutation over the next power of two >= M
+        // (cycle-walked in `shuffled_index`).
+        let edge_bits = 64 - spec.num_edges().max(2).next_power_of_two().leading_zeros() - 1;
+        let edge_perm = FeistelPermutation::new(edge_bits.max(1), derive_seed(seed, 0xCAFE));
+        Self {
+            spec,
+            seed,
+            thresholds,
+            vertex_perm,
+            shuffle_edges: false,
+            edge_perm,
+        }
+    }
+
+    /// Disables the vertex-label permutation (the raw R-MAT labelling, where
+    /// low-numbered vertices are the hubs). Useful for validation because
+    /// the super-node is then vertex 0 with overwhelming probability.
+    pub fn without_vertex_permutation(mut self) -> Self {
+        self.vertex_perm = None;
+        self
+    }
+
+    /// Enables the reference's edge-order shuffle (`randperm(M)`).
+    pub fn with_edge_shuffle(mut self) -> Self {
+        self.shuffle_edges = true;
+        self
+    }
+
+    /// Samples the raw (unpermuted) edge for stream position `idx`.
+    #[inline]
+    fn sample_raw(&self, idx: u64) -> Edge {
+        let mut rng = SplitMix64::new(derive_seed(self.seed, idx));
+        let t = self.thresholds;
+        let mut u = 0u64;
+        let mut v = 0u64;
+        for level in 0..self.spec.scale() {
+            let ii = rng.next_f64() > t.ab;
+            let threshold = if ii { t.c_norm } else { t.a_norm };
+            let jj = rng.next_f64() > threshold;
+            u |= (ii as u64) << level;
+            v |= (jj as u64) << level;
+        }
+        Edge::new(u, v)
+    }
+
+    /// Maps a stream position through the edge shuffle (cycle-walking the
+    /// power-of-two Feistel until it lands below M).
+    #[inline]
+    fn shuffled_index(&self, idx: u64) -> u64 {
+        let m = self.spec.num_edges();
+        let mut x = self.edge_perm.apply(idx);
+        while x >= m {
+            x = self.edge_perm.apply(x);
+        }
+        x
+    }
+}
+
+/// Derives an independent SplitMix seed from (seed, tweak).
+#[inline]
+fn derive_seed(seed: u64, tweak: u64) -> u64 {
+    SplitMix64::mix(seed ^ SplitMix64::mix(tweak))
+}
+
+impl EdgeGenerator for Kronecker {
+    fn spec(&self) -> GraphSpec {
+        self.spec
+    }
+
+    fn edges_chunk(&self, lo: u64, hi: u64) -> Vec<Edge> {
+        assert!(
+            lo <= hi && hi <= self.spec.num_edges(),
+            "bad chunk [{lo}, {hi})"
+        );
+        let mut out = Vec::with_capacity((hi - lo) as usize);
+        for idx in lo..hi {
+            let src_idx = if self.shuffle_edges {
+                self.shuffled_index(idx)
+            } else {
+                idx
+            };
+            let mut e = self.sample_raw(src_idx);
+            if let Some(p) = &self.vertex_perm {
+                e = Edge::new(p.apply(e.u), p.apply(e.v));
+            }
+            out.push(e);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::degree;
+
+    #[test]
+    fn deterministic_in_seed() {
+        let spec = GraphSpec::new(8, 8);
+        let a = Kronecker::new(spec, 5).edges();
+        let b = Kronecker::new(spec, 5).edges();
+        let c = Kronecker::new(spec, 6).edges();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn emits_exactly_m_edges_in_range() {
+        let spec = GraphSpec::new(10, 4);
+        let edges = Kronecker::new(spec, 1).edges();
+        assert_eq!(edges.len() as u64, spec.num_edges());
+        assert!(edges
+            .iter()
+            .all(|e| e.u < spec.num_vertices() && e.v < spec.num_vertices()));
+    }
+
+    #[test]
+    fn degree_distribution_is_skewed() {
+        // A power-law-ish graph must concentrate edges: the max in-degree
+        // should far exceed the mean (which is the edge factor).
+        let spec = GraphSpec::new(12, 16);
+        let edges = Kronecker::new(spec, 42).edges();
+        let din = degree::in_degrees(&edges, spec.num_vertices());
+        let max = *din.iter().max().unwrap();
+        assert!(
+            max > 10 * spec.edge_factor(),
+            "max in-degree {max} not >> edge factor {}",
+            spec.edge_factor()
+        );
+        // And many vertices should be untouched (heavy tail at zero).
+        let zeros = din.iter().filter(|&&d| d == 0).count();
+        assert!(
+            zeros > (spec.num_vertices() / 10) as usize,
+            "only {zeros} empty vertices"
+        );
+    }
+
+    #[test]
+    fn unpermuted_hub_is_vertex_zero() {
+        let spec = GraphSpec::new(12, 16);
+        let edges = Kronecker::new(spec, 7).without_vertex_permutation().edges();
+        let din = degree::in_degrees(&edges, spec.num_vertices());
+        let argmax = (0..din.len()).max_by_key(|&i| din[i]).unwrap();
+        assert_eq!(
+            argmax, 0,
+            "raw R-MAT labelling should make vertex 0 the hub"
+        );
+    }
+
+    #[test]
+    fn vertex_permutation_moves_the_hub() {
+        let spec = GraphSpec::new(12, 16);
+        let edges = Kronecker::new(spec, 7).edges();
+        let din = degree::in_degrees(&edges, spec.num_vertices());
+        let argmax = (0..din.len()).max_by_key(|&i| din[i]).unwrap();
+        assert_ne!(argmax, 0, "permuted labelling should hide the hub");
+    }
+
+    #[test]
+    fn edge_shuffle_permutes_the_stream() {
+        let spec = GraphSpec::new(8, 8);
+        let plain = Kronecker::new(spec, 3).edges();
+        let shuffled = Kronecker::new(spec, 3).with_edge_shuffle().edges();
+        assert_ne!(plain, shuffled, "shuffle should reorder");
+        let mut a = plain.clone();
+        let mut b = shuffled.clone();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b, "shuffle must preserve the multiset of edges");
+    }
+
+    #[test]
+    fn shuffle_parallel_equals_serial() {
+        let spec = GraphSpec::new(8, 4);
+        let g = Kronecker::new(spec, 3).with_edge_shuffle();
+        assert_eq!(g.edges(), g.edges_parallel(64));
+    }
+
+    #[test]
+    fn custom_probs_uniform_looks_uniform() {
+        // With a = b = c = 0.25 the generator degenerates to uniform ids;
+        // the max in-degree should then be close to the mean.
+        let spec = GraphSpec::new(12, 16);
+        let probs = KroneckerProbs {
+            a: 0.25,
+            b: 0.25,
+            c: 0.25,
+        };
+        let edges = Kronecker::with_probs(spec, 11, probs).edges();
+        let din = degree::in_degrees(&edges, spec.num_vertices());
+        let max = *din.iter().max().unwrap();
+        assert!(
+            max < 4 * spec.edge_factor(),
+            "uniform probs gave max in-degree {max}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "must be < 1")]
+    fn rejects_probabilities_summing_past_one() {
+        let spec = GraphSpec::new(4, 2);
+        let _ = Kronecker::with_probs(
+            spec,
+            0,
+            KroneckerProbs {
+                a: 0.6,
+                b: 0.3,
+                c: 0.2,
+            },
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "bad chunk")]
+    fn rejects_out_of_range_chunk() {
+        let spec = GraphSpec::new(4, 2);
+        let g = Kronecker::new(spec, 0);
+        let _ = g.edges_chunk(0, spec.num_edges() + 1);
+    }
+}

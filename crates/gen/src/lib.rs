@@ -1,0 +1,222 @@
+//! Graph generators for kernel 0 of the PageRank Pipeline Benchmark.
+//!
+//! The benchmark's kernel 0 generates "a list of edges from an approximately
+//! power-law graph using the Graph500 graph generator". This crate ports
+//! that generator and the two alternatives the paper names as candidates for
+//! easier validation (§IV.A and §V):
+//!
+//! * [`Kronecker`] — the Graph500 kernel-0 stochastic Kronecker (R-MAT)
+//!   generator with the official initiator probabilities A = 0.57, B = 0.19,
+//!   C = 0.19, including vertex-label permutation and edge shuffling, plus a
+//!   deterministic [rayon]-parallel path whose output is identical to the
+//!   serial one for any thread count.
+//! * [`PerfectPowerLaw`] — a deterministic-degree-sequence power-law
+//!   generator in the spirit of Kepner's PPL graphs; degrees are an exact
+//!   analytic function of the vertex rank, which makes downstream kernels
+//!   easy to validate.
+//! * [`ErdosRenyi`] — uniform random G(N, M) with replacement, useful as a
+//!   no-hotspot control in tests and ablations.
+//!
+//! All generators implement [`EdgeGenerator`] and share a [`GraphSpec`]
+//! (scale + edge factor) from which vertex counts, edge counts and the
+//! paper's Table II memory estimates are derived.
+
+//!
+//! # Example
+//!
+//! ```
+//! use ppbench_gen::{EdgeGenerator, GraphSpec, Kronecker};
+//!
+//! // Scale 8, 4 edges per vertex: 256 vertices, 1024 edges.
+//! let gen = Kronecker::new(GraphSpec::new(8, 4), 42);
+//! let edges = gen.edges();
+//! assert_eq!(edges.len(), 1024);
+//! // Deterministic: the same seed always yields the same graph.
+//! assert_eq!(edges, Kronecker::new(GraphSpec::new(8, 4), 42).edges());
+//! ```
+
+#![warn(missing_docs)]
+
+mod bter;
+pub mod degree;
+mod erdos;
+mod feistel;
+mod kronecker;
+mod ppl;
+mod spec;
+pub mod validate;
+
+pub use bter::Bter;
+pub use erdos::ErdosRenyi;
+pub use feistel::FeistelPermutation;
+pub use kronecker::{Kronecker, KroneckerProbs};
+pub use ppl::PerfectPowerLaw;
+pub use spec::{GraphSpec, DEFAULT_EDGE_FACTOR};
+
+use ppbench_io::Edge;
+
+/// A deterministic edge-list generator.
+///
+/// Generators are pure functions of their configuration (including the
+/// seed): `edges()` always returns the same list, and
+/// `edges_chunk(lo, hi)` returns exactly `edges()[lo..hi]`, which is what
+/// makes order-preserving parallel generation possible.
+pub trait EdgeGenerator {
+    /// The graph size specification.
+    fn spec(&self) -> GraphSpec;
+
+    /// Generates edges `lo..hi` of the stream (end-exclusive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi` or `hi > self.spec().num_edges()`.
+    fn edges_chunk(&self, lo: u64, hi: u64) -> Vec<Edge>;
+
+    /// Generates the complete edge list serially.
+    fn edges(&self) -> Vec<Edge> {
+        self.edges_chunk(0, self.spec().num_edges())
+    }
+
+    /// Generates the complete edge list with rayon, chunked so the result
+    /// is bit-identical to [`EdgeGenerator::edges`] regardless of thread
+    /// count.
+    fn edges_parallel(&self, chunk_size: u64) -> Vec<Edge>
+    where
+        Self: Sync,
+    {
+        use rayon::prelude::*;
+        let m = self.spec().num_edges();
+        assert!(chunk_size > 0, "chunk_size must be positive");
+        let chunks: Vec<(u64, u64)> = (0..m)
+            .step_by(chunk_size as usize)
+            .map(|lo| (lo, (lo + chunk_size).min(m)))
+            .collect();
+        chunks
+            .par_iter()
+            .flat_map_iter(|&(lo, hi)| self.edges_chunk(lo, hi))
+            .collect()
+    }
+}
+
+impl<G: EdgeGenerator + ?Sized> EdgeGenerator for Box<G> {
+    fn spec(&self) -> GraphSpec {
+        (**self).spec()
+    }
+
+    fn edges_chunk(&self, lo: u64, hi: u64) -> Vec<Edge> {
+        (**self).edges_chunk(lo, hi)
+    }
+}
+
+/// Which generator kernel 0 should use; the paper's §V suggests more
+/// deterministic generators "to facilitate validation of all kernels".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GeneratorKind {
+    /// Graph500 stochastic Kronecker (the spec's default).
+    #[default]
+    Kronecker,
+    /// Deterministic-degree power-law graph.
+    PerfectPowerLaw,
+    /// Uniform Erdős–Rényi control.
+    ErdosRenyi,
+    /// Block two-level Erdős–Rényi: power law + community structure.
+    Bter,
+}
+
+impl GeneratorKind {
+    /// Instantiates the chosen generator for `spec` and `seed`.
+    pub fn build(self, spec: GraphSpec, seed: u64) -> Box<dyn EdgeGenerator + Send + Sync> {
+        match self {
+            GeneratorKind::Kronecker => Box::new(Kronecker::new(spec, seed)),
+            GeneratorKind::PerfectPowerLaw => Box::new(PerfectPowerLaw::new(spec, seed)),
+            GeneratorKind::ErdosRenyi => Box::new(ErdosRenyi::new(spec, seed)),
+            GeneratorKind::Bter => Box::new(Bter::new(spec, seed)),
+        }
+    }
+
+    /// Stable name used in CLI flags and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            GeneratorKind::Kronecker => "kronecker",
+            GeneratorKind::PerfectPowerLaw => "ppl",
+            GeneratorKind::ErdosRenyi => "erdos-renyi",
+            GeneratorKind::Bter => "bter",
+        }
+    }
+
+    /// Parses a CLI name.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "kronecker" => Some(Self::Kronecker),
+            "ppl" => Some(Self::PerfectPowerLaw),
+            "erdos-renyi" | "er" => Some(Self::ErdosRenyi),
+            "bter" => Some(Self::Bter),
+            _ => None,
+        }
+    }
+
+    /// All kinds, for sweeps and tests.
+    pub const ALL: [GeneratorKind; 4] = [
+        GeneratorKind::Kronecker,
+        GeneratorKind::PerfectPowerLaw,
+        GeneratorKind::ErdosRenyi,
+        GeneratorKind::Bter,
+    ];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_name_parse_roundtrip() {
+        for k in GeneratorKind::ALL {
+            assert_eq!(GeneratorKind::parse(k.name()), Some(k));
+        }
+        assert_eq!(GeneratorKind::parse("nope"), None);
+    }
+
+    #[test]
+    fn build_produces_right_sizes() {
+        let spec = GraphSpec::new(6, 4);
+        for k in GeneratorKind::ALL {
+            let g = k.build(spec, 7);
+            let edges = g.edges();
+            assert_eq!(edges.len() as u64, spec.num_edges(), "{}", k.name());
+            assert!(
+                edges
+                    .iter()
+                    .all(|e| e.u < spec.num_vertices() && e.v < spec.num_vertices()),
+                "{} emitted out-of-range vertices",
+                k.name()
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_equals_serial_for_all_kinds() {
+        let spec = GraphSpec::new(7, 8);
+        for k in GeneratorKind::ALL {
+            let g = k.build(spec, 3);
+            assert_eq!(g.edges(), g.edges_parallel(100), "{}", k.name());
+        }
+    }
+
+    #[test]
+    fn chunks_tile_the_stream() {
+        let spec = GraphSpec::new(6, 4);
+        for k in GeneratorKind::ALL {
+            let g = k.build(spec, 11);
+            let all = g.edges();
+            let m = spec.num_edges();
+            let mut tiled = Vec::new();
+            let mut lo = 0;
+            while lo < m {
+                let hi = (lo + 37).min(m);
+                tiled.extend(g.edges_chunk(lo, hi));
+                lo = hi;
+            }
+            assert_eq!(tiled, all, "{}", k.name());
+        }
+    }
+}

@@ -1,0 +1,238 @@
+//! Perfect-power-law generator: a deterministic-degree alternative to the
+//! Kronecker generator.
+//!
+//! The paper (§IV.A, §V) suggests that generators such as Kepner's perfect
+//! power law (PPL) graphs "may make the validation of subsequent kernels
+//! easier" because their structure is analytic rather than stochastic. This
+//! implementation fixes the *out-degree sequence* exactly:
+//!
+//! * vertex `i` (in rank order) gets out-degree proportional to
+//!   `(i+1)^(-alpha)`, apportioned by largest remainder so the degrees sum
+//!   to exactly `M`;
+//! * edge endpoints are drawn from the same power-law distribution by
+//!   inverse-CDF sampling, so in-degrees follow the same law in expectation.
+//!
+//! Because the out-degree of every vertex is a known function of its rank,
+//! kernel-2 invariants (who the super-node is, how many leaves exist) can be
+//! predicted in closed form — exactly the validation property the paper
+//! asks for. The stream is emitted sorted by start vertex, which also makes
+//! PPL inputs a useful identity-check for kernel 1.
+
+use ppbench_io::Edge;
+use ppbench_prng::{Rng64, SplitMix64};
+
+use crate::spec::GraphSpec;
+use crate::EdgeGenerator;
+
+/// Default power-law exponent; 1.3 is within the range observed for web
+/// graphs and keeps the head heavy without starving the tail at benchmark
+/// scales.
+pub const DEFAULT_ALPHA: f64 = 1.3;
+
+/// Deterministic-degree power-law generator.
+#[derive(Debug, Clone)]
+pub struct PerfectPowerLaw {
+    spec: GraphSpec,
+    seed: u64,
+    alpha: f64,
+    /// `deg_prefix[i]` = number of edges whose start vertex rank is < i;
+    /// length N+1, last element == M.
+    deg_prefix: Vec<u64>,
+    /// Cumulative endpoint weights for inverse-CDF sampling; length N,
+    /// last element == total weight.
+    cum_weights: Vec<f64>,
+}
+
+impl PerfectPowerLaw {
+    /// Creates a PPL generator with the default exponent.
+    pub fn new(spec: GraphSpec, seed: u64) -> Self {
+        Self::with_alpha(spec, seed, DEFAULT_ALPHA)
+    }
+
+    /// Creates a PPL generator with an explicit exponent `alpha > 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is not finite and positive.
+    pub fn with_alpha(spec: GraphSpec, seed: u64, alpha: f64) -> Self {
+        assert!(
+            alpha.is_finite() && alpha > 0.0,
+            "alpha must be positive, got {alpha}"
+        );
+        let n = spec.num_vertices();
+        let m = spec.num_edges();
+        let weights: Vec<f64> = (0..n).map(|i| ((i + 1) as f64).powf(-alpha)).collect();
+        let total: f64 = weights.iter().sum();
+
+        // Exact apportionment of M edges to N vertices (largest remainder).
+        let mut degrees: Vec<u64> = Vec::with_capacity(n as usize);
+        let mut remainders: Vec<(f64, usize)> = Vec::with_capacity(n as usize);
+        let mut assigned: u64 = 0;
+        for (i, &w) in weights.iter().enumerate() {
+            let ideal = w / total * m as f64;
+            let floor = ideal.floor() as u64;
+            degrees.push(floor);
+            assigned += floor;
+            remainders.push((ideal - floor as f64, i));
+        }
+        // Hand the leftover edges to the largest remainders (ties broken by
+        // rank for determinism).
+        let leftover = (m - assigned) as usize;
+        remainders.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)));
+        for &(_, i) in remainders.iter().take(leftover) {
+            degrees[i] += 1;
+        }
+
+        let mut deg_prefix = Vec::with_capacity(n as usize + 1);
+        deg_prefix.push(0u64);
+        let mut acc = 0u64;
+        for &d in &degrees {
+            acc += d;
+            deg_prefix.push(acc);
+        }
+        debug_assert_eq!(acc, m);
+
+        let mut cum_weights = Vec::with_capacity(n as usize);
+        let mut cw = 0.0;
+        for &w in &weights {
+            cw += w;
+            cum_weights.push(cw);
+        }
+
+        Self {
+            spec,
+            seed,
+            alpha,
+            deg_prefix,
+            cum_weights,
+        }
+    }
+
+    /// The power-law exponent.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// The exact out-degree assigned to vertex rank `i`.
+    pub fn out_degree_of(&self, i: u64) -> u64 {
+        self.deg_prefix[i as usize + 1] - self.deg_prefix[i as usize]
+    }
+
+    /// Start vertex of edge `idx`: the rank whose degree range contains it.
+    #[inline]
+    fn source_of(&self, idx: u64) -> u64 {
+        // partition_point returns the first rank whose prefix exceeds idx.
+        (self.deg_prefix.partition_point(|&p| p <= idx) - 1) as u64
+    }
+
+    /// Endpoint sampled by inverse CDF of the power-law weights.
+    #[inline]
+    fn sample_endpoint<R: Rng64>(&self, rng: &mut R) -> u64 {
+        let total = *self.cum_weights.last().expect("nonempty weights");
+        let x = rng.next_f64() * total;
+        self.cum_weights.partition_point(|&c| c < x) as u64
+    }
+}
+
+impl EdgeGenerator for PerfectPowerLaw {
+    fn spec(&self) -> GraphSpec {
+        self.spec
+    }
+
+    fn edges_chunk(&self, lo: u64, hi: u64) -> Vec<Edge> {
+        assert!(
+            lo <= hi && hi <= self.spec.num_edges(),
+            "bad chunk [{lo}, {hi})"
+        );
+        let mut out = Vec::with_capacity((hi - lo) as usize);
+        for idx in lo..hi {
+            let u = self.source_of(idx);
+            let mut rng = SplitMix64::new(SplitMix64::mix(self.seed ^ SplitMix64::mix(idx)));
+            let v = self.sample_endpoint(&mut rng);
+            out.push(Edge::new(u, v));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degrees_sum_to_m_exactly() {
+        for (scale, k) in [(4u32, 3u64), (8, 16), (10, 5)] {
+            let spec = GraphSpec::new(scale, k);
+            let g = PerfectPowerLaw::new(spec, 1);
+            let total: u64 = (0..spec.num_vertices()).map(|i| g.out_degree_of(i)).sum();
+            assert_eq!(total, spec.num_edges());
+        }
+    }
+
+    #[test]
+    fn degrees_are_nonincreasing_in_rank() {
+        let spec = GraphSpec::new(8, 16);
+        let g = PerfectPowerLaw::new(spec, 1);
+        let degs: Vec<u64> = (0..spec.num_vertices())
+            .map(|i| g.out_degree_of(i))
+            .collect();
+        // Largest-remainder apportionment can perturb by at most 1, so allow
+        // a slack of 1 between consecutive ranks.
+        for w in degs.windows(2) {
+            assert!(w[1] <= w[0] + 1, "degree sequence increases: {w:?}");
+        }
+        assert!(degs[0] > degs[spec.num_vertices() as usize - 1]);
+    }
+
+    #[test]
+    fn stream_is_sorted_by_start_vertex() {
+        let spec = GraphSpec::new(7, 8);
+        let edges = PerfectPowerLaw::new(spec, 9).edges();
+        assert!(edges.windows(2).all(|w| w[0].u <= w[1].u));
+    }
+
+    #[test]
+    fn out_degrees_in_stream_match_declared() {
+        let spec = GraphSpec::new(6, 8);
+        let g = PerfectPowerLaw::new(spec, 2);
+        let edges = g.edges();
+        let mut counts = vec![0u64; spec.num_vertices() as usize];
+        for e in &edges {
+            counts[e.u as usize] += 1;
+        }
+        for i in 0..spec.num_vertices() {
+            assert_eq!(counts[i as usize], g.out_degree_of(i), "vertex {i}");
+        }
+    }
+
+    #[test]
+    fn endpoints_favor_low_ranks() {
+        let spec = GraphSpec::new(10, 16);
+        let edges = PerfectPowerLaw::new(spec, 3).edges();
+        let n = spec.num_vertices();
+        let low = edges.iter().filter(|e| e.v < n / 16).count();
+        // With alpha = 1.3 the first 1/16th of ranks carries far more than
+        // 1/16th of the endpoint mass.
+        assert!(
+            low as f64 > edges.len() as f64 * 0.3,
+            "only {low}/{} endpoints in the low-rank head",
+            edges.len()
+        );
+    }
+
+    #[test]
+    fn deterministic_and_chunkable() {
+        let spec = GraphSpec::new(6, 4);
+        let g = PerfectPowerLaw::new(spec, 8);
+        let all = g.edges();
+        assert_eq!(all, PerfectPowerLaw::new(spec, 8).edges());
+        let mid = g.edges_chunk(10, 50);
+        assert_eq!(&all[10..50], &mid[..]);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be positive")]
+    fn rejects_bad_alpha() {
+        let _ = PerfectPowerLaw::with_alpha(GraphSpec::new(4, 2), 0, -1.0);
+    }
+}

@@ -1,0 +1,149 @@
+//! Graph size specification: the paper's (scale, edge-factor) parameters.
+
+/// The two parameters of the Graph500 generator as used by the benchmark:
+/// the integer scale factor `S` and the average number of edges per vertex
+/// `k` (16 in the official configuration).
+///
+/// * `N = 2^S` — maximum vertex label (exclusive bound)
+/// * `M = k·N` — total number of edges
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GraphSpec {
+    scale: u32,
+    edge_factor: u64,
+}
+
+/// The official Graph500 / paper edge factor.
+pub const DEFAULT_EDGE_FACTOR: u64 = 16;
+
+impl GraphSpec {
+    /// Creates a spec with an explicit edge factor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale >= 58` (edge counts would overflow the generator's
+    /// index arithmetic) or `edge_factor == 0`.
+    pub fn new(scale: u32, edge_factor: u64) -> Self {
+        assert!(scale < 58, "scale {scale} too large");
+        assert!(edge_factor > 0, "edge_factor must be positive");
+        let n = 1u64 << scale;
+        assert!(
+            n.checked_mul(edge_factor).is_some(),
+            "scale {scale} x edge_factor {edge_factor} overflows"
+        );
+        Self { scale, edge_factor }
+    }
+
+    /// Creates a spec with the official edge factor k = 16.
+    pub fn with_scale(scale: u32) -> Self {
+        Self::new(scale, DEFAULT_EDGE_FACTOR)
+    }
+
+    /// The integer scale factor `S`.
+    pub fn scale(&self) -> u32 {
+        self.scale
+    }
+
+    /// The average edges per vertex `k`.
+    pub fn edge_factor(&self) -> u64 {
+        self.edge_factor
+    }
+
+    /// `N = 2^S`, the exclusive upper bound on vertex labels.
+    pub fn num_vertices(&self) -> u64 {
+        1u64 << self.scale
+    }
+
+    /// `M = k·N`, the number of generated edges.
+    pub fn num_edges(&self) -> u64 {
+        self.edge_factor * self.num_vertices()
+    }
+
+    /// Approximate in-memory footprint of the edge list, at `bytes_per_edge`
+    /// bytes per edge. The paper's Table II prints this at 24 bytes/edge
+    /// (despite the surrounding text saying 16 — see EXPERIMENTS.md).
+    pub fn memory_bytes(&self, bytes_per_edge: u64) -> u64 {
+        self.num_edges() * bytes_per_edge
+    }
+
+    /// Scale whose edge list occupies roughly `fraction` of `ram_bytes`
+    /// (the paper suggests targeting ~25% of available RAM).
+    pub fn scale_for_memory(ram_bytes: u64, fraction: f64, bytes_per_edge: u64) -> u32 {
+        let budget = (ram_bytes as f64 * fraction).max(1.0);
+        let mut scale = 0u32;
+        while scale < 57 {
+            let next = Self::new(scale + 1, DEFAULT_EDGE_FACTOR);
+            if next.memory_bytes(bytes_per_edge) as f64 > budget {
+                break;
+            }
+            scale += 1;
+        }
+        scale
+    }
+}
+
+impl std::fmt::Display for GraphSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "scale {} (N={}, M={})",
+            self.scale,
+            self.num_vertices(),
+            self.num_edges()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_sizes_match() {
+        // Values from the paper's §IV.A: S = 30 gives N = 1,073,741,824 and
+        // M = 17,179,869,184.
+        let spec = GraphSpec::with_scale(30);
+        assert_eq!(spec.num_vertices(), 1_073_741_824);
+        assert_eq!(spec.num_edges(), 17_179_869_184);
+    }
+
+    #[test]
+    fn table2_scale_16_and_22() {
+        let s16 = GraphSpec::with_scale(16);
+        assert_eq!(s16.num_vertices(), 65_536);
+        assert_eq!(s16.num_edges(), 1_048_576);
+        let s22 = GraphSpec::with_scale(22);
+        assert_eq!(s22.num_vertices(), 4_194_304);
+        assert_eq!(s22.num_edges(), 67_108_864);
+        // Table II memory column at 24 B/edge, decimal megabytes.
+        assert_eq!(s16.memory_bytes(24) / 1_000_000, 25);
+        assert_eq!(s22.memory_bytes(24) / 1_000_000, 1610);
+    }
+
+    #[test]
+    #[should_panic(expected = "too large")]
+    fn huge_scale_rejected() {
+        let _ = GraphSpec::new(60, 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "edge_factor must be positive")]
+    fn zero_edge_factor_rejected() {
+        let _ = GraphSpec::new(10, 0);
+    }
+
+    #[test]
+    fn scale_for_memory_targets_quarter_of_ram() {
+        // 64 GB RAM, 25%, 16 B/edge: biggest S with 16·16·2^S <= 16e9
+        // is S = 25 (2^25·256 = 8.6e9), S = 26 gives 17.2e9 > 16e9.
+        let s = GraphSpec::scale_for_memory(64_000_000_000, 0.25, 16);
+        assert_eq!(s, 25);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = GraphSpec::new(4, 2).to_string();
+        assert!(s.contains("scale 4"), "{s}");
+        assert!(s.contains("N=16"), "{s}");
+        assert!(s.contains("M=32"), "{s}");
+    }
+}

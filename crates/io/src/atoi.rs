@@ -1,0 +1,171 @@
+//! Fast decimal formatting and parsing of unsigned 64-bit integers.
+//!
+//! The benchmark's file kernels spend most of their time converting vertex
+//! ids to and from decimal text; `u64::to_string` allocates per call and
+//! `str::parse` re-validates UTF-8 and signs. These hand-rolled routines are
+//! what the `optimized` pipeline backend uses; the `naive` backend
+//! deliberately sticks to the standard-library conversions so the two
+//! execution styles can be compared (Figures 4–5 of the paper).
+
+/// Maximum number of decimal digits in a `u64` (`u64::MAX` has 20).
+pub const MAX_DIGITS: usize = 20;
+
+/// Writes `value` in decimal into `buf`, returning the number of bytes
+/// written. `buf` must be at least [`MAX_DIGITS`] bytes.
+///
+/// # Panics
+///
+/// Panics if `buf` is shorter than the formatted value.
+#[inline]
+pub fn format_u64(mut value: u64, buf: &mut [u8]) -> usize {
+    let mut tmp = [0u8; MAX_DIGITS];
+    let mut i = MAX_DIGITS;
+    loop {
+        i -= 1;
+        tmp[i] = b'0' + (value % 10) as u8;
+        value /= 10;
+        if value == 0 {
+            break;
+        }
+    }
+    let len = MAX_DIGITS - i;
+    buf[..len].copy_from_slice(&tmp[i..]);
+    len
+}
+
+/// Appends `value` in decimal to `out`.
+#[inline]
+pub fn push_u64(value: u64, out: &mut Vec<u8>) {
+    let mut buf = [0u8; MAX_DIGITS];
+    let len = format_u64(value, &mut buf);
+    out.extend_from_slice(&buf[..len]);
+}
+
+/// Parses an unsigned decimal integer from `bytes`.
+///
+/// Accepts exactly the grammar the edge-file format emits: one or more ASCII
+/// digits, no sign, no leading/trailing whitespace. Returns `None` on empty
+/// input, non-digit bytes, or overflow past `u64::MAX`.
+#[inline]
+pub fn parse_u64(bytes: &[u8]) -> Option<u64> {
+    if bytes.is_empty() || bytes.len() > MAX_DIGITS {
+        return None;
+    }
+    let mut acc: u64 = 0;
+    for &b in bytes {
+        let d = b.wrapping_sub(b'0');
+        if d > 9 {
+            return None;
+        }
+        acc = acc.checked_mul(10)?.checked_add(d as u64)?;
+    }
+    Some(acc)
+}
+
+/// Parses a `u64` prefix of `bytes`, returning the value and the number of
+/// bytes consumed. Stops at the first non-digit. Returns `None` if `bytes`
+/// does not start with a digit or the digits overflow.
+#[inline]
+pub fn parse_u64_prefix(bytes: &[u8]) -> Option<(u64, usize)> {
+    let mut acc: u64 = 0;
+    let mut n = 0;
+    for &b in bytes {
+        let d = b.wrapping_sub(b'0');
+        if d > 9 {
+            break;
+        }
+        acc = acc.checked_mul(10)?.checked_add(d as u64)?;
+        n += 1;
+    }
+    if n == 0 {
+        None
+    } else {
+        Some((acc, n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn format_known_values() {
+        let cases: [(u64, &str); 7] = [
+            (0, "0"),
+            (1, "1"),
+            (9, "9"),
+            (10, "10"),
+            (12345, "12345"),
+            (u64::MAX, "18446744073709551615"),
+            (1_000_000_000_000, "1000000000000"),
+        ];
+        let mut buf = [0u8; MAX_DIGITS];
+        for (v, s) in cases {
+            let len = format_u64(v, &mut buf);
+            assert_eq!(&buf[..len], s.as_bytes(), "formatting {v}");
+        }
+    }
+
+    #[test]
+    fn format_matches_std_on_sample() {
+        let mut buf = [0u8; MAX_DIGITS];
+        for i in 0..100_000u64 {
+            let v = i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let len = format_u64(v, &mut buf);
+            assert_eq!(std::str::from_utf8(&buf[..len]).unwrap(), v.to_string());
+        }
+    }
+
+    #[test]
+    fn push_appends() {
+        let mut out = b"x=".to_vec();
+        push_u64(77, &mut out);
+        assert_eq!(out, b"x=77");
+    }
+
+    #[test]
+    fn parse_known_values() {
+        assert_eq!(parse_u64(b"0"), Some(0));
+        assert_eq!(parse_u64(b"42"), Some(42));
+        assert_eq!(parse_u64(b"18446744073709551615"), Some(u64::MAX));
+        assert_eq!(parse_u64(b"007"), Some(7));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert_eq!(parse_u64(b""), None);
+        assert_eq!(parse_u64(b"-1"), None);
+        assert_eq!(parse_u64(b"+1"), None);
+        assert_eq!(parse_u64(b" 1"), None);
+        assert_eq!(parse_u64(b"1 "), None);
+        assert_eq!(parse_u64(b"12a"), None);
+        assert_eq!(parse_u64(b"1.5"), None);
+        // one past u64::MAX
+        assert_eq!(parse_u64(b"18446744073709551616"), None);
+        // way too long
+        assert_eq!(parse_u64(b"999999999999999999999999"), None);
+    }
+
+    #[test]
+    fn parse_prefix_stops_at_non_digit() {
+        assert_eq!(parse_u64_prefix(b"123\t456"), Some((123, 3)));
+        assert_eq!(parse_u64_prefix(b"9"), Some((9, 1)));
+        assert_eq!(parse_u64_prefix(b"\t9"), None);
+        assert_eq!(parse_u64_prefix(b""), None);
+        assert_eq!(
+            parse_u64_prefix(b"18446744073709551616\t1"),
+            None,
+            "overflow"
+        );
+    }
+
+    #[test]
+    fn roundtrip_sample() {
+        let mut buf = [0u8; MAX_DIGITS];
+        for i in 0..10_000u64 {
+            let v = i.wrapping_mul(2_654_435_761).rotate_left((i % 64) as u32);
+            let len = format_u64(v, &mut buf);
+            assert_eq!(parse_u64(&buf[..len]), Some(v));
+        }
+    }
+}

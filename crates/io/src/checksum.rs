@@ -1,0 +1,148 @@
+//! Streaming digests of edge lists.
+//!
+//! The paper leaves "what outputs should be recorded to validate
+//! correctness?" as an open question (§V). Our answer for the file kernels:
+//! every kernel records an [`EdgeDigest`] of the edges it read and wrote.
+//! The digest combines
+//!
+//! * an **order-independent** component (`sum`/`xor` of per-edge hashes) —
+//!   kernel 1 must preserve it exactly (sorting only permutes edges), and
+//! * an **order-dependent** component (`chain`) — equal chains mean two
+//!   streams are identical edge-for-edge in order, which is how backend
+//!   implementations are cross-validated.
+
+use crate::Edge;
+
+/// Digest of a stream of edges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EdgeDigest {
+    /// Number of edges folded in.
+    pub count: u64,
+    /// Commutative sum of per-edge hashes (order independent).
+    pub sum: u64,
+    /// Commutative xor of per-edge hashes (order independent).
+    pub xor: u64,
+    /// Chained hash (order dependent).
+    pub chain: u64,
+}
+
+/// SplitMix64-style finalizer used as the per-edge hash. Reimplemented here
+/// (rather than depending on `ppbench-prng`) to keep the storage crate at
+/// the bottom of the dependency graph.
+#[inline]
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Hash of a single edge; asymmetric in (u, v) so reversed edges differ.
+#[inline]
+pub fn edge_hash(edge: Edge) -> u64 {
+    mix(edge.u ^ mix(edge.v))
+}
+
+impl EdgeDigest {
+    /// An empty digest.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one edge into the digest.
+    #[inline]
+    pub fn update(&mut self, edge: Edge) {
+        let h = edge_hash(edge);
+        self.count += 1;
+        self.sum = self.sum.wrapping_add(h);
+        self.xor ^= h;
+        self.chain = mix(self.chain ^ h);
+    }
+
+    /// Digest of a whole slice.
+    pub fn of_edges(edges: &[Edge]) -> Self {
+        let mut d = Self::new();
+        for &e in edges {
+            d.update(e);
+        }
+        d
+    }
+
+    /// True when `other` contains the same multiset of edges (in any order).
+    pub fn same_multiset(&self, other: &Self) -> bool {
+        self.count == other.count && self.sum == other.sum && self.xor == other.xor
+    }
+
+    /// True when `other` is the identical stream, order included.
+    pub fn same_stream(&self, other: &Self) -> bool {
+        self.same_multiset(other) && self.chain == other.chain
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn edges() -> Vec<Edge> {
+        (0..100u64)
+            .map(|i| Edge::new(i % 17, (i * 7) % 13))
+            .collect()
+    }
+
+    #[test]
+    fn permutation_preserves_multiset_not_chain() {
+        let es = edges();
+        let mut reversed = es.clone();
+        reversed.reverse();
+        let a = EdgeDigest::of_edges(&es);
+        let b = EdgeDigest::of_edges(&reversed);
+        assert!(a.same_multiset(&b));
+        assert!(!a.same_stream(&b), "chain should detect reordering");
+    }
+
+    #[test]
+    fn identical_streams_match_fully() {
+        let es = edges();
+        assert!(EdgeDigest::of_edges(&es).same_stream(&EdgeDigest::of_edges(&es)));
+    }
+
+    #[test]
+    fn different_multisets_detected() {
+        let es = edges();
+        let mut tweaked = es.clone();
+        tweaked[50] = Edge::new(999, 999);
+        let a = EdgeDigest::of_edges(&es);
+        let b = EdgeDigest::of_edges(&tweaked);
+        assert!(!a.same_multiset(&b));
+    }
+
+    #[test]
+    fn direction_matters() {
+        let a = EdgeDigest::of_edges(&[Edge::new(1, 2)]);
+        let b = EdgeDigest::of_edges(&[Edge::new(2, 1)]);
+        assert!(!a.same_multiset(&b), "edge direction must affect the hash");
+    }
+
+    #[test]
+    fn duplicate_edges_change_digest() {
+        // xor alone would cancel duplicates; sum and count must not.
+        let a = EdgeDigest::of_edges(&[Edge::new(1, 2)]);
+        let b = EdgeDigest::of_edges(&[Edge::new(1, 2), Edge::new(1, 2)]);
+        assert!(!a.same_multiset(&b));
+    }
+
+    #[test]
+    fn incremental_equals_batch() {
+        let es = edges();
+        let mut inc = EdgeDigest::new();
+        for &e in &es {
+            inc.update(e);
+        }
+        assert_eq!(inc, EdgeDigest::of_edges(&es));
+    }
+
+    #[test]
+    fn empty_digests_match() {
+        assert!(EdgeDigest::new().same_stream(&EdgeDigest::of_edges(&[])));
+    }
+}

@@ -1,0 +1,115 @@
+//! Error type shared by the storage layer.
+
+use std::fmt;
+use std::path::PathBuf;
+
+/// Result alias for storage operations.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced by edge-file reading, writing and manifest handling.
+#[derive(Debug)]
+pub enum Error {
+    /// An underlying OS-level I/O failure, annotated with the path involved.
+    Io {
+        /// File or directory being accessed.
+        path: PathBuf,
+        /// The OS error.
+        source: std::io::Error,
+    },
+    /// A malformed line in an edge file.
+    Parse {
+        /// File containing the bad line.
+        path: PathBuf,
+        /// 1-based line number.
+        line: u64,
+        /// Description of what was wrong.
+        message: String,
+    },
+    /// A malformed or inconsistent manifest.
+    Manifest {
+        /// Manifest file.
+        path: PathBuf,
+        /// Description of the problem.
+        message: String,
+    },
+    /// The caller asked for an impossible configuration
+    /// (e.g. zero files in a file set).
+    InvalidConfig(String),
+}
+
+impl Error {
+    /// Wraps an OS error with the path being accessed.
+    pub fn io(path: impl Into<PathBuf>, source: std::io::Error) -> Self {
+        Error::Io {
+            path: path.into(),
+            source,
+        }
+    }
+
+    /// Builds a parse error with file/line context.
+    pub fn parse(path: impl Into<PathBuf>, line: u64, message: impl Into<String>) -> Self {
+        Error::Parse {
+            path: path.into(),
+            line,
+            message: message.into(),
+        }
+    }
+
+    /// Builds a manifest error.
+    pub fn manifest(path: impl Into<PathBuf>, message: impl Into<String>) -> Self {
+        Error::Manifest {
+            path: path.into(),
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Io { path, source } => write!(f, "I/O error on {}: {source}", path.display()),
+            Error::Parse {
+                path,
+                line,
+                message,
+            } => {
+                write!(f, "parse error at {}:{line}: {message}", path.display())
+            }
+            Error::Manifest { path, message } => {
+                write!(f, "bad manifest {}: {message}", path.display())
+            }
+            Error::InvalidConfig(message) => write!(f, "invalid configuration: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_context() {
+        let e = Error::parse("/tmp/x.tsv", 17, "missing tab");
+        let s = e.to_string();
+        assert!(s.contains("/tmp/x.tsv"), "{s}");
+        assert!(s.contains("17"), "{s}");
+        assert!(s.contains("missing tab"), "{s}");
+    }
+
+    #[test]
+    fn io_error_preserves_source() {
+        use std::error::Error as _;
+        let e = Error::io("/nope", std::io::Error::from(std::io::ErrorKind::NotFound));
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("/nope"));
+    }
+}

@@ -1,0 +1,141 @@
+//! The edge-file text format.
+//!
+//! The benchmark specification (§IV.A of the paper) fixes the on-disk
+//! representation: each edge is the start and end vertex as decimal strings
+//! separated by a tab, edges separated by newlines:
+//!
+//! ```text
+//! u(1)<TAB>v(1)<LF>
+//! u(2)<TAB>v(2)<LF>
+//! ...
+//! ```
+//!
+//! This module encodes/decodes single lines; the [`crate::EdgeWriter`] and
+//! [`crate::EdgeReader`] stream whole files.
+
+use crate::atoi::{self, MAX_DIGITS};
+use crate::Edge;
+
+/// Largest possible encoded line: two 20-digit ids, a tab and a newline.
+pub const MAX_LINE_BYTES: usize = 2 * MAX_DIGITS + 2;
+
+/// File extension used for edge files.
+pub const EDGE_FILE_EXT: &str = "tsv";
+
+/// Appends the encoded line for `edge` (including the trailing newline)
+/// to `out`.
+#[inline]
+pub fn encode_line(edge: Edge, out: &mut Vec<u8>) {
+    atoi::push_u64(edge.u, out);
+    out.push(b'\t');
+    atoi::push_u64(edge.v, out);
+    out.push(b'\n');
+}
+
+/// Encodes `edge` as a `String` without the trailing newline.
+pub fn encode_string(edge: Edge) -> String {
+    format!("{}\t{}", edge.u, edge.v)
+}
+
+/// Decodes one line (without the trailing newline) into an [`Edge`].
+///
+/// A trailing `\r` is tolerated so files that passed through CRLF
+/// translation still load. Returns a description of the problem on error.
+#[inline]
+pub fn decode_line(line: &[u8]) -> Result<Edge, String> {
+    let line = strip_cr(line);
+    let (u, used) =
+        atoi::parse_u64_prefix(line).ok_or_else(|| "expected start vertex digits".to_string())?;
+    let rest = &line[used..];
+    let Some((&b'\t', rest)) = rest.split_first() else {
+        return Err("expected single tab between vertices".to_string());
+    };
+    let (v, used_v) =
+        atoi::parse_u64_prefix(rest).ok_or_else(|| "expected end vertex digits".to_string())?;
+    if used_v != rest.len() {
+        return Err(format!(
+            "trailing bytes after end vertex: {:?}",
+            String::from_utf8_lossy(&rest[used_v..])
+        ));
+    }
+    Ok(Edge::new(u, v))
+}
+
+#[inline]
+fn strip_cr(line: &[u8]) -> &[u8] {
+    match line.split_last() {
+        Some((&b'\r', head)) => head,
+        _ => line,
+    }
+}
+
+/// Estimates the encoded size in bytes of an edge list with vertex ids below
+/// `max_vertex` — used to pre-size write buffers.
+pub fn estimated_line_bytes(max_vertex: u64) -> usize {
+    let digits = (max_vertex.max(1) as f64).log10().floor() as usize + 1;
+    2 * digits + 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_matches_spec() {
+        let mut out = Vec::new();
+        encode_line(Edge::new(3, 17), &mut out);
+        assert_eq!(out, b"3\t17\n");
+    }
+
+    #[test]
+    fn encode_string_has_no_newline() {
+        assert_eq!(encode_string(Edge::new(1, 2)), "1\t2");
+    }
+
+    #[test]
+    fn decode_roundtrip() {
+        for (u, v) in [(0, 0), (1, 2), (u64::MAX, 0), (12345, 67890)] {
+            let mut out = Vec::new();
+            encode_line(Edge::new(u, v), &mut out);
+            let line = &out[..out.len() - 1]; // strip newline as the reader does
+            assert_eq!(decode_line(line), Ok(Edge::new(u, v)));
+        }
+    }
+
+    #[test]
+    fn decode_tolerates_crlf() {
+        assert_eq!(decode_line(b"4\t5\r"), Ok(Edge::new(4, 5)));
+    }
+
+    #[test]
+    fn decode_rejects_malformed_lines() {
+        for bad in [
+            &b""[..],
+            b"12",
+            b"12\t",
+            b"\t12",
+            b"a\t5",
+            b"5\tb",
+            b"1 2",
+            b"1\t2\t3",
+            b"1\t2 ",
+            b"1,2",
+            b"-1\t2",
+            b"18446744073709551616\t1",
+        ] {
+            assert!(
+                decode_line(bad).is_err(),
+                "line {:?} should be rejected",
+                String::from_utf8_lossy(bad)
+            );
+        }
+    }
+
+    #[test]
+    fn estimated_line_bytes_is_plausible() {
+        assert_eq!(estimated_line_bytes(9), 4); // "9\t9\n"
+        assert_eq!(estimated_line_bytes(99), 6);
+        assert!(estimated_line_bytes(u64::MAX) <= MAX_LINE_BYTES);
+        assert_eq!(estimated_line_bytes(0), 4);
+    }
+}

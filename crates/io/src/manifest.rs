@@ -1,0 +1,365 @@
+//! Sidecar metadata for an edge file set.
+//!
+//! Each kernel that writes edges also writes a `manifest.tsv` describing the
+//! file set: how many edges, across which files, whether the stream is
+//! sorted, and a digest for validation. The next kernel in the pipeline
+//! loads the manifest instead of guessing at directory contents.
+//!
+//! The format is deliberately trivial (tab-separated `key value` lines) so
+//! it stays hand-parseable and dependency-free.
+
+use std::path::{Path, PathBuf};
+
+use crate::checksum::EdgeDigest;
+use crate::{Error, Result};
+
+/// Whether and how an edge file set is sorted (kernel 1's contract).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SortState {
+    /// Edges are in generator order.
+    #[default]
+    Unsorted,
+    /// Edges are nondecreasing in start vertex (the spec's required order).
+    ByStart,
+    /// Edges are sorted by (start, end) — the §V "sort end vertices too"
+    /// variant.
+    ByStartEnd,
+}
+
+impl SortState {
+    fn as_str(self) -> &'static str {
+        match self {
+            SortState::Unsorted => "unsorted",
+            SortState::ByStart => "by-start",
+            SortState::ByStartEnd => "by-start-end",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Self> {
+        match s {
+            "unsorted" => Some(SortState::Unsorted),
+            "by-start" => Some(SortState::ByStart),
+            "by-start-end" => Some(SortState::ByStartEnd),
+            _ => None,
+        }
+    }
+
+    /// True if this state satisfies "sorted by start vertex".
+    pub fn is_sorted_by_start(self) -> bool {
+        matches!(self, SortState::ByStart | SortState::ByStartEnd)
+    }
+}
+
+/// On-disk encoding of an edge file set. The benchmark spec mandates
+/// [`EdgeEncoding::Text`]; [`EdgeEncoding::Binary`] (16-byte little-endian
+/// records) exists as an ablation — how much of the file kernels' cost is
+/// the decimal text itself?
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EdgeEncoding {
+    /// `u<TAB>v<NEWLINE>` decimal text (the spec).
+    #[default]
+    Text,
+    /// Two little-endian u64 per edge.
+    Binary,
+}
+
+impl EdgeEncoding {
+    fn as_str(self) -> &'static str {
+        match self {
+            EdgeEncoding::Text => "text",
+            EdgeEncoding::Binary => "binary",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Self> {
+        match s {
+            "text" => Some(EdgeEncoding::Text),
+            "binary" => Some(EdgeEncoding::Binary),
+            _ => None,
+        }
+    }
+
+    /// File extension used for this encoding.
+    pub fn extension(self) -> &'static str {
+        match self {
+            EdgeEncoding::Text => crate::format::EDGE_FILE_EXT,
+            EdgeEncoding::Binary => "bin",
+        }
+    }
+}
+
+/// One file of an edge file set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileEntry {
+    /// File name relative to the manifest's directory.
+    pub name: String,
+    /// Number of edges stored in the file.
+    pub edges: u64,
+}
+
+/// Metadata describing an edge file set.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Manifest {
+    /// Graph500 scale factor, when known (N = 2^scale).
+    pub scale: Option<u32>,
+    /// Exclusive upper bound on vertex labels, when known.
+    pub vertex_bound: Option<u64>,
+    /// Total number of edges across all files.
+    pub edges: u64,
+    /// Sort contract satisfied by the stream.
+    pub sort_state: SortState,
+    /// On-disk encoding of the files.
+    pub encoding: EdgeEncoding,
+    /// Digest of the edge stream in file order.
+    pub digest: EdgeDigest,
+    /// The files, in stream order.
+    pub files: Vec<FileEntry>,
+}
+
+/// Name of the manifest file inside an edge directory.
+pub const MANIFEST_NAME: &str = "manifest.tsv";
+
+impl Manifest {
+    /// Absolute paths of the edge files, in stream order.
+    pub fn file_paths(&self, dir: &Path) -> Vec<PathBuf> {
+        self.files.iter().map(|f| dir.join(&f.name)).collect()
+    }
+
+    /// Serializes the manifest to `dir/manifest.tsv`.
+    pub fn save(&self, dir: &Path) -> Result<()> {
+        let mut out = String::new();
+        out.push_str("format\tppbench-edges-v1\n");
+        if let Some(s) = self.scale {
+            out.push_str(&format!("scale\t{s}\n"));
+        }
+        if let Some(n) = self.vertex_bound {
+            out.push_str(&format!("vertex_bound\t{n}\n"));
+        }
+        out.push_str(&format!("edges\t{}\n", self.edges));
+        out.push_str(&format!("sort\t{}\n", self.sort_state.as_str()));
+        out.push_str(&format!("encoding\t{}\n", self.encoding.as_str()));
+        out.push_str(&format!(
+            "digest\t{}\t{}\t{}\t{}\n",
+            self.digest.count, self.digest.sum, self.digest.xor, self.digest.chain
+        ));
+        for f in &self.files {
+            out.push_str(&format!("file\t{}\t{}\n", f.name, f.edges));
+        }
+        let path = dir.join(MANIFEST_NAME);
+        std::fs::write(&path, out).map_err(|e| Error::io(&path, e))
+    }
+
+    /// Loads and validates a manifest from `dir/manifest.tsv`.
+    pub fn load(dir: &Path) -> Result<Self> {
+        let path = dir.join(MANIFEST_NAME);
+        let text = std::fs::read_to_string(&path).map_err(|e| Error::io(&path, e))?;
+        let mut m = Manifest::default();
+        let mut saw_format = false;
+        for (lineno, line) in text.lines().enumerate() {
+            if line.is_empty() {
+                continue;
+            }
+            let fields: Vec<&str> = line.split('\t').collect();
+            let bad = |msg: String| Error::manifest(&path, format!("line {}: {msg}", lineno + 1));
+            match fields[0] {
+                "format" => {
+                    if fields.get(1) != Some(&"ppbench-edges-v1") {
+                        return Err(bad(format!("unknown format {:?}", fields.get(1))));
+                    }
+                    saw_format = true;
+                }
+                "scale" => {
+                    let s = parse_field(&fields, 1).map_err(&bad)?;
+                    m.scale =
+                        Some(u32::try_from(s).map_err(|_| bad(format!("scale {s} too large")))?);
+                }
+                "vertex_bound" => {
+                    m.vertex_bound = Some(parse_field(&fields, 1).map_err(bad)?);
+                }
+                "edges" => {
+                    m.edges = parse_field(&fields, 1).map_err(bad)?;
+                }
+                "sort" => {
+                    m.sort_state = fields
+                        .get(1)
+                        .and_then(|s| SortState::parse(s))
+                        .ok_or_else(|| bad(format!("unknown sort state {:?}", fields.get(1))))?;
+                }
+                "encoding" => {
+                    m.encoding = fields
+                        .get(1)
+                        .and_then(|s| EdgeEncoding::parse(s))
+                        .ok_or_else(|| bad(format!("unknown encoding {:?}", fields.get(1))))?;
+                }
+                "digest" => {
+                    m.digest = EdgeDigest {
+                        count: parse_field(&fields, 1).map_err(&bad)?,
+                        sum: parse_field(&fields, 2).map_err(&bad)?,
+                        xor: parse_field(&fields, 3).map_err(&bad)?,
+                        chain: parse_field(&fields, 4).map_err(&bad)?,
+                    };
+                }
+                "file" => {
+                    let name = fields
+                        .get(1)
+                        .filter(|n| !n.is_empty())
+                        .ok_or_else(|| bad("file entry missing name".into()))?;
+                    m.files.push(FileEntry {
+                        name: name.to_string(),
+                        edges: parse_field(&fields, 2).map_err(bad)?,
+                    });
+                }
+                other => return Err(bad(format!("unknown key {other:?}"))),
+            }
+        }
+        if !saw_format {
+            return Err(Error::manifest(&path, "missing format line"));
+        }
+        let per_file: u64 = m.files.iter().map(|f| f.edges).sum();
+        if per_file != m.edges {
+            return Err(Error::manifest(
+                &path,
+                format!("per-file counts sum to {per_file}, expected {}", m.edges),
+            ));
+        }
+        if m.digest.count != m.edges {
+            return Err(Error::manifest(
+                &path,
+                format!("digest count {} != edges {}", m.digest.count, m.edges),
+            ));
+        }
+        Ok(m)
+    }
+}
+
+fn parse_field(fields: &[&str], idx: usize) -> std::result::Result<u64, String> {
+    fields
+        .get(idx)
+        .ok_or_else(|| format!("missing field {idx}"))?
+        .parse::<u64>()
+        .map_err(|e| format!("bad integer in field {idx}: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tempdir::TempDir;
+    use crate::Edge;
+
+    fn sample() -> Manifest {
+        let digest = EdgeDigest::of_edges(&[Edge::new(1, 2), Edge::new(3, 4), Edge::new(5, 6)]);
+        Manifest {
+            scale: Some(10),
+            vertex_bound: Some(1024),
+            edges: 3,
+            sort_state: SortState::ByStart,
+            encoding: EdgeEncoding::Text,
+            digest,
+            files: vec![
+                FileEntry {
+                    name: "edges-00000.tsv".into(),
+                    edges: 2,
+                },
+                FileEntry {
+                    name: "edges-00001.tsv".into(),
+                    edges: 1,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let td = TempDir::new("ppbench-manifest").unwrap();
+        let m = sample();
+        m.save(td.path()).unwrap();
+        let loaded = Manifest::load(td.path()).unwrap();
+        assert_eq!(loaded, m);
+    }
+
+    #[test]
+    fn roundtrip_without_optionals() {
+        let td = TempDir::new("ppbench-manifest").unwrap();
+        let m = Manifest {
+            scale: None,
+            vertex_bound: None,
+            edges: 0,
+            sort_state: SortState::Unsorted,
+            encoding: EdgeEncoding::Binary,
+            digest: EdgeDigest::new(),
+            files: vec![FileEntry {
+                name: "e.tsv".into(),
+                edges: 0,
+            }],
+        };
+        m.save(td.path()).unwrap();
+        assert_eq!(Manifest::load(td.path()).unwrap(), m);
+    }
+
+    #[test]
+    fn load_missing_manifest_fails() {
+        let td = TempDir::new("ppbench-manifest").unwrap();
+        assert!(matches!(Manifest::load(td.path()), Err(Error::Io { .. })));
+    }
+
+    #[test]
+    fn load_rejects_count_mismatch() {
+        let td = TempDir::new("ppbench-manifest").unwrap();
+        let mut m = sample();
+        m.files[0].edges = 99;
+        // Bypass save-side consistency by writing the text manually.
+        m.save(td.path()).unwrap();
+        let err = Manifest::load(td.path()).unwrap_err();
+        assert!(err.to_string().contains("per-file counts"), "{err}");
+    }
+
+    #[test]
+    fn load_rejects_garbage() {
+        let td = TempDir::new("ppbench-manifest").unwrap();
+        std::fs::write(
+            td.join(MANIFEST_NAME),
+            "format\tppbench-edges-v1\nbogus\t1\n",
+        )
+        .unwrap();
+        let err = Manifest::load(td.path()).unwrap_err();
+        assert!(err.to_string().contains("unknown key"), "{err}");
+    }
+
+    #[test]
+    fn load_rejects_wrong_format_version() {
+        let td = TempDir::new("ppbench-manifest").unwrap();
+        std::fs::write(td.join(MANIFEST_NAME), "format\tppbench-edges-v9\n").unwrap();
+        assert!(Manifest::load(td.path()).is_err());
+    }
+
+    #[test]
+    fn load_requires_format_line() {
+        let td = TempDir::new("ppbench-manifest").unwrap();
+        std::fs::write(td.join(MANIFEST_NAME), "edges\t0\ndigest\t0\t0\t0\t0\n").unwrap();
+        let err = Manifest::load(td.path()).unwrap_err();
+        assert!(err.to_string().contains("missing format"), "{err}");
+    }
+
+    #[test]
+    fn file_paths_join_dir() {
+        let m = sample();
+        let paths = m.file_paths(Path::new("/data"));
+        assert_eq!(paths[0], Path::new("/data/edges-00000.tsv"));
+        assert_eq!(paths.len(), 2);
+    }
+
+    #[test]
+    fn sort_state_parsing_total() {
+        for s in [
+            SortState::Unsorted,
+            SortState::ByStart,
+            SortState::ByStartEnd,
+        ] {
+            assert_eq!(SortState::parse(s.as_str()), Some(s));
+        }
+        assert_eq!(SortState::parse("nonsense"), None);
+        assert!(SortState::ByStart.is_sorted_by_start());
+        assert!(SortState::ByStartEnd.is_sorted_by_start());
+        assert!(!SortState::Unsorted.is_sorted_by_start());
+    }
+}

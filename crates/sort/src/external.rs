@@ -1,0 +1,278 @@
+//! Out-of-core edge sorting: run generation + k-way merge.
+//!
+//! The classic external merge sort the paper calls for when "u and v are too
+//! large to fit in memory":
+//!
+//! 1. **Run generation** — fill a buffer of at most `budget_edges` edges
+//!    from the input stream, sort it in memory (stable radix), and spill it
+//!    as an ordinary edge file (`run-NNNNN.tsv`) via `ppbench-io`.
+//! 2. **Merge** — stream all runs back through a stable [`KWayMerge`] and
+//!    feed the globally sorted stream to the caller's sink.
+//!
+//! Spilled runs use the same TSV format as the benchmark's own files, so the
+//! spill traffic exercises exactly the I/O path the benchmark measures.
+
+use std::path::{Path, PathBuf};
+
+use ppbench_io::{Edge, EdgeReader, EdgeWriter, Error, Result};
+
+use crate::kway::KWayMerge;
+use crate::{radix_sort, SortKey};
+
+/// Statistics from an external sort.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ExternalStats {
+    /// Number of edges sorted.
+    pub edges: u64,
+    /// Number of sorted runs spilled to disk (0 when the input was empty).
+    pub runs: usize,
+    /// Largest number of edges held in memory at once.
+    pub peak_buffer: usize,
+}
+
+/// Out-of-core sorter with an explicit memory budget.
+#[derive(Debug)]
+pub struct ExternalSorter {
+    scratch_dir: PathBuf,
+    budget_edges: usize,
+    key: SortKey,
+}
+
+impl ExternalSorter {
+    /// Creates a sorter spilling runs into `scratch_dir`, holding at most
+    /// `budget_edges` edges in memory.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] if `budget_edges == 0`.
+    pub fn new(scratch_dir: &Path, budget_edges: usize, key: SortKey) -> Result<Self> {
+        if budget_edges == 0 {
+            return Err(Error::InvalidConfig(
+                "external sort budget must be positive".into(),
+            ));
+        }
+        Ok(Self {
+            scratch_dir: scratch_dir.to_path_buf(),
+            budget_edges,
+            key,
+        })
+    }
+
+    /// Sorts `input`, delivering the sorted stream to `sink` one edge at a
+    /// time. Returns statistics. Scratch files are removed before returning.
+    pub fn sort<I, F>(&self, input: I, mut sink: F) -> Result<ExternalStats>
+    where
+        I: IntoIterator<Item = Result<Edge>>,
+        F: FnMut(Edge) -> Result<()>,
+    {
+        let run_root = &self.scratch_dir;
+        std::fs::create_dir_all(run_root).map_err(|e| Error::io(run_root, e))?;
+
+        // Phase 1: run generation.
+        let mut stats = ExternalStats::default();
+        let mut run_dirs: Vec<PathBuf> = Vec::new();
+        let mut buffer: Vec<Edge> = Vec::with_capacity(self.budget_edges.min(1 << 20));
+        for edge in input {
+            buffer.push(edge?);
+            stats.edges += 1;
+            if buffer.len() >= self.budget_edges {
+                self.spill(&mut buffer, &mut run_dirs, &mut stats)?;
+            }
+        }
+
+        // Fully in-memory fast path: one unspilled run.
+        if run_dirs.is_empty() {
+            stats.peak_buffer = stats.peak_buffer.max(buffer.len());
+            stats.runs = usize::from(!buffer.is_empty());
+            radix_sort(&mut buffer, self.key);
+            for e in buffer {
+                sink(e)?;
+            }
+            return Ok(stats);
+        }
+        if !buffer.is_empty() {
+            self.spill(&mut buffer, &mut run_dirs, &mut stats)?;
+        }
+        drop(buffer);
+
+        // Phase 2: k-way merge of the spilled runs.
+        let mut runs = Vec::with_capacity(run_dirs.len());
+        for dir in &run_dirs {
+            let (_, iter) = EdgeReader::open_dir(dir)?;
+            runs.push(iter);
+        }
+        // The merge consumes plain-edge iterators; read errors are parked in
+        // a shared cell and re-raised after the merge loop.
+        let read_error = std::rc::Rc::new(std::cell::RefCell::new(None::<Error>));
+        let fallible_runs: Vec<_> = runs
+            .into_iter()
+            .map(|it| {
+                let err = std::rc::Rc::clone(&read_error);
+                it.map_while(move |r| match r {
+                    Ok(e) => Some(e),
+                    Err(e) => {
+                        *err.borrow_mut() = Some(e);
+                        None
+                    }
+                })
+            })
+            .collect();
+        for edge in KWayMerge::new(fallible_runs, self.key) {
+            sink(edge)?;
+        }
+        if let Some(e) = read_error.borrow_mut().take() {
+            return Err(e);
+        }
+
+        for dir in &run_dirs {
+            let _ = std::fs::remove_dir_all(dir);
+        }
+        Ok(stats)
+    }
+
+    fn spill(
+        &self,
+        buffer: &mut Vec<Edge>,
+        run_dirs: &mut Vec<PathBuf>,
+        stats: &mut ExternalStats,
+    ) -> Result<()> {
+        stats.peak_buffer = stats.peak_buffer.max(buffer.len());
+        radix_sort(buffer, self.key);
+        let dir = self.scratch_dir.join(format!("run-{:05}", run_dirs.len()));
+        let mut w = EdgeWriter::create(&dir, "run", 1, buffer.len() as u64)?;
+        w.write_all(buffer)?;
+        w.finish(None, None, self.key.sort_state())?;
+        run_dirs.push(dir);
+        stats.runs += 1;
+        buffer.clear();
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppbench_io::tempdir::TempDir;
+    use ppbench_prng::{Rng64, SeedableRng64, Xoshiro256pp};
+
+    fn random_edges(n: usize, bound: u64, seed: u64) -> Vec<Edge> {
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        (0..n)
+            .map(|_| Edge::new(rng.next_below(bound), rng.next_below(bound)))
+            .collect()
+    }
+
+    fn run_external(edges: &[Edge], budget: usize, key: SortKey) -> (Vec<Edge>, ExternalStats) {
+        let td = TempDir::new("ppbench-extsort").unwrap();
+        let sorter = ExternalSorter::new(td.path(), budget, key).unwrap();
+        let mut out = Vec::new();
+        let stats = sorter
+            .sort(edges.iter().map(|&e| Ok(e)), |e| {
+                out.push(e);
+                Ok(())
+            })
+            .unwrap();
+        (out, stats)
+    }
+
+    #[test]
+    fn tiny_budget_forces_many_runs_and_still_sorts() {
+        let edges = random_edges(1000, 500, 1);
+        let (out, stats) = run_external(&edges, 64, SortKey::Start);
+        assert_eq!(out.len(), edges.len());
+        assert!(SortKey::Start.is_sorted(&out));
+        assert!(stats.runs >= 15, "expected many runs, got {}", stats.runs);
+        assert!(stats.peak_buffer <= 64);
+        let mut a = out.clone();
+        let mut b = edges.clone();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b, "external sort lost or invented edges");
+    }
+
+    #[test]
+    fn in_memory_fast_path_single_run() {
+        let edges = random_edges(100, 50, 2);
+        let (out, stats) = run_external(&edges, 1_000_000, SortKey::Start);
+        assert!(SortKey::Start.is_sorted(&out));
+        assert_eq!(stats.runs, 1);
+        assert_eq!(stats.edges, 100);
+    }
+
+    #[test]
+    fn matches_in_memory_sort_exactly() {
+        // Stability end-to-end: external (budget forcing spills) must equal
+        // the stable in-memory radix sort byte for byte.
+        let edges: Vec<Edge> = (0..2000u64).map(|i| Edge::new(i % 13, i)).collect();
+        let (out, _) = run_external(&edges, 100, SortKey::Start);
+        let mut expect = edges.clone();
+        radix_sort(&mut expect, SortKey::Start);
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn empty_input() {
+        let (out, stats) = run_external(&[], 10, SortKey::Start);
+        assert!(out.is_empty());
+        assert_eq!(stats.runs, 0);
+        assert_eq!(stats.edges, 0);
+    }
+
+    #[test]
+    fn start_end_key_respected() {
+        let edges = random_edges(500, 8, 3);
+        let (out, _) = run_external(&edges, 50, SortKey::StartEnd);
+        assert!(SortKey::StartEnd.is_sorted(&out));
+    }
+
+    #[test]
+    fn zero_budget_rejected() {
+        let td = TempDir::new("ppbench-extsort").unwrap();
+        assert!(ExternalSorter::new(td.path(), 0, SortKey::Start).is_err());
+    }
+
+    #[test]
+    fn input_errors_propagate() {
+        let td = TempDir::new("ppbench-extsort").unwrap();
+        let sorter = ExternalSorter::new(td.path(), 4, SortKey::Start).unwrap();
+        let input = vec![
+            Ok(Edge::new(1, 1)),
+            Err(Error::InvalidConfig("boom".into())),
+        ];
+        let result = sorter.sort(input, |_| Ok(()));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn sink_errors_propagate() {
+        let td = TempDir::new("ppbench-extsort").unwrap();
+        let sorter = ExternalSorter::new(td.path(), 4, SortKey::Start).unwrap();
+        let edges = random_edges(20, 10, 4);
+        let mut n = 0;
+        let result = sorter.sort(edges.iter().map(|&e| Ok(e)), |_| {
+            n += 1;
+            if n > 5 {
+                Err(Error::InvalidConfig("sink full".into()))
+            } else {
+                Ok(())
+            }
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn scratch_files_cleaned_up() {
+        let td = TempDir::new("ppbench-extsort").unwrap();
+        let scratch = td.join("scratch");
+        let sorter = ExternalSorter::new(&scratch, 8, SortKey::Start).unwrap();
+        let edges = random_edges(100, 50, 5);
+        sorter
+            .sort(edges.iter().map(|&e| Ok(e)), |_| Ok(()))
+            .unwrap();
+        let leftovers: Vec<_> = std::fs::read_dir(&scratch).unwrap().collect();
+        assert!(
+            leftovers.is_empty(),
+            "scratch dir not cleaned: {leftovers:?}"
+        );
+    }
+}

@@ -1,0 +1,184 @@
+//! K-way merge of sorted edge streams.
+//!
+//! The merge phase of the out-of-core sorter: given `k` iterators that are
+//! each sorted under a [`SortKey`], produce the globally sorted stream. Uses
+//! a binary heap keyed on (edge key, run index); the run index tie-break
+//! makes the merge stable across runs (earlier runs win ties), which
+//! preserves the stability guarantee of the overall external sort.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use ppbench_io::Edge;
+
+use crate::SortKey;
+
+struct HeapItem {
+    edge: Edge,
+    run: usize,
+    key: SortKey,
+}
+
+impl PartialEq for HeapItem {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for HeapItem {}
+
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the smallest first.
+        self.key
+            .cmp(&self.edge, &other.edge)
+            .then(self.run.cmp(&other.run))
+            .reverse()
+    }
+}
+
+/// Merges sorted runs into one sorted iterator.
+///
+/// Each run must already be sorted under `key`; this is debug-asserted as
+/// elements are drawn.
+pub struct KWayMerge<I: Iterator<Item = Edge>> {
+    runs: Vec<I>,
+    heap: BinaryHeap<HeapItem>,
+    key: SortKey,
+    #[cfg(debug_assertions)]
+    last: Option<Edge>,
+}
+
+impl<I: Iterator<Item = Edge>> KWayMerge<I> {
+    /// Builds the merge over `runs`.
+    pub fn new(mut runs: Vec<I>, key: SortKey) -> Self {
+        let mut heap = BinaryHeap::with_capacity(runs.len());
+        for (run, it) in runs.iter_mut().enumerate() {
+            if let Some(edge) = it.next() {
+                heap.push(HeapItem { edge, run, key });
+            }
+        }
+        Self {
+            runs,
+            heap,
+            key,
+            #[cfg(debug_assertions)]
+            last: None,
+        }
+    }
+}
+
+impl<I: Iterator<Item = Edge>> Iterator for KWayMerge<I> {
+    type Item = Edge;
+
+    fn next(&mut self) -> Option<Edge> {
+        let item = self.heap.pop()?;
+        if let Some(edge) = self.runs[item.run].next() {
+            debug_assert!(
+                self.key.cmp(&item.edge, &edge) != Ordering::Greater,
+                "run {} is not sorted: {:?} before {:?}",
+                item.run,
+                item.edge,
+                edge
+            );
+            self.heap.push(HeapItem {
+                edge,
+                run: item.run,
+                key: self.key,
+            });
+        }
+        #[cfg(debug_assertions)]
+        {
+            if let Some(last) = self.last {
+                debug_assert!(self.key.cmp(&last, &item.edge) != Ordering::Greater);
+            }
+            self.last = Some(item.edge);
+        }
+        Some(item.edge)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let (mut lo, mut hi) = (self.heap.len(), Some(self.heap.len()));
+        for r in &self.runs {
+            let (l, h) = r.size_hint();
+            lo += l;
+            hi = match (hi, h) {
+                (Some(a), Some(b)) => a.checked_add(b),
+                _ => None,
+            };
+        }
+        (lo, hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(u: u64, v: u64) -> Edge {
+        Edge::new(u, v)
+    }
+
+    #[test]
+    fn merges_three_runs() {
+        let runs = vec![
+            vec![e(0, 0), e(3, 0), e(9, 0)].into_iter(),
+            vec![e(1, 0), e(4, 0)].into_iter(),
+            vec![e(2, 0), e(2, 1), e(8, 0)].into_iter(),
+        ];
+        let merged: Vec<Edge> = KWayMerge::new(runs, SortKey::Start).collect();
+        let starts: Vec<u64> = merged.iter().map(|x| x.u).collect();
+        assert_eq!(starts, vec![0, 1, 2, 2, 3, 4, 8, 9]);
+    }
+
+    #[test]
+    fn empty_runs_are_fine() {
+        let runs: Vec<std::vec::IntoIter<Edge>> = vec![
+            vec![].into_iter(),
+            vec![e(1, 1)].into_iter(),
+            vec![].into_iter(),
+        ];
+        let merged: Vec<Edge> = KWayMerge::new(runs, SortKey::Start).collect();
+        assert_eq!(merged, vec![e(1, 1)]);
+    }
+
+    #[test]
+    fn no_runs_yields_nothing() {
+        let merged: Vec<Edge> =
+            KWayMerge::new(Vec::<std::vec::IntoIter<Edge>>::new(), SortKey::Start).collect();
+        assert!(merged.is_empty());
+    }
+
+    #[test]
+    fn ties_prefer_earlier_runs() {
+        // Stability across runs: on equal keys, run 0's element comes first.
+        let runs = vec![vec![e(5, 100)].into_iter(), vec![e(5, 200)].into_iter()];
+        let merged: Vec<Edge> = KWayMerge::new(runs, SortKey::Start).collect();
+        assert_eq!(merged, vec![e(5, 100), e(5, 200)]);
+    }
+
+    #[test]
+    fn start_end_key_orders_within_start() {
+        let runs = vec![
+            vec![e(1, 5), e(2, 0)].into_iter(),
+            vec![e(1, 2), e(1, 9)].into_iter(),
+        ];
+        let merged: Vec<Edge> = KWayMerge::new(runs, SortKey::StartEnd).collect();
+        assert_eq!(merged, vec![e(1, 2), e(1, 5), e(1, 9), e(2, 0)]);
+    }
+
+    #[test]
+    fn size_hint_is_exact_for_vec_runs() {
+        let runs = vec![
+            vec![e(0, 0), e(1, 0)].into_iter(),
+            vec![e(2, 0)].into_iter(),
+        ];
+        let merge = KWayMerge::new(runs, SortKey::Start);
+        assert_eq!(merge.size_hint(), (3, Some(3)));
+    }
+}

@@ -1,0 +1,210 @@
+//! Pipelined out-of-core sorting: overlap reading with run generation.
+//!
+//! The plain [`crate::ExternalSorter`] alternates strictly between reading
+//! input and sorting/spilling runs, leaving the storage device idle while
+//! the CPU sorts and vice versa. This variant splits the two phases across
+//! threads connected by a bounded crossbeam channel: the producer parses
+//! edges from the input stream while the consumer sorts and spills the
+//! previous batch. On hardware with independent I/O and compute resources
+//! the phases overlap; the result is identical either way (both spill
+//! stable radix-sorted runs and merge them stably).
+
+use std::path::Path;
+
+use crossbeam::channel;
+use ppbench_io::{Edge, Error, Result};
+
+use crate::external::{ExternalSorter, ExternalStats};
+use crate::SortKey;
+
+/// Batch size flowing through the channel; big enough to amortize channel
+/// overhead, small enough to bound pipeline memory.
+const BATCH: usize = 1 << 14;
+
+/// Channel depth: how many batches may be in flight between the reader and
+/// the sorter.
+const IN_FLIGHT: usize = 4;
+
+/// Like [`ExternalSorter::sort`], with the input stream consumed on a
+/// separate thread so parsing overlaps sorting and spilling.
+///
+/// `input` must be `Send` (file iterators are); `sink` runs on the calling
+/// thread.
+pub fn pipelined_sort<I, F>(
+    scratch_dir: &Path,
+    budget_edges: usize,
+    key: SortKey,
+    input: I,
+    sink: F,
+) -> Result<ExternalStats>
+where
+    I: IntoIterator<Item = Result<Edge>> + Send,
+    I::IntoIter: Send,
+    F: FnMut(Edge) -> Result<()>,
+{
+    let sorter = ExternalSorter::new(scratch_dir, budget_edges, key)?;
+    let (tx, rx) = channel::bounded::<Result<Vec<Edge>>>(IN_FLIGHT);
+
+    std::thread::scope(|scope| {
+        // Producer: read + parse into batches.
+        scope.spawn(move || {
+            let mut batch = Vec::with_capacity(BATCH);
+            for item in input {
+                match item {
+                    Ok(e) => {
+                        batch.push(e);
+                        if batch.len() >= BATCH
+                            && tx
+                                .send(Ok(std::mem::replace(&mut batch, Vec::with_capacity(BATCH))))
+                                .is_err()
+                        {
+                            return; // consumer gone (error path)
+                        }
+                    }
+                    Err(e) => {
+                        let _ = tx.send(Err(e));
+                        return;
+                    }
+                }
+            }
+            if !batch.is_empty() {
+                let _ = tx.send(Ok(batch));
+            }
+            // Dropping tx closes the channel.
+        });
+
+        // Consumer (this thread): feed the external sorter from the channel.
+        let mut channel_error: Option<Error> = None;
+        let stats = {
+            let channel_error = &mut channel_error;
+            let edge_stream = rx
+                .into_iter()
+                .map_while(move |batch| match batch {
+                    Ok(edges) => Some(edges),
+                    Err(e) => {
+                        *channel_error = Some(e);
+                        None
+                    }
+                })
+                .flatten()
+                .map(Ok);
+            sorter.sort(edge_stream, sink)
+        }?;
+        if let Some(e) = channel_error {
+            return Err(e);
+        }
+        Ok(stats)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppbench_io::tempdir::TempDir;
+    use ppbench_prng::{Rng64, SeedableRng64, Xoshiro256pp};
+
+    fn random_edges(n: usize, bound: u64, seed: u64) -> Vec<Edge> {
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        (0..n)
+            .map(|_| Edge::new(rng.next_below(bound), rng.next_below(bound)))
+            .collect()
+    }
+
+    #[test]
+    fn pipelined_equals_plain_external_sort() {
+        let edges = random_edges(50_000, 1 << 12, 1);
+        let td = TempDir::new("pipe-sort").unwrap();
+        let mut plain = Vec::new();
+        ExternalSorter::new(&td.join("plain"), 4096, SortKey::Start)
+            .unwrap()
+            .sort(edges.iter().map(|&e| Ok(e)), |e| {
+                plain.push(e);
+                Ok(())
+            })
+            .unwrap();
+        let mut piped = Vec::new();
+        let stats = pipelined_sort(
+            &td.join("piped"),
+            4096,
+            SortKey::Start,
+            edges.iter().map(|&e| Ok(e)),
+            |e| {
+                piped.push(e);
+                Ok(())
+            },
+        )
+        .unwrap();
+        assert_eq!(piped, plain, "pipelining must not change the stable result");
+        assert_eq!(stats.edges, edges.len() as u64);
+        assert!(stats.runs > 1, "budget should force spilling");
+    }
+
+    #[test]
+    fn pipelined_handles_small_inputs() {
+        let td = TempDir::new("pipe-sort").unwrap();
+        let edges = random_edges(10, 8, 2);
+        let mut out = Vec::new();
+        let stats = pipelined_sort(
+            td.path(),
+            1000,
+            SortKey::Start,
+            edges.iter().map(|&e| Ok(e)),
+            |e| {
+                out.push(e);
+                Ok(())
+            },
+        )
+        .unwrap();
+        assert_eq!(out.len(), 10);
+        assert!(SortKey::Start.is_sorted(&out));
+        assert_eq!(stats.edges, 10);
+    }
+
+    #[test]
+    fn pipelined_empty_input() {
+        let td = TempDir::new("pipe-sort").unwrap();
+        let stats = pipelined_sort(
+            td.path(),
+            100,
+            SortKey::Start,
+            std::iter::empty::<Result<Edge>>(),
+            |_| Ok(()),
+        )
+        .unwrap();
+        assert_eq!(stats.edges, 0);
+    }
+
+    #[test]
+    fn producer_errors_propagate() {
+        let td = TempDir::new("pipe-sort").unwrap();
+        let input: Vec<Result<Edge>> = vec![
+            Ok(Edge::new(1, 1)),
+            Err(Error::InvalidConfig("mid-stream failure".into())),
+            Ok(Edge::new(2, 2)),
+        ];
+        let result = pipelined_sort(td.path(), 100, SortKey::Start, input, |_| Ok(()));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn sink_errors_propagate() {
+        let td = TempDir::new("pipe-sort").unwrap();
+        let edges = random_edges(100, 16, 3);
+        let mut n = 0;
+        let result = pipelined_sort(
+            td.path(),
+            10,
+            SortKey::Start,
+            edges.iter().map(|&e| Ok(e)),
+            |_| {
+                n += 1;
+                if n > 3 {
+                    Err(Error::InvalidConfig("sink full".into()))
+                } else {
+                    Ok(())
+                }
+            },
+        );
+        assert!(result.is_err());
+    }
+}

@@ -1,0 +1,144 @@
+//! LSD radix sort over 64-bit keys.
+//!
+//! Kernel 1 sorts by a 64-bit start vertex; an LSD radix sort with 8-bit
+//! digits does it in at most 8 stable counting passes, each O(M), and skips
+//! passes whose digit is constant across the input (at benchmark scales
+//! only `scale/8 + 1` passes actually run). Stability is what lets the
+//! (start, end) variant run as two phases: sort by `v`, then by `u`.
+
+use ppbench_io::Edge;
+
+use crate::SortKey;
+
+const DIGIT_BITS: u32 = 8;
+const BUCKETS: usize = 1 << DIGIT_BITS;
+
+/// Sorts `edges` stably by `key(edge)` using LSD radix passes.
+///
+/// Buffers are swapped between passes; the function guarantees the final
+/// result lands back in `edges`.
+pub fn radix_sort_by_u64_key<K: Fn(&Edge) -> u64>(edges: &mut Vec<Edge>, key: K) {
+    let len = edges.len();
+    if len <= 1 {
+        return;
+    }
+    // One histogram sweep for all 8 digits at once.
+    let mut histograms = [[0u64; BUCKETS]; 8];
+    let mut seen_or = 0u64;
+    let mut seen_and = u64::MAX;
+    for e in edges.iter() {
+        let k = key(e);
+        seen_or |= k;
+        seen_and &= k;
+        for (pass, hist) in histograms.iter_mut().enumerate() {
+            hist[((k >> (pass as u32 * DIGIT_BITS)) & 0xFF) as usize] += 1;
+        }
+    }
+    // A pass is trivial when that digit is identical across all keys.
+    let varying = seen_or ^ seen_and;
+
+    let mut src = std::mem::take(edges);
+    let mut dst = vec![Edge::new(0, 0); len];
+    for pass in 0..8u32 {
+        if (varying >> (pass * DIGIT_BITS)) & 0xFF == 0 {
+            continue;
+        }
+        let hist = &histograms[pass as usize];
+        let mut offsets = [0u64; BUCKETS];
+        let mut acc = 0u64;
+        for (o, &h) in offsets.iter_mut().zip(hist.iter()) {
+            *o = acc;
+            acc += h;
+        }
+        for e in &src {
+            let digit = ((key(e) >> (pass * DIGIT_BITS)) & 0xFF) as usize;
+            dst[offsets[digit] as usize] = *e;
+            offsets[digit] += 1;
+        }
+        std::mem::swap(&mut src, &mut dst);
+    }
+    *edges = src;
+}
+
+/// Stable radix sort of edges under `key`.
+pub fn radix_sort(edges: &mut Vec<Edge>, key: SortKey) {
+    match key {
+        SortKey::Start => radix_sort_by_u64_key(edges, |e| e.u),
+        SortKey::StartEnd => {
+            // LSD over the composite key: low component first, then high;
+            // stability makes the second pass final.
+            radix_sort_by_u64_key(edges, |e| e.v);
+            radix_sort_by_u64_key(edges, |e| e.u);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppbench_prng::{Rng64, SeedableRng64, Xoshiro256pp};
+
+    fn random_edges(n: usize, bound: u64, seed: u64) -> Vec<Edge> {
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        (0..n)
+            .map(|_| Edge::new(rng.next_below(bound), rng.next_below(bound)))
+            .collect()
+    }
+
+    #[test]
+    fn matches_std_sort_small_keys() {
+        let mut a = random_edges(10_000, 1 << 10, 1);
+        let mut b = a.clone();
+        radix_sort(&mut a, SortKey::StartEnd);
+        b.sort_unstable_by_key(|e| (e.u, e.v));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn matches_std_sort_full_width_keys() {
+        // Keys spanning all 64 bits force all 8 passes.
+        let mut a = random_edges(5_000, u64::MAX, 2);
+        let mut b = a.clone();
+        radix_sort(&mut a, SortKey::StartEnd);
+        b.sort_unstable_by_key(|e| (e.u, e.v));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn by_start_is_stable() {
+        let edges: Vec<Edge> = (0..1000u64).map(|i| Edge::new(i % 7, i)).collect();
+        let mut sorted = edges.clone();
+        radix_sort(&mut sorted, SortKey::Start);
+        for w in sorted.windows(2) {
+            assert!(w[0].u <= w[1].u);
+            if w[0].u == w[1].u {
+                assert!(w[0].v < w[1].v, "stability violated: {w:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn constant_keys_are_a_noop() {
+        let edges: Vec<Edge> = (0..100u64).map(|i| Edge::new(42, i)).collect();
+        let mut sorted = edges.clone();
+        radix_sort(&mut sorted, SortKey::Start);
+        assert_eq!(sorted, edges, "all passes trivial: order must be untouched");
+    }
+
+    #[test]
+    fn handles_empty_and_tiny() {
+        let mut v: Vec<Edge> = vec![];
+        radix_sort(&mut v, SortKey::Start);
+        assert!(v.is_empty());
+        let mut v = vec![Edge::new(2, 1), Edge::new(1, 2)];
+        radix_sort(&mut v, SortKey::Start);
+        assert_eq!(v[0].u, 1);
+    }
+
+    #[test]
+    fn custom_key_sorts_descending() {
+        let mut v = random_edges(1000, 100, 3);
+        radix_sort_by_u64_key(&mut v, |e| u64::MAX - e.u);
+        assert!(v.windows(2).all(|w| w[0].u >= w[1].u));
+    }
+}

@@ -1,0 +1,423 @@
+//! Compressed sparse row storage.
+
+use crate::Scalar;
+
+/// A sparse matrix in CSR form: `row_ptr` (length rows+1) delimits, for each
+/// row, a slice of `col_idx`/`values`. Column indices are strictly
+/// increasing within each row and no explicit zeros are stored.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Csr<T> {
+    rows: u64,
+    cols: u64,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<u64>,
+    values: Vec<T>,
+}
+
+impl<T: Scalar> Csr<T> {
+    /// An empty (all-zero) `rows × cols` matrix.
+    pub fn zero(rows: u64, cols: u64) -> Self {
+        Self {
+            rows,
+            cols,
+            row_ptr: vec![0; rows as usize + 1],
+            col_idx: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// Builds from triplets that are already sorted by (row, col) with no
+    /// duplicates and no zeros — the contract [`crate::Coo::compress`]
+    /// establishes.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if the contract is violated.
+    pub(crate) fn from_sorted_dedup_triplets(
+        rows: u64,
+        cols: u64,
+        triplets: Vec<(u64, u64, T)>,
+    ) -> Self {
+        let mut row_ptr = vec![0usize; rows as usize + 1];
+        for &(r, _, _) in &triplets {
+            row_ptr[r as usize + 1] += 1;
+        }
+        for i in 0..rows as usize {
+            row_ptr[i + 1] += row_ptr[i];
+        }
+        let mut col_idx = Vec::with_capacity(triplets.len());
+        let mut values = Vec::with_capacity(triplets.len());
+        let mut prev: Option<(u64, u64)> = None;
+        for (r, c, v) in triplets {
+            debug_assert!(r < rows && c < cols);
+            debug_assert!(prev < Some((r, c)), "triplets not sorted/deduped");
+            debug_assert!(v != T::ZERO, "explicit zero slipped through");
+            prev = Some((r, c));
+            col_idx.push(c);
+            values.push(v);
+        }
+        Self {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+
+    /// Fast path for kernel 2: builds directly from an edge list that is
+    /// already sorted by start vertex (kernel 1's output), accumulating
+    /// duplicate `(u, v)` pairs. Within each row the ends are sorted here.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the edges are not sorted by start vertex or go out of
+    /// bounds.
+    pub fn from_sorted_edges(n: u64, edges: &[(u64, u64)]) -> Self
+    where
+        T: Scalar,
+    {
+        let mut triplets: Vec<(u64, u64, T)> = Vec::with_capacity(edges.len());
+        let mut i = 0usize;
+        while i < edges.len() {
+            let row = edges[i].0;
+            assert!(row < n, "start vertex {row} out of bounds {n}");
+            if i > 0 {
+                assert!(edges[i - 1].0 <= row, "edges not sorted by start vertex");
+            }
+            let mut ends: Vec<u64> = Vec::new();
+            while i < edges.len() && edges[i].0 == row {
+                assert!(
+                    edges[i].1 < n,
+                    "end vertex {} out of bounds {n}",
+                    edges[i].1
+                );
+                ends.push(edges[i].1);
+                i += 1;
+            }
+            ends.sort_unstable();
+            let mut j = 0usize;
+            while j < ends.len() {
+                let col = ends[j];
+                let mut acc = T::ZERO;
+                while j < ends.len() && ends[j] == col {
+                    acc = acc.add(T::ONE);
+                    j += 1;
+                }
+                triplets.push((row, col, acc));
+            }
+        }
+        Self::from_sorted_dedup_triplets(n, n, triplets)
+    }
+
+    /// Streaming counterpart of [`Csr::from_sorted_edges`]: consumes an
+    /// iterator of `(u, v)` pairs sorted by `u`, never materializing the
+    /// edge list — the peak memory is the matrix itself plus one row's
+    /// worth of end vertices. This is what lets kernel 2 run in roughly
+    /// half the memory of the collect-then-build path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stream is not sorted by start vertex or goes out of
+    /// bounds.
+    pub fn from_sorted_edge_iter(n: u64, edges: impl IntoIterator<Item = (u64, u64)>) -> Self {
+        let mut triplets: Vec<(u64, u64, T)> = Vec::new();
+        let mut current_row: Option<u64> = None;
+        let mut ends: Vec<u64> = Vec::new();
+        let flush = |row: u64, ends: &mut Vec<u64>, triplets: &mut Vec<(u64, u64, T)>| {
+            ends.sort_unstable();
+            let mut j = 0usize;
+            while j < ends.len() {
+                let col = ends[j];
+                let mut acc = T::ZERO;
+                while j < ends.len() && ends[j] == col {
+                    acc = acc.add(T::ONE);
+                    j += 1;
+                }
+                triplets.push((row, col, acc));
+            }
+            ends.clear();
+        };
+        for (u, v) in edges {
+            assert!(u < n, "start vertex {u} out of bounds {n}");
+            assert!(v < n, "end vertex {v} out of bounds {n}");
+            match current_row {
+                Some(row) if row == u => {}
+                Some(row) => {
+                    assert!(row < u, "edges not sorted by start vertex");
+                    flush(row, &mut ends, &mut triplets);
+                    current_row = Some(u);
+                }
+                None => current_row = Some(u),
+            }
+            ends.push(v);
+        }
+        if let Some(row) = current_row {
+            flush(row, &mut ends, &mut triplets);
+        }
+        Self::from_sorted_dedup_triplets(n, n, triplets)
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> u64 {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> u64 {
+        self.cols
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.col_idx.len()
+    }
+
+    /// The stored values, row-major.
+    pub fn values(&self) -> &[T] {
+        &self.values
+    }
+
+    /// The column indices, row-major.
+    pub fn col_indices(&self) -> &[u64] {
+        &self.col_idx
+    }
+
+    /// The row pointer array (length `rows + 1`).
+    pub fn row_ptr(&self) -> &[usize] {
+        &self.row_ptr
+    }
+
+    /// The entries of row `r` as parallel (columns, values) slices.
+    #[inline]
+    pub fn row(&self, r: u64) -> (&[u64], &[T]) {
+        let lo = self.row_ptr[r as usize];
+        let hi = self.row_ptr[r as usize + 1];
+        (&self.col_idx[lo..hi], &self.values[lo..hi])
+    }
+
+    /// Number of stored entries in row `r`.
+    pub fn row_nnz(&self, r: u64) -> usize {
+        self.row_ptr[r as usize + 1] - self.row_ptr[r as usize]
+    }
+
+    /// Looks up the entry at `(r, c)`, if stored.
+    pub fn get(&self, r: u64, c: u64) -> Option<T> {
+        let (cols, vals) = self.row(r);
+        cols.binary_search(&c).ok().map(|i| vals[i])
+    }
+
+    /// Iterates all stored entries as `(row, col, value)`.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64, T)> + '_ {
+        (0..self.rows).flat_map(move |r| {
+            let (cols, vals) = self.row(r);
+            cols.iter().zip(vals).map(move |(&c, &v)| (r, c, v))
+        })
+    }
+
+    /// Maps every stored value (dropping results equal to zero).
+    pub fn map<U: Scalar>(&self, mut f: impl FnMut(u64, u64, T) -> U) -> Csr<U> {
+        let triplets: Vec<(u64, u64, U)> = self
+            .iter()
+            .map(|(r, c, v)| (r, c, f(r, c, v)))
+            .filter(|&(_, _, v)| v != U::ZERO)
+            .collect();
+        Csr::from_sorted_dedup_triplets(self.rows, self.cols, triplets)
+    }
+
+    /// The transpose as a new CSR matrix (i.e. CSC view of `self`).
+    ///
+    /// Linear-time bucket transpose; output rows are sorted because input
+    /// rows are scanned in order.
+    pub fn transpose(&self) -> Csr<T> {
+        let mut row_ptr = vec![0usize; self.cols as usize + 1];
+        for &c in &self.col_idx {
+            row_ptr[c as usize + 1] += 1;
+        }
+        for i in 0..self.cols as usize {
+            row_ptr[i + 1] += row_ptr[i];
+        }
+        let mut col_idx = vec![0u64; self.nnz()];
+        let mut values = vec![T::ZERO; self.nnz()];
+        let mut cursor = row_ptr.clone();
+        for (r, c, v) in self.iter() {
+            let slot = cursor[c as usize];
+            col_idx[slot] = r;
+            values[slot] = v;
+            cursor[c as usize] += 1;
+        }
+        Csr {
+            rows: self.cols,
+            cols: self.rows,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+
+    /// Sum of all stored values.
+    pub fn value_sum(&self) -> T {
+        self.values.iter().fold(T::ZERO, |acc, &v| acc.add(v))
+    }
+
+    /// Checks internal invariants; used by tests and debug assertions.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        if self.row_ptr.len() != self.rows as usize + 1 {
+            return Err("row_ptr length mismatch".into());
+        }
+        if *self.row_ptr.last().unwrap() != self.nnz() {
+            return Err("row_ptr tail != nnz".into());
+        }
+        if self.values.len() != self.col_idx.len() {
+            return Err("values/col_idx length mismatch".into());
+        }
+        for r in 0..self.rows {
+            let (lo, hi) = (self.row_ptr[r as usize], self.row_ptr[r as usize + 1]);
+            if lo > hi {
+                return Err(format!("row {r} has negative extent"));
+            }
+            let cols = &self.col_idx[lo..hi];
+            for w in cols.windows(2) {
+                if w[0] >= w[1] {
+                    return Err(format!("row {r} columns not strictly increasing"));
+                }
+            }
+            if let Some(&c) = cols.last() {
+                if c >= self.cols {
+                    return Err(format!("row {r} column {c} out of bounds"));
+                }
+            }
+        }
+        if self.values.contains(&T::ZERO) {
+            return Err("explicit zero stored".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Coo;
+
+    fn sample() -> Csr<u64> {
+        // [ . 2 . ]
+        // [ 1 . 3 ]
+        // [ . . . ]
+        let mut coo = Coo::new(3, 3);
+        coo.push(0, 1, 2);
+        coo.push(1, 0, 1);
+        coo.push(1, 2, 3);
+        coo.compress()
+    }
+
+    #[test]
+    fn shape_and_access() {
+        let m = sample();
+        assert_eq!((m.rows(), m.cols(), m.nnz()), (3, 3, 3));
+        assert_eq!(m.get(0, 1), Some(2));
+        assert_eq!(m.get(1, 0), Some(1));
+        assert_eq!(m.get(0, 0), None);
+        assert_eq!(m.row(1).0, &[0, 2]);
+        assert_eq!(m.row(2).0, &[] as &[u64]);
+        assert_eq!(m.row_nnz(1), 2);
+        m.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn iter_yields_row_major() {
+        let m = sample();
+        let entries: Vec<_> = m.iter().collect();
+        assert_eq!(entries, vec![(0, 1, 2), (1, 0, 1), (1, 2, 3)]);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = sample();
+        let t = m.transpose();
+        t.check_invariants().unwrap();
+        assert_eq!(t.get(1, 0), Some(2));
+        assert_eq!(t.get(0, 1), Some(1));
+        assert_eq!(t.get(2, 1), Some(3));
+        assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn map_converts_and_drops_zeros() {
+        let m = sample();
+        let f = m.map(|_, _, v| if v > 1 { v as f64 } else { 0.0 });
+        assert_eq!(f.nnz(), 2);
+        assert_eq!(f.get(0, 1), Some(2.0));
+        assert_eq!(f.get(1, 0), None);
+        f.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn from_sorted_edges_accumulates() {
+        let edges = [(0u64, 2u64), (0, 1), (0, 2), (2, 0)];
+        let mut sorted = edges;
+        sorted.sort_unstable();
+        let m = Csr::<u64>::from_sorted_edges(3, &sorted);
+        assert_eq!(m.get(0, 2), Some(2));
+        assert_eq!(m.get(0, 1), Some(1));
+        assert_eq!(m.get(2, 0), Some(1));
+        assert_eq!(m.value_sum(), 4);
+        m.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn from_sorted_edges_equals_coo_path() {
+        // Pseudo-random edges, both construction paths must agree.
+        let edges: Vec<(u64, u64)> = (0..500u64).map(|i| ((i * 7) % 16, (i * 13) % 16)).collect();
+        let mut sorted = edges.clone();
+        sorted.sort_unstable_by_key(|&(u, _)| u);
+        let fast = Csr::<u64>::from_sorted_edges(16, &sorted);
+        let slow = Coo::<u64>::from_edges(16, edges).compress();
+        assert_eq!(fast, slow);
+    }
+
+    #[test]
+    #[should_panic(expected = "not sorted")]
+    fn from_unsorted_edges_panics() {
+        let _ = Csr::<u64>::from_sorted_edges(4, &[(2, 0), (1, 0)]);
+    }
+
+    #[test]
+    fn streaming_construction_equals_slice_construction() {
+        let edges: Vec<(u64, u64)> = (0..800u64).map(|i| ((i * 3) % 32, (i * 17) % 32)).collect();
+        let mut sorted = edges;
+        sorted.sort_unstable_by_key(|&(u, _)| u);
+        let from_slice = Csr::<u64>::from_sorted_edges(32, &sorted);
+        let from_iter = Csr::<u64>::from_sorted_edge_iter(32, sorted.iter().copied());
+        assert_eq!(from_slice, from_iter);
+    }
+
+    #[test]
+    fn streaming_construction_handles_empty_and_single() {
+        let empty = Csr::<u64>::from_sorted_edge_iter(4, std::iter::empty());
+        assert_eq!(empty.nnz(), 0);
+        let one = Csr::<u64>::from_sorted_edge_iter(4, [(2u64, 3u64)]);
+        assert_eq!(one.get(2, 3), Some(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "not sorted")]
+    fn streaming_construction_rejects_unsorted() {
+        let _ = Csr::<u64>::from_sorted_edge_iter(4, [(2u64, 0u64), (1, 0)]);
+    }
+
+    #[test]
+    fn zero_matrix() {
+        let m = Csr::<f64>::zero(4, 5);
+        assert_eq!(m.nnz(), 0);
+        assert_eq!((m.rows(), m.cols()), (4, 5));
+        assert_eq!(m.value_sum(), 0.0);
+        m.check_invariants().unwrap();
+        assert_eq!(m.transpose().rows(), 5);
+    }
+
+    #[test]
+    fn value_sum_accumulates() {
+        assert_eq!(sample().value_sum(), 6);
+    }
+}

@@ -1,0 +1,199 @@
+//! Structural operations used by kernel 2: degree sums, column zeroing,
+//! row normalization, and the optional dangling-node diagonal repair.
+
+use crate::{Csr, Scalar};
+
+/// `sum(A, 1)`: per-column sum of stored values (the in-degree vector when
+/// values are edge counts).
+pub fn col_sums<T: Scalar>(a: &Csr<T>) -> Vec<T> {
+    let mut sums = vec![T::ZERO; a.cols() as usize];
+    for (_, c, v) in a.iter() {
+        sums[c as usize] = sums[c as usize].add(v);
+    }
+    sums
+}
+
+/// `sum(A, 2)`: per-row sum of stored values (the out-degree vector when
+/// values are edge counts).
+pub fn row_sums<T: Scalar>(a: &Csr<T>) -> Vec<T> {
+    let mut sums = vec![T::ZERO; a.rows() as usize];
+    for r in 0..a.rows() {
+        let (_, vals) = a.row(r);
+        sums[r as usize] = vals.iter().fold(T::ZERO, |acc, &v| acc.add(v));
+    }
+    sums
+}
+
+/// Per-column count of stored entries (structural in-degree, ignoring
+/// multiplicities).
+pub fn col_nnz<T: Scalar>(a: &Csr<T>) -> Vec<u64> {
+    let mut counts = vec![0u64; a.cols() as usize];
+    for &c in a.col_indices() {
+        counts[c as usize] += 1;
+    }
+    counts
+}
+
+/// `A(:, mask) = 0`: drops every stored entry whose column is flagged.
+///
+/// # Panics
+///
+/// Panics if `mask.len() != a.cols()`.
+pub fn zero_columns<T: Scalar>(a: &Csr<T>, mask: &[bool]) -> Csr<T> {
+    assert_eq!(
+        mask.len() as u64,
+        a.cols(),
+        "mask length must equal column count"
+    );
+    a.map(|_, c, v| if mask[c as usize] { T::ZERO } else { v })
+}
+
+/// Kernel 2's normalization: `A(i,:) = A(i,:) ./ dout(i)` for rows with
+/// positive sum. Converts counts to row-stochastic doubles; empty rows stay
+/// empty (the "dangling node" rows the paper deliberately leaves alone).
+pub fn normalize_rows(a: &Csr<u64>) -> Csr<f64> {
+    let dout = row_sums(a);
+    a.map(|r, _, v| {
+        let d = dout[r as usize];
+        debug_assert!(d > 0, "row with entries must have positive sum");
+        v as f64 / d as f64
+    })
+}
+
+/// Generic row scaling: multiplies row `r` by `factors[r]`. Entries scaled
+/// to exactly zero are dropped.
+pub fn scale_rows(a: &Csr<f64>, factors: &[f64]) -> Csr<f64> {
+    assert_eq!(
+        factors.len() as u64,
+        a.rows(),
+        "factor length must equal row count"
+    );
+    a.map(|r, _, v| v * factors[r as usize])
+}
+
+/// Adds `value` on the diagonal of every row selected by `select` (merging
+/// with an existing entry if present). Used for the paper's §V option of
+/// giving empty rows/columns a diagonal entry so PageRank converges.
+pub fn add_diagonal_where<T: Scalar>(
+    a: &Csr<T>,
+    mut select: impl FnMut(u64) -> bool,
+    value: T,
+) -> Csr<T> {
+    let n = a.rows().min(a.cols());
+    let mut coo = crate::Coo::with_capacity(a.rows(), a.cols(), a.nnz() + n as usize);
+    for (r, c, v) in a.iter() {
+        coo.push(r, c, v);
+    }
+    for i in 0..n {
+        if select(i) {
+            coo.push(i, i, value);
+        }
+    }
+    coo.compress()
+}
+
+/// Rows with no stored entries (dangling nodes once values are weights).
+pub fn empty_rows<T: Scalar>(a: &Csr<T>) -> Vec<bool> {
+    (0..a.rows()).map(|r| a.row_nnz(r) == 0).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Coo;
+
+    /// [ 1 2 . ]
+    /// [ . . 3 ]
+    /// [ 1 . . ]
+    fn sample() -> Csr<u64> {
+        let mut coo = Coo::new(3, 3);
+        coo.push(0, 0, 1);
+        coo.push(0, 1, 2);
+        coo.push(1, 2, 3);
+        coo.push(2, 0, 1);
+        coo.compress()
+    }
+
+    #[test]
+    fn sums_match_matlab_semantics() {
+        let a = sample();
+        assert_eq!(col_sums(&a), vec![2, 2, 3]);
+        assert_eq!(row_sums(&a), vec![3, 3, 1]);
+        assert_eq!(col_nnz(&a), vec![2, 1, 1]);
+    }
+
+    #[test]
+    fn zero_columns_drops_only_flagged() {
+        let a = sample();
+        let z = zero_columns(&a, &[true, false, false]);
+        assert_eq!(z.get(0, 0), None);
+        assert_eq!(z.get(2, 0), None);
+        assert_eq!(z.get(0, 1), Some(2));
+        assert_eq!(z.get(1, 2), Some(3));
+        assert_eq!(z.nnz(), 2);
+        z.check_invariants().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "mask length")]
+    fn zero_columns_checks_mask_length() {
+        let _ = zero_columns(&sample(), &[true]);
+    }
+
+    #[test]
+    fn normalize_makes_rows_stochastic() {
+        let a = sample();
+        let n = normalize_rows(&a);
+        let sums = row_sums(&n);
+        assert!((sums[0] - 1.0).abs() < 1e-12);
+        assert!((sums[1] - 1.0).abs() < 1e-12);
+        assert!((sums[2] - 1.0).abs() < 1e-12);
+        assert_eq!(n.get(0, 0), Some(1.0 / 3.0));
+        assert_eq!(n.get(0, 1), Some(2.0 / 3.0));
+    }
+
+    #[test]
+    fn normalize_leaves_empty_rows_empty() {
+        let mut coo = Coo::<u64>::new(3, 3);
+        coo.push(0, 1, 4);
+        let n = normalize_rows(&coo.compress());
+        assert_eq!(n.row_nnz(0), 1);
+        assert_eq!(n.row_nnz(1), 0);
+        assert_eq!(n.row_nnz(2), 0);
+        assert_eq!(n.get(0, 1), Some(1.0));
+    }
+
+    #[test]
+    fn scale_rows_drops_zeroed() {
+        let a = normalize_rows(&sample());
+        let s = scale_rows(&a, &[1.0, 0.0, 2.0]);
+        assert_eq!(s.row_nnz(1), 0);
+        assert_eq!(s.get(2, 0), Some(2.0));
+    }
+
+    #[test]
+    fn diagonal_repair_targets_empty_rows() {
+        let mut coo = Coo::<u64>::new(4, 4);
+        coo.push(0, 1, 1);
+        coo.push(2, 2, 5); // row 2 already has its diagonal
+        let a = coo.compress();
+        let empties = empty_rows(&a);
+        assert_eq!(empties, vec![false, true, false, true]);
+        let repaired = add_diagonal_where(&a, |i| empties[i as usize], 1);
+        assert_eq!(repaired.get(1, 1), Some(1));
+        assert_eq!(repaired.get(3, 3), Some(1));
+        assert_eq!(repaired.get(2, 2), Some(5), "existing diagonal untouched");
+        assert_eq!(repaired.get(0, 0), None, "non-empty rows not touched");
+        repaired.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn add_diagonal_merges_with_existing_entry() {
+        let mut coo = Coo::<u64>::new(2, 2);
+        coo.push(0, 0, 3);
+        let a = coo.compress();
+        let out = add_diagonal_where(&a, |_| true, 2);
+        assert_eq!(out.get(0, 0), Some(5));
+        assert_eq!(out.get(1, 1), Some(2));
+    }
+}

@@ -1,0 +1,204 @@
+//! Sparse matrix–vector products — the heart of kernel 3.
+//!
+//! The paper writes the PageRank update as a *row vector times matrix*
+//! product `r * A`. On CSR storage that is a **scatter**: each row `u`
+//! contributes `r[u] · A[u, v]` to every `out[v]` it points at. The
+//! alternative is to precompute `Aᵀ` and **gather**: `out[v]` is a dot
+//! product over the incoming edges of `v`. The two forms are numerically
+//! reordered but algebraically identical; the gather form has no write
+//! contention and is what the rayon-parallel kernel uses. Both are exposed
+//! so the ablation bench (scatter vs gather) can measure the difference.
+
+use rayon::prelude::*;
+
+use crate::Csr;
+
+/// `out = x * A` (row vector × matrix) via CSR scatter.
+///
+/// # Panics
+///
+/// Panics if `x.len() != A.rows()`.
+pub fn vxm(x: &[f64], a: &Csr<f64>) -> Vec<f64> {
+    let mut out = vec![0.0; a.cols() as usize];
+    vxm_into(x, a, &mut out);
+    out
+}
+
+/// Scatter form writing into a caller-provided buffer (zeroed first).
+///
+/// # Panics
+///
+/// Panics if `x.len() != A.rows()` or `out.len() != A.cols()`.
+pub fn vxm_into(x: &[f64], a: &Csr<f64>, out: &mut [f64]) {
+    assert_eq!(
+        x.len() as u64,
+        a.rows(),
+        "vector length must equal row count"
+    );
+    assert_eq!(
+        out.len() as u64,
+        a.cols(),
+        "output length must equal column count"
+    );
+    out.fill(0.0);
+    for (u, &xu) in x.iter().enumerate() {
+        if xu == 0.0 {
+            continue;
+        }
+        let (cols, vals) = a.row(u as u64);
+        for (&v, &w) in cols.iter().zip(vals) {
+            out[v as usize] += xu * w;
+        }
+    }
+}
+
+/// `out = A * x` (matrix × column vector) via CSR gather.
+///
+/// # Panics
+///
+/// Panics if `x.len() != A.cols()`.
+pub fn mxv(a: &Csr<f64>, x: &[f64]) -> Vec<f64> {
+    assert_eq!(
+        x.len() as u64,
+        a.cols(),
+        "vector length must equal column count"
+    );
+    (0..a.rows())
+        .map(|r| {
+            let (cols, vals) = a.row(r);
+            cols.iter()
+                .zip(vals)
+                .map(|(&c, &w)| x[c as usize] * w)
+                .sum()
+        })
+        .collect()
+}
+
+/// Gather form of `x * A`, reading a precomputed transpose: pass
+/// `at = a.transpose()` and this equals [`vxm`]`(x, a)` up to floating-point
+/// reassociation.
+pub fn vxm_gather(x: &[f64], at: &Csr<f64>) -> Vec<f64> {
+    mxv(at, x)
+}
+
+/// Rayon-parallel gather `x * A` over a precomputed transpose. Each output
+/// element is an independent reduction, so no synchronization is needed.
+pub fn par_vxm_gather(x: &[f64], at: &Csr<f64>) -> Vec<f64> {
+    assert_eq!(
+        x.len() as u64,
+        at.cols(),
+        "vector length must equal A's row count"
+    );
+    (0..at.rows())
+        .into_par_iter()
+        .map(|r| {
+            let (cols, vals) = at.row(r);
+            cols.iter()
+                .zip(vals)
+                .map(|(&c, &w)| x[c as usize] * w)
+                .sum()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ops, Coo};
+
+    /// [ .5 .5  . ]
+    /// [  .  .  1 ]
+    /// [ 1.  .  . ]
+    fn stochastic() -> Csr<f64> {
+        let mut coo = Coo::new(3, 3);
+        coo.push(0, 0, 1u64);
+        coo.push(0, 1, 1);
+        coo.push(1, 2, 2);
+        coo.push(2, 0, 3);
+        ops::normalize_rows(&coo.compress())
+    }
+
+    #[test]
+    fn vxm_known_answer() {
+        let a = stochastic();
+        let x = [1.0, 2.0, 4.0];
+        // out[0] = 1*.5 + 4*1 = 4.5 ; out[1] = 1*.5 ; out[2] = 2*1
+        assert_eq!(vxm(&x, &a), vec![4.5, 0.5, 2.0]);
+    }
+
+    #[test]
+    fn gather_forms_agree_with_scatter() {
+        let a = stochastic();
+        let at = a.transpose();
+        let x = [0.3, 0.5, 0.2];
+        let scatter = vxm(&x, &a);
+        let gather = vxm_gather(&x, &at);
+        let par = par_vxm_gather(&x, &at);
+        for i in 0..3 {
+            assert!((scatter[i] - gather[i]).abs() < 1e-15);
+            assert!((scatter[i] - par[i]).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn stochastic_matrix_preserves_mass() {
+        let a = stochastic();
+        let x = [0.2, 0.3, 0.5];
+        let y = vxm(&x, &a);
+        assert!((y.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mxv_known_answer() {
+        let a = stochastic();
+        let x = [1.0, 2.0, 3.0];
+        // y[r] = Σ A[r, c] x[c]
+        assert_eq!(mxv(&a, &x), vec![1.5, 3.0, 1.0]);
+    }
+
+    #[test]
+    fn empty_rows_contribute_nothing() {
+        let mut coo = Coo::<u64>::new(3, 3);
+        coo.push(0, 1, 1);
+        let a = ops::normalize_rows(&coo.compress());
+        let y = vxm(&[1.0, 1.0, 1.0], &a);
+        assert_eq!(y, vec![0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn zero_matrix_maps_to_zero() {
+        let a = Csr::<f64>::zero(4, 4);
+        assert_eq!(vxm(&[1.0; 4], &a), vec![0.0; 4]);
+        assert_eq!(mxv(&a, &[1.0; 4]), vec![0.0; 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must equal row count")]
+    fn vxm_length_checked() {
+        let _ = vxm(&[1.0, 2.0], &stochastic());
+    }
+
+    #[test]
+    fn random_matrix_scatter_equals_dense_oracle() {
+        use crate::dense::Dense;
+        let mut coo = Coo::<f64>::new(8, 8);
+        let mut state = 12345u64;
+        for _ in 0..32 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let r = (state >> 33) % 8;
+            let c = (state >> 13) % 8;
+            let v = ((state >> 3) % 100) as f64 / 10.0 + 0.1;
+            coo.push(r, c, v);
+        }
+        let a = coo.compress();
+        let dense = Dense::from_csr(&a);
+        let x: Vec<f64> = (0..8).map(|i| i as f64 * 0.25).collect();
+        let sparse_result = vxm(&x, &a);
+        let dense_result = dense.vec_mat(&x);
+        for i in 0..8 {
+            assert!((sparse_result[i] - dense_result[i]).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! Dense-vector helpers for the PageRank update.
+
+/// Sum of all elements (`sum(r, 2)` on a row vector).
+pub fn sum(v: &[f64]) -> f64 {
+    v.iter().sum()
+}
+
+/// L1 norm (`norm(r, 1)`).
+pub fn norm_l1(v: &[f64]) -> f64 {
+    v.iter().map(|x| x.abs()).sum()
+}
+
+/// L2 norm.
+pub fn norm_l2(v: &[f64]) -> f64 {
+    v.iter().map(|x| x * x).sum::<f64>().sqrt()
+}
+
+/// Scales `v` so its L1 norm is 1 (`r ./ norm(r, 1)`). No-op on the zero
+/// vector.
+pub fn normalize_l1(v: &mut [f64]) {
+    let n = norm_l1(v);
+    if n > 0.0 {
+        for x in v.iter_mut() {
+            *x /= n;
+        }
+    }
+}
+
+/// Dot product.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot length mismatch");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// `y += alpha * x`.
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy length mismatch");
+    for (yi, &xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Multiplies every element by `alpha`.
+pub fn scale(v: &mut [f64], alpha: f64) {
+    for x in v.iter_mut() {
+        *x *= alpha;
+    }
+}
+
+/// Largest absolute element-wise difference — the convergence measure used
+/// when validating kernel 3 against the eigensolver.
+pub fn max_abs_diff(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "max_abs_diff length mismatch");
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
+}
+
+/// L1 distance between two vectors.
+pub fn l1_distance(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "l1_distance length mismatch");
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn norms_and_sums() {
+        let v = [1.0, -2.0, 3.0];
+        assert_eq!(sum(&v), 2.0);
+        assert_eq!(norm_l1(&v), 6.0);
+        assert!((norm_l2(&v) - 14.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalize_l1_makes_unit_mass() {
+        let mut v = [2.0, 2.0, 4.0];
+        normalize_l1(&mut v);
+        assert!((norm_l1(&v) - 1.0).abs() < 1e-12);
+        assert_eq!(v[2], 0.5);
+        let mut zero = [0.0; 3];
+        normalize_l1(&mut zero);
+        assert_eq!(zero, [0.0; 3]);
+    }
+
+    #[test]
+    fn dot_axpy_scale() {
+        let a = [1.0, 2.0];
+        let b = [3.0, 4.0];
+        assert_eq!(dot(&a, &b), 11.0);
+        let mut y = [1.0, 1.0];
+        axpy(2.0, &a, &mut y);
+        assert_eq!(y, [3.0, 5.0]);
+        scale(&mut y, 0.5);
+        assert_eq!(y, [1.5, 2.5]);
+    }
+
+    #[test]
+    fn distances() {
+        let a = [1.0, 5.0];
+        let b = [2.0, 3.0];
+        assert_eq!(max_abs_diff(&a, &b), 2.0);
+        assert_eq!(l1_distance(&a, &b), 3.0);
+        assert_eq!(max_abs_diff(&a, &a), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn dot_checks_lengths() {
+        let _ = dot(&[1.0], &[1.0, 2.0]);
+    }
+}

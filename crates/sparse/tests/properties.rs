@@ -1,0 +1,244 @@
+//! Property-based tests for the sparse linear algebra substrate.
+
+use ppbench_sparse::{dense::Dense, eigen, graphblas, ops, spmv, vector, Coo, Csr};
+use proptest::prelude::*;
+
+/// Strategy: a random small matrix as raw triplets (duplicates allowed).
+fn arb_triplets(n: u64, max_nnz: usize) -> impl Strategy<Value = Vec<(u64, u64, u64)>> {
+    proptest::collection::vec((0..n, 0..n, 1u64..5), 0..max_nnz)
+}
+
+fn build(n: u64, triplets: &[(u64, u64, u64)]) -> Csr<u64> {
+    let mut coo = Coo::new(n, n);
+    for &(r, c, v) in triplets {
+        coo.push(r, c, v);
+    }
+    coo.compress()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Construction preserves the total value mass (the kernel-2 invariant:
+    /// "all the entries in A should sum to M").
+    #[test]
+    fn compress_preserves_value_sum(triplets in arb_triplets(16, 100)) {
+        let total: u64 = triplets.iter().map(|t| t.2).sum();
+        let a = build(16, &triplets);
+        prop_assert_eq!(a.value_sum(), total);
+        a.check_invariants().unwrap();
+    }
+
+    /// Transposition is an involution and preserves all entries.
+    #[test]
+    fn transpose_involution(triplets in arb_triplets(12, 80)) {
+        let a = build(12, &triplets);
+        let t = a.transpose();
+        t.check_invariants().unwrap();
+        prop_assert_eq!(t.transpose(), a.clone());
+        prop_assert_eq!(a.nnz(), t.nnz());
+        for (r, c, v) in a.iter() {
+            prop_assert_eq!(t.get(c, r), Some(v));
+        }
+    }
+
+    /// Sparse vxm agrees with the dense oracle on arbitrary matrices.
+    #[test]
+    fn vxm_matches_dense(
+        triplets in arb_triplets(10, 60),
+        x in proptest::collection::vec(-10.0f64..10.0, 10),
+    ) {
+        let a = build(10, &triplets).map(|_, _, v| v as f64);
+        let d = Dense::from_csr(&a);
+        let sparse_result = spmv::vxm(&x, &a);
+        let dense_result = d.vec_mat(&x);
+        for i in 0..10 {
+            prop_assert!((sparse_result[i] - dense_result[i]).abs() < 1e-9);
+        }
+    }
+
+    /// Scatter, gather, and parallel-gather forms all agree.
+    #[test]
+    fn spmv_forms_agree(
+        triplets in arb_triplets(10, 60),
+        x in proptest::collection::vec(-1.0f64..1.0, 10),
+    ) {
+        let a = build(10, &triplets).map(|_, _, v| v as f64);
+        let at = a.transpose();
+        let scatter = spmv::vxm(&x, &a);
+        let gather = spmv::vxm_gather(&x, &at);
+        let par = spmv::par_vxm_gather(&x, &at);
+        for i in 0..10 {
+            prop_assert!((scatter[i] - gather[i]).abs() < 1e-10);
+            prop_assert!((scatter[i] - par[i]).abs() < 1e-10);
+        }
+    }
+
+    /// Row normalization produces rows summing to 1 (or staying empty), and
+    /// column zeroing really empties the flagged columns.
+    #[test]
+    fn kernel2_style_ops(triplets in arb_triplets(12, 80), flag in 0u64..12) {
+        let a = build(12, &triplets);
+        let mask: Vec<bool> = (0..12).map(|c| c == flag).collect();
+        let zeroed = ops::zero_columns(&a, &mask);
+        prop_assert_eq!(ops::col_sums(&zeroed)[flag as usize], 0);
+        let norm = ops::normalize_rows(&zeroed);
+        for (r, &s) in ops::row_sums(&norm).iter().enumerate() {
+            if norm.row_nnz(r as u64) > 0 {
+                prop_assert!((s - 1.0).abs() < 1e-9, "row {r} sums to {s}");
+            } else {
+                prop_assert_eq!(s, 0.0);
+            }
+        }
+    }
+
+    /// col_sums equals row_sums of the transpose.
+    #[test]
+    fn col_sums_are_transposed_row_sums(triplets in arb_triplets(9, 50)) {
+        let a = build(9, &triplets);
+        prop_assert_eq!(ops::col_sums(&a), ops::row_sums(&a.transpose()));
+    }
+
+    /// mxm over PlusTimes agrees with the dense matrix product for
+    /// arbitrary sparse operands.
+    #[test]
+    fn mxm_matches_dense(
+        ta in arb_triplets(8, 40),
+        tb in arb_triplets(8, 40),
+    ) {
+        let a = build(8, &ta).map(|_, _, v| v as f64);
+        let b = build(8, &tb).map(|_, _, v| v as f64);
+        let c = graphblas::mxm::<graphblas::PlusTimes>(&a, &b);
+        c.check_invariants().unwrap();
+        let da = Dense::from_csr(&a);
+        let db = Dense::from_csr(&b);
+        for i in 0..8u64 {
+            for j in 0..8u64 {
+                let expect: f64 = (0..8)
+                    .map(|k| da.get(i as usize, k) * db.get(k, j as usize))
+                    .sum();
+                let got = c.get(i, j).unwrap_or(0.0);
+                prop_assert!((got - expect).abs() < 1e-9, "C[{i},{j}] {got} vs {expect}");
+            }
+        }
+    }
+
+    /// Triangle counting is invariant under vertex relabeling.
+    #[test]
+    fn triangle_count_relabel_invariant(
+        pairs in proptest::collection::vec((0u64..10, 0u64..10), 0..40),
+        seed: u64,
+    ) {
+        use ppbench_sparse::graphblas::triangle_count;
+        // Undirected simple graph from the pairs.
+        let mut set = std::collections::BTreeSet::new();
+        for &(a, b) in &pairs {
+            if a != b {
+                set.insert((a.min(b), a.max(b)));
+            }
+        }
+        let symmetric = |edges: &std::collections::BTreeSet<(u64, u64)>| {
+            let mut coo = Coo::<bool>::new(10, 10);
+            for &(a, b) in edges {
+                coo.push(a, b, true);
+                coo.push(b, a, true);
+            }
+            coo.compress()
+        };
+        let base = triangle_count(&symmetric(&set));
+        // Relabel through a deterministic permutation derived from seed.
+        let mut perm: Vec<u64> = (0..10).collect();
+        let mut state = seed | 1;
+        for i in (1..10usize).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            perm.swap(i, (state >> 33) as usize % (i + 1));
+        }
+        let relabeled: std::collections::BTreeSet<(u64, u64)> = set
+            .iter()
+            .map(|&(a, b)| {
+                let (x, y) = (perm[a as usize], perm[b as usize]);
+                (x.min(y), x.max(y))
+            })
+            .collect();
+        prop_assert_eq!(triangle_count(&symmetric(&relabeled)), base);
+    }
+
+    /// Connected components: labels are component-minimal and consistent
+    /// with a union-find oracle.
+    #[test]
+    fn connected_components_match_union_find(
+        pairs in proptest::collection::vec((0u64..24, 0u64..24), 0..60),
+    ) {
+        use ppbench_sparse::graphblas::connected_components;
+        let n = 24u64;
+        let mut coo = Coo::<bool>::new(n, n);
+        for &(a, b) in &pairs {
+            coo.push(a, b, true);
+            coo.push(b, a, true);
+        }
+        let labels = connected_components(&coo.compress());
+        // Union-find oracle.
+        let mut parent: Vec<u64> = (0..n).collect();
+        fn find(parent: &mut Vec<u64>, x: u64) -> u64 {
+            if parent[x as usize] != x {
+                let root = find(parent, parent[x as usize]);
+                parent[x as usize] = root;
+            }
+            parent[x as usize]
+        }
+        for &(a, b) in &pairs {
+            let (ra, rb) = (find(&mut parent, a), find(&mut parent, b));
+            if ra != rb {
+                parent[ra.max(rb) as usize] = ra.min(rb);
+            }
+        }
+        for v in 0..n {
+            let root = find(&mut parent, v);
+            // Same component ⇔ same label; label is the component minimum.
+            prop_assert_eq!(labels[v as usize], labels[root as usize]);
+            prop_assert!(labels[v as usize] <= v);
+        }
+        // Distinct components get distinct labels.
+        for a in 0..n {
+            for b in 0..n {
+                let same_uf = find(&mut parent, a) == find(&mut parent, b);
+                prop_assert_eq!(labels[a as usize] == labels[b as usize], same_uf);
+            }
+        }
+    }
+
+    /// Semiring PlusTimes vxm is exactly the arithmetic vxm.
+    #[test]
+    fn semiring_plus_times_is_arithmetic(
+        triplets in arb_triplets(8, 40),
+        x in proptest::collection::vec(-2.0f64..2.0, 8),
+    ) {
+        let a = build(8, &triplets).map(|_, _, v| v as f64);
+        prop_assert_eq!(graphblas::vxm::<graphblas::PlusTimes>(&x, &a), spmv::vxm(&x, &a));
+    }
+
+    /// Power iteration on the *damped* PageRank operator converges to a
+    /// fixpoint with eigenvalue 1 for any graph without dangling rows.
+    /// (The undamped chain can be periodic — e.g. a 2-cycle — which is
+    /// exactly why PageRank adds the `(1−c)/N` teleport term.)
+    #[test]
+    fn damped_power_iteration_fixpoint(triplets in arb_triplets(8, 60)) {
+        let counts = build(8, &triplets);
+        // Dangling rows leak mass and drop the eigenvalue below 1; the
+        // benchmark tolerates that, but this property wants the clean case.
+        prop_assume!((0..8).all(|r| counts.row_nnz(r) > 0));
+        let a = ops::normalize_rows(&counts);
+        let at = a.transpose();
+        let c = 0.85;
+        let r = eigen::pagerank_eigenvector(&at, c, 5000, 1e-13);
+        prop_assert!(r.converged);
+        prop_assert!((r.eigenvalue - 1.0).abs() < 1e-6, "eigenvalue {}", r.eigenvalue);
+        // Fixpoint under the damped operator.
+        let mut image = spmv::mxv(&at, &r.vector);
+        let shift = (1.0 - c) / 8.0 * vector::sum(&r.vector);
+        for x in image.iter_mut() {
+            *x = *x * c + shift;
+        }
+        prop_assert!(vector::l1_distance(&image, &r.vector) < 1e-6);
+    }
+}
