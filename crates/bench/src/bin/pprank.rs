@@ -27,7 +27,8 @@ fn usage() -> ! {
          \x20             [--budget EDGES] [--validate none|invariants|eigen]\n\
          \x20             [--dangling omit|redistribute|sink] [--converge TOL]\n\
          \x20             [--iterations N] [--damping C] [--dir PATH] [--keep] [--top K]\n\
-         \x20             [--workers W   (simulated distributed mode)] [--report PATH]"
+         \x20             [--workers W   (simulated distributed mode)] [--report PATH]\n\
+         \x20             [--json        (machine-readable run record on stdout)]"
     );
     exit(2)
 }
@@ -39,6 +40,7 @@ fn main() {
     let mut top = 5usize;
     let mut workers: Option<usize> = None;
     let mut report: Option<PathBuf> = None;
+    let mut json = false;
 
     let mut argv = std::env::args().skip(1);
     while let Some(flag) = argv.next() {
@@ -87,6 +89,10 @@ fn main() {
             }
             "--report" => {
                 report = Some(PathBuf::from(value()));
+                builder
+            }
+            "--json" => {
+                json = true;
                 builder
             }
             _ => usage(),
@@ -144,38 +150,61 @@ fn main() {
     let result = match Pipeline::new(cfg.clone(), &work_dir).run() {
         Ok(r) => r,
         Err(e) => {
+            if json {
+                // Machine-readable failure on stdout, mirroring the
+                // success shape's `record` tag; detail stays on stderr.
+                println!(
+                    "{{\"record\":\"ppbench-run-v1\",\"error\":\"{}\"}}",
+                    e.to_string().replace('\\', "\\\\").replace('"', "\\\"")
+                );
+            }
             eprintln!("pipeline failed: {e}");
             exit(1);
         }
     };
-    print!("{}", result.summary());
+    let record = ppbench_core::RunRecord::from_result(&result);
+    if json {
+        println!("{}", record.to_json());
+    } else {
+        print!("{}", result.summary());
+    }
     if let Some(path) = &report {
-        let record = ppbench_core::report::RunRecord::from_result(&result);
         if let Err(e) = record.save(path) {
             eprintln!("failed to write report {}: {e}", path.display());
             exit(1);
         }
-        println!("run record written to {}", path.display());
-    }
-    if let Some(k3) = &result.kernel3 {
-        if k3.iterations < cfg.iterations {
-            println!(
-                "converged after {} iterations (final L1 delta {:.2e})",
-                k3.iterations, k3.final_delta
-            );
-        }
-        println!("top {top} vertices by rank:");
-        for (v, r) in k3.top_k(top) {
-            println!("  vertex {v:>10}  rank {r:.6e}");
+        if !json {
+            println!("run record written to {}", path.display());
         }
     }
-    if let Some(v) = &result.validation {
-        println!("\nvalidation detail:\n{}", v.detail());
+    if !json {
+        if let Some(k3) = &result.kernel3 {
+            if k3.iterations < cfg.iterations {
+                println!(
+                    "converged after {} iterations (final L1 delta {:.2e})",
+                    k3.iterations, k3.final_delta
+                );
+            }
+            println!("top {top} vertices by rank:");
+            for (v, r) in k3.top_k(top) {
+                println!("  vertex {v:>10}  rank {r:.6e}");
+            }
+        }
+        if let Some(v) = &result.validation {
+            println!("\nvalidation detail:\n{}", v.detail());
+        }
     }
 
     if ephemeral && !keep {
         let _ = std::fs::remove_dir_all(&work_dir);
-    } else {
+    } else if !json {
         println!("\nkernel files kept under {}", work_dir.display());
+    }
+
+    // A run whose validation failed is not a benchmark result; make that
+    // visible to scripts in both output modes.
+    if record.validation_passed == Some(false) {
+        eprintln!("validation FAILED");
+        exit(1);
     }
 }

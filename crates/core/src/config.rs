@@ -89,6 +89,85 @@ impl PipelineConfig {
         }
     }
 
+    /// Every field as a canonical `(key, value)` pair, sorted by key.
+    ///
+    /// This is the identity of a run for caching purposes: two configs
+    /// with equal canonical fields produce bit-identical results (up to the
+    /// floating-point reassociation of the parallel backend). Floats are
+    /// rendered via their IEEE-754 bit patterns so the encoding is exact,
+    /// and the fixed key sort makes the form independent of the order in
+    /// which a caller (builder chain, JSON body, CLI flags) supplied the
+    /// fields.
+    pub fn canonical_fields(&self) -> Vec<(&'static str, String)> {
+        let f64_bits = |v: f64| format!("f64:{:016x}", v.to_bits());
+        let mut fields = vec![
+            (
+                "add_diagonal_to_empty",
+                self.add_diagonal_to_empty.to_string(),
+            ),
+            (
+                "convergence_tolerance",
+                self.convergence_tolerance
+                    .map_or_else(|| "none".to_string(), f64_bits),
+            ),
+            ("damping", f64_bits(self.damping)),
+            ("dangling", self.dangling.name().to_string()),
+            ("edge_factor", self.spec.edge_factor().to_string()),
+            ("generator", self.generator.name().to_string()),
+            ("iterations", self.iterations.to_string()),
+            ("num_files", self.num_files.to_string()),
+            ("permute_vertices", self.permute_vertices.to_string()),
+            ("scale", self.spec.scale().to_string()),
+            ("seed", self.seed.to_string()),
+            ("shuffle_edges", self.shuffle_edges.to_string()),
+            (
+                "sort_key",
+                match self.sort_key {
+                    SortKey::Start => "start".to_string(),
+                    SortKey::StartEnd => "start-end".to_string(),
+                },
+            ),
+            (
+                "sort_memory_budget",
+                self.sort_memory_budget
+                    .map_or_else(|| "none".to_string(), |b| b.to_string()),
+            ),
+            (
+                "validation",
+                match self.validation {
+                    ValidationLevel::None => "none".to_string(),
+                    ValidationLevel::Invariants => "invariants".to_string(),
+                    ValidationLevel::Eigenvector => "eigen".to_string(),
+                },
+            ),
+            ("variant", self.variant.name().to_string()),
+        ];
+        fields.sort_by_key(|(k, _)| *k);
+        fields
+    }
+
+    /// Stable 64-bit hash of the canonical field list (FNV-1a over
+    /// `key=value\n` lines). Equal configs hash equal regardless of how
+    /// they were constructed; any changed field changes the hash.
+    pub fn canonical_hash(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(FNV_PRIME);
+            }
+        };
+        for (key, value) in self.canonical_fields() {
+            eat(key.as_bytes());
+            eat(b"=");
+            eat(value.as_bytes());
+            eat(b"\n");
+        }
+        h
+    }
+
     /// Human-readable one-line description.
     pub fn describe(&self) -> String {
         format!(
@@ -338,6 +417,56 @@ mod tests {
     #[should_panic(expected = "num_files")]
     fn zero_files_rejected() {
         let _ = PipelineConfig::builder().num_files(0).build();
+    }
+
+    #[test]
+    fn canonical_hash_is_setter_order_independent() {
+        let a = PipelineConfig::builder().scale(9).seed(7).build();
+        let b = PipelineConfig::builder().seed(7).scale(9).build();
+        assert_eq!(a.canonical_hash(), b.canonical_hash());
+        assert_eq!(a.canonical_fields(), b.canonical_fields());
+    }
+
+    #[test]
+    fn canonical_fields_are_sorted_and_complete() {
+        let fields = PipelineConfig::builder().build().canonical_fields();
+        let keys: Vec<&str> = fields.iter().map(|(k, _)| *k).collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        assert_eq!(keys, sorted, "keys must come out sorted");
+        assert_eq!(keys.len(), 16, "one entry per PipelineConfig field");
+    }
+
+    #[test]
+    fn canonical_hash_distinguishes_every_axis() {
+        let base = || PipelineConfig::builder().scale(9).seed(7);
+        let reference = base().build().canonical_hash();
+        let variations = [
+            base().scale(10).build(),
+            base().seed(8).build(),
+            base().edge_factor(4).build(),
+            base().num_files(2).build(),
+            base().variant(Variant::Naive).build(),
+            base().generator(GeneratorKind::PerfectPowerLaw).build(),
+            base().sort_key(SortKey::StartEnd).build(),
+            base().sort_memory_budget(100).build(),
+            base().add_diagonal_to_empty(true).build(),
+            base().damping(0.9).build(),
+            base().iterations(10).build(),
+            base().dangling(DanglingStrategy::Sink).build(),
+            base().convergence_tolerance(1e-9).build(),
+            base().permute_vertices(false).build(),
+            base().shuffle_edges(true).build(),
+            base().validation(ValidationLevel::None).build(),
+        ];
+        let mut hashes: Vec<u64> = variations.iter().map(|c| c.canonical_hash()).collect();
+        hashes.push(reference);
+        let unique: std::collections::HashSet<u64> = hashes.iter().copied().collect();
+        assert_eq!(
+            unique.len(),
+            hashes.len(),
+            "every axis must change the hash"
+        );
     }
 
     #[test]

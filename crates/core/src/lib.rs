@@ -58,7 +58,9 @@ pub mod validate;
 pub use backend::Variant;
 pub use config::{PipelineConfig, PipelineConfigBuilder, ValidationLevel};
 pub use error::{Error, Result};
-pub use pipeline::Pipeline;
+pub use kernel3::DanglingStrategy;
+pub use pipeline::{NoopObserver, Pipeline, PipelineObserver};
+pub use report::RunRecord;
 pub use results::{Kernel0Result, Kernel1Result, Kernel2Result, Kernel3Result, PipelineResult};
 pub use timing::{timed, KernelTiming, Stopwatch};
 

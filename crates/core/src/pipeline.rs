@@ -12,8 +12,30 @@ use crate::backend::Kernel2Output;
 use crate::config::{PipelineConfig, ValidationLevel};
 use crate::error::{Error, Result};
 use crate::results::{Kernel0Result, Kernel1Result, Kernel2Result, Kernel3Result, PipelineResult};
-use crate::timing::Stopwatch;
+use crate::timing::{KernelTiming, Stopwatch};
 use crate::{kernel3, validate};
+
+/// Observes pipeline progress kernel by kernel.
+///
+/// Long-lived callers (the `ppbench-serve` job workers, progress bars,
+/// tracing) implement this to learn which kernel a run is currently in and
+/// how each one performed, without waiting for the whole pipeline to
+/// finish. Both methods default to no-ops, so implementors override only
+/// what they need. Observers must be `Send + Sync`: the parallel backend
+/// may call them from a run owned by another thread.
+pub trait PipelineObserver: Send + Sync {
+    /// Kernel `kernel` (0–3) is about to start.
+    fn kernel_started(&self, _kernel: u8) {}
+    /// Kernel `kernel` (0–3) finished with `timing`.
+    fn kernel_finished(&self, _kernel: u8, _timing: &KernelTiming) {}
+}
+
+/// The do-nothing observer used by the plain [`Pipeline::run`] entry
+/// points.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopObserver;
+
+impl PipelineObserver for NoopObserver {}
 
 /// A configured pipeline bound to a working directory.
 #[derive(Debug)]
@@ -52,19 +74,40 @@ impl Pipeline {
         self.run_through(3)
     }
 
+    /// Runs all four kernels, reporting progress to `observer`.
+    pub fn run_with_observer(&self, observer: &dyn PipelineObserver) -> Result<PipelineResult> {
+        self.run_through_with(3, observer)
+    }
+
     /// Runs kernels `0..=last_kernel` (the spec allows kernels to "be run
     /// together or independently"); validation uses whatever ran.
     ///
-    /// # Panics
-    ///
-    /// Panics if `last_kernel > 3`.
+    /// `last_kernel` must lie in `0..=3`; anything larger is rejected with
+    /// [`Error::Config`] (the kernels are numbered 0–3 and there is nothing
+    /// beyond PageRank to run).
     pub fn run_through(&self, last_kernel: u8) -> Result<PipelineResult> {
-        assert!(last_kernel <= 3, "kernels are numbered 0..=3");
+        self.run_through_with(last_kernel, &NoopObserver)
+    }
+
+    /// [`Pipeline::run_through`] with progress reported to `observer`.
+    ///
+    /// `last_kernel` must lie in `0..=3`, as for [`Pipeline::run_through`].
+    pub fn run_through_with(
+        &self,
+        last_kernel: u8,
+        observer: &dyn PipelineObserver,
+    ) -> Result<PipelineResult> {
+        if last_kernel > 3 {
+            return Err(Error::Config(format!(
+                "last_kernel must be in 0..=3 (kernels are numbered 0-3), got {last_kernel}"
+            )));
+        }
         let cfg = &self.cfg;
         let backend = cfg.variant.backend();
         let m = cfg.spec.num_edges();
 
         // Kernel 0 — untimed by spec, measured for Figure 4.
+        observer.kernel_started(0);
         let sw = Stopwatch::start();
         let manifest0 = backend.kernel0(cfg, &self.k0_dir())?;
         let k0 = Kernel0Result {
@@ -73,6 +116,7 @@ impl Pipeline {
             files: manifest0.files.len(),
             digest: manifest0.digest,
         };
+        observer.kernel_finished(0, &k0.timing);
 
         let mut result = PipelineResult {
             config: cfg.describe(),
@@ -88,31 +132,39 @@ impl Pipeline {
 
         let mut k2_output: Option<Kernel2Output> = None;
         if last_kernel >= 1 {
+            observer.kernel_started(1);
             let sw = Stopwatch::start();
             let manifest1 = backend.kernel1(cfg, &self.k0_dir(), &self.k1_dir())?;
+            let timing = sw.finish(m);
+            observer.kernel_finished(1, &timing);
             result.kernel1 = Some(Kernel1Result {
-                timing: sw.finish(m),
+                timing,
                 digest: manifest1.digest,
                 sort_state: manifest1.sort_state,
                 out_of_core: cfg.sort_memory_budget.is_some_and(|b| m > b as u64),
             });
         }
         if last_kernel >= 2 {
+            observer.kernel_started(2);
             let sw = Stopwatch::start();
             let out = backend.kernel2(cfg, &self.k1_dir())?;
+            let timing = sw.finish(m);
+            observer.kernel_finished(2, &timing);
             result.kernel2 = Some(Kernel2Result {
-                timing: sw.finish(m),
+                timing,
                 stats: out.stats,
             });
             k2_output = Some(out);
         }
         if last_kernel >= 3 {
             let matrix = &k2_output.as_ref().expect("kernel 2 ran").matrix;
+            observer.kernel_started(3);
             let sw = Stopwatch::start();
             let run = backend.kernel3(cfg, matrix)?;
             // Kernel 3's work-item count is iterations × M ("20M divided by
             // the run time"), using the iterations actually performed.
             let timing = sw.finish(m * run.iterations as u64);
+            observer.kernel_finished(3, &timing);
             let mass = kernel3::rank_mass(&run.ranks);
             result.kernel3 = Some(Kernel3Result {
                 timing,
@@ -246,6 +298,42 @@ mod tests {
         let result = Pipeline::new(cfg, td.path()).run().unwrap();
         assert!(result.kernel1.as_ref().unwrap().out_of_core);
         assert!(result.validation.as_ref().unwrap().passed());
+    }
+
+    #[test]
+    fn run_through_rejects_kernel_out_of_range() {
+        let td = TempDir::new("ppbench-pipe").unwrap();
+        let err = Pipeline::new(base(5).build(), td.path())
+            .run_through(4)
+            .unwrap_err();
+        assert!(matches!(err, Error::Config(_)), "{err}");
+        assert!(err.to_string().contains("0..=3"), "{err}");
+    }
+
+    #[test]
+    fn observer_sees_every_kernel_in_order() {
+        use std::sync::Mutex;
+
+        #[derive(Default)]
+        struct Recorder(Mutex<Vec<(u8, bool)>>);
+        impl PipelineObserver for Recorder {
+            fn kernel_started(&self, k: u8) {
+                self.0.lock().unwrap().push((k, false));
+            }
+            fn kernel_finished(&self, k: u8, timing: &KernelTiming) {
+                assert!(timing.seconds >= 0.0);
+                self.0.lock().unwrap().push((k, true));
+            }
+        }
+
+        let td = TempDir::new("ppbench-pipe").unwrap();
+        let rec = Recorder::default();
+        Pipeline::new(base(6).build(), td.path())
+            .run_with_observer(&rec)
+            .unwrap();
+        let events = rec.0.into_inner().unwrap();
+        let expected: Vec<(u8, bool)> = (0..4u8).flat_map(|k| [(k, false), (k, true)]).collect();
+        assert_eq!(events, expected);
     }
 
     #[test]

@@ -63,6 +63,37 @@ impl RunRecord {
         out
     }
 
+    /// Serializes the record as a JSON object.
+    ///
+    /// The shape mirrors [`RunRecord::to_text`] field for field and is the
+    /// wire format shared by `pprank --json` and the `ppbench-serve` HTTP
+    /// API: a `record` version tag, the run identity, one entry per kernel
+    /// that ran (with `seconds` and `edges_per_second`), and the validation
+    /// outcome (`null` when validation did not run). All values are plain
+    /// ASCII, so no string escaping is required.
+    pub fn to_json(&self) -> String {
+        let mut kernels = String::new();
+        for (k, slot) in self.kernels.iter().enumerate() {
+            if let Some((secs, rate)) = slot {
+                if !kernels.is_empty() {
+                    kernels.push(',');
+                }
+                kernels.push_str(&format!(
+                    "{{\"kernel\":{k},\"seconds\":{secs},\"edges_per_second\":{rate}}}"
+                ));
+            }
+        }
+        let validation = match self.validation_passed {
+            Some(passed) => passed.to_string(),
+            None => "null".to_string(),
+        };
+        format!(
+            "{{\"record\":\"ppbench-run-v1\",\"variant\":\"{}\",\"scale\":{},\
+             \"edges\":{},\"kernels\":[{}],\"validation_passed\":{}}}",
+            self.variant, self.scale, self.edges, kernels, validation
+        )
+    }
+
     /// Parses a record produced by [`RunRecord::to_text`].
     pub fn from_text(text: &str) -> Result<Self> {
         let mut record = RunRecord {
@@ -209,6 +240,28 @@ mod tests {
         let loaded = RunRecord::load(&path).unwrap();
         assert_eq!(loaded.variant, record.variant);
         assert_eq!(loaded.edges, record.edges);
+    }
+
+    #[test]
+    fn json_mentions_all_fields() {
+        let record = sample();
+        let json = record.to_json();
+        assert!(json.starts_with("{\"record\":\"ppbench-run-v1\""), "{json}");
+        assert!(json.contains("\"variant\":\"optimized\""), "{json}");
+        assert!(json.contains("\"scale\":6"), "{json}");
+        assert!(json.contains("\"kernel\":3"), "{json}");
+        assert!(json.contains("\"edges_per_second\""), "{json}");
+        assert!(json.contains("\"validation_passed\":true"), "{json}");
+    }
+
+    #[test]
+    fn json_skips_kernels_that_did_not_run() {
+        let mut record = sample();
+        record.kernels[2] = None;
+        record.validation_passed = None;
+        let json = record.to_json();
+        assert!(!json.contains("\"kernel\":2"), "{json}");
+        assert!(json.contains("\"validation_passed\":null"), "{json}");
     }
 
     #[test]

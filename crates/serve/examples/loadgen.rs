@@ -1,0 +1,118 @@
+//! Load generator for a running `ppserved`: submits a batch of runs
+//! (mixed configs with deliberate duplicates, so the result cache gets
+//! exercised), polls them to completion, and reports throughput and
+//! submit-to-done latency percentiles.
+//!
+//! Usage:
+//!     cargo run --release -p ppbench-serve --example loadgen -- \
+//!         [--addr 127.0.0.1:7878] [--runs 20] [--scale 10]
+
+use std::time::{Duration, Instant};
+
+use ppbench_serve::{http_request, Json};
+
+fn main() {
+    let mut addr = "127.0.0.1:7878".to_string();
+    let mut runs = 20usize;
+    let mut scale = 10u32;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let value = args.next().unwrap_or_else(|| {
+            eprintln!("loadgen: {flag} requires a value");
+            std::process::exit(2);
+        });
+        match flag.as_str() {
+            "--addr" => addr = value,
+            "--runs" => runs = value.parse().expect("--runs takes a number"),
+            "--scale" => scale = value.parse().expect("--scale takes a number"),
+            other => {
+                eprintln!("loadgen: unknown flag {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    // Mixed workload: half the submissions reuse seeds 0–4, guaranteeing
+    // duplicate configs (cache hits) once the first runs complete; the
+    // rest are unique. Alternating variants widens the mix.
+    let configs: Vec<String> = (0..runs)
+        .map(|i| {
+            let seed = if i % 2 == 0 {
+                i as u64 % 5
+            } else {
+                1000 + i as u64
+            };
+            let variant = if i % 4 == 3 { "naive" } else { "optimized" };
+            format!(
+                "{{\"scale\":{scale},\"edge_factor\":8,\"seed\":{seed},\"variant\":\"{variant}\"}}"
+            )
+        })
+        .collect();
+
+    let started = Instant::now();
+    let mut pending: Vec<(u64, Instant)> = Vec::new();
+    let mut rejected = 0usize;
+    for body in &configs {
+        // On 429 back off briefly and retry the same config.
+        loop {
+            let response = http_request(&addr, "POST", "/runs", Some(body))
+                .unwrap_or_else(|e| panic!("cannot reach {addr}: {e}"));
+            match response.status {
+                202 => {
+                    let parsed = Json::parse(&response.body).expect("submit response is JSON");
+                    let id = parsed.get("id").and_then(Json::as_u64).expect("id");
+                    pending.push((id, Instant::now()));
+                    break;
+                }
+                429 => {
+                    rejected += 1;
+                    std::thread::sleep(Duration::from_millis(100));
+                }
+                other => panic!("unexpected status {other}: {}", response.body),
+            }
+        }
+    }
+
+    let mut latencies: Vec<f64> = Vec::with_capacity(pending.len());
+    for (id, submitted) in pending {
+        loop {
+            let response =
+                http_request(&addr, "GET", &format!("/runs/{id}"), None).expect("poll job");
+            let parsed = Json::parse(&response.body).expect("job body is JSON");
+            match parsed.get("state").and_then(Json::as_str) {
+                Some("done") => {
+                    latencies.push(submitted.elapsed().as_secs_f64());
+                    break;
+                }
+                Some("failed") => panic!("job {id} failed: {}", response.body),
+                _ => std::thread::sleep(Duration::from_millis(25)),
+            }
+        }
+    }
+    let wall = started.elapsed().as_secs_f64();
+
+    latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let pct = |p: f64| latencies[((latencies.len() - 1) as f64 * p) as usize];
+    println!(
+        "loadgen: {} runs at scale {scale} against {addr}",
+        latencies.len()
+    );
+    println!(
+        "  wall time        {wall:.3} s ({:.1} runs/s)",
+        latencies.len() as f64 / wall
+    );
+    println!("  latency p50      {:.3} s", pct(0.50));
+    println!("  latency p90      {:.3} s", pct(0.90));
+    println!("  latency p99      {:.3} s", pct(0.99));
+    println!("  429 retries      {rejected}");
+
+    let metrics = http_request(&addr, "GET", "/metrics", None).expect("fetch metrics");
+    for line in metrics.body.lines() {
+        if line.starts_with("ppbench_cache_hits_total")
+            || line.starts_with("ppbench_cache_misses_total")
+            || line.starts_with("ppbench_jobs_total")
+        {
+            println!("  {line}");
+        }
+    }
+}

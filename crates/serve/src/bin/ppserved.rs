@@ -1,0 +1,95 @@
+//! `ppserved` — the PageRank-pipeline benchmark service daemon.
+//!
+//! Binds an HTTP listener in front of a worker pool and serves until a
+//! `POST /shutdown` drains it. See `ppbench-serve`'s crate docs for the
+//! API.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use ppbench_serve::{HttpServer, Service, ServiceConfig};
+
+const USAGE: &str = "\
+ppserved - PageRank pipeline benchmark service
+
+USAGE:
+    ppserved [OPTIONS]
+
+OPTIONS:
+    --addr <HOST:PORT>     Listen address [default: 127.0.0.1:7878]
+    --workers <N>          Worker threads running pipelines [default: 2]
+    --queue-depth <N>      Max queued jobs before 429 [default: 64]
+    --cache-bytes <N>      Result-cache byte budget [default: 67108864]
+    --max-scale <N>        Largest accepted scale factor [default: 22]
+    --work-root <DIR>      Scratch directory for kernel files
+                           [default: <tmp>/ppbench-serve]
+    -h, --help             Show this help
+";
+
+fn main() -> ExitCode {
+    let mut addr = "127.0.0.1:7878".to_string();
+    let mut cfg = ServiceConfig::default();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |flag: &str| {
+            args.next()
+                .ok_or_else(|| format!("{flag} requires a value"))
+        };
+        let outcome = match flag.as_str() {
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            "--addr" => value("--addr").map(|v| addr = v),
+            "--workers" => parse_into(value("--workers"), &mut cfg.workers),
+            "--queue-depth" => parse_into(value("--queue-depth"), &mut cfg.queue_depth),
+            "--cache-bytes" => parse_into(value("--cache-bytes"), &mut cfg.cache_bytes),
+            "--max-scale" => parse_into(value("--max-scale"), &mut cfg.max_scale),
+            "--work-root" => value("--work-root").map(|v| cfg.work_root = PathBuf::from(v)),
+            other => Err(format!("unknown flag {other:?} (try --help)")),
+        };
+        if let Err(message) = outcome {
+            eprintln!("ppserved: {message}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if cfg.workers == 0 {
+        eprintln!("ppserved: --workers must be at least 1");
+        return ExitCode::FAILURE;
+    }
+
+    let service = Arc::new(Service::start(cfg.clone()));
+    let server = match HttpServer::bind(&addr, Arc::clone(&service)) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("ppserved: cannot bind {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match server.local_addr() {
+        Ok(bound) => println!(
+            "ppserved listening on http://{bound} ({} workers, queue depth {}, cache {} MiB, max scale {})",
+            cfg.workers,
+            cfg.queue_depth,
+            cfg.cache_bytes >> 20,
+            cfg.max_scale
+        ),
+        Err(_) => println!("ppserved listening on http://{addr}"),
+    }
+    server.run();
+    println!("ppserved drained and stopped");
+    ExitCode::SUCCESS
+}
+
+fn parse_into<T: std::str::FromStr>(
+    value: Result<String, String>,
+    slot: &mut T,
+) -> Result<(), String> {
+    let text = value?;
+    *slot = text
+        .parse()
+        .map_err(|_| format!("cannot parse {text:?} as a number"))?;
+    Ok(())
+}

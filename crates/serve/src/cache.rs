@@ -1,0 +1,182 @@
+//! Result cache: canonical config hash → completed run summary, with
+//! least-recently-used eviction under a byte budget.
+//!
+//! The pipeline is deterministic for a fixed config (the paper's §IV
+//! validation property), so a cached summary is exactly what a fresh run
+//! would produce — the service returns it without queueing a job.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::job::RunSummary;
+
+/// LRU map from canonical config hash to run summary, bounded by an
+/// approximate byte budget rather than an entry count (rank vectors grow
+/// as 2^scale, so entry sizes vary by orders of magnitude).
+#[derive(Debug)]
+pub struct ResultCache {
+    budget_bytes: usize,
+    used_bytes: usize,
+    tick: u64,
+    entries: HashMap<u64, Entry>,
+}
+
+#[derive(Debug)]
+struct Entry {
+    summary: Arc<RunSummary>,
+    bytes: usize,
+    last_used: u64,
+}
+
+impl ResultCache {
+    /// Creates a cache that evicts down to `budget_bytes`. A zero budget
+    /// disables caching entirely (every insert is immediately evicted).
+    pub fn new(budget_bytes: usize) -> Self {
+        Self {
+            budget_bytes,
+            used_bytes: 0,
+            tick: 0,
+            entries: HashMap::new(),
+        }
+    }
+
+    /// Looks up `hash`, refreshing its recency on a hit.
+    pub fn get(&mut self, hash: u64) -> Option<Arc<RunSummary>> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.entries.get_mut(&hash).map(|e| {
+            e.last_used = tick;
+            Arc::clone(&e.summary)
+        })
+    }
+
+    /// Inserts (or replaces) the summary for `hash`, then evicts
+    /// least-recently-used entries until the budget holds. An entry larger
+    /// than the whole budget is never retained.
+    pub fn insert(&mut self, hash: u64, summary: Arc<RunSummary>) {
+        let bytes = summary.approx_bytes();
+        self.tick += 1;
+        if let Some(old) = self.entries.insert(
+            hash,
+            Entry {
+                summary,
+                bytes,
+                last_used: self.tick,
+            },
+        ) {
+            self.used_bytes -= old.bytes;
+        }
+        self.used_bytes += bytes;
+        while self.used_bytes > self.budget_bytes {
+            let Some((&oldest, _)) = self.entries.iter().min_by_key(|(_, e)| e.last_used) else {
+                break;
+            };
+            let evicted = self.entries.remove(&oldest).expect("key just observed");
+            self.used_bytes -= evicted.bytes;
+        }
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Approximate bytes currently held.
+    pub fn used_bytes(&self) -> usize {
+        self.used_bytes
+    }
+
+    /// The configured budget.
+    pub fn budget_bytes(&self) -> usize {
+        self.budget_bytes
+    }
+
+    /// Whether `hash` is present (without refreshing recency).
+    pub fn contains(&self, hash: u64) -> bool {
+        self.entries.contains_key(&hash)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppbench_core::RunRecord;
+
+    fn summary(rank_count: usize) -> Arc<RunSummary> {
+        Arc::new(RunSummary {
+            record: RunRecord {
+                variant: "optimized".to_string(),
+                scale: 4,
+                edges: 64,
+                kernels: [None; 4],
+                validation_passed: Some(true),
+            },
+            ranks: vec![0.5; rank_count],
+            total_seconds: 1.0,
+        })
+    }
+
+    #[test]
+    fn hit_and_miss() {
+        let mut cache = ResultCache::new(1 << 20);
+        assert!(cache.get(1).is_none());
+        cache.insert(1, summary(4));
+        assert!(cache.get(1).is_some());
+        assert!(cache.get(2).is_none());
+    }
+
+    #[test]
+    fn eviction_respects_byte_budget() {
+        let one = summary(128).approx_bytes();
+        let mut cache = ResultCache::new(one * 3);
+        for hash in 0..10u64 {
+            cache.insert(hash, summary(128));
+        }
+        assert!(cache.used_bytes() <= cache.budget_bytes());
+        assert!(cache.len() <= 3);
+        assert!(!cache.is_empty(), "budget fits at least one entry");
+    }
+
+    #[test]
+    fn eviction_removes_least_recently_used() {
+        let one = summary(128).approx_bytes();
+        let mut cache = ResultCache::new(one * 2);
+        cache.insert(1, summary(128));
+        cache.insert(2, summary(128));
+        assert!(cache.get(1).is_some(), "touch 1 so 2 becomes the LRU");
+        cache.insert(3, summary(128));
+        assert!(cache.contains(1), "recently used survives");
+        assert!(!cache.contains(2), "least recently used is evicted");
+        assert!(cache.contains(3));
+    }
+
+    #[test]
+    fn replacement_does_not_double_count() {
+        let mut cache = ResultCache::new(1 << 20);
+        cache.insert(1, summary(128));
+        let used = cache.used_bytes();
+        cache.insert(1, summary(128));
+        assert_eq!(cache.used_bytes(), used);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn oversized_entry_never_sticks() {
+        let mut cache = ResultCache::new(64);
+        cache.insert(1, summary(1024));
+        assert!(cache.is_empty());
+        assert_eq!(cache.used_bytes(), 0);
+    }
+
+    #[test]
+    fn zero_budget_disables_caching() {
+        let mut cache = ResultCache::new(0);
+        cache.insert(1, summary(4));
+        assert!(cache.get(1).is_none());
+    }
+}

@@ -1,0 +1,506 @@
+//! Hand-rolled HTTP/1.1 server on `std::net::TcpListener`.
+//!
+//! Scope is deliberately narrow: one request per connection
+//! (`Connection: close`), bounded header and body sizes, a per-request
+//! read timeout, and a polling accept loop so `POST /shutdown` can stop
+//! the server without platform-specific socket tricks. That is all a
+//! benchmark-service API needs, and it keeps the crate std-only.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::job::{Job, JobState};
+use crate::json::{self, Json};
+use crate::metrics::Metrics;
+use crate::request::config_from_json;
+use crate::service::{CancelOutcome, Service, SubmitError};
+
+/// Maximum bytes of request line + headers.
+const MAX_HEAD_BYTES: usize = 16 * 1024;
+/// Maximum request-body bytes (a config object is well under 1 KB).
+const MAX_BODY_BYTES: usize = 64 * 1024;
+/// How long the accept loop sleeps between polls.
+const ACCEPT_POLL: Duration = Duration::from_millis(20);
+/// How long the drain path waits for in-flight connections.
+const CONNECTION_GRACE: Duration = Duration::from_secs(5);
+
+/// The HTTP front end for a [`Service`].
+pub struct HttpServer {
+    listener: TcpListener,
+    service: Arc<Service>,
+    shutdown: Arc<AtomicBool>,
+    in_flight: Arc<AtomicUsize>,
+    read_timeout: Duration,
+}
+
+impl HttpServer {
+    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) in front of
+    /// `service`.
+    pub fn bind<A: ToSocketAddrs>(addr: A, service: Arc<Service>) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        Ok(Self {
+            listener,
+            service,
+            shutdown: Arc::new(AtomicBool::new(false)),
+            in_flight: Arc::new(AtomicUsize::new(0)),
+            read_timeout: Duration::from_secs(5),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A flag that stops the accept loop when set (the same flag
+    /// `POST /shutdown` sets), for embedding the server in tests.
+    pub fn shutdown_flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.shutdown)
+    }
+
+    /// Serves until shutdown is requested, then drains the service
+    /// (finishing all accepted jobs) and returns.
+    pub fn run(self) {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    let service = Arc::clone(&self.service);
+                    let shutdown = Arc::clone(&self.shutdown);
+                    let in_flight = Arc::clone(&self.in_flight);
+                    let read_timeout = self.read_timeout;
+                    in_flight.fetch_add(1, Ordering::SeqCst);
+                    std::thread::spawn(move || {
+                        handle_connection(stream, &service, &shutdown, read_timeout);
+                        in_flight.fetch_sub(1, Ordering::SeqCst);
+                    });
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    if self.shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    std::thread::sleep(ACCEPT_POLL);
+                }
+                Err(_) => std::thread::sleep(ACCEPT_POLL),
+            }
+        }
+        // Let in-flight request handlers finish writing their responses.
+        let deadline = std::time::Instant::now() + CONNECTION_GRACE;
+        while self.in_flight.load(Ordering::SeqCst) > 0 && std::time::Instant::now() < deadline {
+            std::thread::sleep(ACCEPT_POLL);
+        }
+        self.service.drain();
+    }
+}
+
+fn handle_connection(
+    mut stream: TcpStream,
+    service: &Service,
+    shutdown: &AtomicBool,
+    read_timeout: Duration,
+) {
+    let _ = stream.set_read_timeout(Some(read_timeout));
+    let _ = stream.set_nodelay(true);
+    Metrics::inc(&service.metrics().http_requests);
+    let response = match read_request(&mut stream) {
+        Ok(request) => route(&request, service, shutdown),
+        Err(problem) => problem,
+    };
+    let _ = stream.write_all(response.render().as_bytes());
+    let _ = stream.flush();
+}
+
+struct Request {
+    method: String,
+    /// Path without the query string.
+    path: String,
+    /// Raw query string (no leading `?`), empty if none.
+    query: String,
+    body: String,
+}
+
+/// A response under construction.
+struct Response {
+    status: u16,
+    content_type: &'static str,
+    body: String,
+    retry_after: bool,
+}
+
+impl Response {
+    fn json(status: u16, body: String) -> Self {
+        Self {
+            status,
+            content_type: "application/json",
+            body,
+            retry_after: false,
+        }
+    }
+
+    fn text(status: u16, body: String) -> Self {
+        Self {
+            status,
+            content_type: "text/plain; version=0.0.4",
+            body,
+            retry_after: false,
+        }
+    }
+
+    fn error(status: u16, message: &str) -> Self {
+        Self::json(
+            status,
+            format!("{{\"error\":\"{}\"}}", json::escape(message)),
+        )
+    }
+
+    fn render(&self) -> String {
+        let reason = match self.status {
+            200 => "OK",
+            202 => "Accepted",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            408 => "Request Timeout",
+            409 => "Conflict",
+            413 => "Payload Too Large",
+            429 => "Too Many Requests",
+            503 => "Service Unavailable",
+            _ => "Internal Server Error",
+        };
+        let retry = if self.retry_after {
+            "Retry-After: 1\r\n"
+        } else {
+            ""
+        };
+        format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n{}Connection: close\r\n\r\n{}",
+            self.status,
+            reason,
+            self.content_type,
+            self.body.len(),
+            retry,
+            self.body
+        )
+    }
+}
+
+fn read_request(stream: &mut TcpStream) -> Result<Request, Response> {
+    let mut reader = BufReader::new(stream);
+    let mut head = String::new();
+    // Request line + headers, one line at a time, with a total cap.
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => return Err(Response::error(400, "connection closed mid-request")),
+            Ok(_) => {}
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                return Err(Response::error(408, "timed out reading request"))
+            }
+            Err(_) => return Err(Response::error(400, "malformed request")),
+        }
+        if head.len() + line.len() > MAX_HEAD_BYTES {
+            return Err(Response::error(413, "request head too large"));
+        }
+        let trimmed = line.trim_end_matches(['\r', '\n']);
+        if trimmed.is_empty() && !head.is_empty() {
+            break;
+        }
+        head.push_str(trimmed);
+        head.push('\n');
+    }
+
+    let mut lines = head.lines();
+    let request_line = lines.next().unwrap_or_default();
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or_default().to_string();
+    let target = parts.next().unwrap_or_default();
+    let version = parts.next().unwrap_or_default();
+    if method.is_empty() || target.is_empty() || !version.starts_with("HTTP/1.") {
+        return Err(Response::error(400, "malformed request line"));
+    }
+
+    let mut content_length = 0usize;
+    for header in lines {
+        if let Some((name, value)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| Response::error(400, "bad Content-Length"))?;
+            }
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(Response::error(413, "request body too large"));
+    }
+
+    let mut body_bytes = vec![0u8; content_length];
+    if content_length > 0 {
+        reader.read_exact(&mut body_bytes).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::WouldBlock
+                || e.kind() == std::io::ErrorKind::TimedOut
+            {
+                Response::error(408, "timed out reading request body")
+            } else {
+                Response::error(400, "connection closed mid-body")
+            }
+        })?;
+    }
+    let body = String::from_utf8(body_bytes)
+        .map_err(|_| Response::error(400, "request body is not UTF-8"))?;
+
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (target.to_string(), String::new()),
+    };
+    Ok(Request {
+        method,
+        path,
+        query,
+        body,
+    })
+}
+
+fn route(request: &Request, service: &Service, shutdown: &AtomicBool) -> Response {
+    let segments: Vec<&str> = request.path.split('/').filter(|s| !s.is_empty()).collect();
+    match (request.method.as_str(), segments.as_slice()) {
+        ("GET", ["healthz"]) => Response::json(
+            200,
+            format!(
+                "{{\"status\":\"ok\",\"draining\":{}}}",
+                service.is_draining()
+            ),
+        ),
+        ("GET", ["metrics"]) => Response::text(200, service.metrics().render(&service.gauges())),
+        ("POST", ["runs"]) => post_run(request, service),
+        ("GET", ["runs", id]) => match parse_id(id) {
+            Some(id) => match service.job(id) {
+                Some(job) => Response::json(200, job_json(&job)),
+                None => Response::error(404, "no such job"),
+            },
+            None => Response::error(400, "job id must be an integer"),
+        },
+        ("GET", ["runs", id, "ranks"]) => get_ranks(id, &request.query, service),
+        ("DELETE", ["runs", id]) => match parse_id(id) {
+            Some(id) => match service.cancel(id) {
+                CancelOutcome::Cancelled => {
+                    Response::json(200, format!("{{\"id\":{id},\"state\":\"cancelled\"}}"))
+                }
+                CancelOutcome::NotCancellable(state) => Response::error(
+                    409,
+                    &format!("job is {} and can no longer be cancelled", state.name()),
+                ),
+                CancelOutcome::NotFound => Response::error(404, "no such job"),
+            },
+            None => Response::error(400, "job id must be an integer"),
+        },
+        ("POST", ["shutdown"]) => {
+            shutdown.store(true, Ordering::SeqCst);
+            Response::json(202, "{\"status\":\"draining\"}".to_string())
+        }
+        (_, ["healthz" | "metrics" | "shutdown"]) | (_, ["runs", ..]) => {
+            Response::error(405, "method not allowed for this path")
+        }
+        _ => Response::error(404, "unknown path"),
+    }
+}
+
+fn parse_id(text: &str) -> Option<u64> {
+    text.parse().ok()
+}
+
+fn post_run(request: &Request, service: &Service) -> Response {
+    let body = if request.body.trim().is_empty() {
+        "{}".to_string()
+    } else {
+        request.body.clone()
+    };
+    let parsed = match Json::parse(&body) {
+        Ok(v) => v,
+        Err(e) => return Response::error(400, &format!("invalid JSON: {e}")),
+    };
+    let config = match config_from_json(&parsed) {
+        Ok(c) => c,
+        Err(message) => return Response::error(400, &message),
+    };
+    match service.submit(config) {
+        Ok(receipt) => {
+            let state = if receipt.cached { "done" } else { "queued" };
+            Response::json(
+                202,
+                format!(
+                    "{{\"id\":{},\"state\":\"{}\",\"cached\":{},\"config_hash\":\"{:016x}\"}}",
+                    receipt.id, state, receipt.cached, receipt.config_hash
+                ),
+            )
+        }
+        Err(SubmitError::QueueFull) => {
+            let mut r = Response::error(429, "submission queue is full; retry later");
+            r.retry_after = true;
+            r
+        }
+        Err(SubmitError::Draining) => Response::error(503, "service is draining"),
+        Err(e @ SubmitError::ScaleTooLarge { .. }) => Response::error(400, &e.to_string()),
+    }
+}
+
+fn get_ranks(id: &str, query: &str, service: &Service) -> Response {
+    let Some(id) = parse_id(id) else {
+        return Response::error(400, "job id must be an integer");
+    };
+    let mut top = 10usize;
+    for pair in query.split('&').filter(|p| !p.is_empty()) {
+        match pair.split_once('=') {
+            Some(("top", value)) => match value.parse::<usize>() {
+                Ok(k) if k >= 1 => top = k,
+                _ => return Response::error(400, "top must be a positive integer"),
+            },
+            _ => return Response::error(400, &format!("unknown query parameter {pair:?}")),
+        }
+    }
+    let Some(job) = service.job(id) else {
+        return Response::error(404, "no such job");
+    };
+    let Some(summary) = (match job.state {
+        JobState::Done => job.summary,
+        _ => None,
+    }) else {
+        return Response::error(
+            409,
+            &format!(
+                "job is {}; ranks exist only once it is done",
+                job.state.name()
+            ),
+        );
+    };
+    let entries: Vec<String> = summary
+        .top_k(top)
+        .into_iter()
+        .map(|(vertex, rank)| {
+            // `{rank}` is Rust's shortest round-trip formatting, so parsing
+            // the value back yields the identical f64; `rank_bits` makes
+            // bit-level comparison possible without any parsing at all.
+            format!(
+                "{{\"vertex\":{vertex},\"rank\":{rank},\"rank_bits\":\"{:016x}\"}}",
+                rank.to_bits()
+            )
+        })
+        .collect();
+    Response::json(
+        200,
+        format!(
+            "{{\"id\":{id},\"top\":{top},\"vertices\":{},\"ranks\":[{}]}}",
+            summary.ranks.len(),
+            entries.join(",")
+        ),
+    )
+}
+
+fn job_json(job: &Job) -> String {
+    let mut out = format!(
+        "{{\"id\":{},\"state\":\"{}\",\"cached\":{},\"config_hash\":\"{:016x}\"",
+        job.id,
+        job.state.name(),
+        job.from_cache,
+        job.config_hash
+    );
+    if let JobState::Running(kernel) = job.state {
+        out.push_str(&format!(",\"kernel\":{kernel}"));
+    }
+    if let Some(summary) = &job.summary {
+        out.push_str(&format!(
+            ",\"result\":{},\"total_seconds\":{}",
+            summary.record.to_json(),
+            summary.total_seconds
+        ));
+    }
+    if let Some(error) = &job.error {
+        out.push_str(&format!(",\"error\":\"{}\"", json::escape(error)));
+    }
+    out.push('}');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    use ppbench_core::{PipelineConfig, RunRecord};
+
+    use crate::job::RunSummary;
+
+    fn job(state: JobState) -> Job {
+        let config = PipelineConfig::builder().scale(4).build();
+        let config_hash = config.canonical_hash();
+        Job {
+            id: 7,
+            config,
+            config_hash,
+            state,
+            summary: None,
+            error: None,
+            from_cache: false,
+            submitted_at: Instant::now(),
+        }
+    }
+
+    #[test]
+    fn job_json_reflects_state() {
+        let queued = job_json(&job(JobState::Queued));
+        assert!(queued.contains("\"state\":\"queued\""), "{queued}");
+        let running = job_json(&job(JobState::Running(2)));
+        assert!(running.contains("\"kernel\":2"), "{running}");
+        let mut failed = job(JobState::Failed);
+        failed.error = Some("kernel \"3\" exploded".to_string());
+        let failed_json = job_json(&failed);
+        assert!(
+            failed_json.contains("\\\"3\\\""),
+            "error must be escaped: {failed_json}"
+        );
+    }
+
+    #[test]
+    fn job_json_embeds_the_run_record() {
+        let mut done = job(JobState::Done);
+        done.summary = Some(Arc::new(RunSummary {
+            record: RunRecord {
+                variant: "optimized".to_string(),
+                scale: 4,
+                edges: 64,
+                kernels: [Some((0.5, 128.0)), None, None, None],
+                validation_passed: Some(true),
+            },
+            ranks: vec![0.25; 16],
+            total_seconds: 1.5,
+        }));
+        let text = job_json(&done);
+        assert!(text.contains("\"record\":\"ppbench-run-v1\""), "{text}");
+        assert!(text.contains("\"total_seconds\":1.5"), "{text}");
+        assert!(Json::parse(&text).is_ok(), "job json must parse: {text}");
+    }
+
+    #[test]
+    fn response_render_is_valid_http() {
+        let r = Response::json(200, "{}".to_string());
+        let text = r.render();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("Content-Length: 2\r\n"), "{text}");
+        assert!(text.ends_with("\r\n\r\n{}"), "{text}");
+    }
+
+    #[test]
+    fn retry_after_header_present_on_429() {
+        let mut r = Response::error(429, "full");
+        r.retry_after = true;
+        assert!(r.render().contains("Retry-After: 1\r\n"));
+    }
+}

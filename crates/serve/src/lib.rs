@@ -1,0 +1,43 @@
+//! Benchmark-as-a-service: a long-lived HTTP service over
+//! [`ppbench_core::Pipeline`](ppbench_core).
+//!
+//! The paper frames the pipeline as a batch program; this crate turns it
+//! into infrastructure. A [`Service`] owns a bounded submission queue, a
+//! worker pool executing pipeline runs, and a result cache keyed by the
+//! canonical hash of the configuration (the pipeline is deterministic, so
+//! an identical config needs no re-run). An [`HttpServer`] exposes it
+//! over a hand-rolled HTTP/1.1 API:
+//!
+//! | Route | Meaning |
+//! |---|---|
+//! | `POST /runs` | Submit a config (JSON); 429 when the queue is full |
+//! | `GET /runs/{id}` | Job state, timings, validation outcome |
+//! | `GET /runs/{id}/ranks?top=K` | Top-K PageRank vertices, bit-exact |
+//! | `DELETE /runs/{id}` | Cancel a queued job |
+//! | `GET /healthz` | Liveness and drain state |
+//! | `GET /metrics` | Prometheus text metrics |
+//! | `POST /shutdown` | Graceful drain: finish accepted jobs, then stop |
+//!
+//! Everything is `std`-only: no async runtime, no serde, no HTTP
+//! framework. The `ppserved` binary wires a service to a listener;
+//! `examples/loadgen.rs` exercises one over the wire.
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod client;
+pub mod http;
+pub mod job;
+pub mod json;
+pub mod metrics;
+pub mod request;
+pub mod service;
+
+pub use cache::ResultCache;
+pub use client::{http_request, HttpResponse};
+pub use http::HttpServer;
+pub use job::{Job, JobId, JobState, RunSummary};
+pub use json::Json;
+pub use metrics::{Gauges, Metrics};
+pub use request::config_from_json;
+pub use service::{CancelOutcome, Service, ServiceConfig, SubmitError, SubmitReceipt};

@@ -1,0 +1,277 @@
+//! Translating a `POST /runs` JSON body into a [`PipelineConfig`].
+//!
+//! Unknown fields are rejected (a typoed knob silently falling back to its
+//! default would corrupt a benchmark comparison), and builder invariants
+//! are checked here with proper errors instead of letting the builder
+//! panic inside a worker.
+
+use ppbench_core::{DanglingStrategy, PipelineConfig, ValidationLevel, Variant};
+use ppbench_gen::GeneratorKind;
+use ppbench_sort::SortKey;
+
+use crate::json::Json;
+
+/// Fields `POST /runs` accepts, mirroring `PipelineConfig` one to one.
+pub const ACCEPTED_FIELDS: [&str; 16] = [
+    "add_diagonal_to_empty",
+    "convergence_tolerance",
+    "damping",
+    "dangling",
+    "edge_factor",
+    "generator",
+    "iterations",
+    "num_files",
+    "permute_vertices",
+    "scale",
+    "seed",
+    "shuffle_edges",
+    "sort_key",
+    "sort_memory_budget",
+    "validation",
+    "variant",
+];
+
+/// Builds a [`PipelineConfig`] from a parsed JSON object. Every field is
+/// optional; omitted fields keep the spec defaults. Returns a
+/// human-readable message on the first problem found.
+pub fn config_from_json(body: &Json) -> Result<PipelineConfig, String> {
+    if !matches!(body, Json::Object(_)) {
+        return Err("request body must be a JSON object".to_string());
+    }
+    for key in body.keys() {
+        if !ACCEPTED_FIELDS.contains(&key) {
+            return Err(format!(
+                "unknown field {key:?}; accepted fields: {}",
+                ACCEPTED_FIELDS.join(", ")
+            ));
+        }
+    }
+
+    let u64_field = |name: &str| -> Result<Option<u64>, String> {
+        match body.get(name) {
+            None | Some(Json::Null) => Ok(None),
+            Some(v) => v
+                .as_u64()
+                .map(Some)
+                .ok_or_else(|| format!("{name} must be a non-negative integer")),
+        }
+    };
+    let f64_field = |name: &str| -> Result<Option<f64>, String> {
+        match body.get(name) {
+            None | Some(Json::Null) => Ok(None),
+            Some(v) => v
+                .as_f64()
+                .filter(|f| f.is_finite())
+                .map(Some)
+                .ok_or_else(|| format!("{name} must be a finite number")),
+        }
+    };
+    let bool_field = |name: &str| -> Result<Option<bool>, String> {
+        match body.get(name) {
+            None | Some(Json::Null) => Ok(None),
+            Some(v) => v
+                .as_bool()
+                .map(Some)
+                .ok_or_else(|| format!("{name} must be a boolean")),
+        }
+    };
+    let str_field = |name: &str| -> Result<Option<&str>, String> {
+        match body.get(name) {
+            None | Some(Json::Null) => Ok(None),
+            Some(v) => v
+                .as_str()
+                .map(Some)
+                .ok_or_else(|| format!("{name} must be a string")),
+        }
+    };
+
+    let mut b = PipelineConfig::builder();
+    if let Some(scale) = u64_field("scale")? {
+        if scale > 63 {
+            return Err("scale must be at most 63".to_string());
+        }
+        b = b.scale(scale as u32);
+    }
+    if let Some(k) = u64_field("edge_factor")? {
+        if k == 0 {
+            return Err("edge_factor must be at least 1".to_string());
+        }
+        b = b.edge_factor(k);
+    }
+    if let Some(seed) = u64_field("seed")? {
+        b = b.seed(seed);
+    }
+    if let Some(n) = u64_field("num_files")? {
+        if n == 0 {
+            return Err("num_files must be at least 1".to_string());
+        }
+        b = b.num_files(n as usize);
+    }
+    if let Some(name) = str_field("generator")? {
+        let g = GeneratorKind::parse(name).ok_or_else(|| {
+            format!("unknown generator {name:?} (kronecker, ppl, erdos-renyi, bter)")
+        })?;
+        b = b.generator(g);
+    }
+    if let Some(on) = bool_field("permute_vertices")? {
+        b = b.permute_vertices(on);
+    }
+    if let Some(on) = bool_field("shuffle_edges")? {
+        b = b.shuffle_edges(on);
+    }
+    if let Some(name) = str_field("variant")? {
+        let v = Variant::parse(name).ok_or_else(|| {
+            format!(
+                "unknown variant {name:?} ({})",
+                Variant::ALL.map(|v| v.name()).join(", ")
+            )
+        })?;
+        b = b.variant(v);
+    }
+    if let Some(name) = str_field("sort_key")? {
+        b = b.sort_key(match name {
+            "start" => SortKey::Start,
+            "start-end" => SortKey::StartEnd,
+            other => return Err(format!("unknown sort_key {other:?} (start, start-end)")),
+        });
+    }
+    if let Some(budget) = u64_field("sort_memory_budget")? {
+        b = b.sort_memory_budget(budget as usize);
+    }
+    if let Some(on) = bool_field("add_diagonal_to_empty")? {
+        b = b.add_diagonal_to_empty(on);
+    }
+    if let Some(c) = f64_field("damping")? {
+        if !(c > 0.0 && c < 1.0) {
+            return Err("damping must lie strictly between 0 and 1".to_string());
+        }
+        b = b.damping(c);
+    }
+    if let Some(n) = u64_field("iterations")? {
+        if n == 0 || n > u32::MAX as u64 {
+            return Err("iterations must be between 1 and 2^32-1".to_string());
+        }
+        b = b.iterations(n as u32);
+    }
+    if let Some(name) = str_field("dangling")? {
+        let d = DanglingStrategy::parse(name).ok_or_else(|| {
+            format!("unknown dangling strategy {name:?} (omit, redistribute, sink)")
+        })?;
+        b = b.dangling(d);
+    }
+    if let Some(tol) = f64_field("convergence_tolerance")? {
+        if tol <= 0.0 {
+            return Err("convergence_tolerance must be positive".to_string());
+        }
+        b = b.convergence_tolerance(tol);
+    }
+    if let Some(name) = str_field("validation")? {
+        b = b.validation(match name {
+            "none" => ValidationLevel::None,
+            "invariants" => ValidationLevel::Invariants,
+            "eigen" | "eigenvector" => ValidationLevel::Eigenvector,
+            other => {
+                return Err(format!(
+                    "unknown validation level {other:?} (none, invariants, eigen)"
+                ))
+            }
+        });
+    }
+    Ok(b.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(body: &str) -> Result<PipelineConfig, String> {
+        config_from_json(&Json::parse(body).expect("test body is valid JSON"))
+    }
+
+    #[test]
+    fn empty_object_gives_spec_defaults() {
+        let cfg = parse("{}").unwrap();
+        assert_eq!(cfg.spec.scale(), 16);
+        assert_eq!(cfg.damping, 0.85);
+        assert_eq!(cfg.iterations, 20);
+    }
+
+    #[test]
+    fn all_fields_apply() {
+        let cfg = parse(
+            r#"{
+                "scale": 10, "edge_factor": 8, "seed": 42, "num_files": 2,
+                "generator": "ppl", "permute_vertices": false,
+                "shuffle_edges": true, "variant": "naive",
+                "sort_key": "start-end", "sort_memory_budget": 5000,
+                "add_diagonal_to_empty": true, "damping": 0.9,
+                "iterations": 5, "dangling": "sink",
+                "convergence_tolerance": 1e-9, "validation": "eigen"
+            }"#,
+        )
+        .unwrap();
+        assert_eq!(cfg.spec.scale(), 10);
+        assert_eq!(cfg.spec.edge_factor(), 8);
+        assert_eq!(cfg.seed, 42);
+        assert_eq!(cfg.num_files, 2);
+        assert_eq!(cfg.generator, GeneratorKind::PerfectPowerLaw);
+        assert!(!cfg.permute_vertices);
+        assert!(cfg.shuffle_edges);
+        assert_eq!(cfg.variant, Variant::Naive);
+        assert_eq!(cfg.sort_key, SortKey::StartEnd);
+        assert_eq!(cfg.sort_memory_budget, Some(5000));
+        assert!(cfg.add_diagonal_to_empty);
+        assert_eq!(cfg.damping, 0.9);
+        assert_eq!(cfg.iterations, 5);
+        assert_eq!(cfg.dangling, DanglingStrategy::Sink);
+        assert_eq!(cfg.convergence_tolerance, Some(1e-9));
+        assert_eq!(cfg.validation, ValidationLevel::Eigenvector);
+    }
+
+    #[test]
+    fn unknown_field_is_rejected_with_the_field_list() {
+        let err = parse(r#"{"scal": 10}"#).unwrap_err();
+        assert!(err.contains("scal"), "{err}");
+        assert!(err.contains("scale"), "{err}");
+    }
+
+    #[test]
+    fn wrong_types_are_rejected() {
+        assert!(parse(r#"{"scale": "big"}"#).is_err());
+        assert!(parse(r#"{"scale": -1}"#).is_err());
+        assert!(parse(r#"{"damping": "0.9"}"#).is_err());
+        assert!(parse(r#"{"permute_vertices": 1}"#).is_err());
+        assert!(parse("[1,2]").is_err());
+    }
+
+    #[test]
+    fn builder_invariants_become_errors_not_panics() {
+        assert!(parse(r#"{"damping": 1.0}"#)
+            .unwrap_err()
+            .contains("damping"));
+        assert!(parse(r#"{"damping": 0.0}"#).is_err());
+        assert!(parse(r#"{"iterations": 0}"#).is_err());
+        assert!(parse(r#"{"num_files": 0}"#).is_err());
+        assert!(parse(r#"{"edge_factor": 0}"#).is_err());
+        assert!(parse(r#"{"scale": 64}"#).is_err());
+        assert!(parse(r#"{"convergence_tolerance": -1.0}"#).is_err());
+    }
+
+    #[test]
+    fn enum_names_match_the_cli() {
+        assert!(parse(r#"{"variant": "fast"}"#)
+            .unwrap_err()
+            .contains("optimized"));
+        assert!(parse(r#"{"generator": "r-mat"}"#).is_err());
+        assert!(parse(r#"{"dangling": "drop"}"#).is_err());
+        assert!(parse(r#"{"sort_key": "end"}"#).is_err());
+        assert!(parse(r#"{"validation": "full"}"#).is_err());
+    }
+
+    #[test]
+    fn field_order_does_not_change_the_config_hash() {
+        let a = parse(r#"{"scale": 9, "seed": 7, "variant": "naive"}"#).unwrap();
+        let b = parse(r#"{"variant": "naive", "seed": 7, "scale": 9}"#).unwrap();
+        assert_eq!(a.canonical_hash(), b.canonical_hash());
+    }
+}

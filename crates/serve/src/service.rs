@@ -1,0 +1,520 @@
+//! The benchmark service: bounded submission queue, worker pool, result
+//! cache, and job registry behind one mutex + two condvars.
+//!
+//! Locking discipline: the mutex guards only bookkeeping (queue, job map,
+//! cache). Pipeline runs — the expensive part — happen outside the lock;
+//! workers reacquire it only to publish state transitions. `work_available`
+//! wakes idle workers, `job_changed` wakes anyone waiting on a job (the
+//! drain path and the test helpers).
+
+use std::collections::{HashMap, VecDeque};
+use std::path::PathBuf;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use ppbench_core::{KernelTiming, Pipeline, PipelineConfig, PipelineObserver, RunRecord};
+
+use crate::cache::ResultCache;
+use crate::job::{Job, JobId, JobState, RunSummary};
+use crate::metrics::{Gauges, Metrics};
+
+/// Tunables for a [`Service`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Worker threads executing pipeline runs.
+    pub workers: usize,
+    /// Maximum queued (not yet running) jobs before submissions are
+    /// rejected with [`SubmitError::QueueFull`].
+    pub queue_depth: usize,
+    /// Result-cache byte budget.
+    pub cache_bytes: usize,
+    /// Largest accepted scale factor; protects the host from a request
+    /// for 2^40 vertices.
+    pub max_scale: u32,
+    /// Directory under which per-job working directories are created.
+    pub work_root: PathBuf,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            workers: 2,
+            queue_depth: 64,
+            cache_bytes: 64 << 20,
+            max_scale: 22,
+            work_root: std::env::temp_dir().join("ppbench-serve"),
+        }
+    }
+}
+
+/// Why a submission was not accepted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The queue is at `queue_depth`; retry later (HTTP 429).
+    QueueFull,
+    /// The service is draining and accepts no new work (HTTP 503).
+    Draining,
+    /// The requested scale exceeds `max_scale` (HTTP 400).
+    ScaleTooLarge {
+        /// Scale the client asked for.
+        requested: u32,
+        /// The service's limit.
+        limit: u32,
+    },
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::QueueFull => write!(f, "submission queue is full"),
+            SubmitError::Draining => write!(f, "service is draining"),
+            SubmitError::ScaleTooLarge { requested, limit } => {
+                write!(
+                    f,
+                    "scale {requested} exceeds this server's limit of {limit}"
+                )
+            }
+        }
+    }
+}
+
+/// Outcome of a cancel request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CancelOutcome {
+    /// The job was queued and is now cancelled.
+    Cancelled,
+    /// The job is running or already terminal; nothing changed.
+    NotCancellable(JobState),
+    /// No such job.
+    NotFound,
+}
+
+/// What `submit` returns: the job id plus whether the result came straight
+/// from the cache (in which case the job is already `Done`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SubmitReceipt {
+    /// Assigned job id.
+    pub id: JobId,
+    /// Canonical hash of the submitted config.
+    pub config_hash: u64,
+    /// True when the job was satisfied from the result cache.
+    pub cached: bool,
+}
+
+struct State {
+    jobs: HashMap<JobId, Job>,
+    queue: VecDeque<JobId>,
+    cache: ResultCache,
+    next_id: JobId,
+    draining: bool,
+    shutdown: bool,
+    running: usize,
+}
+
+struct Inner {
+    state: Mutex<State>,
+    work_available: Condvar,
+    job_changed: Condvar,
+    metrics: Metrics,
+    cfg: ServiceConfig,
+}
+
+/// The benchmark service. Dropping it (or calling [`Service::drain`])
+/// finishes all accepted work and stops the workers.
+pub struct Service {
+    inner: Arc<Inner>,
+    // Behind a mutex so `drain` works through `&self` (the HTTP layer
+    // shares the service via `Arc`).
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Service {
+    /// Starts the worker pool.
+    pub fn start(cfg: ServiceConfig) -> Self {
+        let inner = Arc::new(Inner {
+            state: Mutex::new(State {
+                jobs: HashMap::new(),
+                queue: VecDeque::new(),
+                cache: ResultCache::new(cfg.cache_bytes),
+                next_id: 1,
+                draining: false,
+                shutdown: false,
+                running: 0,
+            }),
+            work_available: Condvar::new(),
+            job_changed: Condvar::new(),
+            metrics: Metrics::default(),
+            cfg,
+        });
+        let workers = (0..inner.cfg.workers.max(1))
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("ppbench-worker-{i}"))
+                    .spawn(move || worker_loop(&inner))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        Self {
+            inner,
+            workers: Mutex::new(workers),
+        }
+    }
+
+    /// The service configuration.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.inner.cfg
+    }
+
+    /// The metrics registry (shared with the HTTP layer).
+    pub fn metrics(&self) -> &Metrics {
+        &self.inner.metrics
+    }
+
+    /// Submits a configuration. On a cache hit the returned job is already
+    /// `Done`; otherwise it is `Queued` and a worker will pick it up.
+    pub fn submit(&self, config: PipelineConfig) -> Result<SubmitReceipt, SubmitError> {
+        let hash = config.canonical_hash();
+        let mut state = self.inner.state.lock().unwrap();
+        if state.draining || state.shutdown {
+            return Err(SubmitError::Draining);
+        }
+        let scale = config.spec.scale();
+        if scale > self.inner.cfg.max_scale {
+            return Err(SubmitError::ScaleTooLarge {
+                requested: scale,
+                limit: self.inner.cfg.max_scale,
+            });
+        }
+        if let Some(summary) = state.cache.get(hash) {
+            Metrics::inc(&self.inner.metrics.cache_hits);
+            Metrics::inc(&self.inner.metrics.jobs_submitted);
+            Metrics::inc(&self.inner.metrics.jobs_done);
+            let id = state.next_id;
+            state.next_id += 1;
+            state.jobs.insert(
+                id,
+                Job {
+                    id,
+                    config,
+                    config_hash: hash,
+                    state: JobState::Done,
+                    summary: Some(summary),
+                    error: None,
+                    from_cache: true,
+                    submitted_at: Instant::now(),
+                },
+            );
+            return Ok(SubmitReceipt {
+                id,
+                config_hash: hash,
+                cached: true,
+            });
+        }
+        Metrics::inc(&self.inner.metrics.cache_misses);
+        if state.queue.len() >= self.inner.cfg.queue_depth {
+            Metrics::inc(&self.inner.metrics.rejected_queue_full);
+            return Err(SubmitError::QueueFull);
+        }
+        Metrics::inc(&self.inner.metrics.jobs_submitted);
+        let id = state.next_id;
+        state.next_id += 1;
+        state.jobs.insert(
+            id,
+            Job {
+                id,
+                config,
+                config_hash: hash,
+                state: JobState::Queued,
+                summary: None,
+                error: None,
+                from_cache: false,
+                submitted_at: Instant::now(),
+            },
+        );
+        state.queue.push_back(id);
+        drop(state);
+        self.inner.work_available.notify_one();
+        Ok(SubmitReceipt {
+            id,
+            config_hash: hash,
+            cached: false,
+        })
+    }
+
+    /// A point-in-time copy of the job, for rendering.
+    pub fn job(&self, id: JobId) -> Option<Job> {
+        self.inner.state.lock().unwrap().jobs.get(&id).cloned()
+    }
+
+    /// Cancels a queued job.
+    pub fn cancel(&self, id: JobId) -> CancelOutcome {
+        let mut state = self.inner.state.lock().unwrap();
+        let Some(job) = state.jobs.get_mut(&id) else {
+            return CancelOutcome::NotFound;
+        };
+        match job.state {
+            JobState::Queued => {
+                job.state = JobState::Cancelled;
+                state.queue.retain(|&qid| qid != id);
+                Metrics::inc(&self.inner.metrics.jobs_cancelled);
+                drop(state);
+                self.inner.job_changed.notify_all();
+                CancelOutcome::Cancelled
+            }
+            other => CancelOutcome::NotCancellable(other),
+        }
+    }
+
+    /// Blocks until job `id` reaches a terminal state, up to `timeout`.
+    /// Returns the final job, or `None` on timeout / unknown id.
+    pub fn wait(&self, id: JobId, timeout: Duration) -> Option<Job> {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.inner.state.lock().unwrap();
+        loop {
+            match state.jobs.get(&id) {
+                None => return None,
+                Some(job) if job.state.is_terminal() => return Some(job.clone()),
+                Some(_) => {}
+            }
+            let left = deadline.checked_duration_since(Instant::now())?;
+            let (next, timed_out) = self.inner.job_changed.wait_timeout(state, left).unwrap();
+            state = next;
+            if timed_out.timed_out() {
+                let job = state.jobs.get(&id)?;
+                return job.state.is_terminal().then(|| job.clone());
+            }
+        }
+    }
+
+    /// Current gauge values (brief lock).
+    pub fn gauges(&self) -> Gauges {
+        let state = self.inner.state.lock().unwrap();
+        Gauges {
+            jobs_queued: state.queue.len() as u64,
+            jobs_running: state.running as u64,
+            queue_depth: state.queue.len() as u64,
+            cache_bytes: state.cache.used_bytes() as u64,
+            cache_entries: state.cache.len() as u64,
+        }
+    }
+
+    /// Whether the service is draining (rejecting new submissions).
+    pub fn is_draining(&self) -> bool {
+        let state = self.inner.state.lock().unwrap();
+        state.draining || state.shutdown
+    }
+
+    /// Stops accepting submissions, waits for every queued and running job
+    /// to finish, then stops the workers. Idempotent; called by `Drop`.
+    pub fn drain(&self) {
+        {
+            let mut state = self.inner.state.lock().unwrap();
+            state.draining = true;
+            while !state.queue.is_empty() || state.running > 0 {
+                state = self.inner.job_changed.wait(state).unwrap();
+            }
+            state.shutdown = true;
+        }
+        self.inner.work_available.notify_all();
+        for handle in self.workers.lock().unwrap().drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        self.drain();
+    }
+}
+
+/// Observer that publishes kernel progress onto the job record and feeds
+/// the latency histograms.
+struct JobObserver<'a> {
+    inner: &'a Inner,
+    id: JobId,
+}
+
+impl PipelineObserver for JobObserver<'_> {
+    fn kernel_started(&self, kernel: u8) {
+        let mut state = self.inner.state.lock().unwrap();
+        if let Some(job) = state.jobs.get_mut(&self.id) {
+            job.state = JobState::Running(kernel);
+        }
+    }
+
+    fn kernel_finished(&self, kernel: u8, timing: &KernelTiming) {
+        self.inner.metrics.kernel_seconds[usize::from(kernel.min(3))].observe(timing.seconds);
+    }
+}
+
+fn worker_loop(inner: &Inner) {
+    loop {
+        let (id, config) = {
+            let mut state = inner.state.lock().unwrap();
+            loop {
+                if state.shutdown {
+                    return;
+                }
+                if let Some(id) = state.queue.pop_front() {
+                    state.running += 1;
+                    let job = state.jobs.get_mut(&id).expect("queued job exists");
+                    job.state = JobState::Running(0);
+                    break (id, job.config.clone());
+                }
+                state = inner.work_available.wait(state).unwrap();
+            }
+        };
+
+        let started = Instant::now();
+        let work_dir = inner.cfg.work_root.join(format!("job-{id}"));
+        let pipeline = Pipeline::new(config, &work_dir);
+        let observer = JobObserver { inner, id };
+        let outcome = pipeline.run_with_observer(&observer);
+        let _ = std::fs::remove_dir_all(&work_dir);
+
+        let mut state = inner.state.lock().unwrap();
+        state.running -= 1;
+        match outcome {
+            Ok(result) => {
+                let record = RunRecord::from_result(&result);
+                let ranks = result.kernel3.map(|k| k.ranks).unwrap_or_default();
+                let summary = Arc::new(RunSummary {
+                    record,
+                    ranks,
+                    total_seconds: started.elapsed().as_secs_f64(),
+                });
+                if let Some(job) = state.jobs.get_mut(&id) {
+                    let hash = job.config_hash;
+                    job.state = JobState::Done;
+                    job.summary = Some(Arc::clone(&summary));
+                    state.cache.insert(hash, summary);
+                }
+                Metrics::inc(&inner.metrics.jobs_done);
+            }
+            Err(err) => {
+                if let Some(job) = state.jobs.get_mut(&id) {
+                    job.state = JobState::Failed;
+                    job.error = Some(err.to_string());
+                }
+                Metrics::inc(&inner.metrics.jobs_failed);
+            }
+        }
+        drop(state);
+        inner.job_changed.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config(seed: u64) -> PipelineConfig {
+        PipelineConfig::builder()
+            .scale(6)
+            .edge_factor(4)
+            .seed(seed)
+            .build()
+    }
+
+    fn test_service(workers: usize, queue_depth: usize) -> Service {
+        Service::start(ServiceConfig {
+            workers,
+            queue_depth,
+            cache_bytes: 1 << 20,
+            max_scale: 10,
+            work_root: std::env::temp_dir().join(format!(
+                "ppbench-serve-test-{}-{:?}",
+                std::process::id(),
+                std::thread::current().id()
+            )),
+        })
+    }
+
+    #[test]
+    fn submit_run_and_fetch() {
+        let service = test_service(1, 8);
+        let receipt = service.submit(tiny_config(1)).unwrap();
+        assert!(!receipt.cached);
+        let job = service
+            .wait(receipt.id, Duration::from_secs(30))
+            .expect("job finishes");
+        assert_eq!(job.state, JobState::Done);
+        let summary = job.summary.expect("done job has a summary");
+        assert_eq!(summary.ranks.len(), 64);
+        assert!(summary.record.kernels.iter().all(Option::is_some));
+    }
+
+    #[test]
+    fn duplicate_config_hits_the_cache() {
+        let service = test_service(1, 8);
+        let first = service.submit(tiny_config(2)).unwrap();
+        service
+            .wait(first.id, Duration::from_secs(30))
+            .expect("first run finishes");
+        let second = service.submit(tiny_config(2)).unwrap();
+        assert!(second.cached, "identical config must be a cache hit");
+        let job = service.job(second.id).unwrap();
+        assert_eq!(job.state, JobState::Done);
+        let a = service.job(first.id).unwrap().summary.unwrap();
+        let b = job.summary.unwrap();
+        assert_eq!(a.ranks.len(), b.ranks.len());
+        assert!(
+            a.ranks
+                .iter()
+                .zip(&b.ranks)
+                .all(|(x, y)| x.to_bits() == y.to_bits()),
+            "cached ranks must be bit-identical"
+        );
+    }
+
+    #[test]
+    fn queue_overflow_is_rejected() {
+        // Zero-depth queue: no submission can wait, so the first
+        // non-cached submission after the workers are busy is rejected.
+        let service = test_service(1, 0);
+        assert_eq!(service.submit(tiny_config(3)), Err(SubmitError::QueueFull));
+    }
+
+    #[test]
+    fn oversized_scale_is_rejected() {
+        let service = test_service(1, 8);
+        let cfg = PipelineConfig::builder().scale(11).build();
+        assert_eq!(
+            service.submit(cfg),
+            Err(SubmitError::ScaleTooLarge {
+                requested: 11,
+                limit: 10
+            })
+        );
+    }
+
+    #[test]
+    fn cancel_only_affects_queued_jobs() {
+        let service = test_service(1, 8);
+        assert_eq!(service.cancel(999), CancelOutcome::NotFound);
+        let receipt = service.submit(tiny_config(4)).unwrap();
+        let done = service.wait(receipt.id, Duration::from_secs(30)).unwrap();
+        assert_eq!(done.state, JobState::Done);
+        assert_eq!(
+            service.cancel(receipt.id),
+            CancelOutcome::NotCancellable(JobState::Done)
+        );
+    }
+
+    #[test]
+    fn drain_finishes_accepted_work_then_rejects() {
+        let service = test_service(2, 8);
+        let ids: Vec<JobId> = (0..4)
+            .map(|seed| service.submit(tiny_config(100 + seed)).unwrap().id)
+            .collect();
+        service.drain();
+        for id in ids {
+            let job = service.job(id).expect("job retained after drain");
+            assert_eq!(job.state, JobState::Done, "drain completes accepted jobs");
+        }
+        assert_eq!(service.submit(tiny_config(5)), Err(SubmitError::Draining));
+    }
+}

@@ -1,0 +1,292 @@
+//! Std-only stand-in for the subset of the `criterion` API this workspace
+//! uses (see `shims/` in the repository root for why these shims exist).
+//!
+//! The statistical machinery of real criterion is out of scope; this shim
+//! keeps the *harness contract*: `criterion_group!`/`criterion_main!`
+//! produce a `main` that runs every registered benchmark, `--test` mode
+//! (what CI invokes via `cargo bench -- --test`) executes each routine
+//! exactly once as a smoke test, and normal mode runs a short timed loop
+//! and prints mean time per iteration plus throughput when configured.
+//! Substring filters on the command line select benchmarks, as in real
+//! criterion.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How batched inputs are grouped; the shim runs one input per iteration
+/// regardless, so the variants only exist for API compatibility.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One batch per iteration.
+    PerIteration,
+}
+
+/// Work-per-iteration declaration used to report rates.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Iteration processes this many items.
+    Elements(u64),
+    /// Iteration processes this many bytes.
+    Bytes(u64),
+}
+
+/// A benchmark's identifier: function name plus optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Identifier `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        Self {
+            label: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Identifier from the parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        Self {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self {
+            label: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(label: String) -> Self {
+        Self { label }
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    test_mode: bool,
+    filters: Vec<String>,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let test_mode = args.iter().any(|a| a == "--test");
+        let filters = args.into_iter().filter(|a| !a.starts_with("--")).collect();
+        Self {
+            test_mode,
+            filters,
+            measurement_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let label = id.label.clone();
+        run_one(self, &label, None, f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and throughput setting.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the per-iteration work for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Accepted for API compatibility; the shim's sample count is its
+    /// timed-loop iteration count, derived from `measurement_time`.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Caps the timed-loop duration in normal mode.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        // The shim aims for quick feedback: honor the requested budget but
+        // never spend more than a second per benchmark.
+        self.criterion.measurement_time = d.min(Duration::from_secs(1));
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into().label);
+        let throughput = self.throughput;
+        run_one(self.criterion, &label, throughput, f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+fn run_one<F>(criterion: &Criterion, label: &str, throughput: Option<Throughput>, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    if !criterion.filters.is_empty()
+        && !criterion.filters.iter().any(|w| label.contains(w.as_str()))
+    {
+        return;
+    }
+    let mut bencher = Bencher {
+        test_mode: criterion.test_mode,
+        budget: criterion.measurement_time,
+        iterations: 0,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut bencher);
+    if bencher.iterations == 0 {
+        println!("bench {label:<48} (no measurement)");
+        return;
+    }
+    let per_iter = bencher.elapsed.as_secs_f64() / bencher.iterations as f64;
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => format!("  {:>12.0} elem/s", n as f64 / per_iter),
+        Some(Throughput::Bytes(n)) => format!("  {:>12.0} B/s", n as f64 / per_iter),
+        None => String::new(),
+    };
+    println!(
+        "bench {label:<48} {:>12.3} ms/iter ({} iters){rate}",
+        per_iter * 1e3,
+        bencher.iterations
+    );
+}
+
+/// Timing context handed to each benchmark closure.
+pub struct Bencher {
+    test_mode: bool,
+    budget: Duration,
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, once in `--test` mode, else in a loop bounded by
+    /// the measurement budget.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        loop {
+            black_box(routine());
+            self.iterations += 1;
+            self.elapsed = start.elapsed();
+            if self.test_mode || self.elapsed >= self.budget {
+                break;
+            }
+        }
+    }
+
+    /// Times `routine` on inputs built by `setup`; setup time is excluded
+    /// from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        loop {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.elapsed += start.elapsed();
+            self.iterations += 1;
+            if self.test_mode || self.elapsed >= self.budget {
+                break;
+            }
+        }
+    }
+}
+
+/// Bundles benchmark functions into a group runner, as in real criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_mode_runs_routine_once() {
+        let mut b = Bencher {
+            test_mode: true,
+            budget: Duration::from_secs(10),
+            iterations: 0,
+            elapsed: Duration::ZERO,
+        };
+        let mut runs = 0;
+        b.iter(|| runs += 1);
+        assert_eq!(runs, 1);
+        assert_eq!(b.iterations, 1);
+    }
+
+    #[test]
+    fn normal_mode_loops_until_budget() {
+        let mut b = Bencher {
+            test_mode: false,
+            budget: Duration::from_millis(10),
+            iterations: 0,
+            elapsed: Duration::ZERO,
+        };
+        b.iter(|| std::hint::black_box(1 + 1));
+        assert!(b.iterations > 1);
+    }
+
+    #[test]
+    fn benchmark_ids_compose() {
+        assert_eq!(BenchmarkId::new("sort", 512).label, "sort/512");
+        assert_eq!(BenchmarkId::from_parameter("naive").label, "naive");
+    }
+}

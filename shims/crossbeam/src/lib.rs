@@ -1,0 +1,52 @@
+//! Std-only stand-in for the subset of the `crossbeam` API this workspace
+//! uses: a bounded MPSC channel (see `shims/` in the repository root for
+//! why these shims exist).
+//!
+//! `crossbeam::channel::bounded` maps directly onto
+//! `std::sync::mpsc::sync_channel`: both block the sender when the buffer
+//! is full, and dropping the sender closes the channel so the receiver's
+//! iterator terminates. The workspace only ever moves one `Sender` into
+//! one producer thread, so std's single-producer restriction is invisible
+//! here (real crossbeam senders are clonable; this shim's are too, since
+//! `SyncSender` is `Clone`).
+
+pub mod channel {
+    //! Bounded channel shim mirroring `crossbeam::channel`.
+
+    pub use std::sync::mpsc::{Receiver, SendError};
+
+    /// Sending half of a bounded channel.
+    pub type Sender<T> = std::sync::mpsc::SyncSender<T>;
+
+    /// Creates a channel that buffers at most `cap` messages; sends block
+    /// once the buffer is full (`cap == 0` is a rendezvous channel, as in
+    /// crossbeam).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::sync_channel(cap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel;
+
+    #[test]
+    fn bounded_channel_round_trips_and_closes() {
+        let (tx, rx) = channel::bounded::<u32>(2);
+        let producer = std::thread::spawn(move || {
+            for i in 0..100 {
+                tx.send(i).unwrap();
+            }
+        });
+        let got: Vec<u32> = rx.into_iter().collect();
+        producer.join().unwrap();
+        assert_eq!(got, (0..100).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn send_fails_after_receiver_drops() {
+        let (tx, rx) = channel::bounded::<u32>(1);
+        drop(rx);
+        assert!(tx.send(1).is_err());
+    }
+}

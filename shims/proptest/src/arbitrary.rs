@@ -1,0 +1,77 @@
+//! `any::<T>()` — full-range strategies for primitive types.
+
+use std::marker::PhantomData;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Types with a canonical full-range strategy.
+pub trait Arbitrary: Sized {
+    /// Draws an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($ty:ty),*) => {$(
+        impl Arbitrary for $ty {
+            fn arbitrary(rng: &mut TestRng) -> $ty {
+                rng.next_u64() as $ty
+            }
+        }
+    )*};
+}
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // Finite values only, spread over a broad magnitude range.
+        rng.unit_f64() * 2e9 - 1e9
+    }
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Full-range strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn any_covers_small_types_quickly() {
+        let mut rng = TestRng::from_name("any-tests");
+        let mut seen_true = false;
+        let mut seen_false = false;
+        let mut bytes = std::collections::HashSet::new();
+        for _ in 0..2000 {
+            match bool::arbitrary(&mut rng) {
+                true => seen_true = true,
+                false => seen_false = true,
+            }
+            bytes.insert(u8::arbitrary(&mut rng));
+        }
+        assert!(seen_true && seen_false);
+        assert!(bytes.len() > 200, "u8 should cover most values");
+        let v = any::<u64>().sample(&mut rng);
+        let w = any::<u64>().sample(&mut rng);
+        assert_ne!(v, w, "consecutive draws almost surely differ");
+    }
+}

@@ -1,0 +1,91 @@
+//! Collection strategies: `vec(element, size)`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Length specification for [`vec`]: an exact length or a half-open /
+/// inclusive range, mirroring proptest's `SizeRange` conversions.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    lo: usize,
+    /// Exclusive.
+    hi: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        Self { lo: n, hi: n + 1 }
+    }
+}
+
+impl From<std::ops::Range<usize>> for SizeRange {
+    fn from(r: std::ops::Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty vec length range");
+        Self {
+            lo: r.start,
+            hi: r.end,
+        }
+    }
+}
+
+impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+        Self {
+            lo: *r.start(),
+            hi: *r.end() + 1,
+        }
+    }
+}
+
+/// Strategy returned by [`vec`].
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = (self.size.hi - self.size.lo) as u64;
+        let len = self.size.lo
+            + if span > 1 {
+                rng.below(span) as usize
+            } else {
+                0
+            };
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+/// Vectors of `element`-generated values with a length drawn from `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lengths_follow_the_size_spec() {
+        let mut rng = TestRng::from_name("collection-tests");
+        for _ in 0..200 {
+            assert_eq!(vec(0u64..5, 7).sample(&mut rng).len(), 7);
+            let l = vec(0u64..5, 2..6).sample(&mut rng).len();
+            assert!((2..6).contains(&l));
+            let m = vec(0u64..5, 0..=3).sample(&mut rng).len();
+            assert!(m <= 3);
+        }
+    }
+
+    #[test]
+    fn elements_come_from_the_element_strategy() {
+        let mut rng = TestRng::from_name("collection-tests-2");
+        let v = vec(10u64..20, 64).sample(&mut rng);
+        assert!(v.iter().all(|&x| (10..20).contains(&x)));
+    }
+}

@@ -1,0 +1,189 @@
+//! Std-only stand-in for the subset of the `proptest` API this workspace
+//! uses (see `shims/` in the repository root for why these shims exist).
+//!
+//! Covered surface:
+//!
+//! * the [`proptest!`] macro with `#![proptest_config(...)]`, `pat in
+//!   strategy` parameters (including `mut` bindings) and `name: type`
+//!   sugar for [`any`],
+//! * [`Strategy`] with `prop_map`, implemented for integer and float
+//!   ranges (half-open and inclusive), 2/3-tuples, and [`collection::vec`],
+//! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assert_ne!`],
+//!   [`prop_assume!`].
+//!
+//! Differences from real proptest, deliberate for a test shim: cases are
+//! drawn from a fixed per-test deterministic RNG (seeded from the test
+//! name), there is no shrinking — a failing case panics with the values
+//! still derivable from the seed — and assertion macros panic directly
+//! instead of routing a `TestCaseError::Fail` through the runner.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub use arbitrary::any;
+pub use strategy::Strategy;
+pub use test_runner::{ProptestConfig, TestCaseError, TestRunner};
+
+/// What proptest's prelude exports, restricted to what the workspace
+/// needs.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Defines property tests: each `fn name(params) { body }` becomes a
+/// `#[test]` that samples its parameters from the given strategies for the
+/// configured number of cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { @cfg($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! { @cfg($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]: expands one test fn at a time.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    (@cfg($cfg:expr)) => {};
+    (@cfg($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($params:tt)*) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let mut __runner =
+                $crate::test_runner::TestRunner::new($cfg, stringify!($name));
+            __runner.run(
+                |__rng: &mut $crate::test_runner::TestRng|
+                 -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                    $crate::__proptest_bind!(__rng; $($params)*);
+                    $body
+                    ::std::result::Result::Ok(())
+                },
+            );
+        }
+        $crate::__proptest_tests! { @cfg($cfg) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]: binds one parameter at a time.
+/// `name: type` arms must precede `pat in expr` arms so the `:` form is
+/// tried first; a `pat` fragment would otherwise consume the name and then
+/// fail on the `:`.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:expr;) => {};
+    ($rng:expr; $bind:ident : $ty:ty, $($rest:tt)*) => {
+        let $bind = $crate::strategy::Strategy::sample(&$crate::arbitrary::any::<$ty>(), $rng);
+        $crate::__proptest_bind!($rng; $($rest)*);
+    };
+    ($rng:expr; $bind:ident : $ty:ty) => {
+        let $bind = $crate::strategy::Strategy::sample(&$crate::arbitrary::any::<$ty>(), $rng);
+    };
+    ($rng:expr; mut $bind:ident : $ty:ty, $($rest:tt)*) => {
+        let mut $bind = $crate::strategy::Strategy::sample(&$crate::arbitrary::any::<$ty>(), $rng);
+        $crate::__proptest_bind!($rng; $($rest)*);
+    };
+    ($rng:expr; mut $bind:ident : $ty:ty) => {
+        let mut $bind = $crate::strategy::Strategy::sample(&$crate::arbitrary::any::<$ty>(), $rng);
+    };
+    ($rng:expr; $bind:pat in $strategy:expr, $($rest:tt)*) => {
+        let $bind = $crate::strategy::Strategy::sample(&($strategy), $rng);
+        $crate::__proptest_bind!($rng; $($rest)*);
+    };
+    ($rng:expr; $bind:pat in $strategy:expr) => {
+        let $bind = $crate::strategy::Strategy::sample(&($strategy), $rng);
+    };
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Skips the current case when the assumption does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRunner;
+
+    fn arb_pair() -> impl Strategy<Value = (u64, u64)> {
+        (0u64..100, 0u64..100)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 5u64..10, y in -2.0f64..2.0) {
+            prop_assert!((5..10).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&y));
+        }
+
+        #[test]
+        fn any_sugar_and_mut_bindings(seed: u64, mut v in crate::collection::vec(any::<i32>(), 0..20)) {
+            let _ = seed;
+            v.sort_unstable();
+            prop_assert!(v.windows(2).all(|w| w[0] <= w[1]));
+        }
+
+        #[test]
+        fn prop_map_and_tuples(p in arb_pair().prop_map(|(a, b)| (a.min(b), a.max(b)))) {
+            prop_assert!(p.0 <= p.1);
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(n in 0u64..100) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+
+        #[test]
+        fn inclusive_ranges_cover_the_top(b in 1u64..=u64::MAX, f in 0.0f64..=1.0) {
+            prop_assert!(b >= 1);
+            prop_assert!((0.0..=1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn vec_exact_length() {
+        let mut runner = TestRunner::new(ProptestConfig::with_cases(8), "vec_exact");
+        runner.run(|rng| {
+            let v = crate::collection::vec(0.0f64..1.0, 8).sample(rng);
+            assert_eq!(v.len(), 8);
+            Ok(())
+        });
+    }
+}

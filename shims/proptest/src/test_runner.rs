@@ -1,0 +1,146 @@
+//! Deterministic case runner for the proptest shim.
+
+/// How many cases each property test runs.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of accepted (non-rejected) cases to execute.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// Why a single case did not count as a pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` failed; the case is skipped, not failed.
+    Reject,
+}
+
+/// SplitMix64 RNG used to sample strategies; deterministic per test name,
+/// so failures reproduce run to run.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub(crate) fn from_name(name: &str) -> Self {
+        // FNV-1a over the test name gives each test its own stream.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        Self { state: h }
+    }
+
+    /// Next raw 64-bit value (SplitMix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be nonzero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        // Modulo bias is ≤ bound/2^64 — irrelevant for test sampling.
+        self.next_u64() % bound
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Runs a property test's cases.
+#[derive(Debug)]
+pub struct TestRunner {
+    config: ProptestConfig,
+    rng: TestRng,
+    name: &'static str,
+}
+
+impl TestRunner {
+    /// Creates a runner for the named test.
+    pub fn new(config: ProptestConfig, name: &'static str) -> Self {
+        Self {
+            config,
+            rng: TestRng::from_name(name),
+            name,
+        }
+    }
+
+    /// Executes cases until `config.cases` have been accepted. Rejections
+    /// (`prop_assume!`) retry with fresh inputs; failures panic out of the
+    /// closure. Panics if rejections outnumber acceptances 20:1, like
+    /// proptest's "too many global rejects".
+    pub fn run<F>(&mut self, mut case: F)
+    where
+        F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+    {
+        let target = self.config.cases;
+        let max_attempts = (target as u64).saturating_mul(20).max(20);
+        let mut accepted = 0u32;
+        let mut attempts = 0u64;
+        while accepted < target {
+            if attempts >= max_attempts {
+                panic!(
+                    "property test {}: too many rejected cases ({} attempts, {} accepted)",
+                    self.name, attempts, accepted
+                );
+            }
+            attempts += 1;
+            match case(&mut self.rng) {
+                Ok(()) => accepted += 1,
+                Err(TestCaseError::Reject) => {}
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic_per_name() {
+        let mut a = TestRng::from_name("t");
+        let mut b = TestRng::from_name("t");
+        let mut c = TestRng::from_name("u");
+        assert_eq!(a.next_u64(), b.next_u64());
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    #[should_panic(expected = "too many rejected")]
+    fn all_rejects_eventually_panic() {
+        let mut runner = TestRunner::new(ProptestConfig::with_cases(4), "rejects");
+        runner.run(|_| Err(TestCaseError::Reject));
+    }
+
+    #[test]
+    fn runs_the_configured_case_count() {
+        let mut runner = TestRunner::new(ProptestConfig::with_cases(17), "count");
+        let mut n = 0;
+        runner.run(|_| {
+            n += 1;
+            Ok(())
+        });
+        assert_eq!(n, 17);
+    }
+}

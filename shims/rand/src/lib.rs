@@ -1,0 +1,107 @@
+//! Std-only stand-in for the subset of the `rand` API this workspace uses
+//! (see `shims/` in the repository root for why these shims exist).
+//!
+//! The workspace uses `rand` in exactly one place: a distribution-level
+//! cross-check that compares `ppbench-prng`'s uniform doubles against an
+//! *independent* generator. This shim's [`rngs::StdRng`] is a SplitMix64 —
+//! a different algorithm family from the xoshiro/PCG generators under
+//! test — so the cross-check still compares two unrelated streams.
+
+/// Generators seedable from a `u64`.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Core 64-bit generation.
+pub trait RngCore {
+    /// Next raw 64-bit value.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Types samplable uniformly from an RNG's raw output.
+pub trait Standard: Sized {
+    /// Draws one value.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+        // 53 mantissa bits → uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+/// Convenience sampling methods, mirroring `rand::RngExt`.
+pub trait RngExt: RngCore {
+    /// Draws a value of any [`Standard`]-samplable type.
+    fn random<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> RngExt for R {}
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The shim's standard generator: SplitMix64.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            Self { state: seed }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn uniform_doubles_have_sane_moments() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 100_000;
+        let (mut mean, mut sq) = (0.0, 0.0);
+        for _ in 0..n {
+            let x: f64 = rng.random();
+            assert!((0.0..1.0).contains(&x));
+            mean += x;
+            sq += x * x;
+        }
+        let mean = mean / n as f64;
+        let var = sq / n as f64 - mean * mean;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+        assert!((var - 1.0 / 12.0).abs() < 0.01, "variance {var}");
+    }
+
+    #[test]
+    fn seeding_is_deterministic() {
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = StdRng::seed_from_u64(9);
+        let (x, y): (f64, f64) = (a.random(), b.random());
+        assert_eq!(x, y);
+    }
+}

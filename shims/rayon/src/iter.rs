@@ -1,0 +1,115 @@
+//! Parallel-iterator shim: an eager item list with rayon's method names.
+//!
+//! Unlike real rayon — which builds a lazy splittable computation — the
+//! shim materializes the item list up front and executes each adaptor
+//! eagerly on scoped threads. Every call site in this workspace is a
+//! single `map`/`flat_map_iter` stage followed by `collect`, so eager
+//! execution performs the same work with the same output order.
+
+use crate::par_map;
+
+/// A materialized parallel iterator over `T`.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+/// Marker-and-methods trait mirroring `rayon::iter::ParallelIterator`.
+///
+/// The shim's adaptors are inherent methods on [`ParIter`]; this trait
+/// exists so `use rayon::prelude::*` keeps importing a name of that
+/// spelling (and so generic bounds like `I: ParallelIterator` still
+/// compile if a future caller writes them).
+pub trait ParallelIterator {
+    /// Item type.
+    type Item;
+}
+
+impl<T> ParallelIterator for ParIter<T> {
+    type Item = T;
+}
+
+impl<T: Send> ParIter<T> {
+    /// Parallel map, order preserving.
+    pub fn map<U, F>(self, f: F) -> ParIter<U>
+    where
+        U: Send,
+        F: Fn(T) -> U + Sync,
+    {
+        ParIter {
+            items: par_map(self.items, f),
+        }
+    }
+
+    /// Maps each item to a serial iterator and concatenates the results in
+    /// input order (the iterators themselves run on the worker threads).
+    pub fn flat_map_iter<U, I, F>(self, f: F) -> ParIter<U>
+    where
+        U: Send,
+        I: IntoIterator<Item = U>,
+        F: Fn(T) -> I + Sync,
+    {
+        let nested = par_map(self.items, |item| f(item).into_iter().collect::<Vec<U>>());
+        ParIter {
+            items: nested.into_iter().flatten().collect(),
+        }
+    }
+
+    /// Collects the items (already in input order).
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+}
+
+/// Conversion into a parallel iterator by value.
+pub trait IntoParallelIterator {
+    /// Item type produced.
+    type Item: Send;
+    /// Converts `self`.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+macro_rules! range_into_par_iter {
+    ($($ty:ty),*) => {$(
+        impl IntoParallelIterator for std::ops::Range<$ty> {
+            type Item = $ty;
+            fn into_par_iter(self) -> ParIter<$ty> {
+                ParIter { items: self.collect() }
+            }
+        }
+    )*};
+}
+range_into_par_iter!(u32, u64, usize, i32, i64);
+
+/// Conversion into a parallel iterator over references, mirroring
+/// `rayon::iter::IntoParallelRefIterator`.
+pub trait IntoParallelRefIterator<'a> {
+    /// Reference item type.
+    type Item: Send + 'a;
+    /// Borrows `self` as a parallel iterator.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! Std-only stand-in for the subset of the `rayon` API this workspace
+//! uses.
+//!
+//! The build environment is offline — no crates.io registry — so the
+//! workspace vendors minimal shims for its few third-party dependencies
+//! (see `shims/` in the repository root). This one covers:
+//!
+//! * [`iter::IntoParallelIterator::into_par_iter`] on integer ranges and
+//!   vectors,
+//! * [`iter::IntoParallelRefIterator::par_iter`] on slices and vectors,
+//! * [`iter::ParIter::map`] / [`iter::ParIter::flat_map_iter`] /
+//!   [`iter::ParIter::collect`],
+//! * [`slice::ParallelSliceMut::par_sort_unstable_by_key`].
+//!
+//! Map stages genuinely run in parallel on scoped `std::thread`s (one
+//! contiguous chunk per available core, results concatenated in order, so
+//! output ordering is identical to the sequential path). The parallel sort
+//! currently delegates to `sort_unstable_by_key` — same pdqsort the real
+//! rayon runs per fragment — which keeps results deterministic; a merging
+//! parallel sort is a contained future optimization.
+
+pub mod iter;
+pub mod slice;
+
+/// What rayon's prelude exports, restricted to what the workspace needs.
+pub mod prelude {
+    pub use crate::iter::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
+    pub use crate::slice::ParallelSliceMut;
+}
+
+/// Worker count for parallel stages: the number of available cores.
+pub(crate) fn threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Applies `f` to every item on scoped threads, one contiguous chunk per
+/// worker, preserving input order in the output.
+pub(crate) fn par_map<T, U, F>(items: Vec<T>, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    let n = items.len();
+    let workers = threads().min(n);
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk = n.div_ceil(workers);
+    let mut batches: Vec<Vec<T>> = Vec::with_capacity(workers);
+    let mut items = items.into_iter();
+    loop {
+        let batch: Vec<T> = items.by_ref().take(chunk).collect();
+        if batch.is_empty() {
+            break;
+        }
+        batches.push(batch);
+    }
+    let f = &f;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = batches
+            .into_iter()
+            .map(|batch| scope.spawn(move || batch.into_iter().map(f).collect::<Vec<U>>()))
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("rayon-shim worker panicked"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn into_par_iter_map_preserves_order() {
+        let out: Vec<u64> = (0u64..10_000).into_par_iter().map(|x| x * 2).collect();
+        let expected: Vec<u64> = (0..10_000).map(|x| x * 2).collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn par_iter_flat_map_iter_matches_sequential() {
+        let chunks: Vec<(u64, u64)> = vec![(0, 3), (3, 7), (7, 8)];
+        let out: Vec<u64> = chunks
+            .par_iter()
+            .flat_map_iter(|&(lo, hi)| lo..hi)
+            .collect();
+        assert_eq!(out, (0..8).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn par_sort_unstable_by_key_sorts() {
+        let mut v: Vec<u64> = (0..5000).map(|i| (i * 7919) % 5000).collect();
+        v.par_sort_unstable_by_key(|&x| x);
+        assert!(v.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn empty_inputs_work() {
+        let out: Vec<u64> = Vec::<u64>::new().into_par_iter().map(|x| x).collect();
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,25 @@
+//! Slice extension shim mirroring `rayon::slice::ParallelSliceMut`.
+
+/// Parallel sorting methods on mutable slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Sorts by the key extracted by `f`.
+    ///
+    /// Delegates to `sort_unstable_by_key` (the same pdqsort real rayon
+    /// runs on each fragment), so the result is deterministic and matches
+    /// the sequential sorters bit for bit. A merging multi-threaded
+    /// implementation is a contained future optimization.
+    fn par_sort_unstable_by_key<K, F>(&mut self, f: F)
+    where
+        K: Ord,
+        F: Fn(&T) -> K + Sync;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_sort_unstable_by_key<K, F>(&mut self, f: F)
+    where
+        K: Ord,
+        F: Fn(&T) -> K + Sync,
+    {
+        self.sort_unstable_by_key(f);
+    }
+}

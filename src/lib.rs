@@ -24,6 +24,7 @@
 //! * [`sparse`] — sparse matrices, GraphBLAS-style ops, the eigensolver
 //! * [`core`] — the four kernels, pipeline backends, timing and validation
 //! * [`dist`] — simulated distributed-memory execution with communication accounting
+//! * [`serve`] — benchmark-as-a-service: job queue, result cache, HTTP API
 //!
 //! # Quickstart
 //!
@@ -49,5 +50,6 @@ pub use ppbench_frame as frame;
 pub use ppbench_gen as gen;
 pub use ppbench_io as io;
 pub use ppbench_prng as prng;
+pub use ppbench_serve as serve;
 pub use ppbench_sort as sort;
 pub use ppbench_sparse as sparse;

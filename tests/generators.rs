@@ -67,7 +67,10 @@ fn custom_probabilities_flow_through_the_validator() {
     assert!(right.passed(), "{}", right.detail());
     let wrong =
         validate::check_kronecker_marginals(&spec, &KroneckerProbs::default(), &edges, 0.02);
-    assert!(!wrong.passed(), "default probs should not match a custom graph");
+    assert!(
+        !wrong.passed(),
+        "default probs should not match a custom graph"
+    );
 }
 
 #[test]
