@@ -22,6 +22,8 @@ OPTIONS:
     --queue-depth <N>      Max queued jobs before 429 [default: 64]
     --cache-bytes <N>      Result-cache byte budget [default: 67108864]
     --max-scale <N>        Largest accepted scale factor [default: 22]
+    --max-jobs <N>         Finished job records retained before the oldest
+                           are evicted [default: 1024]
     --work-root <DIR>      Scratch directory for kernel files
                            [default: <tmp>/ppbench-serve]
     -h, --help             Show this help
@@ -47,6 +49,7 @@ fn main() -> ExitCode {
             "--queue-depth" => parse_into(value("--queue-depth"), &mut cfg.queue_depth),
             "--cache-bytes" => parse_into(value("--cache-bytes"), &mut cfg.cache_bytes),
             "--max-scale" => parse_into(value("--max-scale"), &mut cfg.max_scale),
+            "--max-jobs" => parse_into(value("--max-jobs"), &mut cfg.max_terminal_jobs),
             "--work-root" => value("--work-root").map(|v| cfg.work_root = PathBuf::from(v)),
             other => Err(format!("unknown flag {other:?} (try --help)")),
         };

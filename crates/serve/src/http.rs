@@ -22,6 +22,9 @@ use crate::service::{CancelOutcome, Service, SubmitError};
 const MAX_HEAD_BYTES: usize = 16 * 1024;
 /// Maximum request-body bytes (a config object is well under 1 KB).
 const MAX_BODY_BYTES: usize = 64 * 1024;
+/// Maximum concurrent connection-handler threads; further connections
+/// are answered 503 immediately instead of spawning unboundedly.
+const MAX_CONNECTIONS: usize = 64;
 /// How long the accept loop sleeps between polls.
 const ACCEPT_POLL: Duration = Duration::from_millis(20);
 /// How long the drain path waits for in-flight connections.
@@ -67,15 +70,21 @@ impl HttpServer {
     pub fn run(self) {
         loop {
             match self.listener.accept() {
-                Ok((stream, _peer)) => {
+                Ok((mut stream, _peer)) => {
+                    if self.in_flight.load(Ordering::SeqCst) >= MAX_CONNECTIONS {
+                        let busy = Response::error(503, "too many connections; retry later");
+                        let _ = stream.write_all(busy.render().as_bytes());
+                        continue;
+                    }
                     let service = Arc::clone(&self.service);
                     let shutdown = Arc::clone(&self.shutdown);
-                    let in_flight = Arc::clone(&self.in_flight);
                     let read_timeout = self.read_timeout;
-                    in_flight.fetch_add(1, Ordering::SeqCst);
+                    // The guard decrements even if the handler panics, so
+                    // the drain path never waits on a ghost connection.
+                    let guard = InFlightGuard::enter(&self.in_flight);
                     std::thread::spawn(move || {
+                        let _guard = guard;
                         handle_connection(stream, &service, &shutdown, read_timeout);
-                        in_flight.fetch_sub(1, Ordering::SeqCst);
                     });
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
@@ -93,6 +102,22 @@ impl HttpServer {
             std::thread::sleep(ACCEPT_POLL);
         }
         self.service.drain();
+    }
+}
+
+/// RAII decrement of the in-flight connection count.
+struct InFlightGuard(Arc<AtomicUsize>);
+
+impl InFlightGuard {
+    fn enter(counter: &Arc<AtomicUsize>) -> Self {
+        counter.fetch_add(1, Ordering::SeqCst);
+        Self(Arc::clone(counter))
+    }
+}
+
+impl Drop for InFlightGuard {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
     }
 }
 
@@ -190,25 +215,16 @@ impl Response {
 fn read_request(stream: &mut TcpStream) -> Result<Request, Response> {
     let mut reader = BufReader::new(stream);
     let mut head = String::new();
-    // Request line + headers, one line at a time, with a total cap.
-    let mut line = String::new();
+    // Request line + headers, one line at a time, with a total cap
+    // enforced *while* reading — an endless line without a newline is
+    // rejected once it exceeds the remaining budget, not buffered.
+    let mut line = Vec::new();
     loop {
         line.clear();
-        match reader.read_line(&mut line) {
-            Ok(0) => return Err(Response::error(400, "connection closed mid-request")),
-            Ok(_) => {}
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut =>
-            {
-                return Err(Response::error(408, "timed out reading request"))
-            }
-            Err(_) => return Err(Response::error(400, "malformed request")),
-        }
-        if head.len() + line.len() > MAX_HEAD_BYTES {
-            return Err(Response::error(413, "request head too large"));
-        }
-        let trimmed = line.trim_end_matches(['\r', '\n']);
+        read_head_line(&mut reader, MAX_HEAD_BYTES - head.len(), &mut line)?;
+        let text = std::str::from_utf8(&line)
+            .map_err(|_| Response::error(400, "request head is not UTF-8"))?;
+        let trimmed = text.trim_end_matches(['\r', '\n']);
         if trimmed.is_empty() && !head.is_empty() {
             break;
         }
@@ -266,6 +282,42 @@ fn read_request(stream: &mut TcpStream) -> Result<Request, Response> {
         query,
         body,
     })
+}
+
+/// Reads one `\n`-terminated line into `line`, buffering at most `budget`
+/// bytes: a line whose newline has not arrived by then is rejected with
+/// 413 instead of accumulating unboundedly.
+fn read_head_line(
+    reader: &mut BufReader<&mut TcpStream>,
+    budget: usize,
+    line: &mut Vec<u8>,
+) -> Result<(), Response> {
+    loop {
+        let available = match reader.fill_buf() {
+            Ok(buf) => buf,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                return Err(Response::error(408, "timed out reading request"))
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => return Err(Response::error(400, "malformed request")),
+        };
+        if available.is_empty() {
+            return Err(Response::error(400, "connection closed mid-request"));
+        }
+        let newline = available.iter().position(|&b| b == b'\n');
+        let take = newline.map_or(available.len(), |i| i + 1);
+        if line.len() + take > budget {
+            return Err(Response::error(413, "request head too large"));
+        }
+        line.extend_from_slice(&available[..take]);
+        reader.consume(take);
+        if newline.is_some() {
+            return Ok(());
+        }
+    }
 }
 
 fn route(request: &Request, service: &Service, shutdown: &AtomicBool) -> Response {

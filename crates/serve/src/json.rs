@@ -16,7 +16,11 @@ pub enum Json {
     Null,
     /// `true` / `false`
     Bool(bool),
-    /// Any number (JSON does not distinguish int from float).
+    /// A non-negative integer written without a fraction or exponent,
+    /// kept lossless so values above 2^53 (e.g. 64-bit seeds) survive
+    /// parsing exactly.
+    Uint(u64),
+    /// Any other number (fractions, exponents, negatives).
     Number(f64),
     /// String.
     String(String),
@@ -51,11 +55,13 @@ impl Json {
     }
 
     /// The value as a `u64` if it is a non-negative integral number.
+    /// Float-syntax integers above 2^53 are rejected rather than silently
+    /// rounded to the nearest representable f64.
     pub fn as_u64(&self) -> Option<u64> {
+        const MAX_EXACT: f64 = 9_007_199_254_740_992.0; // 2^53
         match self {
-            Json::Number(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
-                Some(*n as u64)
-            }
+            Json::Uint(n) => Some(*n),
+            Json::Number(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= MAX_EXACT => Some(*n as u64),
             _ => None,
         }
     }
@@ -63,6 +69,7 @@ impl Json {
     /// The value as an `f64` number.
     pub fn as_f64(&self) -> Option<f64> {
         match self {
+            Json::Uint(n) => Some(*n as f64),
             Json::Number(n) => Some(*n),
             _ => None,
         }
@@ -283,6 +290,13 @@ impl Parser<'_> {
             self.pos += 1;
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii digits");
+        // Plain non-negative integers stay lossless; everything else
+        // (fractions, exponents, negatives, > u64::MAX) becomes f64.
+        if !text.contains(['.', 'e', 'E', '-']) {
+            if let Ok(n) = text.parse::<u64>() {
+                return Ok(Json::Uint(n));
+            }
+        }
         text.parse::<f64>()
             .map(Json::Number)
             .map_err(|_| self.err("malformed number"))
@@ -317,7 +331,7 @@ mod tests {
         assert_eq!(
             v.get("a"),
             Some(&Json::Array(vec![
-                Json::Number(1.0),
+                Json::Uint(1),
                 Json::Number(2.5),
                 Json::Number(-300.0),
             ]))
@@ -360,6 +374,24 @@ mod tests {
         assert_eq!(Json::parse("-7").unwrap().as_u64(), None);
         assert_eq!(Json::parse("7.5").unwrap().as_u64(), None);
         assert_eq!(Json::parse("7.5").unwrap().as_f64(), Some(7.5));
+        assert_eq!(Json::parse("7").unwrap().as_f64(), Some(7.0));
+        // Integer-valued float syntax still converts while exact.
+        assert_eq!(Json::parse("1e2").unwrap().as_u64(), Some(100));
+    }
+
+    #[test]
+    fn integers_above_2_pow_53_are_lossless() {
+        // 2^53 + 1 rounds to 2^53 as f64; the parser must not go through
+        // f64 for plain integers.
+        let v = Json::parse("9007199254740993").unwrap();
+        assert_eq!(v, Json::Uint(9_007_199_254_740_993));
+        assert_eq!(v.as_u64(), Some(9_007_199_254_740_993));
+        let max = u64::MAX.to_string();
+        assert_eq!(Json::parse(&max).unwrap().as_u64(), Some(u64::MAX));
+        // Beyond u64 the value cannot be exact; as_u64 must refuse rather
+        // than saturate, and so must float-syntax integers above 2^53.
+        assert_eq!(Json::parse("18446744073709551616").unwrap().as_u64(), None);
+        assert_eq!(Json::parse("1e16").unwrap().as_u64(), None);
     }
 
     #[test]

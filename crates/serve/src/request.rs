@@ -86,17 +86,31 @@ pub fn config_from_json(body: &Json) -> Result<PipelineConfig, String> {
     };
 
     let mut b = PipelineConfig::builder();
-    if let Some(scale) = u64_field("scale")? {
-        if scale > 63 {
-            return Err("scale must be at most 63".to_string());
+    let scale = u64_field("scale")?;
+    if let Some(scale) = scale {
+        // GraphSpec::new panics for scale >= 58 (generator index
+        // arithmetic); mirror its limit here as a proper error.
+        if scale > 57 {
+            return Err("scale must be at most 57".to_string());
         }
         b = b.scale(scale as u32);
     }
-    if let Some(k) = u64_field("edge_factor")? {
+    let edge_factor = u64_field("edge_factor")?;
+    if let Some(k) = edge_factor {
         if k == 0 {
             return Err("edge_factor must be at least 1".to_string());
         }
         b = b.edge_factor(k);
+    }
+    // The combination must also be representable: GraphSpec::new panics
+    // when 2^scale * edge_factor overflows u64. Omitted fields take the
+    // builder defaults (scale 16, edge factor 16).
+    let eff_scale = scale.unwrap_or(16) as u32;
+    let eff_factor = edge_factor.unwrap_or(ppbench_gen::DEFAULT_EDGE_FACTOR);
+    if (1u64 << eff_scale).checked_mul(eff_factor).is_none() {
+        return Err(format!(
+            "2^{eff_scale} vertices x edge_factor {eff_factor} overflows the edge count"
+        ));
     }
     if let Some(seed) = u64_field("seed")? {
         b = b.seed(seed);
@@ -253,8 +267,36 @@ mod tests {
         assert!(parse(r#"{"iterations": 0}"#).is_err());
         assert!(parse(r#"{"num_files": 0}"#).is_err());
         assert!(parse(r#"{"edge_factor": 0}"#).is_err());
-        assert!(parse(r#"{"scale": 64}"#).is_err());
         assert!(parse(r#"{"convergence_tolerance": -1.0}"#).is_err());
+    }
+
+    #[test]
+    fn generator_limits_become_errors_not_panics() {
+        // GraphSpec::new panics for scale >= 58 and for edge counts that
+        // overflow u64; both must surface as 400-able errors here.
+        assert!(parse(r#"{"scale": 58}"#).unwrap_err().contains("57"));
+        assert!(parse(r#"{"scale": 60}"#).is_err());
+        assert!(parse(r#"{"scale": 64}"#).is_err());
+        assert!(parse(r#"{"edge_factor": 1000000000000000000}"#)
+            .unwrap_err()
+            .contains("overflows"));
+        // Each factor in range, product overflows: 2^57 * 1024 > 2^64.
+        assert!(parse(r#"{"scale": 57, "edge_factor": 1024}"#)
+            .unwrap_err()
+            .contains("overflows"));
+        // The documented maximum itself is accepted.
+        let cfg = parse(r#"{"scale": 57, "edge_factor": 2}"#).unwrap();
+        assert_eq!(cfg.spec.scale(), 57);
+    }
+
+    #[test]
+    fn large_seeds_survive_json_parsing_exactly() {
+        // 2^53 + 1 is not representable as f64; the parser must keep
+        // integral values lossless so the run uses the exact seed.
+        let cfg = parse(r#"{"scale": 10, "seed": 9007199254740993}"#).unwrap();
+        assert_eq!(cfg.seed, 9_007_199_254_740_993);
+        let cfg = parse(&format!("{{\"seed\": {}}}", u64::MAX)).unwrap();
+        assert_eq!(cfg.seed, u64::MAX);
     }
 
     #[test]

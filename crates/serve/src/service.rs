@@ -32,6 +32,11 @@ pub struct ServiceConfig {
     /// Largest accepted scale factor; protects the host from a request
     /// for 2^40 vertices.
     pub max_scale: u32,
+    /// Maximum terminal (done / failed / cancelled) job records retained;
+    /// the oldest are evicted first, so a long-running service does not
+    /// grow its job registry (and the rank vectors pinned by `Done`
+    /// records) without bound. Values below 1 are treated as 1.
+    pub max_terminal_jobs: usize,
     /// Directory under which per-job working directories are created.
     pub work_root: PathBuf,
 }
@@ -43,6 +48,7 @@ impl Default for ServiceConfig {
             queue_depth: 64,
             cache_bytes: 64 << 20,
             max_scale: 22,
+            max_terminal_jobs: 1024,
             work_root: std::env::temp_dir().join("ppbench-serve"),
         }
     }
@@ -105,11 +111,27 @@ pub struct SubmitReceipt {
 struct State {
     jobs: HashMap<JobId, Job>,
     queue: VecDeque<JobId>,
+    /// Terminal job ids in completion order; the pruning window.
+    terminal_order: VecDeque<JobId>,
     cache: ResultCache,
     next_id: JobId,
     draining: bool,
     shutdown: bool,
     running: usize,
+}
+
+impl State {
+    /// Records that job `id` reached a terminal state and evicts the
+    /// oldest terminal records beyond `cap`. Jobs in the queue or running
+    /// are never evicted — only finished history is.
+    fn retire(&mut self, id: JobId, cap: usize) {
+        self.terminal_order.push_back(id);
+        while self.terminal_order.len() > cap.max(1) {
+            if let Some(old) = self.terminal_order.pop_front() {
+                self.jobs.remove(&old);
+            }
+        }
+    }
 }
 
 struct Inner {
@@ -136,6 +158,7 @@ impl Service {
             state: Mutex::new(State {
                 jobs: HashMap::new(),
                 queue: VecDeque::new(),
+                terminal_order: VecDeque::new(),
                 cache: ResultCache::new(cfg.cache_bytes),
                 next_id: 1,
                 draining: false,
@@ -206,6 +229,7 @@ impl Service {
                     submitted_at: Instant::now(),
                 },
             );
+            state.retire(id, self.inner.cfg.max_terminal_jobs);
             return Ok(SubmitReceipt {
                 id,
                 config_hash: hash,
@@ -258,6 +282,7 @@ impl Service {
             JobState::Queued => {
                 job.state = JobState::Cancelled;
                 state.queue.retain(|&qid| qid != id);
+                state.retire(id, self.inner.cfg.max_terminal_jobs);
                 Metrics::inc(&self.inner.metrics.jobs_cancelled);
                 drop(state);
                 self.inner.job_changed.notify_all();
@@ -372,7 +397,23 @@ fn worker_loop(inner: &Inner) {
         let work_dir = inner.cfg.work_root.join(format!("job-{id}"));
         let pipeline = Pipeline::new(config, &work_dir);
         let observer = JobObserver { inner, id };
-        let outcome = pipeline.run_with_observer(&observer);
+        // A panicking kernel must not unwind past this point: the
+        // `running` counter would never be decremented and `drain` (hence
+        // `Drop`) would block forever. Catch it and fail the job instead.
+        let outcome = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pipeline.run_with_observer(&observer)
+        })) {
+            Ok(Ok(result)) => Ok(result),
+            Ok(Err(e)) => Err(e.to_string()),
+            Err(payload) => {
+                let msg = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "unknown panic".to_string());
+                Err(format!("pipeline panicked: {msg}"))
+            }
+        };
         let _ = std::fs::remove_dir_all(&work_dir);
 
         let mut state = inner.state.lock().unwrap();
@@ -392,13 +433,15 @@ fn worker_loop(inner: &Inner) {
                     job.summary = Some(Arc::clone(&summary));
                     state.cache.insert(hash, summary);
                 }
+                state.retire(id, inner.cfg.max_terminal_jobs);
                 Metrics::inc(&inner.metrics.jobs_done);
             }
             Err(err) => {
                 if let Some(job) = state.jobs.get_mut(&id) {
                     job.state = JobState::Failed;
-                    job.error = Some(err.to_string());
+                    job.error = Some(err);
                 }
+                state.retire(id, inner.cfg.max_terminal_jobs);
                 Metrics::inc(&inner.metrics.jobs_failed);
             }
         }
@@ -425,6 +468,7 @@ mod tests {
             queue_depth,
             cache_bytes: 1 << 20,
             max_scale: 10,
+            max_terminal_jobs: 64,
             work_root: std::env::temp_dir().join(format!(
                 "ppbench-serve-test-{}-{:?}",
                 std::process::id(),
@@ -502,6 +546,37 @@ mod tests {
             service.cancel(receipt.id),
             CancelOutcome::NotCancellable(JobState::Done)
         );
+    }
+
+    #[test]
+    fn terminal_jobs_are_pruned_beyond_the_cap() {
+        let service = Service::start(ServiceConfig {
+            workers: 1,
+            queue_depth: 8,
+            cache_bytes: 1 << 20,
+            max_scale: 10,
+            max_terminal_jobs: 2,
+            work_root: std::env::temp_dir()
+                .join(format!("ppbench-serve-prune-{}", std::process::id())),
+        });
+        let ids: Vec<JobId> = (0..4)
+            .map(|seed| {
+                let receipt = service.submit(tiny_config(200 + seed)).unwrap();
+                service
+                    .wait(receipt.id, Duration::from_secs(30))
+                    .expect("job finishes");
+                receipt.id
+            })
+            .collect();
+        assert!(service.job(ids[0]).is_none(), "oldest record evicted");
+        assert!(service.job(ids[1]).is_none());
+        assert_eq!(service.job(ids[2]).unwrap().state, JobState::Done);
+        assert_eq!(service.job(ids[3]).unwrap().state, JobState::Done);
+        // Cache-hit submissions are terminal immediately and count too.
+        let hit = service.submit(tiny_config(203)).unwrap();
+        assert!(hit.cached);
+        assert!(service.job(ids[2]).is_none(), "window advanced past it");
+        assert!(service.job(hit.id).is_some());
     }
 
     #[test]

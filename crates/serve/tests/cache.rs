@@ -117,6 +117,7 @@ fn cache_hit_returns_bit_identical_ranks_through_the_service() {
         queue_depth: 4,
         cache_bytes: 4 << 20,
         max_scale: 10,
+        max_terminal_jobs: 64,
         work_root: std::env::temp_dir().join(format!("ppbench-cache-e2e-{}", std::process::id())),
     });
     let config = || {

@@ -21,6 +21,7 @@ impl TestServer {
             queue_depth,
             cache_bytes: 16 << 20,
             max_scale: 10,
+            max_terminal_jobs: 256,
             work_root: std::env::temp_dir().join(format!(
                 "ppbench-serve-e2e-{}-{:?}",
                 std::process::id(),
@@ -265,6 +266,63 @@ fn bad_requests_get_400s_not_500s() {
     assert_eq!(status, 405);
     let (status, _) = server.get("/runs/1/ranks?top=0");
     assert_eq!(status, 400);
+}
+
+#[test]
+fn generator_limit_violations_get_400_not_a_dropped_connection() {
+    // These configs would panic GraphSpec::new if they reached the
+    // builder; the server must answer 400 and stay healthy.
+    let server = TestServer::start(1, 4);
+    for body in [
+        r#"{"scale": 60}"#,
+        r#"{"edge_factor": 1000000000000000000}"#,
+        r#"{"scale": 57, "edge_factor": 1024}"#,
+    ] {
+        let (status, reply) = server.post("/runs", body);
+        assert_eq!(status, 400, "{body} -> {reply}");
+    }
+    let (status, _) = server.get("/healthz");
+    assert_eq!(status, 200, "server must survive hostile configs");
+}
+
+#[test]
+fn endless_header_line_is_rejected_not_buffered() {
+    use std::io::{Read, Write};
+    let server = TestServer::start(1, 4);
+    let mut stream = std::net::TcpStream::connect(server.addr).expect("connect");
+    stream
+        .write_all(b"GET /healthz HTTP/1.1\r\nX-Junk: ")
+        .expect("head");
+    // Stream far more than the 16 KiB head budget with no newline; the
+    // server must answer 413 mid-line instead of buffering forever.
+    let chunk = [b'a'; 4096];
+    let mut rejected = false;
+    for _ in 0..32 {
+        if stream.write_all(&chunk).is_err() {
+            // The server already responded and closed; that's a pass too.
+            rejected = true;
+            break;
+        }
+    }
+    let mut reply = Vec::new();
+    let mut buf = [0u8; 1024];
+    loop {
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => reply.extend_from_slice(&buf[..n]),
+            // A reset is the server slamming the door on our junk: fine.
+            Err(_) => break,
+        }
+    }
+    let reply = String::from_utf8_lossy(&reply);
+    if !rejected && !reply.is_empty() {
+        assert!(
+            reply.starts_with("HTTP/1.1 413"),
+            "expected 413, not a timeout or buffered read: {reply}"
+        );
+    }
+    let (status, _) = server.get("/healthz");
+    assert_eq!(status, 200, "server must keep serving afterwards");
 }
 
 #[test]
