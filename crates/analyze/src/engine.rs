@@ -1,0 +1,102 @@
+//! The rule engine: runs every rule over a set of source files, applies
+//! waivers, aggregates the workspace-wide lock graph, and returns the
+//! surviving diagnostics sorted by position.
+
+use crate::diag::Diagnostic;
+use crate::rules::{self, locks};
+use crate::source::SourceFile;
+use crate::waiver;
+
+/// Analyzes `files` (already classified and lexed) and returns the
+/// diagnostics that survive waivers, sorted by path, line, column.
+pub fn analyze(files: &[SourceFile]) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let mut edges = Vec::new();
+    let mut waivers = Vec::new();
+
+    for file in files {
+        if !file.is_production() {
+            continue;
+        }
+        waivers.extend(waiver::scan(file, rules::ALL_RULES, &mut diags));
+        rules::panics::check(file, &mut diags);
+        rules::determinism::check(file, &mut diags);
+        rules::hygiene::check(file, &mut diags);
+        locks::check(file, &mut edges, &mut diags);
+    }
+    diags.extend(locks::cycles(&edges));
+
+    let mut diags = waiver::apply(diags, &waivers);
+    diags.sort_by(|a, b| (&a.path, a.line, a.col, a.rule).cmp(&(&b.path, b.line, b.col, b.rule)));
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::{FileKind, SourceFile};
+    use std::path::PathBuf;
+
+    fn lib_file(path: &str, crate_name: &str, src: &str) -> SourceFile {
+        SourceFile::new(
+            PathBuf::from(path),
+            src.to_string(),
+            crate_name.into(),
+            FileKind::Lib,
+        )
+    }
+
+    #[test]
+    fn test_like_files_are_skipped_entirely() {
+        let f = SourceFile::new(
+            PathBuf::from("crates/x/tests/t.rs"),
+            "fn f() { x.unwrap(); panic!(); }".into(),
+            "ppbench-core".into(),
+            FileKind::TestLike,
+        );
+        assert!(analyze(&[f]).is_empty());
+    }
+
+    #[test]
+    fn cross_file_lock_cycle_is_found() {
+        let a = lib_file(
+            "crates/serve/src/a.rs",
+            "ppbench-serve",
+            "#![forbid(unsafe_code)]\n\
+             fn f(&self) { let a = self.alpha.lock(); let b = self.beta.lock(); touch(a, b); }",
+        );
+        let b = lib_file(
+            "crates/serve/src/b.rs",
+            "ppbench-serve",
+            "fn g(&self) { let b = self.beta.lock(); let a = self.alpha.lock(); touch(a, b); }",
+        );
+        let diags = analyze(&[a, b]);
+        let cycle: Vec<_> = diags.iter().filter(|d| d.rule == "lock-order").collect();
+        assert_eq!(cycle.len(), 2, "{diags:?}");
+    }
+
+    #[test]
+    fn waived_violation_is_suppressed() {
+        let f = lib_file(
+            "crates/core/src/x.rs",
+            "ppbench-core",
+            "fn f() {\n\
+             // ppbench: allow(panic, reason = \"init-time invariant, cannot fail\")\n\
+             x.unwrap();\n}\n",
+        );
+        let diags = analyze(&[f]);
+        assert!(diags.iter().all(|d| d.rule != "panic"), "{diags:?}");
+    }
+
+    #[test]
+    fn diagnostics_are_sorted() {
+        let f = lib_file(
+            "crates/core/src/x.rs",
+            "ppbench-core",
+            "fn f() { b.unwrap(); }\nfn g() { a.unwrap(); }\n",
+        );
+        let diags = analyze(&[f]);
+        assert_eq!(diags.len(), 2);
+        assert!(diags[0].line < diags[1].line);
+    }
+}

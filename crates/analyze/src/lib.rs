@@ -1,0 +1,54 @@
+//! `ppbench-analyze` — a from-scratch workspace lint pass enforcing the
+//! two invariants this codebase lives or dies by: **kernels are
+//! deterministic given a seed** (the paper's bit-reproducible Table II
+//! checksums) and **library code never panics or deadlocks under load**
+//! (the serving stack's contract).
+//!
+//! No rustc plumbing, no syn: a hand-rolled comment/string/lifetime-aware
+//! [`lexer`] feeds a lexical [rule engine](engine). Rules:
+//!
+//! | Rule | Invariant |
+//! |---|---|
+//! | `panic` | no `unwrap`/`expect`/`panic!`/`todo!`/`unimplemented!` in library code |
+//! | `indexing` | no panicking slice indexing in the serving crates |
+//! | `time-source` | `Instant`/`SystemTime` only inside `core/src/timing.rs` on the kernel path |
+//! | `hash-iteration` | no `HashMap`/`HashSet` where iteration order could reach hashed or serialized state |
+//! | `env-dependence` | no `env::var*` / `available_parallelism` / `num_cpus` in kernel result paths |
+//! | `lock-order` | no cycles in the workspace lock-acquisition graph |
+//! | `lock-panic` | no `.lock().unwrap()` while already holding a lock |
+//! | `forbid-unsafe` | every crate root carries `#![forbid(unsafe_code)]` |
+//! | `discarded-result` | no `let _ =` discarding a value in library code |
+//!
+//! Violations are hard CI errors. The escape hatch is an inline waiver
+//! with a mandatory reason:
+//!
+//! ```text
+//! // ppbench: allow(hash-iteration, reason = "membership-only; order never observed")
+//! ```
+//!
+//! Tests, benches, examples, and `#[cfg(test)]` modules are exempt —
+//! panicking is the assertion mechanism there. The vendored `shims/`
+//! crates are excluded: they mirror third-party APIs, not project
+//! invariants.
+//!
+//! Run it exactly as CI does:
+//!
+//! ```text
+//! cargo run -p ppbench-analyze -- --workspace --deny-all
+//! ```
+
+#![forbid(unsafe_code)]
+#![deny(unreachable_pub)]
+#![warn(missing_docs)]
+
+pub mod diag;
+pub mod engine;
+pub mod lexer;
+pub mod rules;
+pub mod source;
+pub mod waiver;
+pub mod walk;
+
+pub use diag::Diagnostic;
+pub use engine::analyze;
+pub use source::{FileKind, SourceFile};

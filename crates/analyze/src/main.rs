@@ -1,0 +1,159 @@
+//! CLI for `ppbench-analyze`.
+//!
+//! ```text
+//! ppbench-analyze [--workspace] [--root DIR] [--deny-all]
+//!                 [--allow RULE]... [--list-rules] [PATH]...
+//! ```
+//!
+//! Exit codes: 0 clean, 1 violations found, 2 usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use ppbench_analyze::rules::{ALL_RULES, RULE_DESCRIPTIONS};
+use ppbench_analyze::{engine, walk};
+
+struct Options {
+    workspace: bool,
+    root: Option<PathBuf>,
+    deny_all: bool,
+    allow: Vec<String>,
+    list_rules: bool,
+    paths: Vec<PathBuf>,
+}
+
+fn usage(to_stderr: bool) {
+    let text = "usage: ppbench-analyze [--workspace] [--root DIR] [--deny-all]\n\
+                \x20                      [--allow RULE]... [--list-rules] [PATH]...\n\
+                \n\
+                --workspace   scan the whole workspace (default when no PATH given)\n\
+                --root DIR    workspace root (default: discovered from the cwd)\n\
+                --deny-all    every rule is an error regardless of --allow (CI mode)\n\
+                --allow RULE  report RULE findings as warnings, not errors\n\
+                --list-rules  print the rule catalogue and exit\n";
+    if to_stderr {
+        eprint!("{text}");
+    } else {
+        print!("{text}");
+    }
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        workspace: false,
+        root: None,
+        deny_all: false,
+        allow: Vec::new(),
+        list_rules: false,
+        paths: Vec::new(),
+    };
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--workspace" => opts.workspace = true,
+            "--root" => {
+                let v = argv.next().ok_or("--root needs a directory")?;
+                opts.root = Some(PathBuf::from(v));
+            }
+            "--deny-all" => opts.deny_all = true,
+            "--allow" => {
+                let v = argv.next().ok_or("--allow needs a rule name")?;
+                if !ALL_RULES.contains(&v.as_str()) {
+                    return Err(format!("unknown rule `{v}` (see --list-rules)"));
+                }
+                opts.allow.push(v);
+            }
+            "--list-rules" => opts.list_rules = true,
+            "--help" | "-h" => {
+                usage(false);
+                std::process::exit(0);
+            }
+            other if other.starts_with('-') => {
+                return Err(format!("unknown flag `{other}`"));
+            }
+            path => opts.paths.push(PathBuf::from(path)),
+        }
+    }
+    if !opts.workspace && opts.paths.is_empty() {
+        opts.workspace = true;
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("ppbench-analyze: {msg}");
+            usage(true);
+            return ExitCode::from(2);
+        }
+    };
+
+    if opts.list_rules {
+        for (rule, desc) in RULE_DESCRIPTIONS {
+            println!("{rule:<18} {desc}");
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let mut files = Vec::new();
+    if opts.workspace {
+        let root = match opts.root.clone().map(Ok).unwrap_or_else(|| {
+            std::env::current_dir().and_then(|cwd| walk::find_workspace_root(&cwd))
+        }) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("ppbench-analyze: locating workspace: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        match walk::load_workspace(&root) {
+            Ok(fs) => files.extend(fs),
+            Err(e) => {
+                eprintln!("ppbench-analyze: reading workspace: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if !opts.paths.is_empty() {
+        match walk::load_paths(&opts.paths) {
+            Ok(fs) => files.extend(fs),
+            Err(e) => {
+                eprintln!("ppbench-analyze: reading paths: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let diags = engine::analyze(&files);
+    let demoted = |rule: &str| !opts.deny_all && opts.allow.iter().any(|a| a == rule);
+    let mut errors = 0usize;
+    let mut warnings = 0usize;
+    for d in &diags {
+        if demoted(d.rule) {
+            warnings += 1;
+            // Render with the warning severity; Display prints `error`.
+            println!(
+                "{}:{}:{}: warning[{}]: {}",
+                d.path.display(),
+                d.line,
+                d.col,
+                d.rule,
+                d.message
+            );
+        } else {
+            errors += 1;
+            println!("{d}");
+        }
+    }
+    println!(
+        "ppbench-analyze: {} file(s) scanned, {errors} error(s), {warnings} warning(s)",
+        files.len()
+    );
+    if errors > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

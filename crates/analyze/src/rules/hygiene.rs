@@ -1,0 +1,118 @@
+//! Hygiene: crate-root attributes and silently discarded values.
+
+use crate::diag::Diagnostic;
+use crate::source::SourceFile;
+
+/// Runs the `forbid-unsafe` and `discarded-result` rules over one file.
+pub fn check(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    if file.is_crate_root && !has_forbid_unsafe(file) {
+        out.push(Diagnostic {
+            rule: "forbid-unsafe",
+            path: file.path.clone(),
+            line: 1,
+            col: 1,
+            message: "crate root is missing #![forbid(unsafe_code)]; every ppbench crate \
+                      proves memory safety by construction"
+                .into(),
+        });
+    }
+
+    for i in 0..file.code_len() {
+        if file.in_test_code(i) {
+            continue;
+        }
+        // `let _ =` discards a value — usually a Result someone meant to
+        // handle. Name the binding (`let _ack =`) or handle the error;
+        // waive with a reason when best-effort really is the contract.
+        if file.code_text(i) == "let"
+            && i + 2 < file.code_len()
+            && file.code_text(i + 1) == "_"
+            && file.code_text(i + 2) == "="
+        {
+            let tok = file.code_token(i);
+            out.push(Diagnostic {
+                rule: "discarded-result",
+                path: file.path.clone(),
+                line: tok.line,
+                col: tok.col,
+                message: "`let _ =` silently discards a value (often a Result); handle \
+                          it, or waive with the reason the discard is sound"
+                    .into(),
+            });
+        }
+    }
+}
+
+/// True when the token stream contains `#![forbid(unsafe_code)]` (token
+/// sequence match, so comments and strings cannot fake it).
+fn has_forbid_unsafe(file: &SourceFile) -> bool {
+    (0..file.code_len().saturating_sub(4)).any(|i| {
+        file.code_text(i) == "forbid"
+            && file.code_text(i + 1) == "("
+            && file.code_text(i + 2) == "unsafe_code"
+            && i >= 3
+            && file.code_text(i - 1) == "["
+            && file.code_text(i - 2) == "!"
+            && file.code_text(i - 3) == "#"
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::FileKind;
+    use std::path::PathBuf;
+
+    fn check_path(path: &str, src: &str) -> Vec<Diagnostic> {
+        let f = SourceFile::new(
+            PathBuf::from(path),
+            src.to_string(),
+            "x".into(),
+            FileKind::Lib,
+        );
+        let mut out = Vec::new();
+        check(&f, &mut out);
+        out
+    }
+
+    #[test]
+    fn missing_forbid_on_crate_root() {
+        let out = check_path("crates/x/src/lib.rs", "//! docs\npub fn f() {}\n");
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, "forbid-unsafe");
+    }
+
+    #[test]
+    fn present_forbid_passes() {
+        let out = check_path(
+            "crates/x/src/lib.rs",
+            "//! docs\n#![forbid(unsafe_code)]\npub fn f() {}\n",
+        );
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn forbid_in_comment_does_not_count() {
+        let out = check_path(
+            "crates/x/src/lib.rs",
+            "// #![forbid(unsafe_code)]\npub fn f() {}\n",
+        );
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn non_root_files_need_no_attribute() {
+        let out = check_path("crates/x/src/other.rs", "pub fn f() {}\n");
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn let_underscore_is_flagged_but_named_discard_is_not() {
+        let out = check_path(
+            "crates/x/src/other.rs",
+            "fn f() { let _ = fallible(); let _ok = fallible(); let _x = 3; }\n",
+        );
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].rule, "discarded-result");
+    }
+}

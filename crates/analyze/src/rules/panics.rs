@@ -1,0 +1,191 @@
+//! Panic-freedom: library code must not contain reachable panic sites.
+//!
+//! A panicking kernel wedges a serve worker (PR 1 shipped exactly that
+//! bug); a panicking library function turns a recoverable error into a
+//! crashed process. The rule flags `.unwrap()`, `.expect(…)`, `panic!`,
+//! `todo!`, and `unimplemented!` in production code, and — in the
+//! long-running serving crates only — panicking slice indexing.
+
+use crate::diag::Diagnostic;
+use crate::rules::in_scope;
+use crate::source::SourceFile;
+
+/// Idents that, followed by `!`, are unconditional panic macros.
+const PANIC_MACROS: &[&str] = &["panic", "todo", "unimplemented"];
+
+/// Runs the `panic` and `indexing` rules over one file.
+pub fn check(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    let indexing = in_scope("indexing", file);
+    for i in 0..file.code_len() {
+        if file.in_test_code(i) {
+            continue;
+        }
+        let tok = *file.code_token(i);
+        let text = file.code_text(i);
+        let diag = |rule: &'static str, message: String| Diagnostic {
+            rule,
+            path: file.path.clone(),
+            line: tok.line,
+            col: tok.col,
+            message,
+        };
+
+        // `.unwrap()` / `.expect(` — method position only, so idents
+        // like `unwrap_or_else` (their own token) never match.
+        if (text == "unwrap" || text == "expect")
+            && i > 0
+            && file.code_text(i - 1) == "."
+            && i + 1 < file.code_len()
+            && file.code_text(i + 1) == "("
+        {
+            out.push(diag(
+                "panic",
+                format!(
+                    ".{text}() can panic; return a Result (PpError) or handle the \
+                     None/Err case explicitly"
+                ),
+            ));
+            continue;
+        }
+
+        // `panic!` / `todo!` / `unimplemented!`.
+        if PANIC_MACROS.contains(&text)
+            && i + 1 < file.code_len()
+            && file.code_text(i + 1) == "!"
+            && (i == 0 || file.code_text(i - 1) != ".")
+        {
+            out.push(diag(
+                "panic",
+                format!("{text}! aborts the thread; return an error instead"),
+            ));
+            continue;
+        }
+
+        // Slice indexing `expr[i]` in the serving crates: `[` whose
+        // previous token ends an expression. Types (`&[u8]`), attributes
+        // (`#[…]`), macros (`vec![…]`), and slice patterns all have a
+        // non-expression token before the bracket.
+        if indexing && text == "[" && i > 0 {
+            let prev = file.code_text(i - 1);
+            let prev_is_expr_end = prev == "]"
+                || prev == ")"
+                || prev == "?"
+                || (file.code_token(i - 1).kind == crate::lexer::TokenKind::Ident
+                    && !is_keyword(prev));
+            // `ident [` where ident is a type name in `impl Index` etc. is
+            // rare enough to waive; expression position is the common case.
+            if prev_is_expr_end {
+                out.push(diag(
+                    "indexing",
+                    "slice indexing panics when out of bounds; use .get()/.get_mut() \
+                     and handle the miss"
+                        .into(),
+                ));
+            }
+        }
+    }
+}
+
+/// Keywords that may directly precede `[` without forming an index
+/// expression (`return [..]`, `break [..]`, `in [..]`, …).
+fn is_keyword(s: &str) -> bool {
+    matches!(
+        s,
+        "return"
+            | "break"
+            | "continue"
+            | "in"
+            | "if"
+            | "else"
+            | "match"
+            | "move"
+            | "mut"
+            | "ref"
+            | "let"
+            | "const"
+            | "static"
+            | "as"
+            | "dyn"
+            | "impl"
+            | "where"
+            | "yield"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::FileKind;
+    use std::path::PathBuf;
+
+    fn check_src(src: &str, crate_name: &str) -> Vec<Diagnostic> {
+        let f = SourceFile::new(
+            PathBuf::from("crates/x/src/lib.rs"),
+            src.to_string(),
+            crate_name.into(),
+            FileKind::Lib,
+        );
+        let mut out = Vec::new();
+        check(&f, &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_unwrap_expect_and_macros() {
+        let out = check_src(
+            "fn f() { a.unwrap(); b.expect(\"m\"); panic!(\"x\"); todo!(); unimplemented!(); }",
+            "ppbench-core",
+        );
+        assert_eq!(out.len(), 5, "{out:?}");
+        assert!(out.iter().all(|d| d.rule == "panic"));
+    }
+
+    #[test]
+    fn ignores_unwrap_or_family_and_std_panic_path() {
+        let out = check_src(
+            "fn f() { a.unwrap_or(0); a.unwrap_or_else(|| 0); a.unwrap_or_default(); \
+             std::panic::catch_unwind(|| 1); }",
+            "ppbench-core",
+        );
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn ignores_strings_comments_and_test_mods() {
+        let out = check_src(
+            "// calls x.unwrap() — fine in a comment\n\
+             /// doc: .unwrap() here too\n\
+             fn f() { let s = \"x.unwrap()\"; }\n\
+             #[cfg(test)]\nmod tests { fn g() { x.unwrap(); panic!(); } }\n",
+            "ppbench-core",
+        );
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn indexing_only_in_serving_crates() {
+        let src = "fn f(v: &[u64], i: usize) -> u64 { v[i] }";
+        assert!(check_src(src, "ppbench-sparse").is_empty());
+        let out = check_src(src, "ppbench-serve");
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, "indexing");
+    }
+
+    #[test]
+    fn indexing_skips_types_attrs_macros_patterns() {
+        let out = check_src(
+            "#[derive(Debug)]\n\
+             struct S { a: [u8; 4] }\n\
+             fn f(v: &[u8]) -> Vec<u8> { let x = vec![1, 2]; let [a, b] = [3, 4]; \
+             let _y = a + b; x }\n",
+            "ppbench-serve",
+        );
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn chained_index_after_call_is_flagged() {
+        let out = check_src("fn f() -> u8 { make()[0] }", "ppbench-serve");
+        assert_eq!(out.len(), 1);
+    }
+}

@@ -1,0 +1,230 @@
+//! Inline waivers: `// ppbench: allow(<rule>, reason = "…")`.
+//!
+//! A waiver suppresses diagnostics of the named rule on the waiver's own
+//! line and on the next line that contains code (so it can ride at the
+//! end of the offending line or sit on its own line above it; several
+//! waivers for different rules stack on consecutive lines). The reason
+//! string is mandatory — a waiver is a reviewed exception, and the
+//! justification must travel with the code. A malformed waiver is itself
+//! a diagnostic (`waiver`), so a typo cannot silently disable a rule.
+
+use std::path::PathBuf;
+
+use crate::diag::Diagnostic;
+use crate::source::SourceFile;
+
+/// A parsed waiver.
+#[derive(Debug, Clone)]
+pub struct Waiver {
+    /// Rule this waiver suppresses.
+    pub rule: String,
+    /// File the waiver lives in (waivers never apply across files).
+    pub path: PathBuf,
+    /// Lines (1-based) the waiver covers: its own and the next code line.
+    pub lines: [u32; 2],
+}
+
+/// Scans comment tokens for waivers. Returns the usable waivers and
+/// appends a `waiver` diagnostic for each malformed one.
+pub fn scan(file: &SourceFile, known_rules: &[&str], out: &mut Vec<Diagnostic>) -> Vec<Waiver> {
+    let mut waivers = Vec::new();
+    // Only plain comments can carry waivers: doc comments are rendered
+    // documentation, where the syntax appears as prose (this file's own
+    // docs included), not as a directive.
+    let plain = |t: &&crate::lexer::Token| {
+        matches!(
+            t.kind,
+            crate::lexer::TokenKind::LineComment { doc: false }
+                | crate::lexer::TokenKind::BlockComment { doc: false }
+        )
+    };
+    for tok in file.tokens.iter().filter(plain) {
+        let text = tok.text(&file.text);
+        let Some(at) = text.find("ppbench:") else {
+            continue;
+        };
+        let rest = &text[at + "ppbench:".len()..];
+        // `ppbench::core` in prose is a Rust path, not a waiver marker.
+        if rest.starts_with(':') {
+            continue;
+        }
+        let rest = rest.trim_start();
+        let diag = |msg: String| Diagnostic {
+            rule: "waiver",
+            path: file.path.clone(),
+            line: tok.line,
+            col: tok.col,
+            message: msg,
+        };
+        let Some(args) = rest
+            .strip_prefix("allow")
+            .map(str::trim_start)
+            .and_then(|s| s.strip_prefix('('))
+        else {
+            out.push(diag(format!(
+                "malformed waiver: expected `ppbench: allow(<rule>, reason = \"…\")`, \
+                 found `{}`",
+                text.trim()
+            )));
+            continue;
+        };
+        let Some(close) = args.rfind(')') else {
+            out.push(diag("malformed waiver: missing closing `)`".into()));
+            continue;
+        };
+        let args = &args[..close];
+        let (rule, tail) = match args.split_once(',') {
+            Some((r, t)) => (r.trim(), t.trim()),
+            None => (args.trim(), ""),
+        };
+        if !known_rules.contains(&rule) {
+            out.push(diag(format!(
+                "waiver names unknown rule `{rule}` (known: {})",
+                known_rules.join(", ")
+            )));
+            continue;
+        }
+        let reason = tail
+            .strip_prefix("reason")
+            .map(str::trim_start)
+            .and_then(|s| s.strip_prefix('='))
+            .map(str::trim)
+            .and_then(|s| s.strip_prefix('"'))
+            .and_then(|s| s.strip_suffix('"'))
+            .unwrap_or("");
+        if reason.trim().is_empty() {
+            out.push(diag(format!(
+                "waiver for `{rule}` has no reason; write \
+                 `ppbench: allow({rule}, reason = \"why this is sound\")`"
+            )));
+            continue;
+        }
+        let next_code_line = file
+            .code
+            .iter()
+            .map(|&i| file.tokens[i].line)
+            .find(|&l| l > tok.line)
+            .unwrap_or(tok.line);
+        waivers.push(Waiver {
+            rule: rule.to_string(),
+            path: file.path.clone(),
+            lines: [tok.line, next_code_line],
+        });
+    }
+    waivers
+}
+
+/// Applies waivers: removes diagnostics covered by one.
+pub fn apply(diags: Vec<Diagnostic>, waivers: &[Waiver]) -> Vec<Diagnostic> {
+    diags
+        .into_iter()
+        .filter(|d| {
+            !waivers
+                .iter()
+                .any(|w| w.rule == d.rule && w.path == d.path && w.lines.contains(&d.line))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::FileKind;
+    use std::path::PathBuf;
+
+    const RULES: &[&str] = &["panic", "hash-iteration"];
+
+    fn file(src: &str) -> SourceFile {
+        SourceFile::new(
+            PathBuf::from("crates/x/src/lib.rs"),
+            src.to_string(),
+            "x".into(),
+            FileKind::Lib,
+        )
+    }
+
+    fn diag(rule: &'static str, line: u32) -> Diagnostic {
+        Diagnostic {
+            rule,
+            path: PathBuf::from("crates/x/src/lib.rs"),
+            line,
+            col: 1,
+            message: String::new(),
+        }
+    }
+
+    #[test]
+    fn trailing_waiver_covers_its_line() {
+        let f = file("x.unwrap(); // ppbench: allow(panic, reason = \"startup only\")\n");
+        let mut out = Vec::new();
+        let ws = scan(&f, RULES, &mut out);
+        assert!(out.is_empty(), "{out:?}");
+        assert_eq!(ws.len(), 1);
+        let left = apply(vec![diag("panic", 1)], &ws);
+        assert!(left.is_empty());
+    }
+
+    #[test]
+    fn preceding_waiver_covers_next_code_line() {
+        let f = file(
+            "// ppbench: allow(panic, reason = \"proved in bounds\")\n\
+             x.unwrap();\n",
+        );
+        let mut out = Vec::new();
+        let ws = scan(&f, RULES, &mut out);
+        let left = apply(vec![diag("panic", 2)], &ws);
+        assert!(left.is_empty());
+    }
+
+    #[test]
+    fn stacked_waivers_cover_one_target() {
+        let f = file(
+            "// ppbench: allow(panic, reason = \"a\")\n\
+             // ppbench: allow(hash-iteration, reason = \"b\")\n\
+             thing();\n",
+        );
+        let mut out = Vec::new();
+        let ws = scan(&f, RULES, &mut out);
+        assert!(out.is_empty());
+        let left = apply(vec![diag("panic", 3), diag("hash-iteration", 3)], &ws);
+        assert!(left.is_empty(), "{left:?}");
+    }
+
+    #[test]
+    fn waiver_does_not_leak_to_other_rules_or_lines() {
+        let f = file("// ppbench: allow(panic, reason = \"x\")\na();\nb();\n");
+        let mut out = Vec::new();
+        let ws = scan(&f, RULES, &mut out);
+        let left = apply(vec![diag("hash-iteration", 2), diag("panic", 3)], &ws);
+        assert_eq!(left.len(), 2);
+    }
+
+    #[test]
+    fn missing_reason_is_a_diagnostic() {
+        let f = file("x.unwrap(); // ppbench: allow(panic)\n");
+        let mut out = Vec::new();
+        let ws = scan(&f, RULES, &mut out);
+        assert!(ws.is_empty());
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, "waiver");
+        assert!(out[0].message.contains("no reason"));
+    }
+
+    #[test]
+    fn unknown_rule_is_a_diagnostic() {
+        let f = file("// ppbench: allow(nonsense, reason = \"x\")\n");
+        let mut out = Vec::new();
+        scan(&f, RULES, &mut out);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].message.contains("unknown rule"));
+    }
+
+    #[test]
+    fn waiver_text_inside_string_literal_is_ignored() {
+        let f = file("let s = \"// ppbench: allow(panic, reason = \\\"x\\\")\";\nx.unwrap();\n");
+        let mut out = Vec::new();
+        let ws = scan(&f, RULES, &mut out);
+        assert!(ws.is_empty());
+        assert!(out.is_empty());
+    }
+}

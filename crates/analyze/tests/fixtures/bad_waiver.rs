@@ -1,0 +1,9 @@
+//! Fixture: malformed waivers — unknown rule, and a missing reason.
+
+fn sloppy(a: Option<u64>) -> u64 {
+    // ppbench: allow(made-up-rule, reason = "no such rule")
+    let x = a.unwrap_or(0);
+    // ppbench: allow(panic)
+    let y = a.unwrap();
+    x + y
+}

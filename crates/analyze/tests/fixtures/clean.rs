@@ -1,0 +1,31 @@
+//! Fixture: code that must produce ZERO diagnostics — the false-positive
+//! gauntlet. Panicky names appear only in strings, comments, doc text,
+//! non-panicking method families, and `#[cfg(test)]` code.
+
+/// Doc comment mentioning x.unwrap() and panic!() — prose, not code.
+pub fn fallbacks(a: Option<u64>, b: Result<u64, String>) -> u64 {
+    // A line comment with y.expect("ignored") inside.
+    let msg = "strings can say v[i].unwrap() without tripping the lexer";
+    let x = a.unwrap_or(0);
+    let y = a.unwrap_or_else(|| msg.len() as u64);
+    let z = b.unwrap_or_default();
+    x + y + z
+}
+
+pub fn handled(v: &[u64], i: usize) -> u64 {
+    v.get(i).copied().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_panic() {
+        let v: Vec<u64> = vec![1, 2, 3];
+        assert_eq!(v[0], 1);
+        let first = v.first().unwrap();
+        assert_eq!(*first, 1);
+        if *first == 99 {
+            panic!("tests are exempt");
+        }
+    }
+}

@@ -1,0 +1,5 @@
+//! Fixture: silently discarded values.
+
+fn drop_it() {
+    let _ = std::fs::remove_file("scratch.tmp");
+}

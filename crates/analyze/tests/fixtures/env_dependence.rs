@@ -1,0 +1,8 @@
+//! Fixture: machine-dependent inputs on the kernel result path.
+
+fn threads() -> usize {
+    match std::env::var("PPBENCH_THREADS") {
+        Ok(v) => v.parse().unwrap_or(1),
+        Err(_) => std::thread::available_parallelism().map(usize::from).unwrap_or(1),
+    }
+}

@@ -1,0 +1,16 @@
+//! Fixture: randomized-order containers in a hashed-output crate.
+
+use std::collections::HashMap;
+
+fn tally(keys: &[u64]) -> HashMap<u64, u64> {
+    let mut counts = HashMap::new();
+    for &k in keys {
+        *counts.entry(k).or_insert(0) += 1;
+    }
+    counts
+}
+
+fn dedup(keys: &[u64]) -> usize {
+    let set: std::collections::HashSet<u64> = keys.iter().copied().collect();
+    set.len()
+}

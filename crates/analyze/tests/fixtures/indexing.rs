@@ -1,0 +1,13 @@
+//! Fixture: panicking slice indexing in a serving crate.
+
+fn pick(v: &[u64], i: usize) -> u64 {
+    v[i]
+}
+
+fn chained() -> u8 {
+    make()[0]
+}
+
+fn make() -> Vec<u8> {
+    Vec::new()
+}

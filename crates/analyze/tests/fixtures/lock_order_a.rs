@@ -1,0 +1,8 @@
+//! Fixture: half of a lock-order cycle — acquires `alpha` then `beta`.
+
+fn forward(s: &super::Shared) {
+    let a = s.alpha.lock();
+    let b = s.beta.lock();
+    drop(b);
+    drop(a);
+}

@@ -1,0 +1,8 @@
+//! Fixture: other half of the cycle — acquires `beta` then `alpha`.
+
+fn backward(s: &super::Shared) {
+    let b = s.beta.lock();
+    let a = s.alpha.lock();
+    drop(a);
+    drop(b);
+}

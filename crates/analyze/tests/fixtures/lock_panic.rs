@@ -1,0 +1,8 @@
+//! Fixture: unwrapping a poisoned inner lock while holding an outer one.
+
+fn nested(s: &super::Shared) {
+    let outer = s.state.lock();
+    let inner = s.metrics.lock().unwrap();
+    drop(inner);
+    drop(outer);
+}

@@ -1,0 +1,16 @@
+//! Fixture: every member of the panic family in library code.
+
+fn violations(a: Option<u64>, b: Result<u64, String>) -> u64 {
+    let x = a.unwrap();
+    let y = b.expect("always present");
+    if x + y == 0 {
+        panic!("impossible");
+    }
+    if x > 100 {
+        todo!()
+    }
+    if y > 100 {
+        unimplemented!()
+    }
+    x + y
+}

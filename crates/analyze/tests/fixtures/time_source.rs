@@ -1,0 +1,15 @@
+//! Fixture: wall-clock reads outside the sanctioned timing module.
+
+use std::time::Instant;
+
+fn stamp() -> f64 {
+    let t = Instant::now();
+    t.elapsed().as_secs_f64()
+}
+
+fn wall() -> u64 {
+    match std::time::SystemTime::now().duration_since(std::time::UNIX_EPOCH) {
+        Ok(d) => d.as_secs(),
+        Err(_) => 0,
+    }
+}

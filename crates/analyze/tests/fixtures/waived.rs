@@ -1,0 +1,9 @@
+//! Fixture: real violations, each covered by a well-formed waiver.
+
+fn covered(a: Option<u64>) -> u64 {
+    // ppbench: allow(panic, reason = "fixture: proved Some by the caller")
+    let x = a.unwrap();
+    // ppbench: allow(discarded-result, reason = "fixture: best-effort cleanup")
+    let _ = std::fs::remove_file("scratch.tmp");
+    x
+}

@@ -131,7 +131,7 @@ fn main() {
             .enumerate()
             .map(|(i, &r)| (i as u64, r))
             .collect();
-        pairs.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        pairs.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         println!("  top {top} vertices by rank:");
         for (v, r) in pairs.into_iter().take(top) {
             println!("    vertex {v:>10}  rank {r:.6e}");
@@ -153,10 +153,13 @@ fn main() {
             if json {
                 // Machine-readable failure on stdout, mirroring the
                 // success shape's `record` tag; detail stays on stderr.
-                println!(
-                    "{{\"record\":\"ppbench-run-v1\",\"error\":\"{}\"}}",
-                    e.to_string().replace('\\', "\\\\").replace('"', "\\\"")
-                );
+                // Same canonical writer as the success path, so scripts
+                // see one spelling of the failure shape too.
+                let mut failure = ppbench_core::json::JsonObject::new();
+                failure
+                    .set_str("record", "ppbench-run-v1")
+                    .set_str("error", &e.to_string());
+                println!("{}", failure.render());
             }
             eprintln!("pipeline failed: {e}");
             exit(1);
@@ -196,6 +199,7 @@ fn main() {
     }
 
     if ephemeral && !keep {
+        // ppbench: allow(discarded-result, reason = "best-effort cleanup of the ephemeral work dir; the run already reported")
         let _ = std::fs::remove_dir_all(&work_dir);
     } else if !json {
         println!("\nkernel files kept under {}", work_dir.display());

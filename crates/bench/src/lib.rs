@@ -12,6 +12,8 @@
 //! ablations DESIGN.md calls out (sort algorithm, SpMV form, generator,
 //! file count).
 
+#![forbid(unsafe_code)]
+#![deny(unreachable_pub)]
 #![warn(missing_docs)]
 
 pub mod plot;

@@ -34,9 +34,9 @@ pub fn count_rust_sloc(text: &str) -> usize {
         if trimmed.is_empty() || trimmed.starts_with("//") {
             continue;
         }
-        if let Some((before, _)) = trimmed.split_once("/*") {
+        if let Some((before, after)) = trimmed.split_once("/*") {
             // Block comment opening; count the line if code precedes it.
-            if !trimmed[trimmed.find("/*").unwrap()..].contains("*/") {
+            if !after.contains("*/") {
                 in_block_comment = true;
             }
             if !before.trim().is_empty() {

@@ -21,18 +21,25 @@ pub struct SweepPoint {
 }
 
 impl SweepPoint {
-    fn from_result(variant: Variant, r: &PipelineResult) -> Self {
-        let t0 = r.kernel0.as_ref().expect("k0 ran").timing;
-        let t1 = r.kernel1.as_ref().expect("k1 ran").timing;
-        let t2 = r.kernel2.as_ref().expect("k2 ran").timing;
-        let t3 = r.kernel3.as_ref().expect("k3 ran").timing;
-        SweepPoint {
+    fn from_result(variant: Variant, r: &PipelineResult) -> ppbench_core::Result<Self> {
+        let (Some(k0), Some(k1), Some(k2), Some(k3)) = (
+            r.kernel0.as_ref(),
+            r.kernel1.as_ref(),
+            r.kernel2.as_ref(),
+            r.kernel3.as_ref(),
+        ) else {
+            return Err(ppbench_core::Error::Contract(
+                "sweep requires a full pipeline run (kernels 0-3)".to_string(),
+            ));
+        };
+        let (t0, t1, t2, t3) = (k0.timing, k1.timing, k2.timing, k3.timing);
+        Ok(SweepPoint {
             variant,
             scale: r.scale,
             edges: r.edges,
             rates: [t0.rate(), t1.rate(), t2.rate(), t3.rate()],
             seconds: [t0.seconds, t1.seconds, t2.seconds, t3.seconds],
-        }
+        })
     }
 }
 
@@ -88,8 +95,9 @@ pub fn run_sweep(
             let result = Pipeline::new(pipeline_cfg, &dir).run()?;
             // Remove kernel files promptly: a full sweep writes each edge
             // list twice per variant.
+            // ppbench: allow(discarded-result, reason = "best-effort scratch cleanup between points; the measurement is already taken")
             let _ = std::fs::remove_dir_all(&dir);
-            let point = SweepPoint::from_result(variant, &result);
+            let point = SweepPoint::from_result(variant, &result)?;
             progress(&point);
             points.push(point);
         }
@@ -141,6 +149,7 @@ pub fn kernel_series(points: &[SweepPoint], kernel: usize) -> Vec<(String, Vec<(
             Some(e) => e,
             None => {
                 series.push((label, Vec::new()));
+                // ppbench: allow(panic, reason = "an element was pushed on the previous line, so last_mut() is provably Some")
                 series.last_mut().expect("just pushed")
             }
         };

@@ -74,11 +74,10 @@ impl Backend for OptimizedBackend {
                 cfg.spec.num_vertices(),
                 iter.map_while(move |r| match r {
                     Ok(e) => {
-                        if prev_start.is_some_and(|p| p > e.u) {
+                        if let Some(p) = prev_start.filter(|&p| p > e.u) {
                             *stream_err = Some(crate::Error::Contract(format!(
-                                "claims sorted order but start {} follows {}",
-                                e.u,
-                                prev_start.expect("checked")
+                                "claims sorted order but start {} follows {p}",
+                                e.u
                             )));
                             return None;
                         }

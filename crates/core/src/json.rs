@@ -1,0 +1,225 @@
+//! Canonical JSON writer: byte-deterministic serialization for every
+//! machine-readable surface (`pprank --json`, run records, the service
+//! API's record payloads).
+//!
+//! Two rules make the output canonical:
+//!
+//! * **Object keys render sorted** (bytewise), whatever order they were
+//!   inserted in — so the same logical record is the same byte string no
+//!   matter which code path built it. Arrays keep insertion order; their
+//!   order is part of the data.
+//! * **Numbers render via Rust's shortest-roundtrip formatting** and
+//!   strings through one escaping routine, so there is exactly one
+//!   spelling of every value.
+//!
+//! This matters here because run records are diffed, cached by content
+//! hash, and committed as fixtures: a benchmark suite whose own reports
+//! are non-reproducible would fail its own determinism bar. Analogue of
+//! the kernel-side invariant enforced by `ppbench-analyze`'s
+//! `hash-iteration` rule.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Escapes `s` into JSON string syntax, including the surrounding quotes.
+///
+/// Escapes the two mandatory characters (`"` and `\`), the named control
+/// escapes, and all other control characters as `\u00XX`. Everything
+/// else — including non-ASCII — passes through as UTF-8.
+pub fn escape_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                // write! to a String cannot fail; ignore the Ok.
+                let _ignored = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Renders an `f64` the canonical way: shortest string that round-trips,
+/// with the JSON-illegal specials mapped to `null`.
+pub fn format_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// A JSON object whose keys always render in sorted order.
+#[derive(Debug, Default, Clone)]
+pub struct JsonObject {
+    // Key → pre-rendered value. BTreeMap is the sorting.
+    fields: BTreeMap<String, String>,
+}
+
+impl JsonObject {
+    /// An empty object (`{}`).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets a string field (escaped).
+    pub fn set_str(&mut self, key: &str, value: &str) -> &mut Self {
+        self.fields.insert(key.to_string(), escape_string(value));
+        self
+    }
+
+    /// Sets an unsigned integer field.
+    pub fn set_u64(&mut self, key: &str, value: u64) -> &mut Self {
+        self.fields.insert(key.to_string(), value.to_string());
+        self
+    }
+
+    /// Sets a float field (canonical formatting; non-finite → `null`).
+    pub fn set_f64(&mut self, key: &str, value: f64) -> &mut Self {
+        self.fields.insert(key.to_string(), format_f64(value));
+        self
+    }
+
+    /// Sets a boolean field.
+    pub fn set_bool(&mut self, key: &str, value: bool) -> &mut Self {
+        self.fields.insert(key.to_string(), value.to_string());
+        self
+    }
+
+    /// Sets a literal `null` field.
+    pub fn set_null(&mut self, key: &str) -> &mut Self {
+        self.fields.insert(key.to_string(), "null".to_string());
+        self
+    }
+
+    /// Sets a field to already-rendered JSON (a nested object or array).
+    pub fn set_raw(&mut self, key: &str, rendered: String) -> &mut Self {
+        self.fields.insert(key.to_string(), rendered);
+        self
+    }
+
+    /// Renders the object with keys in sorted order.
+    pub fn render(&self) -> String {
+        let mut out = String::from("{");
+        for (i, (key, value)) in self.fields.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&escape_string(key));
+            out.push(':');
+            out.push_str(value);
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// A JSON array; elements keep insertion order (order is data).
+#[derive(Debug, Default, Clone)]
+pub struct JsonArray {
+    elements: Vec<String>,
+}
+
+impl JsonArray {
+    /// An empty array (`[]`).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a nested object.
+    pub fn push_obj(&mut self, obj: &JsonObject) -> &mut Self {
+        self.elements.push(obj.render());
+        self
+    }
+
+    /// Appends already-rendered JSON.
+    pub fn push_raw(&mut self, rendered: String) -> &mut Self {
+        self.elements.push(rendered);
+        self
+    }
+
+    /// Renders the array.
+    pub fn render(&self) -> String {
+        let mut out = String::from("[");
+        for (i, e) in self.elements.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(e);
+        }
+        out.push(']');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_render_sorted_regardless_of_insertion_order() {
+        let mut a = JsonObject::new();
+        a.set_u64("zulu", 1)
+            .set_str("alpha", "x")
+            .set_bool("mid", true);
+        let mut b = JsonObject::new();
+        b.set_bool("mid", true)
+            .set_u64("zulu", 1)
+            .set_str("alpha", "x");
+        assert_eq!(a.render(), b.render());
+        assert_eq!(a.render(), "{\"alpha\":\"x\",\"mid\":true,\"zulu\":1}");
+    }
+
+    #[test]
+    fn strings_escape_quotes_backslashes_and_controls() {
+        assert_eq!(escape_string("a\"b"), "\"a\\\"b\"");
+        assert_eq!(escape_string("a\\b"), "\"a\\\\b\"");
+        assert_eq!(escape_string("a\nb\t"), "\"a\\nb\\t\"");
+        assert_eq!(escape_string("\u{01}"), "\"\\u0001\"");
+        assert_eq!(escape_string("π"), "\"π\"");
+    }
+
+    #[test]
+    fn floats_are_shortest_roundtrip_and_specials_are_null() {
+        assert_eq!(format_f64(0.1), "0.1");
+        assert_eq!(format_f64(1.0), "1");
+        assert_eq!(format_f64(f64::NAN), "null");
+        assert_eq!(format_f64(f64::INFINITY), "null");
+        let rendered = format_f64(1.0 / 3.0);
+        let back: f64 = rendered.parse().expect("roundtrips");
+        assert_eq!(back, 1.0 / 3.0);
+    }
+
+    #[test]
+    fn arrays_keep_insertion_order() {
+        let mut arr = JsonArray::new();
+        let mut o = JsonObject::new();
+        o.set_u64("k", 2);
+        arr.push_raw("1".into())
+            .push_obj(&o)
+            .push_raw("null".into());
+        assert_eq!(arr.render(), "[1,{\"k\":2},null]");
+    }
+
+    #[test]
+    fn nested_objects_render_in_place() {
+        let mut inner = JsonObject::new();
+        inner.set_f64("seconds", 0.25);
+        let mut outer = JsonObject::new();
+        outer.set_raw("timing", inner.render()).set_null("error");
+        assert_eq!(
+            outer.render(),
+            "{\"error\":null,\"timing\":{\"seconds\":0.25}}"
+        );
+    }
+}

@@ -30,13 +30,15 @@ pub fn sort_file_set(
     budget: Option<usize>,
 ) -> Result<Manifest> {
     let (in_manifest, iter) = EdgeReader::open_dir(in_dir)?;
-    let out_of_core = budget.is_some_and(|b| in_manifest.edges > b as u64);
+    // `Some` only when the input exceeds the in-memory budget.
+    let spill_budget = budget.filter(|&b| in_manifest.edges > b as u64);
 
     let mut writer = EdgeWriter::create(out_dir, "edges", num_files, in_manifest.edges)?;
-    if out_of_core {
+    if let Some(budget_edges) = spill_budget {
         let scratch = out_dir.join("sort-scratch");
-        let sorter = ExternalSorter::new(&scratch, budget.expect("budget set"), key)?;
+        let sorter = ExternalSorter::new(&scratch, budget_edges, key)?;
         sorter.sort(iter, |e| writer.write(e))?;
+        // ppbench: allow(discarded-result, reason = "best-effort scratch cleanup; the sorted output is already written and a leftover dir is harmless")
         let _ = std::fs::remove_dir_all(&scratch);
     } else {
         let mut edges = Vec::with_capacity(in_manifest.edges as usize);

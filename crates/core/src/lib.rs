@@ -37,11 +37,14 @@
 //! std::fs::remove_dir_all(&dir).ok();
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(unreachable_pub)]
 #![warn(missing_docs)]
 
 pub mod backend;
 mod config;
 mod error;
+pub mod json;
 pub mod kernel0;
 pub mod kernel1;
 pub mod kernel2;

@@ -103,7 +103,7 @@ impl Prediction {
     pub fn dominant(&self) -> &'static str {
         self.breakdown
             .iter()
-            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite costs"))
+            .max_by(|a, b| a.1.total_cmp(&b.1))
             .map(|(n, _)| *n)
             .unwrap_or("none")
     }
@@ -255,18 +255,21 @@ pub fn predict_comm(spec: &GraphSpec, iterations: u32, workers: usize) -> CommPr
 
 // --- calibration microbenchmarks -----------------------------------------
 
+/// Wall-clock budget per calibration probe.
+const BUDGET_SECS: f64 = 0.05;
+
 fn measure_stream() -> f64 {
     let n = 16 << 20; // 16 MiB
     let src = vec![0xA5u8; n];
     let mut dst = vec![0u8; n];
-    let start = std::time::Instant::now();
+    let sw = crate::timing::Stopwatch::start();
     let mut reps = 0u32;
-    while start.elapsed().as_millis() < 50 {
+    while sw.elapsed_secs() < BUDGET_SECS {
         dst.copy_from_slice(&src);
         std::hint::black_box(&dst);
         reps += 1;
     }
-    (n as f64 * reps as f64 * 2.0) / start.elapsed().as_secs_f64()
+    (n as f64 * reps as f64 * 2.0) / sw.elapsed_secs()
 }
 
 fn measure_parse() -> f64 {
@@ -274,26 +277,30 @@ fn measure_parse() -> f64 {
         .map(|i| format!("{}\t{}", i * 7919 % 1_000_000, i * 104729 % 1_000_000).into_bytes())
         .collect();
     let bytes: usize = lines.iter().map(|l| l.len() + 1).sum();
-    let start = std::time::Instant::now();
+    let sw = crate::timing::Stopwatch::start();
     let mut reps = 0u32;
     let mut acc = 0u64;
-    while start.elapsed().as_millis() < 50 {
+    while sw.elapsed_secs() < BUDGET_SECS {
         for l in &lines {
-            let e = ppbench_io::format::decode_line(l).expect("valid line");
+            // The probe lines were formatted two statements up, so a
+            // decode failure is unreachable; skipping keeps the loop hot.
+            let Ok(e) = ppbench_io::format::decode_line(l) else {
+                continue;
+            };
             acc = acc.wrapping_add(e.u);
         }
         reps += 1;
     }
     std::hint::black_box(acc);
-    (bytes as f64 * reps as f64) / start.elapsed().as_secs_f64()
+    (bytes as f64 * reps as f64) / sw.elapsed_secs()
 }
 
 fn measure_format() -> f64 {
     let mut out = Vec::with_capacity(4096 * 16);
-    let start = std::time::Instant::now();
+    let sw = crate::timing::Stopwatch::start();
     let mut reps = 0u32;
     let mut bytes = 0usize;
-    while start.elapsed().as_millis() < 50 {
+    while sw.elapsed_secs() < BUDGET_SECS {
         out.clear();
         for i in 0..4096u64 {
             ppbench_io::format::encode_line(
@@ -305,7 +312,7 @@ fn measure_format() -> f64 {
         std::hint::black_box(&out);
         reps += 1;
     }
-    (bytes as f64 * reps as f64) / start.elapsed().as_secs_f64()
+    (bytes as f64 * reps as f64) / sw.elapsed_secs()
 }
 
 fn measure_random_access() -> f64 {
@@ -321,17 +328,17 @@ fn measure_random_access() -> f64 {
             % (i + 1);
         next.swap(i, j);
     }
-    let start = std::time::Instant::now();
+    let sw = crate::timing::Stopwatch::start();
     let mut idx = 0u32;
     let mut hops = 0u64;
-    while start.elapsed().as_millis() < 50 {
+    while sw.elapsed_secs() < BUDGET_SECS {
         for _ in 0..4096 {
             idx = next[idx as usize];
         }
         hops += 4096;
     }
     std::hint::black_box(idx);
-    hops as f64 / start.elapsed().as_secs_f64()
+    hops as f64 / sw.elapsed_secs()
 }
 
 fn measure_storage_write() -> f64 {
@@ -340,22 +347,23 @@ fn measure_storage_write() -> f64 {
     };
     let chunk = vec![0x42u8; 1 << 20];
     let path = td.join("probe.bin");
-    let start = std::time::Instant::now();
+    let sw = crate::timing::Stopwatch::start();
     let mut written = 0u64;
     {
         use std::io::Write;
         let Ok(mut f) = std::fs::File::create(&path) else {
             return 500e6;
         };
-        while start.elapsed().as_millis() < 50 {
+        while sw.elapsed_secs() < BUDGET_SECS {
             if f.write_all(&chunk).is_err() {
                 break;
             }
             written += chunk.len() as u64;
         }
+        // ppbench: allow(discarded-result, reason = "calibration probe; a failed flush only blurs a rate that is ±2x by design")
         let _ = f.flush();
     }
-    (written as f64).max(1.0) / start.elapsed().as_secs_f64()
+    (written as f64).max(1.0) / sw.elapsed_secs()
 }
 
 #[cfg(test)]

@@ -157,7 +157,12 @@ impl Pipeline {
             k2_output = Some(out);
         }
         if last_kernel >= 3 {
-            let matrix = &k2_output.as_ref().expect("kernel 2 ran").matrix;
+            let Some(k2) = k2_output.as_ref() else {
+                return Err(crate::Error::Contract(
+                    "kernel 3 requires kernel 2 output".to_string(),
+                ));
+            };
+            let matrix = &k2.matrix;
             observer.kernel_started(3);
             let sw = Stopwatch::start();
             let run = backend.kernel3(cfg, matrix)?;

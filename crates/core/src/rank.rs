@@ -14,8 +14,7 @@ pub fn ordering(ranks: &[f64]) -> Vec<u64> {
     let mut idx: Vec<u64> = (0..ranks.len() as u64).collect();
     idx.sort_by(|&a, &b| {
         ranks[b as usize]
-            .partial_cmp(&ranks[a as usize])
-            .expect("ranks must not be NaN")
+            .total_cmp(&ranks[a as usize])
             .then(a.cmp(&b))
     });
     idx
@@ -94,8 +93,9 @@ pub fn top_k_overlap(a: &[f64], b: &[f64], k: usize) -> f64 {
     assert_eq!(a.len(), b.len(), "rank vectors must have equal length");
     assert!(k > 0, "k must be positive");
     let k = k.min(a.len());
-    let top =
-        |r: &[f64]| -> std::collections::HashSet<u64> { ordering(r).into_iter().take(k).collect() };
+    let top = |r: &[f64]| -> std::collections::BTreeSet<u64> {
+        ordering(r).into_iter().take(k).collect()
+    };
     let sa = top(a);
     let sb = top(b);
     let inter = sa.intersection(&sb).count() as f64;

@@ -63,35 +63,40 @@ impl RunRecord {
         out
     }
 
-    /// Serializes the record as a JSON object.
+    /// Serializes the record as a canonical JSON object.
     ///
     /// The shape mirrors [`RunRecord::to_text`] field for field and is the
     /// wire format shared by `pprank --json` and the `ppbench-serve` HTTP
     /// API: a `record` version tag, the run identity, one entry per kernel
     /// that ran (with `seconds` and `edges_per_second`), and the validation
-    /// outcome (`null` when validation did not run). All values are plain
-    /// ASCII, so no string escaping is required.
+    /// outcome (`null` when validation did not run). Rendering goes
+    /// through [`crate::json`], so keys are sorted and the same record is
+    /// always the same byte string — records are diffed and content-hashed,
+    /// and the report surface holds to the same determinism bar as the
+    /// kernels.
     pub fn to_json(&self) -> String {
-        let mut kernels = String::new();
+        let mut kernels = crate::json::JsonArray::new();
         for (k, slot) in self.kernels.iter().enumerate() {
             if let Some((secs, rate)) = slot {
-                if !kernels.is_empty() {
-                    kernels.push(',');
-                }
-                kernels.push_str(&format!(
-                    "{{\"kernel\":{k},\"seconds\":{secs},\"edges_per_second\":{rate}}}"
-                ));
+                let mut entry = crate::json::JsonObject::new();
+                entry
+                    .set_u64("kernel", k as u64)
+                    .set_f64("seconds", *secs)
+                    .set_f64("edges_per_second", *rate);
+                kernels.push_obj(&entry);
             }
         }
-        let validation = match self.validation_passed {
-            Some(passed) => passed.to_string(),
-            None => "null".to_string(),
+        let mut obj = crate::json::JsonObject::new();
+        obj.set_str("record", "ppbench-run-v1")
+            .set_str("variant", &self.variant)
+            .set_u64("scale", u64::from(self.scale))
+            .set_u64("edges", self.edges)
+            .set_raw("kernels", kernels.render());
+        match self.validation_passed {
+            Some(passed) => obj.set_bool("validation_passed", passed),
+            None => obj.set_null("validation_passed"),
         };
-        format!(
-            "{{\"record\":\"ppbench-run-v1\",\"variant\":\"{}\",\"scale\":{},\
-             \"edges\":{},\"kernels\":[{}],\"validation_passed\":{}}}",
-            self.variant, self.scale, self.edges, kernels, validation
-        )
+        obj.render()
     }
 
     /// Parses a record produced by [`RunRecord::to_text`].
@@ -246,7 +251,9 @@ mod tests {
     fn json_mentions_all_fields() {
         let record = sample();
         let json = record.to_json();
-        assert!(json.starts_with("{\"record\":\"ppbench-run-v1\""), "{json}");
+        // Canonical form: keys sorted bytewise, so `edges` leads.
+        assert!(json.starts_with("{\"edges\":"), "{json}");
+        assert!(json.contains("\"record\":\"ppbench-run-v1\""), "{json}");
         assert!(json.contains("\"variant\":\"optimized\""), "{json}");
         assert!(json.contains("\"scale\":6"), "{json}");
         assert!(json.contains("\"kernel\":3"), "{json}");

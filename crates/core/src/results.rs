@@ -72,7 +72,7 @@ impl Kernel3Result {
             .enumerate()
             .map(|(i, &r)| (i as u64, r))
             .collect();
-        pairs.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        pairs.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         pairs.truncate(k);
         pairs
     }

@@ -74,7 +74,26 @@ impl Fabric {
     }
 
     fn slot(&self, src: usize, dst: usize) -> &Slot {
+        // ppbench: allow(indexing, reason = "src and dst are rank ids handed out by run_cluster, always < workers; the grid is allocated as workers^2 in new()")
         &self.slots[src * self.workers + dst]
+    }
+
+    /// Removes and downcasts the payload deposited in mailbox
+    /// `(src, dst)`. The two panics below are BSP protocol violations —
+    /// a rank skipped a collective, or two ranks called different
+    /// collectives — which are programming errors on par with a failed
+    /// `assert!`, not runtime conditions a caller could handle.
+    fn take_deposit<T: Send + 'static>(&self, src: usize, dst: usize) -> T {
+        let boxed = self
+            .slot(src, dst)
+            .lock()
+            .take()
+            // ppbench: allow(panic, reason = "BSP invariant: every deposit happens before the barrier that precedes this take; absence means a rank skipped the collective")
+            .expect("BSP protocol: deposit must precede the barrier");
+        *boxed
+            .downcast::<T>()
+            // ppbench: allow(panic, reason = "BSP invariant: all ranks call the same collectives in the same order, so the deposited type always matches")
+            .expect("BSP protocol: collective type mismatch across ranks")
     }
 
     fn count(&self, bytes: u64) {
@@ -105,12 +124,7 @@ impl Fabric {
         }
         self.barrier();
         let received: Vec<Vec<T>> = (0..self.workers)
-            .map(|src| {
-                let boxed = self.slot(src, rank).lock().take().expect("deposited above");
-                *boxed
-                    .downcast::<Vec<T>>()
-                    .expect("matching collective types")
-            })
+            .map(|src| self.take_deposit::<Vec<T>>(src, rank))
             .collect();
         self.barrier();
         received
@@ -132,26 +146,15 @@ impl Fabric {
         self.barrier();
         // Rank 0 reduces and deposits the result for everyone.
         if rank == 0 {
-            let mut acc: Option<Vec<T>> = None;
-            for src in 0..self.workers {
-                let part = self
-                    .slot(src, src)
-                    .lock()
-                    .take()
-                    .expect("deposited above")
-                    .downcast::<Vec<T>>()
-                    .expect("matching collective types");
-                match &mut acc {
-                    None => acc = Some(*part),
-                    Some(a) => {
-                        assert_eq!(a.len(), part.len(), "all-reduce length mismatch");
-                        for (x, y) in a.iter_mut().zip(part.iter()) {
-                            *x += *y;
-                        }
-                    }
+            // `new()` asserts workers > 0, so rank 0's own deposit exists.
+            let mut result: Vec<T> = self.take_deposit(0, 0);
+            for src in 1..self.workers {
+                let part: Vec<T> = self.take_deposit(src, src);
+                assert_eq!(result.len(), part.len(), "all-reduce length mismatch");
+                for (x, y) in result.iter_mut().zip(part.iter()) {
+                    *x += *y;
                 }
             }
-            let result = acc.expect("at least one rank");
             for dst in 0..self.workers {
                 if dst != 0 {
                     self.count((len * std::mem::size_of::<T>()) as u64);
@@ -160,15 +163,9 @@ impl Fabric {
             }
         }
         self.barrier();
-        let out = self
-            .slot(0, rank)
-            .lock()
-            .take()
-            .expect("root deposited")
-            .downcast::<Vec<T>>()
-            .expect("matching collective types");
+        let out: Vec<T> = self.take_deposit(0, rank);
         self.barrier();
-        *out
+        out
     }
 
     /// Broadcast from `root`: the root passes `Some(value)`, everyone else
@@ -188,8 +185,7 @@ impl Fabric {
             value.is_some(),
             "exactly the root supplies the value"
         );
-        if rank == root {
-            let v = value.expect("checked above");
+        if let Some(v) = value {
             for dst in 0..self.workers {
                 if dst != root {
                     self.count(std::mem::size_of::<T>() as u64);
@@ -198,15 +194,9 @@ impl Fabric {
             }
         }
         self.barrier();
-        let out = self
-            .slot(root, rank)
-            .lock()
-            .take()
-            .expect("root deposited")
-            .downcast::<T>()
-            .expect("matching collective types");
+        let out: T = self.take_deposit(root, rank);
         self.barrier();
-        *out
+        out
     }
 }
 
@@ -229,7 +219,12 @@ pub fn run_cluster<R: Send>(
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("worker panicked"))
+            .map(|h| match h.join() {
+                Ok(result) => result,
+                // Re-raise a worker panic on the coordinating thread;
+                // swallowing it would hand back partial results as real.
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
             .collect()
     })
 }

@@ -40,6 +40,8 @@
 //! assert!(out.comm_k3.bytes > 0, "rank reductions cross rank boundaries");
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(unreachable_pub)]
 #![warn(missing_docs)]
 
 pub mod fabric;

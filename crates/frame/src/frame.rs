@@ -17,7 +17,7 @@ impl Frame {
     /// Errors if columns have different lengths or duplicate names.
     pub fn new(columns: Vec<(String, Series)>) -> Result<Self> {
         let rows = columns.first().map_or(0, |(_, s)| s.len());
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for (name, series) in &columns {
             if series.len() != rows {
                 return Err(FrameError::LengthMismatch {
@@ -139,7 +139,7 @@ impl Frame {
             .iter()
             .map(|n| self.column(n)?.as_u64())
             .collect::<Result<_>>()?;
-        let mut seen = std::collections::HashSet::with_capacity(self.rows);
+        let mut seen = std::collections::BTreeSet::new();
         for i in 0..self.rows {
             let tuple: Vec<u64> = keys.iter().map(|k| k[i]).collect();
             seen.insert(tuple);
@@ -194,7 +194,9 @@ impl Frame {
     /// Panics if a key is `>= domain`.
     pub fn group_by_count(&self, column: &str, domain: u64) -> Result<Vec<u64>> {
         let keys = self.column(column)?.as_u64()?;
-        let mut counts = vec![0u64; usize::try_from(domain).expect("domain fits usize")];
+        let domain = usize::try_from(domain)
+            .map_err(|_| FrameError::TypeMismatch(format!("domain {domain} exceeds usize")))?;
+        let mut counts = vec![0u64; domain];
         for &k in keys {
             counts[k as usize] += 1;
         }

@@ -11,9 +11,9 @@ use ppbench_io::{Edge, EdgeReader, EdgeWriter, Result as IoResult, SortState};
 use crate::{Frame, Series};
 
 /// Column name for start vertices.
-pub const COL_U: &str = "u";
+pub(crate) const COL_U: &str = "u";
 /// Column name for end vertices.
-pub const COL_V: &str = "v";
+pub(crate) const COL_V: &str = "v";
 
 /// Builds a two-column ("u", "v") frame from an edge slice.
 pub fn frame_from_edges(edges: &[Edge]) -> Frame {
@@ -23,6 +23,7 @@ pub fn frame_from_edges(edges: &[Edge]) -> Frame {
         (COL_U.to_string(), Series::U64(u)),
         (COL_V.to_string(), Series::U64(v)),
     ])
+    // ppbench: allow(panic, reason = "the two columns are built right here with equal lengths and distinct names, so Frame::new cannot fail")
     .expect("two equal-length fresh columns")
 }
 
@@ -52,6 +53,7 @@ pub fn read_edge_tsv(dir: &Path) -> IoResult<Frame> {
         (COL_U.to_string(), Series::U64(u)),
         (COL_V.to_string(), Series::U64(v)),
     ])
+    // ppbench: allow(panic, reason = "the two columns are built right here with equal lengths and distinct names, so Frame::new cannot fail")
     .expect("two equal-length fresh columns"))
 }
 
@@ -72,10 +74,12 @@ pub fn write_edge_tsv(
     let u = frame
         .column(COL_U)
         .and_then(|s| s.as_u64())
+        // ppbench: allow(panic, reason = "documented contract: callers must pass an edge frame; a missing column is a programming error, per the fn docs")
         .expect("frame has u64 'u' column");
     let v = frame
         .column(COL_V)
         .and_then(|s| s.as_u64())
+        // ppbench: allow(panic, reason = "documented contract: callers must pass an edge frame; a missing column is a programming error, per the fn docs")
         .expect("frame has u64 'v' column");
     let mut w = EdgeWriter::create(dir, "edges", num_files, frame.rows() as u64)?;
     for (&a, &b) in u.iter().zip(v) {

@@ -25,10 +25,10 @@ use crate::spec::GraphSpec;
 use crate::EdgeGenerator;
 
 /// Default fraction of edges placed inside affinity blocks.
-pub const DEFAULT_INTRA_FRACTION: f64 = 0.5;
+pub(crate) const DEFAULT_INTRA_FRACTION: f64 = 0.5;
 
 /// Default power-law exponent for block sizes and background weights.
-pub const DEFAULT_ALPHA: f64 = 1.2;
+pub(crate) const DEFAULT_ALPHA: f64 = 1.2;
 
 /// BTER-style generator.
 #[derive(Debug, Clone)]
@@ -70,9 +70,11 @@ impl Bter {
         // ones (mirroring BTER's degree-grouped construction).
         let mut blocks = vec![0u64];
         let mut size = 2u64;
-        while *blocks.last().expect("nonempty") < n {
-            let next = (blocks.last().unwrap() + size).min(n);
+        let mut last = 0u64;
+        while last < n {
+            let next = (last + size).min(n);
             blocks.push(next);
+            last = next;
             // Grow by ~1.6x each block, capped so a block never exceeds
             // n/4 (keeps several communities even at tiny scales).
             size = ((size as f64 * 1.6) as u64).clamp(2, (n / 4).max(2));
@@ -130,7 +132,7 @@ impl Bter {
     }
 
     fn sample_background<R: Rng64>(&self, rng: &mut R) -> Edge {
-        let total = *self.cum_weights.last().expect("nonempty");
+        let total = self.cum_weights.last().copied().unwrap_or(0.0);
         let draw = |rng: &mut R| {
             let x = rng.next_f64() * total;
             self.cum_weights.partition_point(|&c| c < x) as u64
@@ -149,7 +151,7 @@ impl EdgeGenerator for Bter {
             lo <= hi && hi <= self.spec.num_edges(),
             "bad chunk [{lo}, {hi})"
         );
-        let total_weight = *self.intra_prefix.last().expect("at least one block");
+        let total_weight = self.intra_prefix.last().copied().unwrap_or(0.0);
         let mut out = Vec::with_capacity((hi - lo) as usize);
         for idx in lo..hi {
             let mut rng =

@@ -27,7 +27,7 @@ use crate::EdgeGenerator;
 /// Default power-law exponent; 1.3 is within the range observed for web
 /// graphs and keeps the head heavy without starving the tail at benchmark
 /// scales.
-pub const DEFAULT_ALPHA: f64 = 1.3;
+pub(crate) const DEFAULT_ALPHA: f64 = 1.3;
 
 /// Deterministic-degree power-law generator.
 #[derive(Debug, Clone)]
@@ -78,7 +78,7 @@ impl PerfectPowerLaw {
         // Hand the leftover edges to the largest remainders (ties broken by
         // rank for determinism).
         let leftover = (m - assigned) as usize;
-        remainders.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)));
+        remainders.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
         for &(_, i) in remainders.iter().take(leftover) {
             degrees[i] += 1;
         }
@@ -128,7 +128,7 @@ impl PerfectPowerLaw {
     /// Endpoint sampled by inverse CDF of the power-law weights.
     #[inline]
     fn sample_endpoint<R: Rng64>(&self, rng: &mut R) -> u64 {
-        let total = *self.cum_weights.last().expect("nonempty weights");
+        let total = self.cum_weights.last().copied().unwrap_or(0.0);
         let x = rng.next_f64() * total;
         self.cum_weights.partition_point(|&c| c < x) as u64
     }

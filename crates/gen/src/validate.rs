@@ -131,6 +131,7 @@ pub fn check_kronecker_marginals(
 /// bugs like constant outputs, not to certify the distribution.
 pub fn check_duplicate_fraction(spec: &GraphSpec, edges: &[Edge]) -> GeneratorReport {
     let mut report = GeneratorReport::default();
+    // ppbench: allow(hash-iteration, reason = "membership-only set: only insert() return values are observed, never iteration order")
     let mut seen = std::collections::HashSet::with_capacity(edges.len());
     let mut dupes = 0usize;
     for e in edges {

@@ -36,6 +36,8 @@
 //! assert_eq!(manifest.files.len(), 2);
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(unreachable_pub)]
 #![warn(missing_docs)]
 
 pub mod atoi;
@@ -48,7 +50,7 @@ pub mod tempdir;
 mod writer;
 
 pub use error::{Error, Result};
-pub use manifest::{EdgeEncoding, FileEntry, Manifest, SortState};
+pub use manifest::{EdgeEncoding, FileEntry, Manifest, SortState, MANIFEST_NAME};
 pub use reader::{EdgeFileIter, EdgeReader};
 pub use writer::{write_edges, EdgeWriter};
 

@@ -104,10 +104,9 @@ impl EdgeFileIter {
             if self.current.is_none() && !self.advance_file()? {
                 return Ok(None);
             }
-            let (path, reader, line_no) = self
-                .current
-                .as_mut()
-                .expect("current file present after advance");
+            let Some((path, reader, line_no)) = self.current.as_mut() else {
+                continue;
+            };
             self.line_buf.clear();
             let n = reader
                 .read_until(b'\n', &mut self.line_buf)
@@ -141,10 +140,9 @@ impl EdgeFileIter {
             if self.current.is_none() && !self.advance_file()? {
                 return Ok(None);
             }
-            let (path, reader, record_no) = self
-                .current
-                .as_mut()
-                .expect("current file present after advance");
+            let Some((path, reader, record_no)) = self.current.as_mut() else {
+                continue;
+            };
             let mut rec = [0u8; 16];
             // Distinguish clean EOF from a torn record.
             match reader
@@ -162,7 +160,9 @@ impl EdgeFileIter {
                 }
             }
             *record_no += 1;
+            // ppbench: allow(panic, reason = "splitting a fixed [u8; 16] at byte 8 always yields 8-byte halves")
             let u = u64::from_le_bytes(rec[..8].try_into().expect("8 bytes"));
+            // ppbench: allow(panic, reason = "splitting a fixed [u8; 16] at byte 8 always yields 8-byte halves")
             let v = u64::from_le_bytes(rec[8..].try_into().expect("8 bytes"));
             return Ok(Some(Edge::new(u, v)));
         }

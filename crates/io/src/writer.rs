@@ -129,10 +129,13 @@ impl EdgeWriter {
                 self.line_buf.extend_from_slice(&edge.v.to_le_bytes());
             }
         }
-        self.current
-            .as_mut()
-            .expect("roll_file guarantees an open file")
-            .write_all(&self.line_buf)
+        let file = self.current.as_mut().ok_or_else(|| {
+            Error::io(
+                &self.dir,
+                std::io::Error::other("no open output file after roll"),
+            )
+        })?;
+        file.write_all(&self.line_buf)
             .map_err(|e| Error::io(&self.dir, e))?;
         self.current_count += 1;
         self.digest.update(edge);

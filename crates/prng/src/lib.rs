@@ -32,6 +32,8 @@
 //! assert_eq!(rng2.next_f64().to_bits(), x.to_bits());
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(unreachable_pub)]
 #![warn(missing_docs)]
 
 mod pcg;

@@ -63,7 +63,13 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
 
-    let service = Arc::new(Service::start(cfg.clone()));
+    let service = match Service::start(cfg.clone()) {
+        Ok(service) => Arc::new(service),
+        Err(e) => {
+            eprintln!("ppserved: cannot start worker pool: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     let server = match HttpServer::bind(&addr, Arc::clone(&service)) {
         Ok(server) => server,
         Err(e) => {

@@ -5,7 +5,7 @@
 //! validation property), so a cached summary is exactly what a fresh run
 //! would produce — the service returns it without queueing a job.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use crate::job::RunSummary;
@@ -18,7 +18,7 @@ pub struct ResultCache {
     budget_bytes: usize,
     used_bytes: usize,
     tick: u64,
-    entries: HashMap<u64, Entry>,
+    entries: BTreeMap<u64, Entry>,
 }
 
 #[derive(Debug)]
@@ -36,7 +36,7 @@ impl ResultCache {
             budget_bytes,
             used_bytes: 0,
             tick: 0,
-            entries: HashMap::new(),
+            entries: BTreeMap::new(),
         }
     }
 
@@ -71,8 +71,9 @@ impl ResultCache {
             let Some((&oldest, _)) = self.entries.iter().min_by_key(|(_, e)| e.last_used) else {
                 break;
             };
-            let evicted = self.entries.remove(&oldest).expect("key just observed");
-            self.used_bytes -= evicted.bytes;
+            if let Some(evicted) = self.entries.remove(&oldest) {
+                self.used_bytes -= evicted.bytes;
+            }
         }
     }
 

@@ -73,6 +73,7 @@ impl HttpServer {
                 Ok((mut stream, _peer)) => {
                     if self.in_flight.load(Ordering::SeqCst) >= MAX_CONNECTIONS {
                         let busy = Response::error(503, "too many connections; retry later");
+                        // ppbench: allow(discarded-result, reason = "best-effort 503 to an overloaded peer; nothing to do if the socket is already gone")
                         let _ = stream.write_all(busy.render().as_bytes());
                         continue;
                     }
@@ -127,14 +128,18 @@ fn handle_connection(
     shutdown: &AtomicBool,
     read_timeout: Duration,
 ) {
+    // ppbench: allow(discarded-result, reason = "socket tuning is advisory; a request on an untuned socket is still served correctly")
     let _ = stream.set_read_timeout(Some(read_timeout));
+    // ppbench: allow(discarded-result, reason = "socket tuning is advisory; a request on an untuned socket is still served correctly")
     let _ = stream.set_nodelay(true);
     Metrics::inc(&service.metrics().http_requests);
     let response = match read_request(&mut stream) {
         Ok(request) => route(&request, service, shutdown),
         Err(problem) => problem,
     };
+    // ppbench: allow(discarded-result, reason = "the peer may hang up before the response lands; there is no one left to report the write error to")
     let _ = stream.write_all(response.render().as_bytes());
+    // ppbench: allow(discarded-result, reason = "the peer may hang up before the response lands; there is no one left to report the write error to")
     let _ = stream.flush();
 }
 
@@ -312,7 +317,7 @@ fn read_head_line(
         if line.len() + take > budget {
             return Err(Response::error(413, "request head too large"));
         }
-        line.extend_from_slice(&available[..take]);
+        line.extend_from_slice(available.get(..take).unwrap_or(available));
         reader.consume(take);
         if newline.is_some() {
             return Ok(());

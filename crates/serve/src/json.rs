@@ -140,7 +140,7 @@ impl Parser<'_> {
         }
     }
 
-    fn expect(&mut self, b: u8) -> Result<(), ParseError> {
+    fn consume(&mut self, b: u8) -> Result<(), ParseError> {
         if self.peek() == Some(b) {
             self.pos += 1;
             Ok(())
@@ -150,7 +150,11 @@ impl Parser<'_> {
     }
 
     fn literal(&mut self, text: &str, value: Json) -> Result<Json, ParseError> {
-        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+        let matches = self
+            .bytes
+            .get(self.pos..)
+            .is_some_and(|rest| rest.starts_with(text.as_bytes()));
+        if matches {
             self.pos += text.len();
             Ok(value)
         } else {
@@ -172,7 +176,7 @@ impl Parser<'_> {
     }
 
     fn object(&mut self) -> Result<Json, ParseError> {
-        self.expect(b'{')?;
+        self.consume(b'{')?;
         let mut members = BTreeMap::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
@@ -183,7 +187,7 @@ impl Parser<'_> {
             self.skip_ws();
             let key = self.string()?;
             self.skip_ws();
-            self.expect(b':')?;
+            self.consume(b':')?;
             self.skip_ws();
             let value = self.value()?;
             if members.insert(key, value).is_some() {
@@ -202,7 +206,7 @@ impl Parser<'_> {
     }
 
     fn array(&mut self) -> Result<Json, ParseError> {
-        self.expect(b'[')?;
+        self.consume(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
@@ -225,7 +229,7 @@ impl Parser<'_> {
     }
 
     fn string(&mut self) -> Result<String, ParseError> {
-        self.expect(b'"')?;
+        self.consume(b'"')?;
         let mut out = String::new();
         loop {
             match self.peek() {
@@ -267,10 +271,13 @@ impl Parser<'_> {
                 Some(byte) if byte < 0x20 => return Err(self.err("control byte in string")),
                 Some(_) => {
                     // Copy one UTF-8 character verbatim.
-                    let rest = &self.bytes[self.pos..];
+                    let rest = self.bytes.get(self.pos..).unwrap_or_default();
                     let text = std::str::from_utf8(rest)
                         .map_err(|_| self.err("invalid UTF-8 in string"))?;
-                    let ch = text.chars().next().expect("peek saw a byte");
+                    let ch = text
+                        .chars()
+                        .next()
+                        .ok_or_else(|| self.err("unterminated string"))?;
                     out.push(ch);
                     self.pos += ch.len_utf8();
                 }
@@ -289,7 +296,11 @@ impl Parser<'_> {
         ) {
             self.pos += 1;
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii digits");
+        let text = self
+            .bytes
+            .get(start..self.pos)
+            .and_then(|t| std::str::from_utf8(t).ok())
+            .ok_or_else(|| self.err("malformed number"))?;
         // Plain non-negative integers stay lossless; everything else
         // (fractions, exponents, negatives, > u64::MAX) becomes f64.
         if !text.contains(['.', 'e', 'E', '-']) {

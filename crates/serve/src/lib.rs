@@ -22,6 +22,8 @@
 //! framework. The `ppserved` binary wires a service to a listener;
 //! `examples/loadgen.rs` exercises one over the wire.
 
+#![forbid(unsafe_code)]
+#![deny(unreachable_pub)]
 #![warn(missing_docs)]
 
 pub mod cache;

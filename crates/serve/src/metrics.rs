@@ -22,9 +22,9 @@ pub struct KernelHistogram {
 impl KernelHistogram {
     /// Records one observation.
     pub fn observe(&self, seconds: f64) {
-        for (i, &bound) in BUCKET_BOUNDS.iter().enumerate() {
+        for (bucket, bound) in self.buckets.iter().zip(BUCKET_BOUNDS) {
             if seconds <= bound {
-                self.buckets[i].fetch_add(1, Ordering::Relaxed);
+                bucket.fetch_add(1, Ordering::Relaxed);
             }
         }
         self.count.fetch_add(1, Ordering::Relaxed);
@@ -38,10 +38,10 @@ impl KernelHistogram {
     }
 
     fn render_into(&self, out: &mut String, kernel: usize) {
-        for (i, &bound) in BUCKET_BOUNDS.iter().enumerate() {
+        for (bucket, bound) in self.buckets.iter().zip(BUCKET_BOUNDS) {
             out.push_str(&format!(
                 "ppbench_kernel_seconds_bucket{{kernel=\"{kernel}\",le=\"{bound}\"}} {}\n",
-                self.buckets[i].load(Ordering::Relaxed)
+                bucket.load(Ordering::Relaxed)
             ));
         }
         out.push_str(&format!(

@@ -7,11 +7,13 @@
 //! wakes idle workers, `job_changed` wakes anyone waiting on a job (the
 //! drain path and the test helpers).
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use std::path::PathBuf;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
 
 use ppbench_core::{KernelTiming, Pipeline, PipelineConfig, PipelineObserver, RunRecord};
 
@@ -109,7 +111,10 @@ pub struct SubmitReceipt {
 }
 
 struct State {
-    jobs: HashMap<JobId, Job>,
+    // BTreeMap, not HashMap: `/jobs`-style listings and the drain path
+    // observe iteration order, and the determinism invariant (enforced by
+    // ppbench-analyze) requires that order to be stable across runs.
+    jobs: BTreeMap<JobId, Job>,
     queue: VecDeque<JobId>,
     /// Terminal job ids in completion order; the pruning window.
     terminal_order: VecDeque<JobId>,
@@ -152,11 +157,13 @@ pub struct Service {
 }
 
 impl Service {
-    /// Starts the worker pool.
-    pub fn start(cfg: ServiceConfig) -> Self {
+    /// Starts the worker pool. Fails only if the OS refuses to spawn a
+    /// worker thread; any threads spawned before the failure are shut
+    /// down cleanly before the error is returned.
+    pub fn start(cfg: ServiceConfig) -> std::io::Result<Self> {
         let inner = Arc::new(Inner {
             state: Mutex::new(State {
-                jobs: HashMap::new(),
+                jobs: BTreeMap::new(),
                 queue: VecDeque::new(),
                 terminal_order: VecDeque::new(),
                 cache: ResultCache::new(cfg.cache_bytes),
@@ -170,19 +177,29 @@ impl Service {
             metrics: Metrics::default(),
             cfg,
         });
-        let workers = (0..inner.cfg.workers.max(1))
-            .map(|i| {
-                let inner = Arc::clone(&inner);
-                std::thread::Builder::new()
-                    .name(format!("ppbench-worker-{i}"))
-                    .spawn(move || worker_loop(&inner))
-                    .expect("spawn worker thread")
-            })
-            .collect();
-        Self {
+        let mut workers = Vec::with_capacity(inner.cfg.workers.max(1));
+        for i in 0..inner.cfg.workers.max(1) {
+            let worker_inner = Arc::clone(&inner);
+            let spawned = std::thread::Builder::new()
+                .name(format!("ppbench-worker-{i}"))
+                .spawn(move || worker_loop(&worker_inner));
+            match spawned {
+                Ok(handle) => workers.push(handle),
+                Err(e) => {
+                    inner.state.lock().shutdown = true;
+                    inner.work_available.notify_all();
+                    for handle in workers {
+                        // ppbench: allow(discarded-result, reason = "already failing with the spawn error; a worker panic here cannot add information")
+                        let _ = handle.join();
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        Ok(Self {
             inner,
             workers: Mutex::new(workers),
-        }
+        })
     }
 
     /// The service configuration.
@@ -199,7 +216,7 @@ impl Service {
     /// `Done`; otherwise it is `Queued` and a worker will pick it up.
     pub fn submit(&self, config: PipelineConfig) -> Result<SubmitReceipt, SubmitError> {
         let hash = config.canonical_hash();
-        let mut state = self.inner.state.lock().unwrap();
+        let mut state = self.inner.state.lock();
         if state.draining || state.shutdown {
             return Err(SubmitError::Draining);
         }
@@ -269,12 +286,12 @@ impl Service {
 
     /// A point-in-time copy of the job, for rendering.
     pub fn job(&self, id: JobId) -> Option<Job> {
-        self.inner.state.lock().unwrap().jobs.get(&id).cloned()
+        self.inner.state.lock().jobs.get(&id).cloned()
     }
 
     /// Cancels a queued job.
     pub fn cancel(&self, id: JobId) -> CancelOutcome {
-        let mut state = self.inner.state.lock().unwrap();
+        let mut state = self.inner.state.lock();
         let Some(job) = state.jobs.get_mut(&id) else {
             return CancelOutcome::NotFound;
         };
@@ -296,7 +313,7 @@ impl Service {
     /// Returns the final job, or `None` on timeout / unknown id.
     pub fn wait(&self, id: JobId, timeout: Duration) -> Option<Job> {
         let deadline = Instant::now() + timeout;
-        let mut state = self.inner.state.lock().unwrap();
+        let mut state = self.inner.state.lock();
         loop {
             match state.jobs.get(&id) {
                 None => return None,
@@ -304,9 +321,9 @@ impl Service {
                 Some(_) => {}
             }
             let left = deadline.checked_duration_since(Instant::now())?;
-            let (next, timed_out) = self.inner.job_changed.wait_timeout(state, left).unwrap();
+            let (next, timed_out) = self.inner.job_changed.wait_timeout(state, left);
             state = next;
-            if timed_out.timed_out() {
+            if timed_out {
                 let job = state.jobs.get(&id)?;
                 return job.state.is_terminal().then(|| job.clone());
             }
@@ -315,7 +332,7 @@ impl Service {
 
     /// Current gauge values (brief lock).
     pub fn gauges(&self) -> Gauges {
-        let state = self.inner.state.lock().unwrap();
+        let state = self.inner.state.lock();
         Gauges {
             jobs_queued: state.queue.len() as u64,
             jobs_running: state.running as u64,
@@ -327,7 +344,7 @@ impl Service {
 
     /// Whether the service is draining (rejecting new submissions).
     pub fn is_draining(&self) -> bool {
-        let state = self.inner.state.lock().unwrap();
+        let state = self.inner.state.lock();
         state.draining || state.shutdown
     }
 
@@ -335,15 +352,16 @@ impl Service {
     /// to finish, then stops the workers. Idempotent; called by `Drop`.
     pub fn drain(&self) {
         {
-            let mut state = self.inner.state.lock().unwrap();
+            let mut state = self.inner.state.lock();
             state.draining = true;
             while !state.queue.is_empty() || state.running > 0 {
-                state = self.inner.job_changed.wait(state).unwrap();
+                state = self.inner.job_changed.wait(state);
             }
             state.shutdown = true;
         }
         self.inner.work_available.notify_all();
-        for handle in self.workers.lock().unwrap().drain(..) {
+        for handle in self.workers.lock().drain(..) {
+            // ppbench: allow(discarded-result, reason = "worker bodies catch panics; a join error here is a bug in the loop itself and drain must still stop the rest")
             let _ = handle.join();
         }
     }
@@ -364,32 +382,44 @@ struct JobObserver<'a> {
 
 impl PipelineObserver for JobObserver<'_> {
     fn kernel_started(&self, kernel: u8) {
-        let mut state = self.inner.state.lock().unwrap();
+        let mut state = self.inner.state.lock();
         if let Some(job) = state.jobs.get_mut(&self.id) {
             job.state = JobState::Running(kernel);
         }
     }
 
     fn kernel_finished(&self, kernel: u8, timing: &KernelTiming) {
-        self.inner.metrics.kernel_seconds[usize::from(kernel.min(3))].observe(timing.seconds);
+        if let Some(hist) = self
+            .inner
+            .metrics
+            .kernel_seconds
+            .get(usize::from(kernel.min(3)))
+        {
+            hist.observe(timing.seconds);
+        }
     }
 }
 
 fn worker_loop(inner: &Inner) {
     loop {
         let (id, config) = {
-            let mut state = inner.state.lock().unwrap();
+            let mut state = inner.state.lock();
             loop {
                 if state.shutdown {
                     return;
                 }
                 if let Some(id) = state.queue.pop_front() {
+                    // A queued id without a job record would be a registry
+                    // bug; skip it rather than poisoning the worker.
                     state.running += 1;
-                    let job = state.jobs.get_mut(&id).expect("queued job exists");
+                    let Some(job) = state.jobs.get_mut(&id) else {
+                        state.running -= 1;
+                        continue;
+                    };
                     job.state = JobState::Running(0);
                     break (id, job.config.clone());
                 }
-                state = inner.work_available.wait(state).unwrap();
+                state = inner.work_available.wait(state);
             }
         };
 
@@ -414,9 +444,10 @@ fn worker_loop(inner: &Inner) {
                 Err(format!("pipeline panicked: {msg}"))
             }
         };
+        // ppbench: allow(discarded-result, reason = "best-effort cleanup of a scratch dir; the job outcome must be published even if removal fails")
         let _ = std::fs::remove_dir_all(&work_dir);
 
-        let mut state = inner.state.lock().unwrap();
+        let mut state = inner.state.lock();
         state.running -= 1;
         match outcome {
             Ok(result) => {
@@ -475,6 +506,7 @@ mod tests {
                 std::thread::current().id()
             )),
         })
+        .expect("service starts")
     }
 
     #[test]
@@ -558,7 +590,8 @@ mod tests {
             max_terminal_jobs: 2,
             work_root: std::env::temp_dir()
                 .join(format!("ppbench-serve-prune-{}", std::process::id())),
-        });
+        })
+        .expect("service starts");
         let ids: Vec<JobId> = (0..4)
             .map(|seed| {
                 let receipt = service.submit(tiny_config(200 + seed)).unwrap();

@@ -16,18 +16,21 @@ struct TestServer {
 
 impl TestServer {
     fn start(workers: usize, queue_depth: usize) -> Self {
-        let service = Arc::new(Service::start(ServiceConfig {
-            workers,
-            queue_depth,
-            cache_bytes: 16 << 20,
-            max_scale: 10,
-            max_terminal_jobs: 256,
-            work_root: std::env::temp_dir().join(format!(
-                "ppbench-serve-e2e-{}-{:?}",
-                std::process::id(),
-                std::thread::current().id()
-            )),
-        }));
+        let service = Arc::new(
+            Service::start(ServiceConfig {
+                workers,
+                queue_depth,
+                cache_bytes: 16 << 20,
+                max_scale: 10,
+                max_terminal_jobs: 256,
+                work_root: std::env::temp_dir().join(format!(
+                    "ppbench-serve-e2e-{}-{:?}",
+                    std::process::id(),
+                    std::thread::current().id()
+                )),
+            })
+            .expect("service starts"),
+        );
         let server = HttpServer::bind("127.0.0.1:0", service).expect("bind ephemeral port");
         let addr = server.local_addr().expect("bound address");
         let thread = std::thread::spawn(move || server.run());

@@ -125,6 +125,7 @@ impl ExternalSorter {
         }
 
         for dir in &run_dirs {
+            // ppbench: allow(discarded-result, reason = "best-effort scratch cleanup; the sort already succeeded")
             let _ = std::fs::remove_dir_all(dir);
         }
         Ok(stats)

@@ -62,12 +62,14 @@ where
                         }
                     }
                     Err(e) => {
+                        // ppbench: allow(discarded-result, reason = "a failed send means the consumer hung up; the producer just stops")
                         let _ = tx.send(Err(e));
                         return;
                     }
                 }
             }
             if !batch.is_empty() {
+                // ppbench: allow(discarded-result, reason = "a failed send means the consumer hung up; the producer just stops")
                 let _ = tx.send(Ok(batch));
             }
             // Dropping tx closes the channel.

@@ -265,7 +265,7 @@ impl<T: Scalar> Csr<T> {
         if self.row_ptr.len() != self.rows as usize + 1 {
             return Err("row_ptr length mismatch".into());
         }
-        if *self.row_ptr.last().unwrap() != self.nnz() {
+        if self.row_ptr.last().copied() != Some(self.nnz()) {
             return Err("row_ptr tail != nnz".into());
         }
         if self.values.len() != self.col_idx.len() {

@@ -10,6 +10,8 @@
 //! Substring filters on the command line select benchmarks, as in real
 //! criterion.
 
+#![forbid(unsafe_code)]
+
 use std::fmt;
 use std::time::{Duration, Instant};
 

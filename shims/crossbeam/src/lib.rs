@@ -10,6 +10,8 @@
 //! here (real crossbeam senders are clonable; this shim's are too, since
 //! `SyncSender` is `Clone`).
 
+#![forbid(unsafe_code)]
+
 pub mod channel {
     //! Bounded channel shim mirroring `crossbeam::channel`.
 

@@ -6,6 +6,8 @@
 //! deliberately ignored, matching parking_lot's semantics: a panic while
 //! holding the lock leaves the data accessible to later lockers.
 
+#![forbid(unsafe_code)]
+
 use std::sync::PoisonError;
 
 /// Guard type returned by [`Mutex::lock`].
@@ -30,6 +32,54 @@ impl<T> Mutex<T> {
     /// Consumes the mutex, returning the inner value.
     pub fn into_inner(self) -> T {
         self.0.into_inner().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// Condition variable paired with [`Mutex`]. Like the mutex, it is
+/// poison-transparent: a panic in another thread never turns a wait into
+/// a panic here. One deliberate API deviation from the real parking_lot
+/// (which takes `&mut MutexGuard`): `wait` consumes and returns the
+/// guard, std-style, because that is implementable without unsafe code —
+/// call sites read `state = cv.wait(state)`.
+#[derive(Debug, Default)]
+pub struct Condvar(std::sync::Condvar);
+
+impl Condvar {
+    /// Creates a condition variable.
+    pub const fn new() -> Self {
+        Self(std::sync::Condvar::new())
+    }
+
+    /// Wakes one waiter.
+    pub fn notify_one(&self) {
+        self.0.notify_one();
+    }
+
+    /// Wakes all waiters.
+    pub fn notify_all(&self) {
+        self.0.notify_all();
+    }
+
+    /// Atomically releases `guard` and blocks until notified, then
+    /// reacquires the lock and returns the guard.
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        self.0.wait(guard).unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Like [`Condvar::wait`] with a timeout; the flag reports whether
+    /// the wait timed out.
+    pub fn wait_timeout<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        timeout: std::time::Duration,
+    ) -> (MutexGuard<'a, T>, bool) {
+        match self.0.wait_timeout(guard, timeout) {
+            Ok((g, res)) => (g, res.timed_out()),
+            Err(poisoned) => {
+                let (g, res) = poisoned.into_inner();
+                (g, res.timed_out())
+            }
+        }
     }
 }
 

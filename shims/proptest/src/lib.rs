@@ -17,6 +17,8 @@
 //! still derivable from the seed — and assertion macros panic directly
 //! instead of routing a `TestCaseError::Fail` through the runner.
 
+#![forbid(unsafe_code)]
+
 pub mod arbitrary;
 pub mod collection;
 pub mod strategy;

@@ -7,6 +7,8 @@
 //! a different algorithm family from the xoshiro/PCG generators under
 //! test — so the cross-check still compares two unrelated streams.
 
+#![forbid(unsafe_code)]
+
 /// Generators seedable from a `u64`.
 pub trait SeedableRng: Sized {
     /// Builds a generator from a 64-bit seed.

@@ -19,6 +19,8 @@
 //! rayon runs per fragment — which keeps results deterministic; a merging
 //! parallel sort is a contained future optimization.
 
+#![forbid(unsafe_code)]
+
 pub mod iter;
 pub mod slice;
 

@@ -42,6 +42,8 @@
 //! std::fs::remove_dir_all(&tmp).ok();
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(unreachable_pub)]
 #![warn(missing_docs)]
 
 pub use ppbench_core as core;
