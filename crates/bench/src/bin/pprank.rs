@@ -28,6 +28,7 @@ fn usage() -> ! {
          \x20             [--dangling omit|redistribute|sink] [--converge TOL]\n\
          \x20             [--iterations N] [--damping C] [--dir PATH] [--keep] [--top K]\n\
          \x20             [--workers W   (simulated distributed mode)] [--report PATH]\n\
+         \x20             [--threads N   (size the rayon pool; recorded in the run record)]\n\
          \x20             [--json        (machine-readable run record on stdout)]"
     );
     exit(2)
@@ -41,6 +42,7 @@ fn main() {
     let mut workers: Option<usize> = None;
     let mut report: Option<PathBuf> = None;
     let mut json = false;
+    let mut threads: Option<u64> = None;
 
     let mut argv = std::env::args().skip(1);
     while let Some(flag) = argv.next() {
@@ -91,6 +93,16 @@ fn main() {
                 report = Some(PathBuf::from(value()));
                 builder
             }
+            "--threads" => {
+                threads = Some(
+                    value()
+                        .parse()
+                        .ok()
+                        .filter(|&n| n >= 1)
+                        .unwrap_or_else(|| usage()),
+                );
+                builder
+            }
             "--json" => {
                 json = true;
                 builder
@@ -99,6 +111,19 @@ fn main() {
         };
     }
     let cfg = builder.build();
+
+    // Size the global rayon pool before any parallel stage runs, so every
+    // kernel of this process uses exactly the requested worker count and
+    // the recorded number is what actually ran.
+    if let Some(n) = threads {
+        if let Err(e) = rayon::ThreadPoolBuilder::new()
+            .num_threads(n as usize)
+            .build_global()
+        {
+            eprintln!("failed to size the thread pool to {n}: {e}");
+            exit(1);
+        }
+    }
 
     // Distributed mode: run the simulated cluster, report communication
     // volume, and exit (no kernel files are produced).
@@ -165,7 +190,8 @@ fn main() {
             exit(1);
         }
     };
-    let record = ppbench_core::RunRecord::from_result(&result);
+    let mut record = ppbench_core::RunRecord::from_result(&result);
+    record.threads = threads;
     if json {
         println!("{}", record.to_json());
     } else {

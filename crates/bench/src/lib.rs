@@ -10,12 +10,14 @@
 //!
 //! plus Criterion microbenches (`cargo bench`) for each kernel and the
 //! ablations DESIGN.md calls out (sort algorithm, SpMV form, generator,
-//! file count).
+//! file count), and the kernel-3 variant sweep (`k3bench` / [`k3`]) that
+//! produces `BENCH_k3.json`.
 
 #![forbid(unsafe_code)]
 #![deny(unreachable_pub)]
 #![warn(missing_docs)]
 
+pub mod k3;
 pub mod plot;
 pub mod sloc;
 pub mod sweep;

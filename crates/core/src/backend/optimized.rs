@@ -106,63 +106,23 @@ impl Backend for OptimizedBackend {
     }
 
     fn kernel3(&self, cfg: &PipelineConfig, matrix: &Csr<f64>) -> Result<kernel3::PageRankRun> {
-        use ppbench_sparse::vector;
-        let n = cfg.spec.num_vertices();
-        let opts = cfg.pagerank_options();
-        let c = opts.damping;
-        let dangling = ppbench_sparse::ops::empty_rows(matrix);
-        let mut r = kernel3::init_ranks(n, cfg.seed);
-        let mut scratch = vec![0.0; n as usize];
-        let mut delta = f64::INFINITY;
-        let mut done = 0;
-        for i in 1..=opts.max_iterations {
-            // Scatter into the scratch buffer, then apply damping+teleport
-            // in place and swap — no per-iteration allocation. Arithmetic
-            // mirrors `kernel3::step_with` expression-for-expression so
-            // serial backends stay bit-identical.
-            let teleport = (1.0 - c) * vector::sum(&r) / n as f64;
-            let dangling_mass: f64 = match opts.dangling {
-                kernel3::DanglingStrategy::Omit => 0.0,
-                _ => r
-                    .iter()
-                    .zip(&dangling)
-                    .filter(|&(_, &d)| d)
-                    .map(|(&x, _)| x)
-                    .sum(),
-            };
-            spmv::vxm_into(&r, matrix, &mut scratch);
-            match opts.dangling {
-                kernel3::DanglingStrategy::Omit => {
-                    for x in scratch.iter_mut() {
-                        *x = c * *x + teleport;
-                    }
-                }
-                kernel3::DanglingStrategy::Redistribute => {
-                    let spread = c * dangling_mass / n as f64;
-                    for x in scratch.iter_mut() {
-                        *x = c * *x + teleport + spread;
-                    }
-                }
-                kernel3::DanglingStrategy::Sink => {
-                    for ((x, &r_u), &d) in scratch.iter_mut().zip(&r).zip(&dangling) {
-                        *x = c * *x + teleport + if d { c * r_u } else { 0.0 };
-                    }
-                }
-            }
-            if opts.tolerance.is_some() {
-                delta = vector::l1_distance(&scratch, &r);
-            }
-            std::mem::swap(&mut r, &mut scratch);
-            done = i;
-            if opts.tolerance.is_some_and(|tol| delta < tol) {
-                break;
-            }
-        }
-        Ok(kernel3::PageRankRun {
-            ranks: r,
-            iterations: done,
-            final_delta: delta,
-        })
+        // Scatter into the iteration buffer, then apply damping+teleport in
+        // place — `run_into` ping-pongs the two rank buffers, so the whole
+        // loop performs zero O(N) allocation after setup. The epilogue
+        // arithmetic lives in `kernel3::apply_epilogue`, shared with
+        // `step_with` expression-for-expression so serial backends stay
+        // bit-identical.
+        let dangling = kernel3::DanglingInfo::from_mask(&ppbench_sparse::ops::empty_rows(matrix));
+        let r0 = kernel3::init_ranks(cfg.spec.num_vertices(), cfg.seed);
+        Ok(kernel3::run_into(
+            r0,
+            |r, next, coeffs| {
+                spmv::vxm_into(r, matrix, next);
+                kernel3::apply_epilogue(r, next, coeffs)
+            },
+            &dangling,
+            &cfg.pagerank_options(),
+        ))
     }
 }
 

@@ -17,9 +17,31 @@
 //! Every backend calls [`init_ranks`] with the same derived seed, so all
 //! four produce comparable rank vectors; what differs is the
 //! implementation of the `r * A` product, supplied as a closure.
+//!
+//! # The hot path
+//!
+//! The iteration driver is [`run_into`]: two rank buffers allocated once
+//! and ping-ponged (`std::mem::swap`) with zero O(N) allocation per
+//! iteration, a dangling-row **index list** precomputed once
+//! ([`DanglingInfo`]) instead of a bool-mask scan per iteration, and the
+//! running mass carried from one iteration's epilogue into the next
+//! iteration's teleport term instead of re-summing the rank vector. The
+//! backend supplies a *stepper* closure that writes the new ranks into the
+//! provided buffer and reports the L1 delta and new mass — the serial
+//! backends wrap a plain multiply via [`apply_epilogue`]; the parallel
+//! backend plugs in `ppbench_sparse::spmv::step_fused`, which does
+//! multiply + epilogue + delta in one sweep.
+//!
+//! [`run`] and [`step_with`] remain as compatibility wrappers and are
+//! bit-identical to their historical behavior: the carried mass
+//! accumulates in the same flat order `vector::sum` uses, and
+//! [`DanglingInfo::mass`] adds ranks in the same ascending-index order the
+//! old masked scan did.
 
 use ppbench_prng::{Rng64, SeedableRng64, SplitMix64, Xoshiro256pp};
 use ppbench_sparse::vector;
+
+pub use ppbench_sparse::spmv::{StepCoeffs, StepOutcome};
 
 /// Derives the rank-initialization seed from the master seed (kept separate
 /// from the generator's streams).
@@ -140,8 +162,131 @@ pub struct PageRankRun {
     pub final_delta: f64,
 }
 
+/// Dangling-row structure precomputed once per run: the ascending index
+/// list (what the per-iteration mass reduction walks — touching only the
+/// dangling entries instead of scanning a full bool mask) plus the dense
+/// mask (what the Sink epilogue and the fused kernels index by row).
+#[derive(Debug, Clone)]
+pub struct DanglingInfo {
+    indices: Vec<usize>,
+    mask: Vec<bool>,
+}
+
+impl DanglingInfo {
+    /// Builds from a dense dangling-row mask (`ops::empty_rows` output).
+    pub fn from_mask(mask: &[bool]) -> Self {
+        let indices = mask
+            .iter()
+            .enumerate()
+            .filter(|&(_, &d)| d)
+            .map(|(i, _)| i)
+            .collect();
+        Self {
+            indices,
+            mask: mask.to_vec(),
+        }
+    }
+
+    /// The dense mask, indexed by row.
+    pub fn mask(&self) -> &[bool] {
+        &self.mask
+    }
+
+    /// Ascending indices of the dangling rows.
+    pub fn indices(&self) -> &[usize] {
+        &self.indices
+    }
+
+    /// Number of dangling rows.
+    pub fn count(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Total rank mass sitting on the dangling rows. Adds in ascending
+    /// index order — the same addition sequence as the historical masked
+    /// flat scan, so results are bit-identical to it.
+    pub fn mass(&self, r: &[f64]) -> f64 {
+        let mut acc = 0.0;
+        for &i in &self.indices {
+            acc += r[i];
+        }
+        acc
+    }
+}
+
+/// Builds the per-iteration [`StepCoeffs`] from the carried mass and the
+/// dangling structure — the scalar prologue every stepper shares.
+fn step_coeffs<'a>(
+    mass: f64,
+    r: &[f64],
+    dangling: &'a DanglingInfo,
+    opts: &PageRankOptions,
+) -> StepCoeffs<'a> {
+    let n = r.len() as f64;
+    let c = opts.damping;
+    let teleport = (1.0 - c) * mass / n;
+    let (spread, sink) = match opts.dangling {
+        DanglingStrategy::Omit => (0.0, None),
+        DanglingStrategy::Redistribute => (c * dangling.mass(r) / n, None),
+        DanglingStrategy::Sink => (0.0, Some(dangling.mask())),
+    };
+    StepCoeffs {
+        damping: c,
+        teleport,
+        spread,
+        sink,
+    }
+}
+
+/// Applies the PageRank epilogue to a raw product in place and reports the
+/// L1 delta and new mass, accumulated during the same sweep.
+///
+/// `next` holds `r * A` on entry and the new rank vector on exit. The
+/// per-element expressions and the flat accumulation order match the
+/// historical `step_with` loops exactly, so serial results are
+/// bit-identical; in particular the delta accumulator adds in the same
+/// sequence as `vector::l1_distance` and the mass accumulator in the same
+/// sequence as `vector::sum`.
+pub fn apply_epilogue(r: &[f64], next: &mut [f64], coeffs: &StepCoeffs<'_>) -> StepOutcome {
+    let c = coeffs.damping;
+    let teleport = coeffs.teleport;
+    let mut delta = 0.0;
+    let mut mass = 0.0;
+    match coeffs.sink {
+        Some(mask) => {
+            for ((x, &r_u), &d) in next.iter_mut().zip(r).zip(mask) {
+                let v = c * *x + teleport + if d { c * r_u } else { 0.0 };
+                delta += (v - r_u).abs();
+                mass += v;
+                *x = v;
+            }
+        }
+        None if coeffs.spread != 0.0 => {
+            let spread = coeffs.spread;
+            for (x, &r_u) in next.iter_mut().zip(r) {
+                let v = c * *x + teleport + spread;
+                delta += (v - r_u).abs();
+                mass += v;
+                *x = v;
+            }
+        }
+        None => {
+            for (x, &r_u) in next.iter_mut().zip(r) {
+                let v = c * *x + teleport;
+                delta += (v - r_u).abs();
+                mass += v;
+                *x = v;
+            }
+        }
+    }
+    StepOutcome { delta, mass }
+}
+
 /// One update under a dangling strategy. `dangling_rows[u]` flags rows
 /// with no out-edges in the (filtered, normalized) matrix.
+///
+/// Compatibility wrapper over [`apply_epilogue`]; allocates via `multiply`.
+/// The hot path is [`run_into`], which reuses buffers across iterations.
 pub fn step_with(
     r: &[f64],
     multiply: impl FnOnce(&[f64]) -> Vec<f64>,
@@ -151,46 +296,111 @@ pub fn step_with(
     let n = r.len() as f64;
     let c = opts.damping;
     let teleport = (1.0 - c) * vector::sum(r) / n;
-    let dangling_mass: f64 = match opts.dangling {
-        DanglingStrategy::Omit => 0.0,
-        _ => r
-            .iter()
-            .zip(dangling_rows)
-            .filter(|&(_, &d)| d)
-            .map(|(&x, _)| x)
-            .sum(),
+    let spread = match opts.dangling {
+        DanglingStrategy::Redistribute => {
+            let dangling_mass: f64 = r
+                .iter()
+                .zip(dangling_rows)
+                .filter(|&(_, &d)| d)
+                .map(|(&x, _)| x)
+                .sum();
+            c * dangling_mass / n
+        }
+        _ => 0.0,
+    };
+    let sink = matches!(opts.dangling, DanglingStrategy::Sink).then_some(dangling_rows);
+    let coeffs = StepCoeffs {
+        damping: c,
+        teleport,
+        spread,
+        sink,
     };
     let mut next = multiply(r);
-    match opts.dangling {
-        DanglingStrategy::Omit => {
-            for x in next.iter_mut() {
-                *x = c * *x + teleport;
-            }
-        }
-        DanglingStrategy::Redistribute => {
-            let spread = c * dangling_mass / n;
-            for x in next.iter_mut() {
-                *x = c * *x + teleport + spread;
-            }
-        }
-        DanglingStrategy::Sink => {
-            for ((x, &r_u), &d) in next.iter_mut().zip(r).zip(dangling_rows) {
-                *x = c * *x + teleport + if d { c * r_u } else { 0.0 };
-            }
+    apply_epilogue(r, &mut next, &coeffs);
+    next
+}
+
+/// Runs kernel 3 with a buffer-writing stepper: double-buffered rank
+/// vectors (one extra allocation at setup, zero O(N) allocation per
+/// iteration) and the running mass carried between iterations.
+///
+/// The stepper receives the current ranks, the output buffer to fill, and
+/// the precomputed scalar coefficients for this iteration; it returns the
+/// L1 delta and the new total mass, both of which it can accumulate during
+/// its single write sweep. Serial callers build one with
+/// [`serial_stepper`]; the parallel backend passes a closure over
+/// `spmv::step_fused`.
+///
+/// In debug builds each iteration asserts the carried mass agrees with a
+/// fresh `vector::sum` of the current ranks within 1e-12.
+pub fn run_into(
+    r0: Vec<f64>,
+    mut stepper: impl FnMut(&[f64], &mut [f64], &StepCoeffs<'_>) -> StepOutcome,
+    dangling: &DanglingInfo,
+    opts: &PageRankOptions,
+) -> PageRankRun {
+    assert_eq!(
+        dangling.mask.len(),
+        r0.len(),
+        "dangling mask length mismatch"
+    );
+    let mut cur = r0;
+    let mut buf = vec![0.0; cur.len()];
+    let mut mass = vector::sum(&cur);
+    let mut delta = f64::INFINITY;
+    let mut done = 0;
+    for i in 1..=opts.max_iterations {
+        debug_assert!(
+            (mass - vector::sum(&cur)).abs() <= 1e-12,
+            "carried mass {mass} drifted from fresh sum {}",
+            vector::sum(&cur)
+        );
+        let coeffs = step_coeffs(mass, &cur, dangling, opts);
+        let out = stepper(&cur, &mut buf, &coeffs);
+        std::mem::swap(&mut cur, &mut buf);
+        mass = out.mass;
+        delta = out.delta;
+        done = i;
+        if opts.tolerance.is_some_and(|tol| delta < tol) {
+            break;
         }
     }
-    next
+    PageRankRun {
+        ranks: cur,
+        iterations: done,
+        final_delta: delta,
+    }
+}
+
+/// Adapts a plain `r * A` closure into a [`run_into`] stepper: multiply,
+/// copy into the iteration buffer, apply the epilogue in place. This is
+/// the compatibility path for backends whose multiply allocates its own
+/// output; it reproduces the historical serial results bit for bit.
+pub fn serial_stepper<M>(
+    mut multiply: M,
+) -> impl FnMut(&[f64], &mut [f64], &StepCoeffs<'_>) -> StepOutcome
+where
+    M: FnMut(&[f64]) -> Vec<f64>,
+{
+    move |r, next, coeffs| {
+        let prod = multiply(r);
+        next.copy_from_slice(&prod);
+        apply_epilogue(r, next, coeffs)
+    }
 }
 
 /// Runs kernel 3 under full options: dangling strategy and optional
 /// convergence stopping.
+///
+/// Compatibility wrapper: precomputes [`DanglingInfo`] from the mask and
+/// drives [`run_into`] with a [`serial_stepper`].
 ///
 /// # Panics
 ///
 /// Panics if `dangling_rows.len() != r0.len()`.
 pub fn run(
     r0: Vec<f64>,
-    mut multiply: impl FnMut(&[f64]) -> Vec<f64>,
+    multiply: impl FnMut(&[f64]) -> Vec<f64>,
     dangling_rows: &[bool],
     opts: &PageRankOptions,
 ) -> PageRankRun {
@@ -199,23 +409,8 @@ pub fn run(
         r0.len(),
         "dangling mask length mismatch"
     );
-    let mut r = r0;
-    let mut delta = f64::INFINITY;
-    let mut done = 0;
-    for i in 1..=opts.max_iterations {
-        let next = step_with(&r, &mut multiply, dangling_rows, opts);
-        delta = vector::l1_distance(&next, &r);
-        r = next;
-        done = i;
-        if opts.tolerance.is_some_and(|tol| delta < tol) {
-            break;
-        }
-    }
-    PageRankRun {
-        ranks: r,
-        iterations: done,
-        final_delta: delta,
-    }
+    let info = DanglingInfo::from_mask(dangling_rows);
+    run_into(r0, serial_stepper(multiply), &info, opts)
 }
 
 /// The L1 mass retained after a run. With no dangling rows this stays at
@@ -438,6 +633,117 @@ mod tests {
             assert_eq!(DanglingStrategy::parse(s.name()), Some(s));
         }
         assert_eq!(DanglingStrategy::parse("vanish"), None);
+    }
+
+    #[test]
+    fn dangling_info_matches_masked_scan() {
+        let mask = [true, false, false, true, true];
+        let info = DanglingInfo::from_mask(&mask);
+        assert_eq!(info.indices(), &[0, 3, 4]);
+        assert_eq!(info.count(), 3);
+        assert_eq!(info.mask(), &mask);
+        let r = [0.1, 0.2, 0.3, 0.25, 0.15];
+        let scan: f64 = r
+            .iter()
+            .zip(&mask)
+            .filter(|&(_, &d)| d)
+            .map(|(&x, _)| x)
+            .sum();
+        assert_eq!(info.mass(&r).to_bits(), scan.to_bits());
+    }
+
+    #[test]
+    fn run_into_ping_pongs_the_setup_buffers() {
+        // Zero-allocation evidence: after an even number of iterations the
+        // result occupies the exact heap buffer `r0` arrived in — the loop
+        // only ever swaps the two setup buffers, never reallocates.
+        let a = ring(16);
+        let r0 = init_ranks(16, 5);
+        let p0 = r0.as_ptr();
+        let dangling = DanglingInfo::from_mask(&[false; 16]);
+        let opts = PageRankOptions::default(); // 20 iterations, even
+        let out = run_into(
+            r0,
+            |r, next, coeffs| {
+                spmv::vxm_into(r, &a, next);
+                apply_epilogue(r, next, coeffs)
+            },
+            &dangling,
+            &opts,
+        );
+        assert_eq!(out.iterations, 20);
+        assert_eq!(out.ranks.as_ptr(), p0, "rank buffer was reallocated");
+    }
+
+    #[test]
+    fn run_is_bit_identical_to_the_legacy_step_loop() {
+        // The compatibility wrapper must reproduce the historical
+        // iteration exactly: fresh-sum teleport, masked dangling scan,
+        // post-hoc l1_distance.
+        let mut coo = Coo::<u64>::new(6, 6);
+        for (u, v) in [(0, 1), (1, 2), (2, 0), (3, 0), (0, 4)] {
+            coo.push(u, v, 1);
+        }
+        let a = ops::normalize_rows(&coo.compress());
+        let dangling = ops::empty_rows(&a);
+        for strategy in [
+            DanglingStrategy::Omit,
+            DanglingStrategy::Redistribute,
+            DanglingStrategy::Sink,
+        ] {
+            let opts = PageRankOptions {
+                dangling: strategy,
+                ..Default::default()
+            };
+            let via_run = run(init_ranks(6, 4), |x| spmv::vxm(x, &a), &dangling, &opts);
+            let mut r = init_ranks(6, 4);
+            let mut delta = f64::INFINITY;
+            for _ in 0..opts.max_iterations {
+                let next = step_with(&r, |x| spmv::vxm(x, &a), &dangling, &opts);
+                delta = vector::l1_distance(&next, &r);
+                r = next;
+            }
+            assert_eq!(via_run.ranks, r, "{strategy:?} ranks diverged");
+            assert_eq!(
+                via_run.final_delta.to_bits(),
+                delta.to_bits(),
+                "{strategy:?} delta diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn fused_stepper_matches_serial_stepper_within_tolerance() {
+        // The parallel backend's fused path against the serial compat path
+        // on a graph with dangling rows, all three strategies.
+        let mut coo = Coo::<u64>::new(8, 8);
+        for (u, v) in [(0, 1), (1, 2), (2, 3), (3, 0), (4, 0), (0, 5)] {
+            coo.push(u, v, 1);
+        }
+        let a = ops::normalize_rows(&coo.compress());
+        let at = a.transpose();
+        let mask = ops::empty_rows(&a);
+        let info = DanglingInfo::from_mask(&mask);
+        let boundaries = spmv::balanced_boundaries(at.row_ptr(), 3);
+        for strategy in [
+            DanglingStrategy::Omit,
+            DanglingStrategy::Redistribute,
+            DanglingStrategy::Sink,
+        ] {
+            let opts = PageRankOptions {
+                dangling: strategy,
+                ..Default::default()
+            };
+            let serial = run(init_ranks(8, 6), |x| spmv::vxm(x, &a), &mask, &opts);
+            let fused = run_into(
+                init_ranks(8, 6),
+                |r, next, coeffs| spmv::step_fused(r, &at.view(), next, coeffs, &boundaries),
+                &info,
+                &opts,
+            );
+            let dist = vector::l1_distance(&serial.ranks, &fused.ranks);
+            assert!(dist < 1e-12, "{strategy:?} fused L1 gap {dist}");
+        }
     }
 
     #[test]

@@ -82,6 +82,35 @@ fn count_inversions(mut seq: Vec<u64>) -> u64 {
     inversions
 }
 
+/// Ids of the `k` highest-ranked vertices under the same comparator as
+/// [`ordering`] (descending rank, ties by ascending id), returned in
+/// ascending id order (set semantics).
+///
+/// Selected in O(n) expected time with `select_nth_unstable_by` rather
+/// than a full sort — at benchmark scales the caller wants the top handful
+/// out of millions of vertices, so sorting everything to keep five entries
+/// is almost all wasted work.
+pub fn top_k_ids(ranks: &[f64], k: usize) -> Vec<u64> {
+    let k = k.min(ranks.len());
+    if k == 0 {
+        return Vec::new();
+    }
+    let mut idx: Vec<u64> = (0..ranks.len() as u64).collect();
+    if k < idx.len() {
+        // After this call positions 0..k hold the k least elements under
+        // the comparator — which orders by descending rank — i.e. the top
+        // k vertices, in arbitrary internal order.
+        idx.select_nth_unstable_by(k - 1, |&a, &b| {
+            ranks[b as usize]
+                .total_cmp(&ranks[a as usize])
+                .then(a.cmp(&b))
+        });
+        idx.truncate(k);
+    }
+    idx.sort_unstable();
+    idx
+}
+
 /// Jaccard overlap of the top-`k` sets of two rank vectors: 1.0 when both
 /// agree on which vertices matter most, regardless of their order within
 /// the top `k`.
@@ -92,15 +121,23 @@ fn count_inversions(mut seq: Vec<u64>) -> u64 {
 pub fn top_k_overlap(a: &[f64], b: &[f64], k: usize) -> f64 {
     assert_eq!(a.len(), b.len(), "rank vectors must have equal length");
     assert!(k > 0, "k must be positive");
-    let k = k.min(a.len());
-    let top = |r: &[f64]| -> std::collections::BTreeSet<u64> {
-        ordering(r).into_iter().take(k).collect()
-    };
-    let sa = top(a);
-    let sb = top(b);
-    let inter = sa.intersection(&sb).count() as f64;
-    let union = sa.union(&sb).count() as f64;
-    inter / union
+    let sa = top_k_ids(a, k);
+    let sb = top_k_ids(b, k);
+    // Both sides are ascending, so the intersection is a two-pointer merge.
+    let (mut i, mut j, mut inter) = (0, 0, 0usize);
+    while i < sa.len() && j < sb.len() {
+        match sa[i].cmp(&sb[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                inter += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    let union = sa.len() + sb.len() - inter;
+    inter as f64 / union as f64
 }
 
 #[cfg(test)]
@@ -180,6 +217,27 @@ mod tests {
         assert_eq!(top_k_overlap(&a, &b, 3), 0.5);
         // k past the length clamps.
         assert_eq!(top_k_overlap(&a, &b, 100), 1.0);
+    }
+
+    #[test]
+    fn top_k_ids_agree_with_full_ordering() {
+        // Quantized pseudo-random ranks: plenty of exact ties, so the
+        // selection's tie-break has to match the full sort's exactly.
+        let mut state = 99u64;
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 11) % 16) as f64 / 16.0
+        };
+        let ranks: Vec<f64> = (0..257).map(|_| next()).collect();
+        for k in [1, 2, 7, 64, 256, 257, 500] {
+            let mut expect: Vec<u64> = ordering(&ranks).into_iter().take(k).collect();
+            expect.sort_unstable();
+            assert_eq!(top_k_ids(&ranks, k), expect, "k = {k}");
+        }
+        assert!(top_k_ids(&ranks, 0).is_empty());
+        assert!(top_k_ids(&[], 3).is_empty());
     }
 
     #[test]

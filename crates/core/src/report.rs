@@ -26,6 +26,10 @@ pub struct RunRecord {
     pub kernels: [Option<(f64, f64)>; 4],
     /// Whether validation passed (`None` if validation did not run).
     pub validation_passed: Option<bool>,
+    /// Worker-thread count the run was attributed to (`None` when the
+    /// caller did not pin one — e.g. legacy records, or runs that never
+    /// set `pprank --threads`).
+    pub threads: Option<u64>,
 }
 
 impl RunRecord {
@@ -43,6 +47,7 @@ impl RunRecord {
                 timing(result.kernel3.as_ref().map(|k| &k.timing)),
             ],
             validation_passed: result.validation.as_ref().map(|v| v.passed()),
+            threads: None,
         }
     }
 
@@ -59,6 +64,9 @@ impl RunRecord {
         }
         if let Some(passed) = self.validation_passed {
             out.push_str(&format!("validation\t{passed}\n"));
+        }
+        if let Some(threads) = self.threads {
+            out.push_str(&format!("threads\t{threads}\n"));
         }
         out
     }
@@ -96,6 +104,10 @@ impl RunRecord {
             Some(passed) => obj.set_bool("validation_passed", passed),
             None => obj.set_null("validation_passed"),
         };
+        match self.threads {
+            Some(threads) => obj.set_u64("threads", threads),
+            None => obj.set_null("threads"),
+        };
         obj.render()
     }
 
@@ -107,6 +119,7 @@ impl RunRecord {
             edges: 0,
             kernels: [None; 4],
             validation_passed: None,
+            threads: None,
         };
         let mut saw_header = false;
         for (lineno, line) in text.lines().enumerate() {
@@ -162,6 +175,14 @@ impl RunRecord {
                             .get(1)
                             .and_then(|v| v.parse().ok())
                             .ok_or_else(|| bad("bad validation flag"))?,
+                    );
+                }
+                "threads" => {
+                    record.threads = Some(
+                        fields
+                            .get(1)
+                            .and_then(|v| v.parse().ok())
+                            .ok_or_else(|| bad("bad thread count"))?,
                     );
                 }
                 other => return Err(bad(&format!("unknown key {other:?}"))),
@@ -283,6 +304,22 @@ mod tests {
             RunRecord::from_text("record\tppbench-run-v1\nbogus\tx\n").is_err(),
             "unknown key"
         );
+    }
+
+    #[test]
+    fn threads_roundtrip_and_default_to_unknown() {
+        let mut record = sample();
+        assert_eq!(record.threads, None);
+        let json = record.to_json();
+        assert!(json.contains("\"threads\":null"), "{json}");
+        record.threads = Some(4);
+        assert!(record.to_text().contains("threads\t4\n"));
+        assert!(record.to_json().contains("\"threads\":4"));
+        let parsed = RunRecord::from_text(&record.to_text()).unwrap();
+        assert_eq!(parsed.threads, Some(4));
+        // Legacy records without the key still parse.
+        let legacy = RunRecord::from_text("record\tppbench-run-v1\nscale\t6\n").unwrap();
+        assert_eq!(legacy.threads, None);
     }
 
     #[test]

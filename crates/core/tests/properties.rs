@@ -115,4 +115,98 @@ proptest! {
         prop_assert_eq!(kendall_tau(&a, &scaled), 1.0);
         let _ = n;
     }
+
+    /// The balanced-fused kernel-3 path (what the parallel backend runs)
+    /// agrees with the serial scatter oracle within 1e-12 under every
+    /// dangling strategy, for arbitrary hub-skewed matrices and chunk
+    /// counts — and the narrow-index form is bit-identical to the wide one.
+    #[test]
+    fn fused_pagerank_matches_serial_oracle(
+        triplets in proptest::collection::vec(
+            ((0u64..5, 0u64..10).prop_map(|(p, v)| if p < 3 { 0 } else { v }),
+             (0u64..5, 0u64..10).prop_map(|(p, v)| if p < 3 { 0 } else { v })),
+            0..80,
+        ),
+        seed: u64,
+        chunks in 1usize..5,
+    ) {
+        let n = 10u64;
+        let mut coo = Coo::<u64>::new(n, n);
+        for &(u, v) in &triplets {
+            coo.push(u, v, 1);
+        }
+        let a = ops::normalize_rows(&coo.compress());
+        prop_assert!(check_fused_against_oracle(&a, seed, chunks) < 1e-12);
+    }
+}
+
+/// Runs both kernel-3 paths on `a` under all three dangling strategies and
+/// returns the worst L1 gap; panics if narrow and wide fused results ever
+/// differ bitwise.
+fn check_fused_against_oracle(a: &Csr<f64>, seed: u64, chunks: usize) -> f64 {
+    use ppbench_core::kernel3::{DanglingInfo, DanglingStrategy, PageRankOptions};
+    use ppbench_sparse::{vector, Csr32};
+
+    let at = a.transpose();
+    let narrow = Csr32::try_from_wide(&at).unwrap();
+    let mask = ops::empty_rows(a);
+    let info = DanglingInfo::from_mask(&mask);
+    let boundaries = spmv::balanced_boundaries(at.row_ptr(), chunks);
+    let mut worst = 0.0f64;
+    for strategy in [
+        DanglingStrategy::Omit,
+        DanglingStrategy::Redistribute,
+        DanglingStrategy::Sink,
+    ] {
+        let opts = PageRankOptions {
+            damping: 0.85,
+            max_iterations: 12,
+            dangling: strategy,
+            tolerance: None,
+        };
+        let r0 = kernel3::init_ranks(a.rows(), seed);
+        let oracle = kernel3::run(r0.clone(), |x| spmv::vxm(x, a), &mask, &opts);
+        let fused = kernel3::run_into(
+            r0.clone(),
+            |r, next, coeffs| spmv::step_fused(r, &narrow.view(), next, coeffs, &boundaries),
+            &info,
+            &opts,
+        );
+        let wide = kernel3::run_into(
+            r0,
+            |r, next, coeffs| spmv::step_fused(r, &at.view(), next, coeffs, &boundaries),
+            &info,
+            &opts,
+        );
+        assert_eq!(wide.ranks, fused.ranks, "u32/u64 fused paths diverged");
+        worst = worst.max(vector::l1_distance(&fused.ranks, &oracle.ranks));
+    }
+    worst
+}
+
+/// The degenerate shapes the fuzzer only hits by luck, pinned explicitly:
+/// the empty matrix (every row dangling), a single hub that every vertex
+/// points at (the hub itself dangling), and a zero-vertex matrix.
+#[test]
+fn fused_pagerank_edge_shapes() {
+    // All-dangling: no edges at all.
+    let empty = ops::normalize_rows(&Coo::<u64>::new(8, 8).compress());
+    // Single hub: every other vertex points only at vertex 0.
+    let mut coo = Coo::<u64>::new(8, 8);
+    for v in 1..8 {
+        coo.push(v, 0, 1);
+    }
+    let hub = ops::normalize_rows(&coo.compress());
+    // Zero vertices: nothing to rank, nothing to crash on.
+    let none = ops::normalize_rows(&Coo::<u64>::new(0, 0).compress());
+    for (name, m) in [
+        ("all-dangling", empty),
+        ("single-hub", hub),
+        ("empty", none),
+    ] {
+        for chunks in [1, 3] {
+            let gap = check_fused_against_oracle(&m, 42, chunks);
+            assert!(gap < 1e-12, "{name} with {chunks} chunks: L1 gap {gap}");
+        }
+    }
 }

@@ -116,6 +116,7 @@ mod tests {
                 edges: 64,
                 kernels: [None; 4],
                 validation_passed: Some(true),
+                threads: None,
             },
             ranks: vec![0.5; rank_count],
             total_seconds: 1.0,

@@ -535,6 +535,7 @@ mod tests {
                 edges: 64,
                 kernels: [Some((0.5, 128.0)), None, None, None],
                 validation_passed: Some(true),
+                threads: None,
             },
             ranks: vec![0.25; 16],
             total_seconds: 1.5,

@@ -119,6 +119,7 @@ mod tests {
                 edges: 64,
                 kernels: [None; 4],
                 validation_passed: None,
+                threads: None,
             },
             ranks,
             total_seconds: 0.0,

@@ -170,6 +170,7 @@ fn lru_eviction_respects_byte_budget_under_churn() {
                 edges: 1 << 13,
                 kernels: [Some((0.1, 8192.0)); 4],
                 validation_passed: Some(true),
+                threads: None,
             },
             ranks: vec![0.125; rank_count],
             total_seconds: 0.5,

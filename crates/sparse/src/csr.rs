@@ -2,6 +2,98 @@
 
 use crate::Scalar;
 
+/// A column-index type a CSR matrix can store: `u64` (the canonical wide
+/// form) or `u32` (the narrow form of [`crate::Csr32`], half the index
+/// bandwidth for every matrix whose column count fits).
+pub trait ColIndex: Copy + Send + Sync + 'static {
+    /// Widens to a slice index.
+    fn to_index(self) -> usize;
+}
+
+impl ColIndex for u64 {
+    #[inline(always)]
+    fn to_index(self) -> usize {
+        self as usize
+    }
+}
+
+impl ColIndex for u32 {
+    #[inline(always)]
+    fn to_index(self) -> usize {
+        self as usize
+    }
+}
+
+/// A borrowed view of CSR storage with `f64` values, generic over the
+/// column-index width. The SpMV kernels in [`crate::spmv`] operate on
+/// views so one implementation serves both [`Csr`] and [`crate::Csr32`].
+#[derive(Debug, Clone, Copy)]
+pub struct CsrView<'a, I> {
+    rows: u64,
+    cols: u64,
+    row_ptr: &'a [usize],
+    col_idx: &'a [I],
+    values: &'a [f64],
+}
+
+impl<'a, I: ColIndex> CsrView<'a, I> {
+    /// Assembles a view from raw parts (lengths checked).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row_ptr.len() != rows + 1` or the index/value slices
+    /// disagree in length.
+    pub fn from_parts(
+        rows: u64,
+        cols: u64,
+        row_ptr: &'a [usize],
+        col_idx: &'a [I],
+        values: &'a [f64],
+    ) -> Self {
+        assert_eq!(row_ptr.len() as u64, rows + 1, "row_ptr length mismatch");
+        assert_eq!(
+            col_idx.len(),
+            values.len(),
+            "col_idx/values length mismatch"
+        );
+        Self {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> u64 {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> u64 {
+        self.cols
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.col_idx.len()
+    }
+
+    /// The row pointer array (length `rows + 1`).
+    pub fn row_ptr(&self) -> &'a [usize] {
+        self.row_ptr
+    }
+
+    /// The entries of row `r` as parallel (columns, values) slices.
+    #[inline]
+    pub fn row(&self, r: usize) -> (&'a [I], &'a [f64]) {
+        let lo = self.row_ptr[r];
+        let hi = self.row_ptr[r + 1];
+        (&self.col_idx[lo..hi], &self.values[lo..hi])
+    }
+}
+
 /// A sparse matrix in CSR form: `row_ptr` (length rows+1) delimits, for each
 /// row, a slice of `col_idx`/`values`. Column indices are strictly
 /// increasing within each row and no explicit zeros are stored.
@@ -292,6 +384,22 @@ impl<T: Scalar> Csr<T> {
             return Err("explicit zero stored".into());
         }
         Ok(())
+    }
+}
+
+impl Csr<f64> {
+    /// A borrowed [`CsrView`] over this matrix's storage, with the wide
+    /// (`u64`) column indices. The SpMV kernels in [`crate::spmv`] accept
+    /// views so the narrow-index form ([`crate::Csr32`]) shares one
+    /// implementation with this one.
+    pub fn view(&self) -> CsrView<'_, u64> {
+        CsrView::from_parts(
+            self.rows,
+            self.cols,
+            &self.row_ptr,
+            &self.col_idx,
+            &self.values,
+        )
     }
 }
 

@@ -14,7 +14,11 @@
 //!   keeping both), with construction fast paths for sorted input;
 //! * [`ops`] — column/row sums, structural filtering, row normalization;
 //! * [`spmv`] — the row-vector × matrix product in both *scatter* (CSR, as
-//!   written in the paper) and *gather* (transposed, parallelizable) forms;
+//!   written in the paper) and *gather* (transposed, parallelizable) forms,
+//!   including nnz-balanced partitioned kernels with a fused PageRank
+//!   epilogue;
+//! * [`narrow`] — the `u32`-column-index CSR form ([`Csr32`]) that halves
+//!   index bandwidth at every paper scale;
 //! * [`vector`] — the dense-vector helpers the PageRank update needs;
 //! * [`eigen`] — matrix-free power iteration, used to validate kernel 3
 //!   against the dominant eigenvector of `c·Aᵀ + (1−c)/N·𝟙` exactly as the
@@ -48,13 +52,15 @@ pub mod csr;
 pub mod dense;
 pub mod eigen;
 pub mod graphblas;
+pub mod narrow;
 pub mod ops;
 pub mod spmv;
 pub mod vector;
 
 pub use coo::Coo;
-pub use csr::Csr;
+pub use csr::{ColIndex, Csr, CsrView};
 pub use dense::Dense;
+pub use narrow::Csr32;
 
 /// Value types storable in a sparse matrix.
 ///

@@ -8,9 +8,27 @@
 //! reordered but algebraically identical; the gather form has no write
 //! contention and is what the rayon-parallel kernel uses. Both are exposed
 //! so the ablation bench (scatter vs gather) can measure the difference.
+//!
+//! The hot-path kernels at the bottom of this module go further, following
+//! the GAP Benchmark Suite playbook for power-law graphs:
+//!
+//! * [`balanced_boundaries`] partitions rows into chunks of ~equal
+//!   *nonzero* span (binary search on the `row_ptr` offsets), so one hub
+//!   row cannot serialize a whole chunk the way equal-row partitioning
+//!   does;
+//! * [`gather_into`] runs the partitioned gather into a caller-provided
+//!   buffer — no per-iteration allocation;
+//! * [`step_fused`] additionally applies the PageRank epilogue
+//!   (`c·x + teleport (+ dangling term)`) and accumulates the L1 delta and
+//!   the new mass in the same pass, collapsing the three memory sweeps of
+//!   the naive iteration (multiply, scale-and-shift, distance) into one.
+//!
+//! All three are generic over the column-index width via [`CsrView`], so
+//! the narrow `u32` form ([`crate::Csr32`]) shares this implementation.
 
 use rayon::prelude::*;
 
+use crate::csr::{ColIndex, CsrView};
 use crate::Csr;
 
 /// `out = x * A` (row vector × matrix) via CSR scatter.
@@ -101,6 +119,210 @@ pub fn par_vxm_gather(x: &[f64], at: &Csr<f64>) -> Vec<f64> {
         .collect()
 }
 
+/// Partitions rows `0..rows` into `chunks` contiguous ranges of roughly
+/// equal *nonzero* count, returned as a boundary list of length
+/// `chunks + 1` with `b[0] = 0` and `b[chunks] = rows`.
+///
+/// Each interior boundary is found by binary search on the `row_ptr`
+/// offsets for the ideal nnz split point, so a handful of hub rows in a
+/// power-law graph land in chunks of their own instead of dragging a
+/// thousand light rows with them. Boundaries are non-decreasing; a chunk
+/// may be empty when a single row holds more than `nnz / chunks`
+/// nonzeros.
+pub fn balanced_boundaries(row_ptr: &[usize], chunks: usize) -> Vec<usize> {
+    assert!(!row_ptr.is_empty(), "row_ptr must have length rows + 1");
+    let rows = row_ptr.len() - 1;
+    let chunks = chunks.max(1);
+    let nnz = row_ptr[rows];
+    let mut bounds = Vec::with_capacity(chunks + 1);
+    bounds.push(0usize);
+    let mut prev = 0usize;
+    for i in 1..chunks {
+        let target = (nnz as u128 * i as u128 / chunks as u128) as usize;
+        let split = row_ptr.partition_point(|&p| p < target).min(rows);
+        prev = split.max(prev);
+        bounds.push(prev);
+    }
+    bounds.push(rows);
+    bounds
+}
+
+/// Splits `out` into per-chunk mutable slices according to `boundaries`,
+/// pairing each with its starting row, so the parallel kernels can write
+/// disjoint regions without synchronization (and without `unsafe`).
+fn chunk_slices<'a>(out: &'a mut [f64], boundaries: &[usize]) -> Vec<(&'a mut [f64], usize)> {
+    assert!(boundaries.len() >= 2, "need at least one chunk");
+    assert_eq!(boundaries[0], 0, "boundaries must start at row 0");
+    assert_eq!(
+        boundaries[boundaries.len() - 1],
+        out.len(),
+        "boundaries must end at the row count"
+    );
+    let mut parts = Vec::with_capacity(boundaries.len() - 1);
+    let mut rest = out;
+    for w in boundaries.windows(2) {
+        let (lo, hi) = (w[0], w[1]);
+        assert!(lo <= hi, "boundaries must be non-decreasing");
+        let (head, tail) = rest.split_at_mut(hi - lo);
+        parts.push((head, lo));
+        rest = tail;
+    }
+    parts
+}
+
+/// Dot product of row `r` of the transposed matrix with `x` — the gather
+/// form of one output element.
+#[inline(always)]
+fn gather_row<I: ColIndex>(x: &[f64], at: &CsrView<'_, I>, r: usize) -> f64 {
+    let (cols, vals) = at.row(r);
+    let mut acc = 0.0;
+    for (&c, &w) in cols.iter().zip(vals) {
+        acc += x[c.to_index()] * w;
+    }
+    acc
+}
+
+/// nnz-balanced parallel gather `x * A` over a precomputed transpose view,
+/// writing into a caller-provided buffer. Equals [`vxm`] up to
+/// floating-point reassociation; allocates nothing besides the per-chunk
+/// bookkeeping.
+///
+/// `boundaries` comes from [`balanced_boundaries`]`(at.row_ptr(), chunks)`
+/// and is computed once per run, not per iteration.
+///
+/// # Panics
+///
+/// Panics if `x.len() != at.cols()`, `out.len() != at.rows()`, or the
+/// boundary list does not span `0..at.rows()`.
+pub fn gather_into<I: ColIndex>(
+    x: &[f64],
+    at: &CsrView<'_, I>,
+    out: &mut [f64],
+    boundaries: &[usize],
+) {
+    assert_eq!(
+        x.len() as u64,
+        at.cols(),
+        "vector length must equal A's row count"
+    );
+    assert_eq!(
+        out.len() as u64,
+        at.rows(),
+        "output length must equal A's column count"
+    );
+    chunk_slices(out, boundaries)
+        .into_par_iter()
+        .map(|(slice, lo)| {
+            for (k, o) in slice.iter_mut().enumerate() {
+                *o = gather_row(x, at, lo + k);
+            }
+        })
+        .collect::<Vec<()>>();
+}
+
+/// The per-iteration PageRank coefficients [`step_fused`] applies on top
+/// of the raw product.
+///
+/// With `m = (x * A)[v]`, the new rank is
+/// `damping · m + teleport + spread (+ damping · x[v] if sink[v])` — the
+/// exact update each [`DanglingStrategy`] induces, with the strategy
+/// encoded by which terms are zero/absent:
+///
+/// * *Omit*: `spread = 0`, `sink = None`;
+/// * *Redistribute*: `spread = damping · dangling_mass / n`, `sink = None`;
+/// * *Sink*: `spread = 0`, `sink = Some(dangling mask)`.
+///
+/// `DanglingStrategy` lives in `ppbench-core`; this struct is the
+/// algebra-only residue of it that the sparse layer needs.
+#[derive(Debug, Clone, Copy)]
+pub struct StepCoeffs<'a> {
+    /// The damping factor `c`.
+    pub damping: f64,
+    /// The uniform teleport term `(1 − c) · mass / n`.
+    pub teleport: f64,
+    /// The uniform dangling redistribution term, `0.0` when unused.
+    pub spread: f64,
+    /// Dangling-row mask for the self-loop (sink) strategy, `None`
+    /// otherwise. Indexed by output row.
+    pub sink: Option<&'a [bool]>,
+}
+
+/// What one fused step reports back: the L1 distance between the new and
+/// old rank vectors, and the new vector's total mass — both accumulated
+/// during the single write sweep, so the caller never re-reads `out`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepOutcome {
+    /// `Σ |out[v] − x[v]|`.
+    pub delta: f64,
+    /// `Σ out[v]`.
+    pub mass: f64,
+}
+
+/// One fused PageRank step: nnz-balanced parallel gather plus epilogue
+/// plus L1-delta/mass accumulation, in a single pass over `out`.
+///
+/// Per-chunk partial sums are combined in chunk order, so the result is
+/// deterministic for a fixed boundary list; different chunk counts
+/// reassociate the sums within the documented 1e-12 tolerance.
+///
+/// # Panics
+///
+/// Panics if the matrix is not square, vector lengths disagree with it,
+/// the sink mask (when present) has the wrong length, or the boundary
+/// list does not span `0..at.rows()`.
+pub fn step_fused<I: ColIndex>(
+    x: &[f64],
+    at: &CsrView<'_, I>,
+    out: &mut [f64],
+    coeffs: &StepCoeffs<'_>,
+    boundaries: &[usize],
+) -> StepOutcome {
+    assert_eq!(
+        at.rows(),
+        at.cols(),
+        "fused PageRank step needs a square matrix"
+    );
+    assert_eq!(
+        x.len() as u64,
+        at.cols(),
+        "vector length must equal A's row count"
+    );
+    assert_eq!(out.len(), x.len(), "output length must match input");
+    if let Some(mask) = coeffs.sink {
+        assert_eq!(mask.len(), x.len(), "sink mask length must match");
+    }
+    let partials: Vec<(f64, f64)> = chunk_slices(out, boundaries)
+        .into_par_iter()
+        .map(|(slice, lo)| {
+            let mut delta = 0.0;
+            let mut mass = 0.0;
+            for (k, o) in slice.iter_mut().enumerate() {
+                let v = lo + k;
+                let mut next = coeffs.damping * gather_row(x, at, v) + coeffs.teleport;
+                next += coeffs.spread;
+                if let Some(mask) = coeffs.sink {
+                    if mask[v] {
+                        next += coeffs.damping * x[v];
+                    }
+                }
+                delta += (next - x[v]).abs();
+                mass += next;
+                *o = next;
+            }
+            (delta, mass)
+        })
+        .collect();
+    let mut outcome = StepOutcome {
+        delta: 0.0,
+        mass: 0.0,
+    };
+    for (d, m) in partials {
+        outcome.delta += d;
+        outcome.mass += m;
+    }
+    outcome
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -176,6 +398,159 @@ mod tests {
     #[should_panic(expected = "must equal row count")]
     fn vxm_length_checked() {
         let _ = vxm(&[1.0, 2.0], &stochastic());
+    }
+
+    /// A skewed 6-vertex matrix: vertex 0 is a hub holding most nonzeros.
+    fn skewed() -> Csr<f64> {
+        let mut coo = Coo::<u64>::new(6, 6);
+        for c in 1..6 {
+            coo.push(0, c, 1); // hub out-edges
+            coo.push(c, 0, 1); // and everything points back at the hub
+        }
+        coo.push(2, 3, 1);
+        ops::normalize_rows(&coo.compress())
+    }
+
+    #[test]
+    fn balanced_boundaries_span_all_rows_and_balance_nnz() {
+        let at = skewed().transpose();
+        for chunks in 1..=8 {
+            let b = balanced_boundaries(at.row_ptr(), chunks);
+            assert_eq!(b.len(), chunks + 1);
+            assert_eq!(b[0], 0);
+            assert_eq!(*b.last().unwrap(), at.rows() as usize);
+            assert!(b.windows(2).all(|w| w[0] <= w[1]));
+        }
+        // On a strongly skewed row_ptr, nnz-balancing must not put every
+        // row in the first chunk the way equal-row splitting of the
+        // prefix-heavy matrix would: with 2 chunks, the hub row's span
+        // (5 of 11 nonzeros in Aᵀ column 0's row) ends chunk 1 early.
+        let b = balanced_boundaries(at.row_ptr(), 2);
+        let nnz = at.nnz();
+        let first_span = at.row_ptr()[b[1]] - at.row_ptr()[b[0]];
+        assert!(
+            first_span <= nnz.div_ceil(2) + at.row_ptr()[1],
+            "first chunk holds {first_span} of {nnz} nonzeros"
+        );
+    }
+
+    #[test]
+    fn balanced_boundaries_handle_empty_and_zero_nnz() {
+        assert_eq!(balanced_boundaries(&[0], 4), vec![0, 0, 0, 0, 0]);
+        assert_eq!(balanced_boundaries(&[0, 0, 0], 2), vec![0, 0, 2]);
+    }
+
+    #[test]
+    fn gather_into_matches_scatter_for_both_index_widths() {
+        let a = skewed();
+        let at = a.transpose();
+        let x: Vec<f64> = (0..6).map(|i| (i as f64 + 1.0) / 21.0).collect();
+        let oracle = vxm(&x, &a);
+        for chunks in 1..=5 {
+            let b = balanced_boundaries(at.row_ptr(), chunks);
+            let mut out = vec![f64::NAN; 6];
+            gather_into(&x, &at.view(), &mut out, &b);
+            for v in 0..6 {
+                assert!((out[v] - oracle[v]).abs() < 1e-14);
+            }
+            let narrow = crate::Csr32::try_from_wide(&at).unwrap();
+            let mut out32 = vec![f64::NAN; 6];
+            gather_into(&x, &narrow.view(), &mut out32, &b);
+            for v in 0..6 {
+                assert_eq!(out32[v].to_bits(), out[v].to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn step_fused_matches_unfused_pipeline() {
+        let a = skewed();
+        let at = a.transpose();
+        let n = 6usize;
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 + 1.0) / 21.0).collect();
+        let c = 0.85;
+        let mass: f64 = x.iter().sum();
+        let teleport = (1.0 - c) * mass / n as f64;
+        // Unfused oracle: multiply, then scale-shift, then delta/mass.
+        let mx = vxm(&x, &a);
+        let expect: Vec<f64> = mx.iter().map(|&m| c * m + teleport).collect();
+        let expect_delta: f64 = expect.iter().zip(&x).map(|(a, b)| (a - b).abs()).sum();
+        let expect_mass: f64 = expect.iter().sum();
+        let coeffs = StepCoeffs {
+            damping: c,
+            teleport,
+            spread: 0.0,
+            sink: None,
+        };
+        for chunks in [1usize, 3, 6] {
+            let b = balanced_boundaries(at.row_ptr(), chunks);
+            let mut out = vec![0.0; n];
+            let got = step_fused(&x, &at.view(), &mut out, &coeffs, &b);
+            for v in 0..n {
+                assert!((out[v] - expect[v]).abs() < 1e-14);
+            }
+            assert!((got.delta - expect_delta).abs() < 1e-13);
+            assert!((got.mass - expect_mass).abs() < 1e-13);
+        }
+    }
+
+    #[test]
+    fn step_fused_sink_term_adds_damped_self_rank() {
+        // Row 1 dangles: strategy Sink keeps its mass in place.
+        let mut coo = Coo::<u64>::new(3, 3);
+        coo.push(0, 1, 1);
+        coo.push(2, 0, 1);
+        let a = ops::normalize_rows(&coo.compress());
+        let at = a.transpose();
+        let x = [0.2, 0.3, 0.5];
+        let c = 0.85;
+        let teleport = (1.0 - c) * 1.0 / 3.0;
+        let dangling = [false, true, false];
+        let coeffs = StepCoeffs {
+            damping: c,
+            teleport,
+            spread: 0.0,
+            sink: Some(&dangling),
+        };
+        let b = balanced_boundaries(at.row_ptr(), 2);
+        let mut out = vec![0.0; 3];
+        let got = step_fused(&x, &at.view(), &mut out, &coeffs, &b);
+        let mx = vxm(&x, &a);
+        for v in 0..3 {
+            let want = c * mx[v] + teleport + if dangling[v] { c * x[v] } else { 0.0 };
+            assert!((out[v] - want).abs() < 1e-15);
+        }
+        // Sink conserves mass: everything the dangling row would lose
+        // stays with it, so total stays 1 up to rounding.
+        assert!((got.mass - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fused_kernels_work_on_the_empty_matrix() {
+        let a = Csr::<f64>::zero(0, 0);
+        let at = a.transpose();
+        let b = balanced_boundaries(at.row_ptr(), 4);
+        let mut out: Vec<f64> = Vec::new();
+        gather_into(&[], &at.view(), &mut out, &b);
+        let got = step_fused(
+            &[],
+            &at.view(),
+            &mut out,
+            &StepCoeffs {
+                damping: 0.85,
+                teleport: 0.0,
+                spread: 0.0,
+                sink: None,
+            },
+            &b,
+        );
+        assert_eq!(
+            got,
+            StepOutcome {
+                delta: 0.0,
+                mass: 0.0
+            }
+        );
     }
 
     #[test]

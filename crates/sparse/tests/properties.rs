@@ -1,11 +1,20 @@
 //! Property-based tests for the sparse linear algebra substrate.
 
-use ppbench_sparse::{dense::Dense, eigen, graphblas, ops, spmv, vector, Coo, Csr};
+use ppbench_sparse::{dense::Dense, eigen, graphblas, ops, spmv, vector, Coo, Csr, Csr32};
 use proptest::prelude::*;
 
 /// Strategy: a random small matrix as raw triplets (duplicates allowed).
 fn arb_triplets(n: u64, max_nnz: usize) -> impl Strategy<Value = Vec<(u64, u64, u64)>> {
     proptest::collection::vec((0..n, 0..n, 1u64..5), 0..max_nnz)
+}
+
+/// Strategy: hub-skewed triplets — vertex 0 appears in well over half the
+/// endpoints, so nnz-per-row is wildly unbalanced (the power-law shape the
+/// balanced partitioner exists for). The empty vector is included, and
+/// all-dangling rows fall out whenever a row never appears as a source.
+fn arb_skewed_triplets(n: u64, max_nnz: usize) -> impl Strategy<Value = Vec<(u64, u64, u64)>> {
+    let endpoint = move || (0u64..5, 0..n).prop_map(|(pick, v)| if pick < 3 { 0 } else { v });
+    proptest::collection::vec((endpoint(), endpoint(), 1u64..5), 0..max_nnz)
 }
 
 fn build(n: u64, triplets: &[(u64, u64, u64)]) -> Csr<u64> {
@@ -215,6 +224,79 @@ proptest! {
     ) {
         let a = build(8, &triplets).map(|_, _, v| v as f64);
         prop_assert_eq!(graphblas::vxm::<graphblas::PlusTimes>(&x, &a), spmv::vxm(&x, &a));
+    }
+
+    /// Balanced boundaries always partition the row range monotonically,
+    /// and the parallel gather over them is bitwise identical to the
+    /// serial gather — for any chunk count, on hub-skewed matrices, with
+    /// wide and narrow column indices.
+    #[test]
+    fn balanced_gather_matches_serial_gather(
+        triplets in arb_skewed_triplets(11, 90),
+        x in proptest::collection::vec(-1.0f64..1.0, 11),
+        chunks in 1usize..8,
+    ) {
+        let a = build(11, &triplets).map(|_, _, v| v as f64);
+        let at = a.transpose();
+        let boundaries = spmv::balanced_boundaries(at.row_ptr(), chunks);
+        prop_assert_eq!(boundaries.len(), chunks + 1);
+        prop_assert_eq!(boundaries[0], 0);
+        prop_assert_eq!(*boundaries.last().unwrap(), 11);
+        prop_assert!(boundaries.windows(2).all(|w| w[0] <= w[1]));
+        let serial = spmv::vxm_gather(&x, &at);
+        let mut wide = vec![0.0; 11];
+        spmv::gather_into(&x, &at.view(), &mut wide, &boundaries);
+        prop_assert_eq!(&wide, &serial);
+        let narrow = Csr32::try_from_wide(&at).unwrap();
+        let mut out32 = vec![0.0; 11];
+        spmv::gather_into(&x, &narrow.view(), &mut out32, &boundaries);
+        prop_assert_eq!(&out32, &serial);
+    }
+
+    /// The fused step (gather + epilogue + delta/mass accumulation in one
+    /// sweep) agrees with a scalar oracle built from the serial scatter
+    /// product, for arbitrary coefficient combinations — including a sink
+    /// mask over the matrix's genuinely dangling rows.
+    #[test]
+    fn step_fused_matches_scatter_oracle(
+        triplets in arb_skewed_triplets(9, 70),
+        x in proptest::collection::vec(0.0f64..1.0, 9),
+        damping in 0.05f64..0.99,
+        teleport in 0.0f64..0.1,
+        spread in 0.0f64..0.1,
+        use_sink: bool,
+        chunks in 1usize..6,
+    ) {
+        let a = ops::normalize_rows(&build(9, &triplets));
+        let at = a.transpose();
+        let mask = ops::empty_rows(&a);
+        let coeffs = spmv::StepCoeffs {
+            damping,
+            teleport,
+            spread: if use_sink { 0.0 } else { spread },
+            sink: use_sink.then_some(mask.as_slice()),
+        };
+        // Scalar oracle over the scatter product.
+        let prod = spmv::vxm(&x, &a);
+        let mut expect = [0.0; 9];
+        let (mut exp_delta, mut exp_mass) = (0.0f64, 0.0f64);
+        for v in 0..9usize {
+            let mut val = damping * prod[v] + coeffs.teleport + coeffs.spread;
+            if use_sink && mask[v] {
+                val += damping * x[v];
+            }
+            exp_delta += (val - x[v]).abs();
+            exp_mass += val;
+            expect[v] = val;
+        }
+        let boundaries = spmv::balanced_boundaries(at.row_ptr(), chunks);
+        let mut out = vec![0.0; 9];
+        let got = spmv::step_fused(&x, &at.view(), &mut out, &coeffs, &boundaries);
+        for v in 0..9 {
+            prop_assert!((out[v] - expect[v]).abs() < 1e-12, "entry {v}: {} vs {}", out[v], expect[v]);
+        }
+        prop_assert!((got.delta - exp_delta).abs() < 1e-12, "delta {} vs {exp_delta}", got.delta);
+        prop_assert!((got.mass - exp_mass).abs() < 1e-12, "mass {} vs {exp_mass}", got.mass);
     }
 
     /// Power iteration on the *damped* PageRank operator converges to a
