@@ -1,0 +1,115 @@
+//! K0→K1 front-end microbench driver.
+//!
+//! ```text
+//! cargo run --release -p ppbench-bench --bin k01bench -- \
+//!     [--scales LO:HI] [--threads 1,2,4] [--edge-factor K] [--seed N] \
+//!     [--num-files N] [--budget-divisor D] [--out PATH]
+//! cargo run -p ppbench-bench --bin k01bench -- --check BENCH_k01.json
+//! ```
+//!
+//! Sweeps the kernel-0 write strategies (materialize, stream, sharded) and
+//! the kernel-1 sort paths (in-memory, external, pipelined) over explicit
+//! thread counts and scales, prints a human-readable table, and writes the
+//! canonical-JSON trajectory file. `--check` validates an existing file
+//! against the expected schema and exits nonzero on drift.
+
+use std::process::exit;
+
+use ppbench_bench::k01::{self, SweepConfig};
+use ppbench_bench::k3::parse_thread_list;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: k01bench [--scales LO:HI] [--threads N,N,...] [--edge-factor K]\n\
+         \x20               [--seed N] [--num-files N] [--budget-divisor D] [--out PATH]\n\
+         \x20       k01bench --check PATH   (validate an existing BENCH_k01.json)"
+    );
+    exit(2)
+}
+
+fn main() {
+    let mut cfg = SweepConfig::default();
+    let mut out = std::path::PathBuf::from("BENCH_k01.json");
+    let mut check: Option<std::path::PathBuf> = None;
+
+    let mut argv = std::env::args().skip(1);
+    while let Some(flag) = argv.next() {
+        let mut value = || argv.next().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--scales" => {
+                cfg.scales = ppbench_bench::parse_scale_range(&value())
+                    .unwrap_or_else(|| usage())
+                    .collect();
+            }
+            "--threads" => {
+                cfg.threads = parse_thread_list(&value()).unwrap_or_else(|| usage());
+            }
+            "--edge-factor" => cfg.edge_factor = value().parse().unwrap_or_else(|_| usage()),
+            "--seed" => cfg.seed = value().parse().unwrap_or_else(|_| usage()),
+            "--num-files" => {
+                cfg.num_files = value()
+                    .parse()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| usage());
+            }
+            "--budget-divisor" => {
+                cfg.budget_divisor = value()
+                    .parse()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| usage());
+            }
+            "--out" => out = std::path::PathBuf::from(value()),
+            "--check" => check = Some(std::path::PathBuf::from(value())),
+            _ => usage(),
+        }
+    }
+
+    // Validation mode: no measurement, just the schema gate CI relies on.
+    if let Some(path) = check {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot read {}: {e}", path.display());
+                exit(1);
+            }
+        };
+        match k01::check_schema(&text) {
+            Ok(()) => {
+                println!("{}: schema ok ({})", path.display(), k01::SCHEMA_VERSION);
+                return;
+            }
+            Err(e) => {
+                eprintln!("{}: schema drift: {e}", path.display());
+                exit(1);
+            }
+        }
+    }
+
+    let rows = match k01::run_sweep(&cfg) {
+        Ok(rows) => rows,
+        Err(e) => {
+            eprintln!("sweep failed: {e}");
+            exit(1);
+        }
+    };
+
+    println!(
+        "{:>5} {:>6} {:>12} {:>7} {:>12} {:>10} {:>10} {:>10}",
+        "scale", "kernel", "variant", "threads", "edges", "MB", "seconds", "MB/s"
+    );
+    for r in &rows {
+        println!(
+            "{:>5} {:>6} {:>12} {:>7} {:>12} {:>10.2} {:>10.4} {:>10.2}",
+            r.scale, r.kernel, r.variant, r.threads, r.edges, r.mbytes, r.seconds, r.mb_per_s
+        );
+    }
+
+    let json = k01::to_json(&cfg, &rows);
+    if let Err(e) = std::fs::write(&out, format!("{json}\n")) {
+        eprintln!("failed to write {}: {e}", out.display());
+        exit(1);
+    }
+    println!("wrote {}", out.display());
+}

@@ -5,7 +5,7 @@
 //!     [--scale S] [--edge-factor K] [--seed N] [--files N] \
 //!     [--variant optimized|naive|dataframe|parallel] \
 //!     [--generator kronecker|ppl|erdos-renyi] \
-//!     [--sort-end] [--diagonal] [--budget EDGES] [--validate none|invariants|eigen] \
+//!     [--sort-end] [--diagonal] [--budget BYTES] [--validate none|invariants|eigen] \
 //!     [--dir PATH] [--keep] [--top K]
 //! ```
 //!
@@ -24,7 +24,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: pprank [--scale S] [--edge-factor K] [--seed N] [--files N]\n\
          \x20             [--variant NAME] [--generator NAME] [--sort-end] [--diagonal]\n\
-         \x20             [--budget EDGES] [--validate none|invariants|eigen]\n\
+         \x20             [--budget BYTES] [--validate none|invariants|eigen]\n\
          \x20             [--dangling omit|redistribute|sink] [--converge TOL]\n\
          \x20             [--iterations N] [--damping C] [--dir PATH] [--keep] [--top K]\n\
          \x20             [--workers W   (simulated distributed mode)] [--report PATH]\n\
@@ -66,7 +66,7 @@ fn main() {
             "--iterations" => builder.iterations(value().parse().unwrap_or_else(|_| usage())),
             "--damping" => builder.damping(value().parse().unwrap_or_else(|_| usage())),
             "--diagonal" => builder.add_diagonal_to_empty(true),
-            "--budget" => builder.sort_memory_budget(value().parse().unwrap_or_else(|_| usage())),
+            "--budget" => builder.sort_budget_bytes(value().parse().unwrap_or_else(|_| usage())),
             "--validate" => builder.validation(match value().as_str() {
                 "none" => ValidationLevel::None,
                 "invariants" => ValidationLevel::Invariants,

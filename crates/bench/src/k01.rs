@@ -1,0 +1,502 @@
+//! K0→K1 front-end microbench: write/sort variant × thread count × scale.
+//!
+//! The paper's I/O-bound kernels are the front of the pipeline: kernel 0
+//! writes the generated edge list "to files on non-volatile storage as
+//! pairs of tab separated numeric strings", and kernel 1 reads it back,
+//! sorts by start vertex, and writes it again. This module measures the
+//! three kernel-0 write strategies (full materialization, serial
+//! streaming, sharded parallel streaming) and the three kernel-1 sort
+//! paths (in-memory, plain external merge, pipelined external merge),
+//! each swept over explicit thread counts and scales. Results land in
+//! `BENCH_k01.json` as canonical JSON (sorted keys, shortest-roundtrip
+//! floats, rendered by `ppbench_core::json`), giving later PRs a baseline
+//! to beat; the `--check` mode re-validates that file's schema so CI
+//! catches drift in either direction.
+//!
+//! Generation is interleaved with writing on the streaming paths, so every
+//! kernel-0 measurement times generate+write as one unit — the same work
+//! for every variant, which keeps the comparison fair even though the
+//! paper's Figure 4 nominally times only the write.
+//!
+//! Every variant's output is digest-verified against the first-measured
+//! variant of its kernel before the row is accepted: a fast wrong answer
+//! is a failed sweep, not a benchmark result.
+
+use std::path::Path;
+
+use ppbench_core::json::{JsonArray, JsonObject};
+use ppbench_core::{kernel0, kernel1, PipelineConfig, Stopwatch};
+use ppbench_io::tempdir::TempDir;
+use ppbench_io::{EdgeReader, EdgeWriter, Manifest, SortState, BYTES_PER_EDGE};
+use ppbench_sort::{Algorithm, ExternalSorter, SortKey};
+
+/// Version tag written into the JSON so schema changes are explicit.
+pub const SCHEMA_VERSION: &str = "ppbench-k01-v1";
+
+/// Top-level keys of the benchmark file, sorted (canonical order).
+pub const TOP_KEYS: &[&str] = &[
+    "benchmark",
+    "budget_divisor",
+    "edge_factor",
+    "num_files",
+    "results",
+    "seed",
+];
+
+/// Keys of each result row, sorted (canonical order).
+pub const ROW_KEYS: &[&str] = &[
+    "edges", "kernel", "mb_per_s", "mbytes", "scale", "seconds", "threads", "variant",
+];
+
+/// The kernel-0 write strategies under measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum K0Variant {
+    /// The historical path: generate the whole edge vector in parallel,
+    /// then hand it to the writer — peak resident memory is the full list.
+    Materialize,
+    /// Serial chunked streaming through one writer ([`kernel0::write_streamed`]).
+    Stream,
+    /// One parallel writer per output file, each streaming its contiguous
+    /// slice of the stream ([`kernel0::write_sharded`]).
+    Sharded,
+}
+
+impl K0Variant {
+    /// Every variant, measurement order (the first is the reference).
+    pub const ALL: [K0Variant; 3] = [
+        K0Variant::Materialize,
+        K0Variant::Stream,
+        K0Variant::Sharded,
+    ];
+
+    /// Stable name used in the JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            K0Variant::Materialize => "materialize",
+            K0Variant::Stream => "stream",
+            K0Variant::Sharded => "sharded",
+        }
+    }
+
+    /// Whether the variant uses the thread pool (serial variants are
+    /// measured once, at `threads = 1`).
+    pub fn is_parallel(self) -> bool {
+        matches!(self, K0Variant::Materialize | K0Variant::Sharded)
+    }
+}
+
+/// The kernel-1 sort paths under measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum K1Variant {
+    /// Whole list in RAM, stable LSD radix sort (budget `None`).
+    InMem,
+    /// Plain external merge sort: read runs, sort, merge — the merge only
+    /// starts after the last run is written.
+    External,
+    /// The pipelined external sort kernel 1 now spills through: parsing,
+    /// run sorting, and output writing overlap on separate threads.
+    Pipelined,
+}
+
+impl K1Variant {
+    /// Every variant, measurement order (the first is the reference).
+    pub const ALL: [K1Variant; 3] = [K1Variant::InMem, K1Variant::External, K1Variant::Pipelined];
+
+    /// Stable name used in the JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            K1Variant::InMem => "inmem",
+            K1Variant::External => "external",
+            K1Variant::Pipelined => "pipelined",
+        }
+    }
+
+    /// Whether the variant uses the thread pool (the external sorters
+    /// parallelize run sorting; the in-memory radix sort is serial).
+    pub fn is_parallel(self) -> bool {
+        matches!(self, K1Variant::External | K1Variant::Pipelined)
+    }
+}
+
+/// What to sweep.
+#[derive(Debug, Clone)]
+pub struct SweepConfig {
+    /// Graph scales (vertices = 2^scale).
+    pub scales: Vec<u32>,
+    /// Thread counts for the parallel variants.
+    pub threads: Vec<usize>,
+    /// Edges per vertex.
+    pub edge_factor: u64,
+    /// Master seed for generation.
+    pub seed: u64,
+    /// Output files per edge file set.
+    pub num_files: usize,
+    /// The spill variants run with a memory budget of
+    /// `input_bytes / budget_divisor`, so the external paths always spill
+    /// (into roughly `budget_divisor` runs) regardless of scale.
+    pub budget_divisor: u64,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        Self {
+            scales: vec![12],
+            threads: vec![1, 2, 4],
+            edge_factor: 16,
+            seed: 1,
+            num_files: 4,
+            budget_divisor: 4,
+        }
+    }
+}
+
+/// One measured point.
+#[derive(Debug, Clone)]
+pub struct SweepRow {
+    /// `"k0"` or `"k1"`.
+    pub kernel: &'static str,
+    /// Variant name (see [`K0Variant::name`] / [`K1Variant::name`]).
+    pub variant: &'static str,
+    /// Graph scale.
+    pub scale: u32,
+    /// Thread count the pool was sized to (1 for serial variants).
+    pub threads: usize,
+    /// Edges in the file set.
+    pub edges: u64,
+    /// On-disk megabytes of the file set written (decimal MB).
+    pub mbytes: f64,
+    /// Wall-clock seconds for the whole kernel.
+    pub seconds: f64,
+    /// `mbytes / seconds` — the paper's Figure-4 axis.
+    pub mb_per_s: f64,
+}
+
+/// Sizes the global thread pool, surfacing the error as a string (the
+/// shim never fails; real rayon could).
+fn size_pool(threads: usize) -> Result<(), String> {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build_global()
+        .map_err(|e| format!("failed to size thread pool to {threads}: {e}"))
+}
+
+/// Sums the on-disk bytes of a manifest's files.
+fn dir_bytes(dir: &Path, manifest: &Manifest) -> Result<u64, String> {
+    let mut total = 0u64;
+    for f in &manifest.files {
+        let path = dir.join(&f.name);
+        let meta =
+            std::fs::metadata(&path).map_err(|e| format!("cannot stat {}: {e}", path.display()))?;
+        total += meta.len();
+    }
+    Ok(total)
+}
+
+/// Runs one kernel-0 variant into `dir` and returns its manifest.
+fn run_k0(cfg: &PipelineConfig, variant: K0Variant, dir: &Path) -> Result<Manifest, String> {
+    let err = |e: ppbench_core::Error| format!("k0 {}: {e}", variant.name());
+    let generator = kernel0::build_generator(cfg);
+    match variant {
+        K0Variant::Materialize => {
+            let m = cfg.spec.num_edges();
+            let edges = generator.edges_parallel(kernel0::GENERATION_CHUNK);
+            let io_err = |e: ppbench_io::Error| format!("k0 materialize: {e}");
+            let mut writer = EdgeWriter::create(dir, "edges", cfg.num_files, m).map_err(io_err)?;
+            writer.write_all(&edges).map_err(io_err)?;
+            writer
+                .finish(
+                    Some(cfg.spec.scale()),
+                    Some(cfg.spec.num_vertices()),
+                    SortState::Unsorted,
+                )
+                .map_err(io_err)
+        }
+        K0Variant::Stream => kernel0::write_streamed(&generator, cfg, dir).map_err(err),
+        K0Variant::Sharded => kernel0::write_sharded(&generator, cfg, dir).map_err(err),
+    }
+}
+
+/// Runs one kernel-1 variant from `in_dir` into `out_dir` and returns the
+/// output manifest. `budget_bytes` applies to the spill variants only.
+fn run_k1(
+    in_dir: &Path,
+    out_dir: &Path,
+    num_files: usize,
+    variant: K1Variant,
+    budget_bytes: u64,
+) -> Result<Manifest, String> {
+    let err = |e: ppbench_core::Error| format!("k1 {}: {e}", variant.name());
+    let io_err = |e: ppbench_io::Error| format!("k1 external: {e}");
+    match variant {
+        K1Variant::InMem => kernel1::sort_file_set(
+            in_dir,
+            out_dir,
+            num_files,
+            SortKey::Start,
+            Algorithm::Radix,
+            None,
+        )
+        .map_err(err),
+        K1Variant::Pipelined => kernel1::sort_file_set(
+            in_dir,
+            out_dir,
+            num_files,
+            SortKey::Start,
+            Algorithm::Radix,
+            Some(budget_bytes),
+        )
+        .map_err(err),
+        K1Variant::External => {
+            // The pre-pipeline spill path, preserved as the baseline: one
+            // thread reads, sorts runs, merges, and writes, strictly in
+            // sequence.
+            let (in_manifest, iter) = EdgeReader::open_dir(in_dir).map_err(io_err)?;
+            let budget_edges = usize::try_from(budget_bytes / BYTES_PER_EDGE as u64)
+                .unwrap_or(usize::MAX)
+                .max(1);
+            let mut writer = EdgeWriter::create(out_dir, "edges", num_files, in_manifest.edges)
+                .map_err(io_err)?;
+            let scratch = out_dir.join("sort-scratch");
+            let sorter =
+                ExternalSorter::new(&scratch, budget_edges, SortKey::Start).map_err(io_err)?;
+            let _stats = sorter.sort(iter, |e| writer.write(e)).map_err(io_err)?;
+            // ppbench: allow(discarded-result, reason = "best-effort scratch cleanup; the sorted output is already written and a leftover dir is harmless")
+            let _ = std::fs::remove_dir_all(&scratch);
+            writer
+                .finish(
+                    in_manifest.scale,
+                    in_manifest.vertex_bound,
+                    SortKey::Start.sort_state(),
+                )
+                .map_err(io_err)
+        }
+    }
+}
+
+/// Runs the full sweep. For each scale the serial variants run once at one
+/// thread; the parallel variants run once per requested thread count (the
+/// global pool is resized between points). Row order is deterministic:
+/// scale-major, kernel 0 before kernel 1, then `ALL` order, then thread
+/// order as given. Every measurement's output digest is checked against
+/// the kernel's first-measured variant; a mismatch fails the sweep.
+pub fn run_sweep(cfg: &SweepConfig) -> Result<Vec<SweepRow>, String> {
+    let td = TempDir::new("k01bench").map_err(|e| format!("cannot create scratch dir: {e}"))?;
+    let mut rows = Vec::new();
+    for &scale in &cfg.scales {
+        let pcfg = PipelineConfig::builder()
+            .scale(scale)
+            .edge_factor(cfg.edge_factor)
+            .seed(cfg.seed)
+            .num_files(cfg.num_files)
+            .build();
+
+        // --- Kernel 0: generate + write ---
+        // The first variant measured doubles as the byte-level reference
+        // and, after verification, as kernel 1's input.
+        let mut k0_ref: Option<(Manifest, std::path::PathBuf)> = None;
+        for variant in K0Variant::ALL {
+            let thread_counts: &[usize] = if variant.is_parallel() {
+                &cfg.threads
+            } else {
+                &[1]
+            };
+            for &threads in thread_counts {
+                size_pool(threads)?;
+                let dir = td.join(&format!("s{scale}-k0-{}-t{threads}", variant.name()));
+                let sw = Stopwatch::start();
+                let manifest = run_k0(&pcfg, variant, &dir)?;
+                let seconds = sw.elapsed_secs();
+                let bytes = dir_bytes(&dir, &manifest)?;
+                let mbytes = bytes as f64 / 1e6;
+                rows.push(SweepRow {
+                    kernel: "k0",
+                    variant: variant.name(),
+                    scale,
+                    threads,
+                    edges: manifest.edges,
+                    mbytes,
+                    seconds,
+                    mb_per_s: mbytes / seconds.max(1e-15),
+                });
+                match &k0_ref {
+                    None => k0_ref = Some((manifest, dir)),
+                    Some((reference, _)) => {
+                        if !manifest.digest.same_stream(&reference.digest) {
+                            return Err(format!(
+                                "k0 {} (t{threads}, scale {scale}) wrote a different \
+                                 edge stream than the reference",
+                                variant.name()
+                            ));
+                        }
+                        std::fs::remove_dir_all(&dir)
+                            .map_err(|e| format!("cannot clean {}: {e}", dir.display()))?;
+                    }
+                }
+            }
+        }
+        let Some((k0_manifest, k0_dir)) = k0_ref else {
+            return Err("kernel 0 measured no variants".to_string());
+        };
+
+        // --- Kernel 1: read + sort + write ---
+        let in_bytes = k0_manifest.edges.saturating_mul(BYTES_PER_EDGE as u64);
+        let budget_bytes = (in_bytes / cfg.budget_divisor.max(1)).max(BYTES_PER_EDGE as u64);
+        let mut k1_ref: Option<Manifest> = None;
+        for variant in K1Variant::ALL {
+            let thread_counts: &[usize] = if variant.is_parallel() {
+                &cfg.threads
+            } else {
+                &[1]
+            };
+            for &threads in thread_counts {
+                size_pool(threads)?;
+                let dir = td.join(&format!("s{scale}-k1-{}-t{threads}", variant.name()));
+                let sw = Stopwatch::start();
+                let manifest = run_k1(&k0_dir, &dir, cfg.num_files, variant, budget_bytes)?;
+                let seconds = sw.elapsed_secs();
+                let bytes = dir_bytes(&dir, &manifest)?;
+                let mbytes = bytes as f64 / 1e6;
+                if !manifest.sort_state.is_sorted_by_start() {
+                    return Err(format!("k1 {} output is not sorted", variant.name()));
+                }
+                // All three paths are stable sorts, so their output
+                // streams must be byte-identical.
+                match &k1_ref {
+                    None => k1_ref = Some(manifest.clone()),
+                    Some(reference) => {
+                        if !manifest.digest.same_stream(&reference.digest) {
+                            return Err(format!(
+                                "k1 {} (t{threads}, scale {scale}) produced a different \
+                                 sorted stream than the reference",
+                                variant.name()
+                            ));
+                        }
+                    }
+                }
+                rows.push(SweepRow {
+                    kernel: "k1",
+                    variant: variant.name(),
+                    scale,
+                    threads,
+                    edges: manifest.edges,
+                    mbytes,
+                    seconds,
+                    mb_per_s: mbytes / seconds.max(1e-15),
+                });
+                std::fs::remove_dir_all(&dir)
+                    .map_err(|e| format!("cannot clean {}: {e}", dir.display()))?;
+            }
+        }
+        std::fs::remove_dir_all(&k0_dir)
+            .map_err(|e| format!("cannot clean {}: {e}", k0_dir.display()))?;
+        // Leave the pool unpinned for whatever runs next in this process.
+        size_pool(0)?;
+    }
+    Ok(rows)
+}
+
+/// Renders the sweep as the canonical `BENCH_k01.json` document.
+pub fn to_json(cfg: &SweepConfig, rows: &[SweepRow]) -> String {
+    let mut results = JsonArray::new();
+    for row in rows {
+        let mut entry = JsonObject::new();
+        entry
+            .set_str("kernel", row.kernel)
+            .set_str("variant", row.variant)
+            .set_u64("scale", u64::from(row.scale))
+            .set_u64("threads", row.threads as u64)
+            .set_u64("edges", row.edges)
+            .set_f64("mbytes", row.mbytes)
+            .set_f64("seconds", row.seconds)
+            .set_f64("mb_per_s", row.mb_per_s);
+        results.push_obj(&entry);
+    }
+    let mut obj = JsonObject::new();
+    obj.set_str("benchmark", SCHEMA_VERSION)
+        .set_u64("budget_divisor", cfg.budget_divisor)
+        .set_u64("edge_factor", cfg.edge_factor)
+        .set_u64("num_files", cfg.num_files as u64)
+        .set_raw("results", results.render())
+        .set_u64("seed", cfg.seed);
+    obj.render()
+}
+
+/// Validates a `BENCH_k01.json` document against the expected schema:
+/// correct version tag, exactly [`TOP_KEYS`] at the top level, at least
+/// one result row, and exactly [`ROW_KEYS`] on every row. Fails on drift
+/// in either direction (missing *or* extra keys).
+pub fn check_schema(text: &str) -> Result<(), String> {
+    crate::schema::check_flat_schema(text, SCHEMA_VERSION, TOP_KEYS, ROW_KEYS)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cfg() -> SweepConfig {
+        SweepConfig {
+            scales: vec![6],
+            threads: vec![1, 2],
+            edge_factor: 8,
+            seed: 7,
+            num_files: 2,
+            budget_divisor: 4,
+        }
+    }
+
+    #[test]
+    fn sweep_covers_every_variant_and_streams_agree() {
+        let cfg = tiny_cfg();
+        let rows = run_sweep(&cfg).unwrap();
+        // K0: stream once + 2 parallel variants × 2 thread counts;
+        // K1: inmem once + 2 parallel variants × 2 thread counts.
+        assert_eq!(rows.len(), (1 + 2 * 2) * 2);
+        for v in K0Variant::ALL {
+            assert!(
+                rows.iter()
+                    .any(|r| r.kernel == "k0" && r.variant == v.name()),
+                "missing k0 {}",
+                v.name()
+            );
+        }
+        for v in K1Variant::ALL {
+            assert!(
+                rows.iter()
+                    .any(|r| r.kernel == "k1" && r.variant == v.name()),
+                "missing k1 {}",
+                v.name()
+            );
+        }
+        for row in &rows {
+            assert!(row.mb_per_s > 0.0, "{row:?}");
+            assert!(row.edges > 0, "{row:?}");
+            assert!(row.mbytes > 0.0, "{row:?}");
+        }
+    }
+
+    #[test]
+    fn json_roundtrip_passes_schema_check() {
+        let cfg = tiny_cfg();
+        let rows = run_sweep(&cfg).unwrap();
+        let json = to_json(&cfg, &rows);
+        check_schema(&json).unwrap();
+    }
+
+    #[test]
+    fn schema_check_rejects_drift_in_both_directions() {
+        let cfg = tiny_cfg();
+        let rows = run_sweep(&cfg).unwrap();
+        let json = to_json(&cfg, &rows);
+        // Missing row key.
+        let missing = json.replacen("\"mb_per_s\":", "\"mbps\":", 1);
+        assert!(check_schema(&missing).is_err());
+        // Extra top-level key.
+        let extra = json.replacen("{\"benchmark\"", "{\"bonus\":1,\"benchmark\"", 1);
+        assert!(check_schema(&extra).is_err());
+        // Wrong version tag.
+        let wrong = json.replace(SCHEMA_VERSION, "ppbench-k01-v9");
+        assert!(check_schema(&wrong).is_err());
+        // Empty results.
+        assert!(check_schema(&to_json(&cfg, &[])).is_err());
+    }
+}

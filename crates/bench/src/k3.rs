@@ -313,87 +313,12 @@ pub fn to_json(cfg: &SweepConfig, rows: &[SweepRow]) -> String {
     obj.render()
 }
 
-/// Collects every JSON object key in `text` together with its brace/bracket
-/// depth (top-level object keys are depth 1). Strings are scanned with
-/// escape handling, so values containing braces cannot confuse the count.
-fn keys_by_depth(text: &str) -> Vec<(u32, String)> {
-    let mut out = Vec::new();
-    let bytes = text.as_bytes();
-    let mut depth = 0u32;
-    let mut i = 0usize;
-    while i < bytes.len() {
-        match bytes[i] {
-            b'{' | b'[' => {
-                depth += 1;
-                i += 1;
-            }
-            b'}' | b']' => {
-                depth = depth.saturating_sub(1);
-                i += 1;
-            }
-            b'"' => {
-                let start = i + 1;
-                let mut j = start;
-                while j < bytes.len() && bytes[j] != b'"' {
-                    if bytes[j] == b'\\' {
-                        j += 1;
-                    }
-                    j += 1;
-                }
-                let end = j.min(bytes.len());
-                let is_key = bytes.get(end + 1) == Some(&b':');
-                if is_key {
-                    out.push((depth, text[start..end].to_string()));
-                }
-                i = end + 1;
-            }
-            _ => i += 1,
-        }
-    }
-    out
-}
-
 /// Validates a `BENCH_k3.json` document against the expected schema:
 /// correct version tag, exactly [`TOP_KEYS`] at the top level, at least
 /// one result row, and exactly [`ROW_KEYS`] on every row. Fails on drift
 /// in either direction (missing *or* extra keys).
 pub fn check_schema(text: &str) -> Result<(), String> {
-    if !text.contains(&format!("\"benchmark\":\"{SCHEMA_VERSION}\"")) {
-        return Err(format!("missing or wrong version tag {SCHEMA_VERSION:?}"));
-    }
-    let keys = keys_by_depth(text);
-    let mut top: Vec<&str> = keys
-        .iter()
-        .filter(|(d, _)| *d == 1)
-        .map(|(_, k)| k.as_str())
-        .collect();
-    top.sort_unstable();
-    if top != TOP_KEYS {
-        return Err(format!("top-level keys {top:?} != expected {TOP_KEYS:?}"));
-    }
-    let row_keys: Vec<&str> = keys
-        .iter()
-        .filter(|(d, _)| *d == 3)
-        .map(|(_, k)| k.as_str())
-        .collect();
-    if row_keys.is_empty() {
-        return Err("no result rows".to_string());
-    }
-    if !row_keys.len().is_multiple_of(ROW_KEYS.len()) {
-        return Err(format!(
-            "result rows carry {} keys total, not a multiple of {}",
-            row_keys.len(),
-            ROW_KEYS.len()
-        ));
-    }
-    for (r, chunk) in row_keys.chunks(ROW_KEYS.len()).enumerate() {
-        let mut got: Vec<&str> = chunk.to_vec();
-        got.sort_unstable();
-        if got != ROW_KEYS {
-            return Err(format!("row {r} keys {got:?} != expected {ROW_KEYS:?}"));
-        }
-    }
-    Ok(())
+    crate::schema::check_flat_schema(text, SCHEMA_VERSION, TOP_KEYS, ROW_KEYS)
 }
 
 /// Parses a comma-separated thread list (`"1,2,4,8"`), requiring every

@@ -10,15 +10,18 @@
 //!
 //! plus Criterion microbenches (`cargo bench`) for each kernel and the
 //! ablations DESIGN.md calls out (sort algorithm, SpMV form, generator,
-//! file count), and the kernel-3 variant sweep (`k3bench` / [`k3`]) that
-//! produces `BENCH_k3.json`.
+//! file count), the kernel-3 variant sweep (`k3bench` / [`k3`]) that
+//! produces `BENCH_k3.json`, and the K0→K1 front-end sweep (`k01bench` /
+//! [`k01`]) that produces `BENCH_k01.json`.
 
 #![forbid(unsafe_code)]
 #![deny(unreachable_pub)]
 #![warn(missing_docs)]
 
+pub mod k01;
 pub mod k3;
 pub mod plot;
+mod schema;
 pub mod sloc;
 pub mod sweep;
 

@@ -1,0 +1,128 @@
+//! Shared canonical-JSON schema validation for the bench trajectory files.
+//!
+//! Both `BENCH_k3.json` and `BENCH_k01.json` are flat two-level documents:
+//! a top-level object with a version tag plus config keys, and a `results`
+//! array of uniform row objects. The checks here validate that shape
+//! against an expected key set, failing on drift in either direction
+//! (missing *or* extra keys), without needing a JSON parser.
+
+/// Collects every JSON object key in `text` together with its brace/bracket
+/// depth (top-level object keys are depth 1). Strings are scanned with
+/// escape handling, so values containing braces cannot confuse the count.
+pub(crate) fn keys_by_depth(text: &str) -> Vec<(u32, String)> {
+    let mut out = Vec::new();
+    let bytes = text.as_bytes();
+    let mut depth = 0u32;
+    let mut i = 0usize;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'{' | b'[' => {
+                depth += 1;
+                i += 1;
+            }
+            b'}' | b']' => {
+                depth = depth.saturating_sub(1);
+                i += 1;
+            }
+            b'"' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() && bytes[j] != b'"' {
+                    if bytes[j] == b'\\' {
+                        j += 1;
+                    }
+                    j += 1;
+                }
+                let end = j.min(bytes.len());
+                let is_key = bytes.get(end + 1) == Some(&b':');
+                if is_key {
+                    out.push((depth, text[start..end].to_string()));
+                }
+                i = end + 1;
+            }
+            _ => i += 1,
+        }
+    }
+    out
+}
+
+/// Validates a flat benchmark document: correct version tag, exactly
+/// `top_keys` at the top level, at least one result row, and exactly
+/// `row_keys` on every row. Both key lists must be pre-sorted (canonical
+/// order).
+pub(crate) fn check_flat_schema(
+    text: &str,
+    version: &str,
+    top_keys: &[&str],
+    row_keys: &[&str],
+) -> Result<(), String> {
+    if !text.contains(&format!("\"benchmark\":\"{version}\"")) {
+        return Err(format!("missing or wrong version tag {version:?}"));
+    }
+    let keys = keys_by_depth(text);
+    let mut top: Vec<&str> = keys
+        .iter()
+        .filter(|(d, _)| *d == 1)
+        .map(|(_, k)| k.as_str())
+        .collect();
+    top.sort_unstable();
+    if top != top_keys {
+        return Err(format!("top-level keys {top:?} != expected {top_keys:?}"));
+    }
+    let row: Vec<&str> = keys
+        .iter()
+        .filter(|(d, _)| *d == 3)
+        .map(|(_, k)| k.as_str())
+        .collect();
+    if row.is_empty() {
+        return Err("no result rows".to_string());
+    }
+    if !row.len().is_multiple_of(row_keys.len()) {
+        return Err(format!(
+            "result rows carry {} keys total, not a multiple of {}",
+            row.len(),
+            row_keys.len()
+        ));
+    }
+    for (r, chunk) in row.chunks(row_keys.len()).enumerate() {
+        let mut got: Vec<&str> = chunk.to_vec();
+        got.sort_unstable();
+        if got != row_keys {
+            return Err(format!("row {r} keys {got:?} != expected {row_keys:?}"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_by_depth_handles_escapes_and_braces_in_values() {
+        let text = r#"{"a":"{not a key}","b":[{"c":"\"x\"","d":1}]}"#;
+        let keys = keys_by_depth(text);
+        assert_eq!(
+            keys,
+            vec![
+                (1, "a".to_string()),
+                (1, "b".to_string()),
+                (3, "c".to_string()),
+                (3, "d".to_string()),
+            ]
+        );
+    }
+
+    #[test]
+    fn flat_schema_rejects_missing_and_extra_keys() {
+        let good = r#"{"benchmark":"v1","results":[{"x":1,"y":2}]}"#;
+        check_flat_schema(good, "v1", &["benchmark", "results"], &["x", "y"]).unwrap();
+        assert!(check_flat_schema(good, "v2", &["benchmark", "results"], &["x", "y"]).is_err());
+        assert!(check_flat_schema(good, "v1", &["benchmark", "results"], &["x"]).is_err());
+        assert!(
+            check_flat_schema(good, "v1", &["benchmark", "extra", "results"], &["x", "y"]).is_err()
+        );
+        let empty = r#"{"benchmark":"v1","results":[]}"#;
+        assert!(check_flat_schema(empty, "v1", &["benchmark", "results"], &["x", "y"]).is_err());
+    }
+}

@@ -19,7 +19,6 @@
 
 use std::path::Path;
 
-use ppbench_gen::EdgeGenerator;
 use ppbench_io::{Edge, EdgeReader, EdgeWriter, Manifest};
 use ppbench_sparse::{graphblas, ops, Coo, Csr};
 
@@ -49,19 +48,7 @@ impl Backend for GraphBlasBackend {
         // I/O is outside the GraphBLAS standard; the shared writer streams
         // the generated tuples.
         let generator = kernel0::build_generator(cfg);
-        let m = cfg.spec.num_edges();
-        let mut writer = EdgeWriter::create(dir, "edges", cfg.num_files, m)?;
-        let mut lo = 0u64;
-        while lo < m {
-            let hi = (lo + kernel0::GENERATION_CHUNK).min(m);
-            writer.write_all(&generator.edges_chunk(lo, hi))?;
-            lo = hi;
-        }
-        Ok(writer.finish(
-            Some(cfg.spec.scale()),
-            Some(cfg.spec.num_vertices()),
-            ppbench_io::SortState::Unsorted,
-        )?)
+        kernel0::write_streamed(&generator, cfg, dir)
     }
 
     fn kernel1(&self, cfg: &PipelineConfig, in_dir: &Path, out_dir: &Path) -> Result<Manifest> {

@@ -8,8 +8,7 @@
 
 use std::path::Path;
 
-use ppbench_gen::EdgeGenerator;
-use ppbench_io::{EdgeReader, EdgeWriter, Manifest};
+use ppbench_io::{EdgeReader, Manifest};
 use ppbench_sort::Algorithm;
 use ppbench_sparse::{spmv, Csr};
 
@@ -29,19 +28,7 @@ impl Backend for OptimizedBackend {
 
     fn kernel0(&self, cfg: &PipelineConfig, dir: &Path) -> Result<Manifest> {
         let generator = kernel0::build_generator(cfg);
-        let m = cfg.spec.num_edges();
-        let mut writer = EdgeWriter::create(dir, "edges", cfg.num_files, m)?;
-        let mut lo = 0u64;
-        while lo < m {
-            let hi = (lo + kernel0::GENERATION_CHUNK).min(m);
-            writer.write_all(&generator.edges_chunk(lo, hi))?;
-            lo = hi;
-        }
-        Ok(writer.finish(
-            Some(cfg.spec.scale()),
-            Some(cfg.spec.num_vertices()),
-            ppbench_io::SortState::Unsorted,
-        )?)
+        kernel0::write_streamed(&generator, cfg, dir)
     }
 
     fn kernel1(&self, cfg: &PipelineConfig, in_dir: &Path, out_dir: &Path) -> Result<Manifest> {
@@ -51,7 +38,7 @@ impl Backend for OptimizedBackend {
             cfg.num_files,
             cfg.sort_key,
             Algorithm::Radix,
-            cfg.sort_memory_budget,
+            cfg.sort_budget_bytes,
         )
     }
 

@@ -13,8 +13,7 @@
 
 use std::path::Path;
 
-use ppbench_gen::EdgeGenerator;
-use ppbench_io::{EdgeReader, EdgeWriter, Manifest};
+use ppbench_io::{EdgeReader, Manifest};
 use ppbench_sort::Algorithm;
 use ppbench_sparse::{spmv, Csr, Csr32};
 
@@ -34,17 +33,11 @@ impl Backend for ParallelBackend {
 
     fn kernel0(&self, cfg: &PipelineConfig, dir: &Path) -> Result<Manifest> {
         let generator = kernel0::build_generator(cfg);
-        // Deterministic parallel generation (identical stream to serial),
-        // then a single writer thread — the file write is inherently
-        // sequential per file.
-        let edges = generator.edges_parallel(kernel0::GENERATION_CHUNK);
-        let mut writer = EdgeWriter::create(dir, "edges", cfg.num_files, cfg.spec.num_edges())?;
-        writer.write_all(&edges)?;
-        Ok(writer.finish(
-            Some(cfg.spec.scale()),
-            Some(cfg.spec.num_vertices()),
-            ppbench_io::SortState::Unsorted,
-        )?)
+        // Deterministic sharded generation + one writer per output file:
+        // identical bytes and digest to the serial stream, with peak
+        // resident memory of O(chunk × threads) instead of the full edge
+        // list.
+        kernel0::write_sharded(&generator, cfg, dir)
     }
 
     fn kernel1(&self, cfg: &PipelineConfig, in_dir: &Path, out_dir: &Path) -> Result<Manifest> {
@@ -54,7 +47,7 @@ impl Backend for ParallelBackend {
             cfg.num_files,
             cfg.sort_key,
             Algorithm::Parallel,
-            cfg.sort_memory_budget,
+            cfg.sort_budget_bytes,
         )
     }
 

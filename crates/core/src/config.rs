@@ -51,10 +51,11 @@ pub struct PipelineConfig {
     /// Sort key for kernel 1 (§V: "should the end vertices also be
     /// sorted?").
     pub sort_key: SortKey,
-    /// In-memory edge budget for kernel 1; when the edge count exceeds it
-    /// the out-of-core external sorter is used instead. `None` = always in
+    /// In-memory budget for kernel 1 in **bytes** (16 bytes per resident
+    /// edge); when the input's footprint exceeds it the out-of-core
+    /// pipelined external sorter is used instead. `None` = always in
     /// memory.
-    pub sort_memory_budget: Option<usize>,
+    pub sort_budget_bytes: Option<u64>,
     /// §V option: add a diagonal entry to empty rows/columns so the chain
     /// has no dangling states.
     pub add_diagonal_to_empty: bool,
@@ -128,8 +129,8 @@ impl PipelineConfig {
                 },
             ),
             (
-                "sort_memory_budget",
-                self.sort_memory_budget
+                "sort_budget_bytes",
+                self.sort_budget_bytes
                     .map_or_else(|| "none".to_string(), |b| b.to_string()),
             ),
             (
@@ -196,7 +197,7 @@ pub struct PipelineConfigBuilder {
     shuffle_edges: bool,
     variant: Variant,
     sort_key: SortKey,
-    sort_memory_budget: Option<usize>,
+    sort_budget_bytes: Option<u64>,
     add_diagonal_to_empty: bool,
     damping: f64,
     iterations: u32,
@@ -217,7 +218,7 @@ impl Default for PipelineConfigBuilder {
             shuffle_edges: false,
             variant: Variant::Optimized,
             sort_key: SortKey::Start,
-            sort_memory_budget: None,
+            sort_budget_bytes: None,
             add_diagonal_to_empty: false,
             damping: DAMPING,
             iterations: ITERATIONS,
@@ -283,10 +284,10 @@ impl PipelineConfigBuilder {
         self
     }
 
-    /// Caps kernel 1's in-memory edge buffer, forcing the out-of-core path
-    /// beyond it.
-    pub fn sort_memory_budget(mut self, edges: usize) -> Self {
-        self.sort_memory_budget = Some(edges);
+    /// Caps kernel 1's in-memory buffer at `bytes` (16 bytes per resident
+    /// edge), forcing the out-of-core path beyond it.
+    pub fn sort_budget_bytes(mut self, bytes: u64) -> Self {
+        self.sort_budget_bytes = Some(bytes);
         self
     }
 
@@ -351,7 +352,7 @@ impl PipelineConfigBuilder {
             shuffle_edges: self.shuffle_edges,
             variant: self.variant,
             sort_key: self.sort_key,
-            sort_memory_budget: self.sort_memory_budget,
+            sort_budget_bytes: self.sort_budget_bytes,
             add_diagonal_to_empty: self.add_diagonal_to_empty,
             damping: self.damping,
             iterations: self.iterations,
@@ -388,7 +389,7 @@ mod tests {
             .num_files(3)
             .variant(Variant::Naive)
             .sort_key(SortKey::StartEnd)
-            .sort_memory_budget(1000)
+            .sort_budget_bytes(1000)
             .add_diagonal_to_empty(true)
             .damping(0.9)
             .iterations(5)
@@ -400,7 +401,7 @@ mod tests {
         assert_eq!(cfg.num_files, 3);
         assert_eq!(cfg.variant, Variant::Naive);
         assert_eq!(cfg.sort_key, SortKey::StartEnd);
-        assert_eq!(cfg.sort_memory_budget, Some(1000));
+        assert_eq!(cfg.sort_budget_bytes, Some(1000));
         assert!(cfg.add_diagonal_to_empty);
         assert_eq!(cfg.damping, 0.9);
         assert_eq!(cfg.iterations, 5);
@@ -449,7 +450,7 @@ mod tests {
             base().variant(Variant::Naive).build(),
             base().generator(GeneratorKind::PerfectPowerLaw).build(),
             base().sort_key(SortKey::StartEnd).build(),
-            base().sort_memory_budget(100).build(),
+            base().sort_budget_bytes(100).build(),
             base().add_diagonal_to_empty(true).build(),
             base().damping(0.9).build(),
             base().iterations(10).build(),

@@ -6,9 +6,14 @@
 //! numeric strings." The generation itself is untimed by the spec; the
 //! write is what Figure 4 measures.
 
-use ppbench_gen::{EdgeGenerator, GeneratorKind, Kronecker};
+use std::path::Path;
+
+use ppbench_gen::{chunk_ranges, EdgeGenerator, GeneratorKind, Kronecker};
+use ppbench_io::checksum::EdgeDigest;
+use ppbench_io::{EdgeEncoding, EdgeWriter, FileEntry, Manifest, ShardWriter, SortState};
 
 use crate::config::PipelineConfig;
+use crate::error::Result;
 
 /// Builds the configured edge generator, honoring the vertex-permutation
 /// and edge-shuffle toggles (which only the Kronecker generator has — the
@@ -33,6 +38,81 @@ pub fn build_generator(cfg: &PipelineConfig) -> Box<dyn EdgeGenerator + Send + S
 /// to amortize per-chunk overhead, small enough to keep the resident buffer
 /// modest.
 pub const GENERATION_CHUNK: u64 = 1 << 16;
+
+/// Streams the full edge stream serially through one [`EdgeWriter`],
+/// materializing at most [`GENERATION_CHUNK`] edges at a time.
+///
+/// The shared kernel-0 body of the serial native backends.
+pub fn write_streamed(
+    generator: &dyn EdgeGenerator,
+    cfg: &PipelineConfig,
+    dir: &Path,
+) -> Result<Manifest> {
+    let m = cfg.spec.num_edges();
+    let mut writer = EdgeWriter::create(dir, "edges", cfg.num_files, m)?;
+    for (lo, hi) in chunk_ranges(0, m, GENERATION_CHUNK) {
+        writer.write_all(&generator.edges_chunk(lo, hi))?;
+    }
+    Ok(writer.finish(
+        Some(cfg.spec.scale()),
+        Some(cfg.spec.num_vertices()),
+        SortState::Unsorted,
+    )?)
+}
+
+/// Generates and writes the edge stream through `cfg.num_files` parallel
+/// [`ShardWriter`]s, one per output file, each streaming its contiguous
+/// slice of the stream in [`GENERATION_CHUNK`] pieces.
+///
+/// Peak resident memory is O(chunk × threads) instead of the whole edge
+/// list. Shard `i` covers stream positions `[i·cap, (i+1)·cap)` with
+/// `cap = ⌈M / num_files⌉` — exactly the file layout [`EdgeWriter`]
+/// produces — and the per-shard digests are folded in file order with
+/// [`EdgeDigest::concat`], so the resulting file set (bytes, manifest, and
+/// digest) is identical to a serial [`write_streamed`] pass.
+pub fn write_sharded(
+    generator: &(dyn EdgeGenerator + Sync),
+    cfg: &PipelineConfig,
+    dir: &Path,
+) -> Result<Manifest> {
+    use rayon::prelude::*;
+    let m = cfg.spec.num_edges();
+    let num_files = cfg.num_files;
+    let cap = m.div_ceil(num_files as u64).max(1);
+    let shards: Vec<usize> = (0..num_files).collect();
+    let parts: Vec<ppbench_io::Result<(FileEntry, EdgeDigest)>> = shards
+        .into_par_iter()
+        .map(|i| {
+            let lo = (i as u64).saturating_mul(cap).min(m);
+            let hi = lo.saturating_add(cap).min(m);
+            let mut w = ShardWriter::create(dir, "edges", i, EdgeEncoding::Text, true)?;
+            for (clo, chi) in chunk_ranges(lo, hi, GENERATION_CHUNK) {
+                for e in generator.edges_chunk(clo, chi) {
+                    w.write(e)?;
+                }
+            }
+            w.finish()
+        })
+        .collect();
+    let mut digest = EdgeDigest::new();
+    let mut files = Vec::with_capacity(num_files);
+    for part in parts {
+        let (entry, shard_digest) = part?;
+        digest = digest.concat(&shard_digest);
+        files.push(entry);
+    }
+    let manifest = Manifest {
+        scale: Some(cfg.spec.scale()),
+        vertex_bound: Some(cfg.spec.num_vertices()),
+        edges: digest.count,
+        sort_state: SortState::Unsorted,
+        encoding: EdgeEncoding::Text,
+        digest,
+        files,
+    };
+    ppbench_io::publish_manifest(dir, &manifest, true)?;
+    Ok(manifest)
+}
 
 #[cfg(test)]
 mod tests {
@@ -73,6 +153,54 @@ mod tests {
         let din = degree::in_degrees(&raw, 256);
         let argmax = (0..256).max_by_key(|&i| din[i as usize]).unwrap();
         assert_eq!(argmax, 0);
+    }
+
+    #[test]
+    fn sharded_write_identical_to_streamed() {
+        // Bytes, file layout, manifest, and digest must all agree — the
+        // sharded path is a pure parallelization, not a different format.
+        let td = ppbench_io::tempdir::TempDir::new("ppbench-k0").unwrap();
+        for num_files in [1, 3, 7] {
+            let cfg = PipelineConfig::builder()
+                .scale(6)
+                .edge_factor(4)
+                .seed(5)
+                .num_files(num_files)
+                .build();
+            let g = build_generator(&cfg);
+            let serial_dir = td.join(&format!("serial-{num_files}"));
+            let sharded_dir = td.join(&format!("sharded-{num_files}"));
+            let m_serial = write_streamed(&g, &cfg, &serial_dir).unwrap();
+            let m_sharded = write_sharded(&g, &cfg, &sharded_dir).unwrap();
+            assert_eq!(m_serial.files, m_sharded.files, "{num_files} files");
+            assert!(m_serial.digest.same_stream(&m_sharded.digest));
+            for f in &m_serial.files {
+                let a = std::fs::read(serial_dir.join(&f.name)).unwrap();
+                let b = std::fs::read(sharded_dir.join(&f.name)).unwrap();
+                assert_eq!(a, b, "{} differs with {num_files} files", f.name);
+            }
+            assert_eq!(
+                std::fs::read(serial_dir.join(ppbench_io::MANIFEST_NAME)).unwrap(),
+                std::fs::read(sharded_dir.join(ppbench_io::MANIFEST_NAME)).unwrap(),
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_write_handles_more_files_than_edges() {
+        let td = ppbench_io::tempdir::TempDir::new("ppbench-k0").unwrap();
+        let cfg = PipelineConfig::builder()
+            .scale(1)
+            .edge_factor(1)
+            .num_files(5)
+            .build();
+        let g = build_generator(&cfg);
+        let m = write_sharded(&g, &cfg, td.path()).unwrap();
+        assert_eq!(m.edges, 2);
+        assert_eq!(m.files.len(), 5);
+        let (back_m, back) = ppbench_io::EdgeReader::read_dir_all(td.path()).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back_m.edges, 2);
     }
 
     #[test]

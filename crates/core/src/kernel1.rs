@@ -4,21 +4,29 @@
 //! start vertex and writes the sorted edges to files on non-volatile
 //! storage using the same format." The in-memory/out-of-core decision the
 //! paper discusses is made here: when a memory budget is configured and the
-//! edge count exceeds it, the external merge sorter runs; otherwise the
-//! whole list is sorted in RAM with the backend's algorithm of choice.
+//! input's in-memory footprint (16 bytes per edge) exceeds it, the
+//! pipelined external sorter runs — parsing, run sorting, and output
+//! writing on separate threads; otherwise the whole list is sorted in RAM
+//! with the backend's algorithm of choice.
+//!
+//! Both paths treat the input manifest as untrusted on-disk data: its edge
+//! count is bounded against the actual file bytes before any allocation,
+//! and the stream read back is digest-verified against the manifest before
+//! the sorted output is committed.
 
 use std::path::Path;
 
-use ppbench_io::{EdgeReader, EdgeWriter, Manifest};
-use ppbench_sort::{Algorithm, ExternalSorter, SortKey};
+use ppbench_io::{checksum::EdgeDigest, EdgeReader, EdgeWriter, Manifest, BYTES_PER_EDGE};
+use ppbench_sort::{pipelined_sort, Algorithm, SortKey};
 
-use crate::error::Result;
+use crate::error::{Error, Result};
 
 /// Sorts the edge file set at `in_dir` into a new file set at `out_dir`.
 ///
 /// * `algorithm` — in-memory algorithm (ignored on the out-of-core path,
 ///   which always uses stable radix runs).
-/// * `budget` — maximum edges held in memory; `None` means unbounded.
+/// * `budget_bytes` — maximum bytes of edges held in memory (at
+///   [`BYTES_PER_EDGE`] per edge); `None` means unbounded.
 ///
 /// Returns the output manifest.
 pub fn sort_file_set(
@@ -27,23 +35,60 @@ pub fn sort_file_set(
     num_files: usize,
     key: SortKey,
     algorithm: Algorithm,
-    budget: Option<usize>,
+    budget_bytes: Option<u64>,
 ) -> Result<Manifest> {
     let (in_manifest, iter) = EdgeReader::open_dir(in_dir)?;
+    // The manifest's edge count is untrusted: a corrupt or hostile value
+    // (`edges: u64::MAX`) must drive neither an allocation nor a spill
+    // decision. Bound it by what the files' bytes could possibly encode.
+    let disk_cap = in_manifest.max_edges_on_disk(in_dir);
+    if in_manifest.edges > disk_cap {
+        return Err(Error::Contract(format!(
+            "{}: manifest claims {} edges but its files hold at most {disk_cap}",
+            in_dir.display(),
+            in_manifest.edges
+        )));
+    }
+    let in_bytes = in_manifest.edges.saturating_mul(BYTES_PER_EDGE as u64);
     // `Some` only when the input exceeds the in-memory budget.
-    let spill_budget = budget.filter(|&b| in_manifest.edges > b as u64);
+    let spill_budget = budget_bytes.filter(|&b| in_bytes > b);
 
     let mut writer = EdgeWriter::create(out_dir, "edges", num_files, in_manifest.edges)?;
-    if let Some(budget_edges) = spill_budget {
+    if let Some(bytes) = spill_budget {
+        let budget_edges = usize::try_from(bytes / BYTES_PER_EDGE as u64)
+            .unwrap_or(usize::MAX)
+            .max(1);
         let scratch = out_dir.join("sort-scratch");
-        let sorter = ExternalSorter::new(&scratch, budget_edges, key)?;
-        sorter.sort(iter, |e| writer.write(e))?;
+        let stats = pipelined_sort(&scratch, budget_edges, key, iter, |e| writer.write(e))?;
         // ppbench: allow(discarded-result, reason = "best-effort scratch cleanup; the sorted output is already written and a leftover dir is harmless")
         let _ = std::fs::remove_dir_all(&scratch);
+        if !stats.input_digest.same_stream(&in_manifest.digest) {
+            return Err(Error::Contract(format!(
+                "{}: edge stream does not match manifest digest \
+                 (read {} edges, manifest says {})",
+                in_dir.display(),
+                stats.input_digest.count,
+                in_manifest.edges
+            )));
+        }
     } else {
         let mut edges = Vec::with_capacity(in_manifest.edges as usize);
+        let mut digest = EdgeDigest::new();
         for e in iter {
-            edges.push(e?);
+            let e = e?;
+            digest.update(e);
+            edges.push(e);
+        }
+        // Verify before sorting: bad input must never be laundered into a
+        // plausible-looking sorted file set.
+        if !digest.same_stream(&in_manifest.digest) {
+            return Err(Error::Contract(format!(
+                "{}: edge stream does not match manifest digest \
+                 (read {} edges, manifest says {})",
+                in_dir.display(),
+                digest.count,
+                in_manifest.edges
+            )));
         }
         algorithm.sort(&mut edges, key, in_manifest.vertex_bound);
         writer.write_all(&edges)?;
@@ -125,13 +170,43 @@ mod tests {
             1,
             SortKey::Start,
             Algorithm::Radix,
-            Some(32),
+            Some(32 * BYTES_PER_EDGE as u64),
         )
         .unwrap();
         // Stable radix in memory and stable external sort agree exactly.
         assert!(m_mem.digest.same_stream(&m_ext.digest));
         // Scratch space cleaned up.
         assert!(!td.join("ext").join("sort-scratch").exists());
+    }
+
+    #[test]
+    fn budget_is_in_bytes_not_edges() {
+        // 100 edges = 1600 bytes. A 1599-byte budget must spill; a
+        // 1600-byte budget must not (footprint == budget is within it).
+        let td = TempDir::new("ppbench-k1").unwrap();
+        let edges = scrambled(100);
+        write_input(&td.join("in"), &edges);
+        sort_file_set(
+            &td.join("in"),
+            &td.join("tight"),
+            1,
+            SortKey::Start,
+            Algorithm::Radix,
+            Some(1599),
+        )
+        .unwrap();
+        sort_file_set(
+            &td.join("in"),
+            &td.join("exact"),
+            1,
+            SortKey::Start,
+            Algorithm::Radix,
+            Some(1600),
+        )
+        .unwrap();
+        let (_, a) = EdgeReader::read_dir_all(&td.join("tight")).unwrap();
+        let (_, b) = EdgeReader::read_dir_all(&td.join("exact")).unwrap();
+        assert_eq!(a, b);
     }
 
     #[test]
@@ -164,5 +239,35 @@ mod tests {
             None,
         );
         assert!(r.is_err());
+    }
+
+    #[test]
+    fn hostile_manifest_edge_count_rejected_before_allocating() {
+        // A manifest claiming u64::MAX edges used to drive
+        // `Vec::with_capacity(u64::MAX)` — an immediate abort. It must now
+        // surface as a contract error bounded by the bytes on disk.
+        let td = TempDir::new("ppbench-k1").unwrap();
+        write_input(&td.join("in"), &scrambled(10));
+        // Forge an internally consistent manifest (per-file sums and digest
+        // count agree with the claimed total) so only the bytes-on-disk
+        // bound can catch it.
+        let mut m = Manifest::load(&td.join("in")).unwrap();
+        m.edges = u64::MAX;
+        m.digest.count = u64::MAX;
+        m.files[0].edges = u64::MAX - m.files[1].edges;
+        m.save(&td.join("in")).unwrap();
+        for budget in [None, Some(64)] {
+            let err = sort_file_set(
+                &td.join("in"),
+                &td.join("out"),
+                1,
+                SortKey::Start,
+                Algorithm::Radix,
+                budget,
+            )
+            .unwrap_err();
+            let msg = err.to_string();
+            assert!(msg.contains("at most"), "{msg}");
+        }
     }
 }

@@ -141,7 +141,9 @@ impl Pipeline {
                 timing,
                 digest: manifest1.digest,
                 sort_state: manifest1.sort_state,
-                out_of_core: cfg.sort_memory_budget.is_some_and(|b| m > b as u64),
+                out_of_core: cfg
+                    .sort_budget_bytes
+                    .is_some_and(|b| m.saturating_mul(ppbench_io::BYTES_PER_EDGE as u64) > b),
             });
         }
         if last_kernel >= 2 {
@@ -299,7 +301,7 @@ mod tests {
     #[test]
     fn out_of_core_kernel1_works_in_pipeline() {
         let td = TempDir::new("ppbench-pipe").unwrap();
-        let cfg = base(6).sort_memory_budget(64).build();
+        let cfg = base(6).sort_budget_bytes(64 * 16).build();
         let result = Pipeline::new(cfg, td.path()).run().unwrap();
         assert!(result.kernel1.as_ref().unwrap().out_of_core);
         assert!(result.validation.as_ref().unwrap().passed());

@@ -57,6 +57,23 @@ pub use spec::{GraphSpec, DEFAULT_EDGE_FACTOR};
 
 use ppbench_io::Edge;
 
+/// Splits the half-open stream range `lo..hi` into consecutive `(lo, hi)`
+/// chunks of at most `chunk` edges, in stream order. The shared chunking
+/// vocabulary of every streaming consumer (kernel 0's writers,
+/// [`EdgeGenerator::edges_parallel`]): identical chunk boundaries are what
+/// keep their outputs bit-identical to a serial pass.
+///
+/// # Panics
+///
+/// Panics if `chunk == 0` or `lo > hi`.
+pub fn chunk_ranges(lo: u64, hi: u64, chunk: u64) -> impl Iterator<Item = (u64, u64)> {
+    assert!(chunk > 0, "chunk size must be positive");
+    assert!(lo <= hi, "invalid range {lo}..{hi}");
+    (lo..hi)
+        .step_by(usize::try_from(chunk).unwrap_or(usize::MAX))
+        .map(move |start| (start, start.saturating_add(chunk).min(hi)))
+}
+
 /// A deterministic edge-list generator.
 ///
 /// Generators are pure functions of their configuration (including the
@@ -88,11 +105,7 @@ pub trait EdgeGenerator {
     {
         use rayon::prelude::*;
         let m = self.spec().num_edges();
-        assert!(chunk_size > 0, "chunk_size must be positive");
-        let chunks: Vec<(u64, u64)> = (0..m)
-            .step_by(chunk_size as usize)
-            .map(|lo| (lo, (lo + chunk_size).min(m)))
-            .collect();
+        let chunks: Vec<(u64, u64)> = chunk_ranges(0, m, chunk_size).collect();
         chunks
             .par_iter()
             .flat_map_iter(|&(lo, hi)| self.edges_chunk(lo, hi))
@@ -220,5 +233,29 @@ mod tests {
             }
             assert_eq!(tiled, all, "{}", k.name());
         }
+    }
+
+    #[test]
+    fn chunk_ranges_tile_exactly() {
+        for (lo, hi, chunk) in [(0, 10, 4), (0, 10, 10), (0, 10, 100), (3, 17, 5), (7, 7, 1)] {
+            let ranges: Vec<(u64, u64)> = chunk_ranges(lo, hi, chunk).collect();
+            // Consecutive, non-empty, exactly covering lo..hi.
+            let mut at = lo;
+            for &(a, b) in &ranges {
+                assert_eq!(a, at, "{lo}..{hi} by {chunk}");
+                assert!(b > a && b - a <= chunk, "{lo}..{hi} by {chunk}");
+                at = b;
+            }
+            assert_eq!(at, hi.max(lo), "{lo}..{hi} by {chunk}");
+            if lo == hi {
+                assert!(ranges.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk size")]
+    fn chunk_ranges_reject_zero_chunk() {
+        let _ = chunk_ranges(0, 5, 0).count();
     }
 }

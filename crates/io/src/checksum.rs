@@ -10,6 +10,14 @@
 //! * an **order-dependent** component (`chain`) — equal chains mean two
 //!   streams are identical edge-for-edge in order, which is how backend
 //!   implementations are cross-validated.
+//!
+//! The chain is a polynomial rolling hash over the per-edge hashes
+//! (`chain = Σ hᵢ·R^(n-1-i) mod 2^64` with `R` odd), which makes it
+//! **composable**: the digest of a concatenated stream is computable from
+//! the digests of its pieces ([`EdgeDigest::concat`]). That is what lets
+//! kernel 0's sharded parallel writers digest their file-sized slices
+//! independently and still publish a manifest whose chain matches the
+//! serial writer bit for bit.
 
 use crate::Edge;
 
@@ -24,6 +32,26 @@ pub struct EdgeDigest {
     pub xor: u64,
     /// Chained hash (order dependent).
     pub chain: u64,
+}
+
+/// Radix of the polynomial chain hash. Odd, so multiplication by it is a
+/// bijection mod 2^64 and no information is shifted out.
+const CHAIN_R: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// `CHAIN_R^exp mod 2^64` by binary exponentiation — O(log exp), so
+/// [`EdgeDigest::concat`] stays cheap even for billion-edge shards.
+#[inline]
+fn chain_r_pow(mut exp: u64) -> u64 {
+    let mut base = CHAIN_R;
+    let mut acc = 1u64;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = acc.wrapping_mul(base);
+        }
+        base = base.wrapping_mul(base);
+        exp >>= 1;
+    }
+    acc
 }
 
 /// SplitMix64-style finalizer used as the per-edge hash. Reimplemented here
@@ -56,7 +84,26 @@ impl EdgeDigest {
         self.count += 1;
         self.sum = self.sum.wrapping_add(h);
         self.xor ^= h;
-        self.chain = mix(self.chain ^ h);
+        self.chain = self.chain.wrapping_mul(CHAIN_R).wrapping_add(h);
+    }
+
+    /// Digest of the concatenated stream `self ++ other`.
+    ///
+    /// All four components compose: `sum`/`xor`/`count` trivially, and the
+    /// polynomial `chain` shifts `self` past `other` by `R^other.count`.
+    /// Merging per-shard digests in file order therefore reproduces exactly
+    /// the digest a single serial pass over the whole stream would produce.
+    #[must_use]
+    pub fn concat(&self, other: &Self) -> Self {
+        Self {
+            count: self.count + other.count,
+            sum: self.sum.wrapping_add(other.sum),
+            xor: self.xor ^ other.xor,
+            chain: self
+                .chain
+                .wrapping_mul(chain_r_pow(other.count))
+                .wrapping_add(other.chain),
+        }
     }
 
     /// Digest of a whole slice.
@@ -144,5 +191,45 @@ mod tests {
     #[test]
     fn empty_digests_match() {
         assert!(EdgeDigest::new().same_stream(&EdgeDigest::of_edges(&[])));
+    }
+
+    #[test]
+    fn concat_matches_sequential_at_every_split() {
+        let es = edges();
+        let whole = EdgeDigest::of_edges(&es);
+        for cut in [0, 1, 17, 50, 99, 100] {
+            let (a, b) = es.split_at(cut);
+            let merged = EdgeDigest::of_edges(a).concat(&EdgeDigest::of_edges(b));
+            assert_eq!(merged, whole, "split at {cut} must reproduce the digest");
+        }
+    }
+
+    #[test]
+    fn concat_is_associative_across_many_shards() {
+        let es = edges();
+        let whole = EdgeDigest::of_edges(&es);
+        let mut merged = EdgeDigest::new();
+        for shard in es.chunks(7) {
+            merged = merged.concat(&EdgeDigest::of_edges(shard));
+        }
+        assert_eq!(merged, whole);
+    }
+
+    #[test]
+    fn concat_with_empty_is_identity() {
+        let d = EdgeDigest::of_edges(&edges());
+        let empty = EdgeDigest::new();
+        assert_eq!(d.concat(&empty), d);
+        assert_eq!(empty.concat(&d), d);
+    }
+
+    #[test]
+    fn concat_order_matters_for_chain() {
+        let a = EdgeDigest::of_edges(&[Edge::new(1, 2)]);
+        let b = EdgeDigest::of_edges(&[Edge::new(3, 4)]);
+        let ab = a.concat(&b);
+        let ba = b.concat(&a);
+        assert!(ab.same_multiset(&ba));
+        assert!(!ab.same_stream(&ba), "chain must stay order dependent");
     }
 }

@@ -52,7 +52,7 @@ mod writer;
 pub use error::{Error, Result};
 pub use manifest::{EdgeEncoding, FileEntry, Manifest, SortState, MANIFEST_NAME};
 pub use reader::{EdgeFileIter, EdgeReader};
-pub use writer::{write_edges, EdgeWriter};
+pub use writer::{publish_manifest, shard_file_name, write_edges, EdgeWriter, ShardWriter};
 
 /// A vertex identifier. Vertex labels range over `0 .. 2^scale`, so 64 bits
 /// cover every scale the Graph500 generator supports.

@@ -86,6 +86,17 @@ impl EdgeEncoding {
             EdgeEncoding::Binary => "bin",
         }
     }
+
+    /// Smallest possible on-disk size of one edge record in this encoding:
+    /// the divisor that bounds how many edges a given byte count can hold.
+    /// Text records are at least `0\t0\n` (4 bytes); binary records are
+    /// exactly 16.
+    pub fn min_record_bytes(self) -> u64 {
+        match self {
+            EdgeEncoding::Text => 4,
+            EdgeEncoding::Binary => 16,
+        }
+    }
 }
 
 /// One file of an edge file set.
@@ -125,8 +136,32 @@ impl Manifest {
         self.files.iter().map(|f| dir.join(&f.name)).collect()
     }
 
+    /// Upper bound on how many edges the file set can actually contain,
+    /// derived from the files' sizes on disk (a missing file counts as
+    /// empty). A manifest field is *untrusted input* — it may come from a
+    /// corrupt or hostile directory — so callers clamp preallocations to
+    /// this bound instead of trusting `edges` directly, and reject a
+    /// manifest that claims more edges than its bytes can encode.
+    pub fn max_edges_on_disk(&self, dir: &Path) -> u64 {
+        let bytes: u64 = self
+            .files
+            .iter()
+            .map(|f| std::fs::metadata(dir.join(&f.name)).map_or(0, |m| m.len()))
+            .sum();
+        bytes / self.encoding.min_record_bytes()
+    }
+
     /// Serializes the manifest to `dir/manifest.tsv`.
     pub fn save(&self, dir: &Path) -> Result<()> {
+        self.save_with(dir, false)
+    }
+
+    /// Like [`Manifest::save`]; with `durable` the manifest is written to a
+    /// temporary file, fsynced, atomically renamed into place, and the
+    /// directory entry is fsynced. Renaming makes the manifest the commit
+    /// point of a file set: after a crash, either the complete old state or
+    /// the complete new state is visible, never a torn manifest.
+    pub fn save_with(&self, dir: &Path, durable: bool) -> Result<()> {
         let mut out = String::new();
         out.push_str("format\tppbench-edges-v1\n");
         if let Some(s) = self.scale {
@@ -146,7 +181,19 @@ impl Manifest {
             out.push_str(&format!("file\t{}\t{}\n", f.name, f.edges));
         }
         let path = dir.join(MANIFEST_NAME);
-        std::fs::write(&path, out).map_err(|e| Error::io(&path, e))
+        if !durable {
+            return std::fs::write(&path, out).map_err(|e| Error::io(&path, e));
+        }
+        let tmp = dir.join(".manifest.tsv.tmp");
+        {
+            use std::io::Write;
+            let mut f = std::fs::File::create(&tmp).map_err(|e| Error::io(&tmp, e))?;
+            f.write_all(out.as_bytes())
+                .map_err(|e| Error::io(&tmp, e))?;
+            f.sync_all().map_err(|e| Error::io(&tmp, e))?;
+        }
+        std::fs::rename(&tmp, &path).map_err(|e| Error::io(&path, e))?;
+        crate::writer::sync_dir(dir)
     }
 
     /// Loads and validates a manifest from `dir/manifest.tsv`.
@@ -294,6 +341,31 @@ mod tests {
         };
         m.save(td.path()).unwrap();
         assert_eq!(Manifest::load(td.path()).unwrap(), m);
+    }
+
+    #[test]
+    fn durable_save_roundtrips_and_leaves_no_temp_file() {
+        let td = TempDir::new("ppbench-manifest").unwrap();
+        let m = sample();
+        m.save_with(td.path(), true).unwrap();
+        assert_eq!(Manifest::load(td.path()).unwrap(), m);
+        assert!(!td.join(".manifest.tsv.tmp").exists());
+    }
+
+    #[test]
+    fn max_edges_on_disk_bounds_by_file_bytes() {
+        let td = TempDir::new("ppbench-manifest").unwrap();
+        let mut m = sample();
+        // Two real files: 8 bytes and 4 bytes of text → at most 3 edges.
+        std::fs::write(td.join("edges-00000.tsv"), "1\t2\n3\t4\n").unwrap();
+        std::fs::write(td.join("edges-00001.tsv"), "5\t6\n").unwrap();
+        assert_eq!(m.max_edges_on_disk(td.path()), 3);
+        // A listed-but-missing file contributes nothing.
+        m.files.push(FileEntry {
+            name: "edges-00002.tsv".into(),
+            edges: 0,
+        });
+        assert_eq!(m.max_edges_on_disk(td.path()), 3);
     }
 
     #[test]

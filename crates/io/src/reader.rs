@@ -33,6 +33,21 @@ impl EdgeReader {
     /// verifies the stream digest recorded in the manifest.
     pub fn read_dir_all(dir: &Path) -> Result<(Manifest, Vec<Edge>)> {
         let (manifest, iter) = Self::open_dir(dir)?;
+        // The manifest's edge count is untrusted on-disk input: a corrupt
+        // or hostile value (`edges: u64::MAX`) must not drive an allocation.
+        // Bound it by what the files' bytes could possibly encode before
+        // preallocating.
+        let disk_cap = manifest.max_edges_on_disk(dir);
+        if manifest.edges > disk_cap {
+            return Err(Error::manifest(
+                dir.join(crate::manifest::MANIFEST_NAME),
+                format!(
+                    "manifest claims {} edges but the files on disk can hold \
+                     at most {disk_cap}",
+                    manifest.edges
+                ),
+            ));
+        }
         let mut edges = Vec::with_capacity(manifest.edges as usize);
         let mut digest = EdgeDigest::new();
         for e in iter {

@@ -18,6 +18,14 @@ use crate::{Edge, Error, Result};
 
 /// Streams edges into `num_files` tab-separated files inside a directory,
 /// producing a [`Manifest`] on [`EdgeWriter::finish`].
+///
+/// By default the writer is **durable**, honoring the spec's "non-volatile
+/// storage" requirement: every data file is fsynced when it is closed, the
+/// directory is fsynced before the manifest is published, and the manifest
+/// itself is written via fsync + atomic rename. A crash therefore can never
+/// leave a manifest naming files whose contents did not reach disk. Callers
+/// that don't need the guarantee (tests, scratch spill runs) opt out with
+/// [`EdgeWriter::durable`]`(false)`.
 #[derive(Debug)]
 pub struct EdgeWriter {
     dir: PathBuf,
@@ -30,11 +38,59 @@ pub struct EdgeWriter {
     digest: EdgeDigest,
     line_buf: Vec<u8>,
     encoding: EdgeEncoding,
+    durable: bool,
 }
 
 /// Buffer size for file writes; large enough that syscall overhead is
 /// negligible at every benchmark scale.
 const WRITE_BUF_BYTES: usize = 1 << 20;
+
+/// File name of shard `index` of a file set: `basename-NNNNN.<ext>`.
+///
+/// Shared by [`EdgeWriter`] and [`ShardWriter`] so a set written by parallel
+/// shard writers is byte-for-byte the set the serial writer produces.
+pub fn shard_file_name(basename: &str, index: usize, encoding: EdgeEncoding) -> String {
+    format!("{basename}-{index:05}.{}", encoding.extension())
+}
+
+fn validate_basename(basename: &str) -> Result<()> {
+    if basename.is_empty() || basename.contains(['/', '\\', '\t', '\n']) {
+        return Err(Error::InvalidConfig(format!("bad basename {basename:?}")));
+    }
+    Ok(())
+}
+
+#[inline]
+fn encode_edge(encoding: EdgeEncoding, edge: Edge, buf: &mut Vec<u8>) {
+    buf.clear();
+    match encoding {
+        EdgeEncoding::Text => format::encode_line(edge, buf),
+        EdgeEncoding::Binary => {
+            buf.extend_from_slice(&edge.u.to_le_bytes());
+            buf.extend_from_slice(&edge.v.to_le_bytes());
+        }
+    }
+}
+
+/// Fsyncs the directory itself so the directory entries of freshly created
+/// files survive power loss (POSIX persists new entries only once the
+/// *directory* is synced, independently of the files' own fsyncs).
+pub(crate) fn sync_dir(dir: &Path) -> Result<()> {
+    let f = File::open(dir).map_err(|e| Error::io(dir, e))?;
+    f.sync_all().map_err(|e| Error::io(dir, e))
+}
+
+/// Publishes `manifest` over data files that are already fully written —
+/// the assembly step for parallel [`ShardWriter`]s. With `durable`, the
+/// directory is fsynced *before* the manifest is saved (so every data file's
+/// directory entry is on disk first) and the manifest itself is written
+/// durably; the manifest is thus the commit point of the file set.
+pub fn publish_manifest(dir: &Path, manifest: &Manifest, durable: bool) -> Result<()> {
+    if durable {
+        sync_dir(dir)?;
+    }
+    manifest.save_with(dir, durable)
+}
 
 impl EdgeWriter {
     /// Creates a writer that will spread `expected_edges` edges across
@@ -65,9 +121,7 @@ impl EdgeWriter {
         if num_files == 0 {
             return Err(Error::InvalidConfig("num_files must be at least 1".into()));
         }
-        if basename.is_empty() || basename.contains(['/', '\\', '\t', '\n']) {
-            return Err(Error::InvalidConfig(format!("bad basename {basename:?}")));
-        }
+        validate_basename(basename)?;
         std::fs::create_dir_all(dir).map_err(|e| Error::io(dir, e))?;
         let capacity_per_file = expected_edges.div_ceil(num_files as u64).max(1);
         Ok(Self {
@@ -81,11 +135,21 @@ impl EdgeWriter {
             digest: EdgeDigest::new(),
             line_buf: Vec::with_capacity(format::MAX_LINE_BYTES),
             encoding,
+            durable: true,
         })
     }
 
+    /// Toggles durability (default `true`): whether data files are fsynced
+    /// on close and the manifest is published with a directory sync. Call
+    /// before the first write.
+    #[must_use]
+    pub fn durable(mut self, durable: bool) -> Self {
+        self.durable = durable;
+        self
+    }
+
     fn file_name(&self, idx: usize) -> String {
-        format!("{}-{idx:05}.{}", self.basename, self.encoding.extension())
+        shard_file_name(&self.basename, idx, self.encoding)
     }
 
     fn roll_file(&mut self) -> Result<()> {
@@ -102,6 +166,13 @@ impl EdgeWriter {
     fn close_current(&mut self) -> Result<()> {
         if let Some(mut w) = self.current.take() {
             w.flush().map_err(|e| Error::io(&self.dir, e))?;
+            if self.durable {
+                // Contents must reach non-volatile storage before the
+                // manifest can name this file.
+                w.get_ref()
+                    .sync_all()
+                    .map_err(|e| Error::io(&self.dir, e))?;
+            }
             if let Some(last) = self.files.last_mut() {
                 last.edges = self.current_count;
             }
@@ -121,14 +192,7 @@ impl EdgeWriter {
         if need_roll {
             self.roll_file()?;
         }
-        self.line_buf.clear();
-        match self.encoding {
-            EdgeEncoding::Text => format::encode_line(edge, &mut self.line_buf),
-            EdgeEncoding::Binary => {
-                self.line_buf.extend_from_slice(&edge.u.to_le_bytes());
-                self.line_buf.extend_from_slice(&edge.v.to_le_bytes());
-            }
-        }
+        encode_edge(self.encoding, edge, &mut self.line_buf);
         let file = self.current.as_mut().ok_or_else(|| {
             Error::io(
                 &self.dir,
@@ -178,8 +242,85 @@ impl EdgeWriter {
             digest: self.digest,
             files: std::mem::take(&mut self.files),
         };
-        manifest.save(&self.dir)?;
+        publish_manifest(&self.dir, &manifest, self.durable)?;
         Ok(manifest)
+    }
+}
+
+/// Writes exactly one file of an edge file set — the per-shard half of a
+/// parallel kernel-0 writer.
+///
+/// Unlike [`EdgeWriter`], a `ShardWriter` writes no manifest: each shard
+/// produces its [`FileEntry`] plus the [`EdgeDigest`] of its own slice of
+/// the stream, and the coordinator merges the digests in file order with
+/// [`EdgeDigest::concat`] and commits the set via [`publish_manifest`].
+/// Because the file naming ([`shard_file_name`]) and encoding match
+/// [`EdgeWriter`] exactly, a sharded set is byte-identical to a serial one.
+#[derive(Debug)]
+pub struct ShardWriter {
+    path: PathBuf,
+    name: String,
+    writer: BufWriter<File>,
+    digest: EdgeDigest,
+    line_buf: Vec<u8>,
+    encoding: EdgeEncoding,
+    durable: bool,
+}
+
+impl ShardWriter {
+    /// Creates the writer for shard `index` of the set named `basename` in
+    /// `dir`. With `durable`, the file is fsynced on [`ShardWriter::finish`].
+    pub fn create(
+        dir: &Path,
+        basename: &str,
+        index: usize,
+        encoding: EdgeEncoding,
+        durable: bool,
+    ) -> Result<Self> {
+        validate_basename(basename)?;
+        std::fs::create_dir_all(dir).map_err(|e| Error::io(dir, e))?;
+        let name = shard_file_name(basename, index, encoding);
+        let path = dir.join(&name);
+        let file = File::create(&path).map_err(|e| Error::io(&path, e))?;
+        Ok(Self {
+            path,
+            name,
+            writer: BufWriter::with_capacity(WRITE_BUF_BYTES, file),
+            digest: EdgeDigest::new(),
+            line_buf: Vec::with_capacity(format::MAX_LINE_BYTES),
+            encoding,
+            durable,
+        })
+    }
+
+    /// Writes one edge to the shard.
+    #[inline]
+    pub fn write(&mut self, edge: Edge) -> Result<()> {
+        encode_edge(self.encoding, edge, &mut self.line_buf);
+        self.writer
+            .write_all(&self.line_buf)
+            .map_err(|e| Error::io(&self.path, e))?;
+        self.digest.update(edge);
+        Ok(())
+    }
+
+    /// Flushes (and fsyncs, when durable) the file; returns its manifest
+    /// entry and the digest of the shard's slice of the stream.
+    pub fn finish(mut self) -> Result<(FileEntry, EdgeDigest)> {
+        self.writer.flush().map_err(|e| Error::io(&self.path, e))?;
+        if self.durable {
+            self.writer
+                .get_ref()
+                .sync_all()
+                .map_err(|e| Error::io(&self.path, e))?;
+        }
+        Ok((
+            FileEntry {
+                name: self.name,
+                edges: self.digest.count,
+            },
+            self.digest,
+        ))
     }
 }
 
@@ -341,9 +482,97 @@ mod tests {
         let m = w.finish(None, None, SortState::Unsorted).unwrap();
         let path = td.join(&m.files[0].name);
         let data = std::fs::read(&path).unwrap();
-        std::fs::write(&path, &data[..data.len() - 7]).unwrap();
+        // A trailing partial record (not a shortened file, which the
+        // byte-bound clamp rejects first) must surface as a torn record.
+        let mut torn = data.clone();
+        torn.extend_from_slice(&data[..9]);
+        std::fs::write(&path, &torn).unwrap();
         let err = crate::EdgeReader::read_dir_all(td.path()).unwrap_err();
         assert!(err.to_string().contains("torn"), "{err}");
+        // And a truncated file is rejected up front by the byte bound.
+        std::fs::write(&path, &data[..data.len() - 7]).unwrap();
+        let err = crate::EdgeReader::read_dir_all(td.path()).unwrap_err();
+        assert!(err.to_string().contains("at most"), "{err}");
+    }
+
+    #[test]
+    fn sharded_set_identical_to_serial_writer() {
+        // The parallel-kernel-0 contract: per-file shard writers plus
+        // digest concat plus publish_manifest reproduce the serial
+        // EdgeWriter's output byte for byte, manifest included.
+        let td = TempDir::new("ppbench-writer").unwrap();
+        let es = edges(10);
+        let serial = write_edges(
+            &td.join("serial"),
+            "edges",
+            3,
+            &es,
+            Some(4),
+            Some(32),
+            SortState::Unsorted,
+        )
+        .unwrap();
+        // ceil(10/3) = 4 edges per shard; shard 2 gets the short tail.
+        let dir = td.join("sharded");
+        let mut parts = Vec::new();
+        for (i, slice) in es.chunks(4).enumerate() {
+            let mut w = ShardWriter::create(&dir, "edges", i, EdgeEncoding::Text, false).unwrap();
+            for &e in slice {
+                w.write(e).unwrap();
+            }
+            parts.push(w.finish().unwrap());
+        }
+        let mut digest = EdgeDigest::new();
+        let mut files = Vec::new();
+        for (entry, d) in parts {
+            digest = digest.concat(&d);
+            files.push(entry);
+        }
+        let manifest = Manifest {
+            scale: Some(4),
+            vertex_bound: Some(32),
+            edges: digest.count,
+            sort_state: SortState::Unsorted,
+            encoding: EdgeEncoding::Text,
+            digest,
+            files,
+        };
+        publish_manifest(&dir, &manifest, false).unwrap();
+        assert_eq!(manifest, serial);
+        for f in &serial.files {
+            let a = std::fs::read(td.join("serial").join(&f.name)).unwrap();
+            let b = std::fs::read(dir.join(&f.name)).unwrap();
+            assert_eq!(a, b, "{} differs", f.name);
+        }
+        assert_eq!(
+            Manifest::load(&dir).unwrap(),
+            Manifest::load(&td.join("serial")).unwrap()
+        );
+    }
+
+    #[test]
+    fn shard_writer_rejects_bad_basename() {
+        let td = TempDir::new("ppbench-writer").unwrap();
+        assert!(ShardWriter::create(td.path(), "../x", 0, EdgeEncoding::Text, false).is_err());
+    }
+
+    #[test]
+    fn durable_writer_output_matches_non_durable() {
+        let td = TempDir::new("ppbench-writer").unwrap();
+        let es = edges(20);
+        let mut w = EdgeWriter::create(&td.join("d"), "edges", 2, 20).unwrap();
+        w.write_all(&es).unwrap();
+        let durable = w.finish(None, None, SortState::Unsorted).unwrap();
+        let mut w = EdgeWriter::create(&td.join("n"), "edges", 2, 20)
+            .unwrap()
+            .durable(false);
+        w.write_all(&es).unwrap();
+        let fast = w.finish(None, None, SortState::Unsorted).unwrap();
+        assert_eq!(durable, fast);
+        assert_eq!(
+            std::fs::read_to_string(td.join("d").join(crate::MANIFEST_NAME)).unwrap(),
+            std::fs::read_to_string(td.join("n").join(crate::MANIFEST_NAME)).unwrap()
+        );
     }
 
     #[test]

@@ -25,8 +25,8 @@ pub const ACCEPTED_FIELDS: [&str; 16] = [
     "scale",
     "seed",
     "shuffle_edges",
+    "sort_budget_bytes",
     "sort_key",
-    "sort_memory_budget",
     "validation",
     "variant",
 ];
@@ -149,8 +149,8 @@ pub fn config_from_json(body: &Json) -> Result<PipelineConfig, String> {
             other => return Err(format!("unknown sort_key {other:?} (start, start-end)")),
         });
     }
-    if let Some(budget) = u64_field("sort_memory_budget")? {
-        b = b.sort_memory_budget(budget as usize);
+    if let Some(budget) = u64_field("sort_budget_bytes")? {
+        b = b.sort_budget_bytes(budget);
     }
     if let Some(on) = bool_field("add_diagonal_to_empty")? {
         b = b.add_diagonal_to_empty(on);
@@ -217,7 +217,7 @@ mod tests {
                 "scale": 10, "edge_factor": 8, "seed": 42, "num_files": 2,
                 "generator": "ppl", "permute_vertices": false,
                 "shuffle_edges": true, "variant": "naive",
-                "sort_key": "start-end", "sort_memory_budget": 5000,
+                "sort_key": "start-end", "sort_budget_bytes": 5000,
                 "add_diagonal_to_empty": true, "damping": 0.9,
                 "iterations": 5, "dangling": "sink",
                 "convergence_tolerance": 1e-9, "validation": "eigen"
@@ -233,7 +233,7 @@ mod tests {
         assert!(cfg.shuffle_edges);
         assert_eq!(cfg.variant, Variant::Naive);
         assert_eq!(cfg.sort_key, SortKey::StartEnd);
-        assert_eq!(cfg.sort_memory_budget, Some(5000));
+        assert_eq!(cfg.sort_budget_bytes, Some(5000));
         assert!(cfg.add_diagonal_to_empty);
         assert_eq!(cfg.damping, 0.9);
         assert_eq!(cfg.iterations, 5);

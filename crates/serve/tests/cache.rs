@@ -64,7 +64,7 @@ fn every_changed_field_changes_the_hash() {
         r#"{"scale": 9, "seed": 3, "permute_vertices": false}"#,
         r#"{"scale": 9, "seed": 3, "shuffle_edges": true}"#,
         r#"{"scale": 9, "seed": 3, "add_diagonal_to_empty": true}"#,
-        r#"{"scale": 9, "seed": 3, "sort_memory_budget": 1000}"#,
+        r#"{"scale": 9, "seed": 3, "sort_budget_bytes": 1000}"#,
         r#"{"scale": 9, "seed": 3, "convergence_tolerance": 1e-9}"#,
         r#"{"scale": 9, "seed": 3, "validation": "none"}"#,
     ];

@@ -11,13 +11,22 @@
 //!
 //! Spilled runs use the same TSV format as the benchmark's own files, so the
 //! spill traffic exercises exactly the I/O path the benchmark measures.
+//!
+//! Run sorting is parallel when the pool has more than one worker: the
+//! buffer is split into per-thread contiguous chunks, each chunk is radix
+//! sorted in place, and a stable k-way merge (earlier chunks win ties)
+//! streams the merged order straight into the run writer — the result is
+//! byte-identical to a full stable sort for any thread count, and the merge
+//! overlaps with the run file's buffered write.
 
 use std::path::{Path, PathBuf};
 
+use ppbench_io::checksum::EdgeDigest;
 use ppbench_io::{Edge, EdgeReader, EdgeWriter, Error, Result};
+use rayon::prelude::*;
 
 use crate::kway::KWayMerge;
-use crate::{radix_sort, SortKey};
+use crate::{radix_sort_slice, SortKey};
 
 /// Statistics from an external sort.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -28,6 +37,46 @@ pub struct ExternalStats {
     pub runs: usize,
     /// Largest number of edges held in memory at once.
     pub peak_buffer: usize,
+    /// Digest of the input stream as consumed, in arrival order. Callers
+    /// that hold a manifest for the input verify it against this to catch
+    /// truncated-but-parseable files.
+    pub input_digest: EdgeDigest,
+}
+
+/// Below this buffer size a parallel chunk sort costs more in thread spawns
+/// than it saves; sort serially instead.
+const PAR_SORT_MIN: usize = 1 << 16;
+
+/// Stably sorts `buffer` under `key` and feeds the sorted order to `emit`.
+///
+/// With multiple workers the buffer is chunk-sorted in parallel and merged
+/// stably on the fly (ties prefer earlier chunks, so the emitted order is
+/// exactly the full stable sort's regardless of worker count); `buffer`
+/// itself is left only chunk-sorted in that case — callers must consume the
+/// emitted stream, not the buffer.
+fn sort_stably_into<F>(buffer: &mut [Edge], key: SortKey, mut emit: F) -> Result<()>
+where
+    F: FnMut(Edge) -> Result<()>,
+{
+    let workers = rayon::current_num_threads().max(1);
+    if workers <= 1 || buffer.len() < PAR_SORT_MIN {
+        radix_sort_slice(buffer, key);
+        for &e in buffer.iter() {
+            emit(e)?;
+        }
+        return Ok(());
+    }
+    let chunk = buffer.len().div_ceil(workers);
+    let parts: Vec<&mut [Edge]> = buffer.chunks_mut(chunk).collect();
+    let _sorted: Vec<()> = parts
+        .into_par_iter()
+        .map(|part| radix_sort_slice(part, key))
+        .collect();
+    let runs: Vec<_> = buffer.chunks(chunk).map(|c| c.iter().copied()).collect();
+    for e in KWayMerge::new(runs, key) {
+        emit(e)?;
+    }
+    Ok(())
 }
 
 /// Out-of-core sorter with an explicit memory budget.
@@ -73,7 +122,9 @@ impl ExternalSorter {
         let mut run_dirs: Vec<PathBuf> = Vec::new();
         let mut buffer: Vec<Edge> = Vec::with_capacity(self.budget_edges.min(1 << 20));
         for edge in input {
-            buffer.push(edge?);
+            let edge = edge?;
+            stats.input_digest.update(edge);
+            buffer.push(edge);
             stats.edges += 1;
             if buffer.len() >= self.budget_edges {
                 self.spill(&mut buffer, &mut run_dirs, &mut stats)?;
@@ -84,10 +135,7 @@ impl ExternalSorter {
         if run_dirs.is_empty() {
             stats.peak_buffer = stats.peak_buffer.max(buffer.len());
             stats.runs = usize::from(!buffer.is_empty());
-            radix_sort(&mut buffer, self.key);
-            for e in buffer {
-                sink(e)?;
-            }
+            sort_stably_into(&mut buffer, self.key, sink)?;
             return Ok(stats);
         }
         if !buffer.is_empty() {
@@ -138,10 +186,11 @@ impl ExternalSorter {
         stats: &mut ExternalStats,
     ) -> Result<()> {
         stats.peak_buffer = stats.peak_buffer.max(buffer.len());
-        radix_sort(buffer, self.key);
         let dir = self.scratch_dir.join(format!("run-{:05}", run_dirs.len()));
-        let mut w = EdgeWriter::create(&dir, "run", 1, buffer.len() as u64)?;
-        w.write_all(buffer)?;
+        // Scratch runs are re-read immediately and deleted after the merge;
+        // fsyncing them would only tax the spill path.
+        let mut w = EdgeWriter::create(&dir, "run", 1, buffer.len() as u64)?.durable(false);
+        sort_stably_into(buffer, self.key, |e| w.write(e))?;
         w.finish(None, None, self.key.sort_state())?;
         run_dirs.push(dir);
         stats.runs += 1;
@@ -207,8 +256,42 @@ mod tests {
         let edges: Vec<Edge> = (0..2000u64).map(|i| Edge::new(i % 13, i)).collect();
         let (out, _) = run_external(&edges, 100, SortKey::Start);
         let mut expect = edges.clone();
-        radix_sort(&mut expect, SortKey::Start);
+        crate::radix_sort(&mut expect, SortKey::Start);
         assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn input_digest_records_arrival_order() {
+        let edges = random_edges(300, 64, 9);
+        let (_, stats) = run_external(&edges, 50, SortKey::Start);
+        let expect = ppbench_io::checksum::EdgeDigest::of_edges(&edges);
+        assert!(stats.input_digest.same_stream(&expect));
+    }
+
+    #[test]
+    fn parallel_chunk_sort_is_thread_count_invariant() {
+        // The stable chunk merge must reproduce the serial stable sort
+        // bit for bit for any worker count, including buffers above
+        // PAR_SORT_MIN where the parallel path actually engages.
+        let n = (PAR_SORT_MIN + 1234) as u64;
+        let edges: Vec<Edge> = (0..n).map(|i| Edge::new(i % 97, i)).collect();
+        let mut expect = edges.clone();
+        crate::radix_sort(&mut expect, SortKey::Start);
+        for workers in [1, 2, 5] {
+            rayon::ThreadPoolBuilder::new()
+                .num_threads(workers)
+                .build_global()
+                .unwrap();
+            let mut buffer = edges.clone();
+            let mut out = Vec::with_capacity(buffer.len());
+            sort_stably_into(&mut buffer, SortKey::Start, |e| {
+                out.push(e);
+                Ok(())
+            })
+            .unwrap();
+            assert_eq!(out, expect, "{workers} workers");
+        }
+        rayon::ThreadPoolBuilder::new().build_global().unwrap();
     }
 
     #[test]

@@ -51,7 +51,7 @@ mod radix;
 
 pub use external::{ExternalSorter, ExternalStats};
 pub use pipelined::pipelined_sort;
-pub use radix::{radix_sort, radix_sort_by_u64_key};
+pub use radix::{radix_sort, radix_sort_by_u64_key, radix_sort_slice, radix_sort_slice_by_u64_key};
 
 use ppbench_io::{Edge, SortState};
 

@@ -18,6 +18,13 @@ const BUCKETS: usize = 1 << DIGIT_BITS;
 /// Buffers are swapped between passes; the function guarantees the final
 /// result lands back in `edges`.
 pub fn radix_sort_by_u64_key<K: Fn(&Edge) -> u64>(edges: &mut Vec<Edge>, key: K) {
+    radix_sort_slice_by_u64_key(edges.as_mut_slice(), key);
+}
+
+/// Slice form of [`radix_sort_by_u64_key`] — what the parallel run sorter
+/// uses to sort the contiguous per-thread chunks of one spill buffer in
+/// place, without splitting the buffer into owned vectors.
+pub fn radix_sort_slice_by_u64_key<K: Fn(&Edge) -> u64>(edges: &mut [Edge], key: K) {
     let len = edges.len();
     if len <= 1 {
         return;
@@ -37,8 +44,10 @@ pub fn radix_sort_by_u64_key<K: Fn(&Edge) -> u64>(edges: &mut Vec<Edge>, key: K)
     // A pass is trivial when that digit is identical across all keys.
     let varying = seen_or ^ seen_and;
 
-    let mut src = std::mem::take(edges);
-    let mut dst = vec![Edge::new(0, 0); len];
+    let mut scratch = edges.to_vec();
+    // Ping-pong between the caller's slice and the scratch buffer; track
+    // which currently holds the partially sorted data.
+    let mut in_edges = true;
     for pass in 0..8u32 {
         if (varying >> (pass * DIGIT_BITS)) & 0xFF == 0 {
             continue;
@@ -50,25 +59,37 @@ pub fn radix_sort_by_u64_key<K: Fn(&Edge) -> u64>(edges: &mut Vec<Edge>, key: K)
             *o = acc;
             acc += h;
         }
-        for e in &src {
+        let (src, dst): (&[Edge], &mut [Edge]) = if in_edges {
+            (edges, &mut scratch)
+        } else {
+            (&scratch, edges)
+        };
+        for e in src {
             let digit = ((key(e) >> (pass * DIGIT_BITS)) & 0xFF) as usize;
             dst[offsets[digit] as usize] = *e;
             offsets[digit] += 1;
         }
-        std::mem::swap(&mut src, &mut dst);
+        in_edges = !in_edges;
     }
-    *edges = src;
+    if !in_edges {
+        edges.copy_from_slice(&scratch);
+    }
 }
 
 /// Stable radix sort of edges under `key`.
 pub fn radix_sort(edges: &mut Vec<Edge>, key: SortKey) {
+    radix_sort_slice(edges.as_mut_slice(), key);
+}
+
+/// Stable radix sort of a slice under `key`.
+pub fn radix_sort_slice(edges: &mut [Edge], key: SortKey) {
     match key {
-        SortKey::Start => radix_sort_by_u64_key(edges, |e| e.u),
+        SortKey::Start => radix_sort_slice_by_u64_key(edges, |e| e.u),
         SortKey::StartEnd => {
             // LSD over the composite key: low component first, then high;
             // stability makes the second pass final.
-            radix_sort_by_u64_key(edges, |e| e.v);
-            radix_sort_by_u64_key(edges, |e| e.u);
+            radix_sort_slice_by_u64_key(edges, |e| e.v);
+            radix_sort_slice_by_u64_key(edges, |e| e.u);
         }
     }
 }
@@ -133,6 +154,24 @@ mod tests {
         let mut v = vec![Edge::new(2, 1), Edge::new(1, 2)];
         radix_sort(&mut v, SortKey::Start);
         assert_eq!(v[0].u, 1);
+    }
+
+    #[test]
+    fn slice_sort_matches_vec_sort_on_subranges() {
+        let edges = random_edges(4000, 1 << 20, 7);
+        for chunk in [1, 3, 999, 4000] {
+            let mut by_slices = edges.clone();
+            for part in by_slices.chunks_mut(chunk) {
+                radix_sort_slice(part, SortKey::StartEnd);
+            }
+            let mut expect = edges.clone();
+            for part in expect.chunks_mut(chunk) {
+                let mut v = part.to_vec();
+                radix_sort(&mut v, SortKey::StartEnd);
+                part.copy_from_slice(&v);
+            }
+            assert_eq!(by_slices, expect, "chunk size {chunk}");
+        }
     }
 
     #[test]

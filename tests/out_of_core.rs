@@ -16,7 +16,7 @@ fn external_sort_pipeline_equals_in_memory_pipeline() {
         .scale(8)
         .edge_factor(8)
         .seed(13)
-        .sort_memory_budget(100) // 2048 edges → ~21 spill runs
+        .sort_budget_bytes(1600) // 2048 edges = 32 KiB → ~21 spill runs
         .build();
 
     let td1 = TempDir::new("ooc-mem").unwrap();
@@ -52,7 +52,7 @@ fn budget_larger_than_input_stays_in_memory() {
         .scale(6)
         .edge_factor(4)
         .seed(13)
-        .sort_memory_budget(1_000_000)
+        .sort_budget_bytes(1_000_000)
         .build();
     let td = TempDir::new("ooc-big").unwrap();
     let r = Pipeline::new(cfg, td.path()).run().unwrap();
@@ -66,7 +66,7 @@ fn pathological_budget_of_one_edge_still_sorts() {
         .scale(4)
         .edge_factor(2)
         .seed(13)
-        .sort_memory_budget(1)
+        .sort_budget_bytes(1)
         .build();
     let td = TempDir::new("ooc-one").unwrap();
     let r = Pipeline::new(cfg, td.path()).run().unwrap();
