@@ -1,0 +1,241 @@
+//! Breadth-first search — direction-optimizing (push/pull) traversal.
+//!
+//! The optimized kernel implements the Beamer/GAP direction switch: while
+//! the frontier is small it *pushes* (top-down — each frontier vertex
+//! scans its out-neighbors); once the frontier's outgoing edge count
+//! crosses `m / ALPHA` it *pulls* (bottom-up — every unreached vertex
+//! scans its in-neighbors for a frontier member and stops at the first
+//! hit), switching back when the frontier shrinks below `n / BETA`. On
+//! power-law graphs the pull phases skip the bulk of the edge
+//! examinations, which is where the speedup over the serial oracle comes
+//! from even before parallelism.
+//!
+//! Both implementations return the depth vector (`UNREACHED` for
+//! vertices the source cannot reach). Depths are invariant under
+//! traversal and chunk order, so the result is bit-identical across
+//! thread counts and chunkings — the property the pipeline's determinism
+//! contract needs.
+
+use std::collections::VecDeque;
+
+use ppbench_sparse::spmv::balanced_boundaries;
+use ppbench_sparse::BitSet;
+use rayon::prelude::*;
+
+use crate::graph::Graph;
+use crate::{chunk_slices, UNREACHED};
+
+/// Push→pull switch: pull once the frontier's out-edges exceed `m / ALPHA`.
+const ALPHA: usize = 15;
+/// Pull→push switch: push again once the frontier holds fewer than
+/// `n / BETA` vertices.
+const BETA: usize = 18;
+/// Below this frontier size the chunked push step runs serially — the
+/// fan-out bookkeeping costs more than it saves.
+const PAR_PUSH_MIN: usize = 1 << 10;
+
+/// Serial oracle: textbook queue-based level-order traversal over
+/// out-neighbors.
+pub fn bfs_serial(g: &Graph, src: u32) -> Vec<u32> {
+    let n = g.num_vertices();
+    let mut depth = vec![UNREACHED; n];
+    if n == 0 {
+        return depth;
+    }
+    depth[src as usize] = 0;
+    let mut queue = VecDeque::new();
+    queue.push_back(src);
+    while let Some(v) = queue.pop_front() {
+        let d = depth[v as usize] + 1;
+        for &w in g.out_neighbors(v as usize) {
+            if depth[w as usize] == UNREACHED {
+                depth[w as usize] = d;
+                queue.push_back(w);
+            }
+        }
+    }
+    depth
+}
+
+/// Direction-optimizing BFS, decomposed into `chunks` pieces of work per
+/// level (pull levels write disjoint nnz-balanced depth ranges; push
+/// levels fan candidate generation out and commit serially).
+pub fn bfs(g: &Graph, src: u32, chunks: usize) -> Vec<u32> {
+    let n = g.num_vertices();
+    let m = g.num_edges();
+    let mut depth = vec![UNREACHED; n];
+    if n == 0 {
+        return depth;
+    }
+    let chunks = chunks.max(1);
+    let pull_bounds = balanced_boundaries(g.in_ptr(), chunks);
+    depth[src as usize] = 0;
+    let mut frontier = vec![src];
+    let mut frontier_edges = g.out_degree(src as usize);
+    let mut pulling = false;
+    let mut level = 1u32;
+    let mut bitmap = BitSet::new(n);
+    while !frontier.is_empty() {
+        if !pulling && frontier_edges > m / ALPHA {
+            pulling = true;
+        } else if pulling && frontier.len() < n / BETA.max(1) {
+            pulling = false;
+        }
+        frontier = if pulling {
+            bitmap.clear();
+            for &v in &frontier {
+                bitmap.set(v as usize);
+            }
+            pull_step(g, &mut depth, &bitmap, &pull_bounds, level)
+        } else {
+            push_step(g, &mut depth, &frontier, level, chunks)
+        };
+        frontier_edges = frontier.iter().map(|&v| g.out_degree(v as usize)).sum();
+        level += 1;
+    }
+    depth
+}
+
+/// One top-down level: frontier vertices push to unreached out-neighbors.
+/// Candidate generation is chunk-parallel over the frontier; the commit
+/// (first writer wins) is serial, so the depth array never races.
+fn push_step(
+    g: &Graph,
+    depth: &mut [u32],
+    frontier: &[u32],
+    level: u32,
+    chunks: usize,
+) -> Vec<u32> {
+    let candidates: Vec<Vec<u32>> = if chunks > 1 && frontier.len() >= PAR_PUSH_MIN {
+        let per = frontier.len().div_ceil(chunks);
+        let pieces: Vec<&[u32]> = frontier.chunks(per).collect();
+        let depth_ro: &[u32] = depth;
+        pieces
+            .into_par_iter()
+            .map(|piece| {
+                let mut local = Vec::new();
+                for &v in piece {
+                    for &w in g.out_neighbors(v as usize) {
+                        if depth_ro[w as usize] == UNREACHED {
+                            local.push(w);
+                        }
+                    }
+                }
+                local
+            })
+            .collect()
+    } else {
+        let mut local = Vec::new();
+        for &v in frontier {
+            for &w in g.out_neighbors(v as usize) {
+                if depth[w as usize] == UNREACHED {
+                    local.push(w);
+                }
+            }
+        }
+        vec![local]
+    };
+    let mut next = Vec::new();
+    for cand in candidates.into_iter().flatten() {
+        if depth[cand as usize] == UNREACHED {
+            depth[cand as usize] = level;
+            next.push(cand);
+        }
+    }
+    next
+}
+
+/// One bottom-up level: each unreached vertex pulls from its in-neighbors
+/// and joins the next frontier if any of them is in the current one. The
+/// depth array is split into disjoint nnz-balanced ranges, so every chunk
+/// writes only its own vertices; per-chunk next-frontier lists concatenate
+/// in chunk order, keeping the frontier sorted ascending.
+fn pull_step(
+    g: &Graph,
+    depth: &mut [u32],
+    frontier: &BitSet,
+    boundaries: &[usize],
+    level: u32,
+) -> Vec<u32> {
+    let per_chunk: Vec<Vec<u32>> = chunk_slices(depth, boundaries)
+        .into_par_iter()
+        .map(|(slice, lo)| {
+            let mut local = Vec::new();
+            for (i, d) in slice.iter_mut().enumerate() {
+                if *d != UNREACHED {
+                    continue;
+                }
+                let v = lo + i;
+                if g.in_neighbors(v).iter().any(|&u| frontier.get(u as usize)) {
+                    *d = level;
+                    local.push(v as u32);
+                }
+            }
+            local
+        })
+        .collect();
+    per_chunk.into_iter().flatten().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tests_support::tiny_graphs;
+
+    #[test]
+    fn oracle_on_a_path() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        assert_eq!(bfs_serial(&g, 0), vec![0, 1, 2, 3]);
+        assert_eq!(bfs_serial(&g, 3), vec![UNREACHED, UNREACHED, UNREACHED, 0]);
+    }
+
+    #[test]
+    fn oracle_respects_direction() {
+        let g = Graph::from_edges(3, &[(0, 1), (2, 1)]).unwrap();
+        assert_eq!(bfs_serial(&g, 0), vec![0, 1, UNREACHED]);
+    }
+
+    #[test]
+    fn optimized_matches_oracle_on_tiny_graphs() {
+        for (name, g) in tiny_graphs() {
+            let n = g.num_vertices() as u32;
+            for src in 0..n.min(4) {
+                let want = bfs_serial(&g, src);
+                for chunks in [1usize, 2, 8] {
+                    assert_eq!(bfs(&g, src, chunks), want, "{name} src {src} x{chunks}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn optimized_matches_oracle_on_a_random_graph() {
+        let g = crate::tests_support::random_graph(300, 2400, 42);
+        for src in [0u32, 7, 123] {
+            let want = bfs_serial(&g, src);
+            for chunks in [1usize, 3, 8] {
+                assert_eq!(bfs(&g, src, chunks), want, "src {src} x{chunks}");
+            }
+        }
+    }
+
+    #[test]
+    fn pull_phase_engages_on_dense_star() {
+        // Hub fanning out to everyone: level 1 has n-1 frontier edges on
+        // the way in, forcing at least one pull step at realistic sizes.
+        let n = 4096u32;
+        let edges: Vec<(u32, u32)> = (1..n).flat_map(|v| [(0, v), (v, 0)]).collect();
+        let g = Graph::from_edges(n, &edges).unwrap();
+        let want = bfs_serial(&g, 0);
+        for chunks in [1usize, 2, 8] {
+            assert_eq!(bfs(&g, 0, chunks), want);
+        }
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::from_edges(0, &[]).unwrap();
+        assert!(bfs(&g, 0, 4).is_empty());
+        assert!(bfs_serial(&g, 0).is_empty());
+    }
+}

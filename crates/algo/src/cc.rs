@@ -1,0 +1,190 @@
+//! Connected components — label propagation with pointer-jumping
+//! shortcuts (Shiloach–Vishkin / Afforest style).
+//!
+//! Components are taken over the *undirected* view of the pipeline graph
+//! (edge direction encodes link structure, not reachability of a
+//! component). Labels converge to the minimum vertex id in each
+//! component, which makes the output canonical: any correct algorithm
+//! must produce the identical vector, so the optimized kernel is
+//! bit-comparable against the serial oracle and against itself across
+//! thread counts.
+//!
+//! The optimized kernel alternates two double-buffered passes until a
+//! fixed point:
+//!
+//! * **hook** — `next[v] = min(comp[v], min over undirected neighbors
+//!   comp[u])`, chunk-parallel with per-chunk outputs concatenated in
+//!   order (a Jacobi step: every read comes from the previous snapshot,
+//!   so there are no write races and no ordering dependence);
+//! * **shortcut** — pointer jumping `next[v] = comp[comp[v]]` repeated
+//!   until stable, which collapses label chains in `O(log n)` rounds
+//!   instead of diameter-many.
+
+use rayon::prelude::*;
+
+use crate::graph::{Graph, UndirectedCsr};
+
+/// Serial oracle: BFS from every unvisited vertex in ascending id order
+/// over the undirected adjacency; each traversal's root is, by
+/// construction, its component's minimum id.
+pub fn cc_serial(g: &Graph) -> Vec<u32> {
+    let und = g.undirected();
+    let n = und.num_vertices();
+    let mut comp = vec![u32::MAX; n];
+    let mut queue = Vec::new();
+    for root in 0..n {
+        if comp[root] != u32::MAX {
+            continue;
+        }
+        comp[root] = root as u32;
+        queue.push(root as u32);
+        while let Some(v) = queue.pop() {
+            for &w in und.neighbors(v as usize) {
+                if comp[w as usize] == u32::MAX {
+                    comp[w as usize] = root as u32;
+                    queue.push(w);
+                }
+            }
+        }
+    }
+    comp
+}
+
+/// Optimized label propagation with shortcutting, decomposed into
+/// `chunks` parallel pieces per pass.
+pub fn cc(g: &Graph, chunks: usize) -> Vec<u32> {
+    let und = g.undirected();
+    let n = und.num_vertices();
+    let mut comp: Vec<u32> = (0..n as u32).collect();
+    if n == 0 {
+        return comp;
+    }
+    let chunks = chunks.max(1);
+    loop {
+        let (next, changed) = hook_pass(&und, &comp, chunks);
+        comp = next;
+        shortcut(&mut comp, chunks);
+        if !changed {
+            return comp;
+        }
+    }
+}
+
+/// One Jacobi hook pass: every vertex takes the minimum label over its
+/// closed undirected neighborhood, reading only the previous snapshot.
+fn hook_pass(und: &UndirectedCsr, comp: &[u32], chunks: usize) -> (Vec<u32>, bool) {
+    let n = comp.len();
+    let per = n.div_ceil(chunks);
+    let ranges: Vec<(usize, usize)> = (0..chunks)
+        .map(|c| ((c * per).min(n), ((c + 1) * per).min(n)))
+        .collect();
+    let pieces: Vec<(Vec<u32>, bool)> = ranges
+        .into_par_iter()
+        .map(|(lo, hi)| {
+            let mut out = Vec::with_capacity(hi - lo);
+            let mut changed = false;
+            for v in lo..hi {
+                let mut label = comp[v];
+                for &u in und.neighbors(v) {
+                    label = label.min(comp[u as usize]);
+                }
+                changed |= label != comp[v];
+                out.push(label);
+            }
+            (out, changed)
+        })
+        .collect();
+    let mut next = Vec::with_capacity(n);
+    let mut changed = false;
+    for (piece, piece_changed) in pieces {
+        next.extend_from_slice(&piece);
+        changed |= piece_changed;
+    }
+    (next, changed)
+}
+
+/// Pointer jumping to a fixed point: `comp[v] <- comp[comp[v]]` until no
+/// label moves. Labels only decrease (every vertex hooked to a label
+/// `<=` its own), so this terminates.
+fn shortcut(comp: &mut Vec<u32>, chunks: usize) {
+    let n = comp.len();
+    let per = n.div_ceil(chunks);
+    loop {
+        let ranges: Vec<(usize, usize)> = (0..chunks)
+            .map(|c| ((c * per).min(n), ((c + 1) * per).min(n)))
+            .collect();
+        let snapshot: &[u32] = comp;
+        let pieces: Vec<(Vec<u32>, bool)> = ranges
+            .into_par_iter()
+            .map(|(lo, hi)| {
+                let mut out = Vec::with_capacity(hi - lo);
+                let mut changed = false;
+                for v in lo..hi {
+                    let jumped = snapshot[snapshot[v] as usize];
+                    changed |= jumped != snapshot[v];
+                    out.push(jumped);
+                }
+                (out, changed)
+            })
+            .collect();
+        let mut changed = false;
+        let mut next = Vec::with_capacity(n);
+        for (piece, piece_changed) in pieces {
+            next.extend_from_slice(&piece);
+            changed |= piece_changed;
+        }
+        *comp = next;
+        if !changed {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tests_support::{random_graph, tiny_graphs};
+
+    #[test]
+    fn oracle_labels_are_component_minima() {
+        // Two components: {0,1,2} (via direction-ignoring edges) and {3,4}.
+        let g = Graph::from_edges(5, &[(1, 0), (2, 1), (4, 3)]).unwrap();
+        assert_eq!(cc_serial(&g), vec![0, 0, 0, 3, 3]);
+    }
+
+    #[test]
+    fn optimized_matches_oracle_on_tiny_graphs() {
+        for (name, g) in tiny_graphs() {
+            let want = cc_serial(&g);
+            for chunks in [1usize, 2, 8] {
+                assert_eq!(cc(&g, chunks), want, "{name} x{chunks}");
+            }
+        }
+    }
+
+    #[test]
+    fn optimized_matches_oracle_on_a_random_graph() {
+        // Sparse enough to leave many components.
+        let g = random_graph(500, 400, 7);
+        let want = cc_serial(&g);
+        for chunks in [1usize, 3, 8] {
+            assert_eq!(cc(&g, chunks), want, "x{chunks}");
+        }
+    }
+
+    #[test]
+    fn long_path_exercises_shortcutting() {
+        let n = 2000u32;
+        let edges: Vec<(u32, u32)> = (1..n).map(|v| (v, v - 1)).collect();
+        let g = Graph::from_edges(n, &edges).unwrap();
+        let got = cc(&g, 4);
+        assert!(got.iter().all(|&c| c == 0));
+        assert_eq!(got, cc_serial(&g));
+    }
+
+    #[test]
+    fn isolated_vertices_keep_their_own_label() {
+        let g = Graph::from_edges(3, &[]).unwrap();
+        assert_eq!(cc(&g, 2), vec![0, 1, 2]);
+    }
+}

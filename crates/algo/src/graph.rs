@@ -1,0 +1,298 @@
+//! The graph adapter every workload kernel runs on.
+//!
+//! Kernel 2 hands the pipeline a row-stochastic CSR matrix; the analytics
+//! kernels only need its *pattern*. [`Graph`] stores that pattern twice —
+//! out-adjacency (the CSR rows) and in-adjacency (its transpose) — with
+//! `u32` vertex ids, the same narrow-index observation `Csr32` exploits:
+//! every paper scale has far fewer than `2^32` vertices, and halving the
+//! index width halves the traversal bandwidth.
+//!
+//! Both adjacency arrays keep each vertex's neighbor list sorted
+//! ascending, which the triangle-counting intersection and the merged
+//! undirected view rely on.
+
+/// Directed graph in dual-CSR (out + in adjacency) form, `u32` ids.
+#[derive(Debug, Clone)]
+pub struct Graph {
+    n: usize,
+    out_ptr: Vec<usize>,
+    out_adj: Vec<u32>,
+    in_ptr: Vec<usize>,
+    in_adj: Vec<u32>,
+}
+
+impl Graph {
+    /// Builds the graph from a square CSR pattern (`row_ptr` of length
+    /// `n + 1`, `cols` holding sorted-in-row `u64` column ids).
+    ///
+    /// # Errors
+    ///
+    /// Errors when the vertex count does not fit `u32` ids, or a column
+    /// id is out of range.
+    pub fn from_adjacency(n: u64, row_ptr: &[usize], cols: &[u64]) -> Result<Self, String> {
+        if n > u64::from(u32::MAX) {
+            return Err(format!("graph has {n} vertices; workload ids are u32"));
+        }
+        if row_ptr.len() != n as usize + 1 {
+            return Err(format!(
+                "row_ptr length {} does not match {n} vertices",
+                row_ptr.len()
+            ));
+        }
+        if cols.iter().any(|&c| c >= n) {
+            return Err("column id out of range".to_string());
+        }
+        let out_adj: Vec<u32> = cols.iter().map(|&c| c as u32).collect();
+        let (in_ptr, in_adj) = transpose(n as usize, row_ptr, &out_adj);
+        Ok(Self {
+            n: n as usize,
+            out_ptr: row_ptr.to_vec(),
+            out_adj,
+            in_ptr,
+            in_adj,
+        })
+    }
+
+    /// Builds a graph over `0..n` from an edge list (duplicates are
+    /// dropped, order is irrelevant). Intended for tests and benches.
+    ///
+    /// # Errors
+    ///
+    /// Errors when an endpoint is `>= n`.
+    pub fn from_edges(n: u32, edges: &[(u32, u32)]) -> Result<Self, String> {
+        if let Some(&(u, v)) = edges.iter().find(|&&(u, v)| u >= n || v >= n) {
+            return Err(format!("edge ({u}, {v}) exceeds vertex bound {n}"));
+        }
+        let mut sorted: Vec<(u32, u32)> = edges.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let mut out_ptr = vec![0usize; n as usize + 1];
+        for &(u, _) in &sorted {
+            out_ptr[u as usize + 1] += 1;
+        }
+        for i in 0..n as usize {
+            out_ptr[i + 1] += out_ptr[i];
+        }
+        let out_adj: Vec<u32> = sorted.iter().map(|&(_, v)| v).collect();
+        let (in_ptr, in_adj) = transpose(n as usize, &out_ptr, &out_adj);
+        Ok(Self {
+            n: n as usize,
+            out_ptr,
+            out_adj,
+            in_ptr,
+            in_adj,
+        })
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// Number of directed edges (stored pattern entries).
+    pub fn num_edges(&self) -> usize {
+        self.out_adj.len()
+    }
+
+    /// Out-neighbors of `v`, sorted ascending.
+    #[inline]
+    pub fn out_neighbors(&self, v: usize) -> &[u32] {
+        &self.out_adj[self.out_ptr[v]..self.out_ptr[v + 1]]
+    }
+
+    /// In-neighbors of `v`, sorted ascending.
+    #[inline]
+    pub fn in_neighbors(&self, v: usize) -> &[u32] {
+        &self.in_adj[self.in_ptr[v]..self.in_ptr[v + 1]]
+    }
+
+    /// Out-degree of `v`.
+    #[inline]
+    pub fn out_degree(&self, v: usize) -> usize {
+        self.out_ptr[v + 1] - self.out_ptr[v]
+    }
+
+    /// The out-adjacency row pointer (length `n + 1`), for nnz-balanced
+    /// chunking.
+    pub fn out_ptr(&self) -> &[usize] {
+        &self.out_ptr
+    }
+
+    /// The in-adjacency row pointer (length `n + 1`), for nnz-balanced
+    /// chunking of pull-direction passes.
+    pub fn in_ptr(&self) -> &[usize] {
+        &self.in_ptr
+    }
+
+    /// The symmetrized, deduplicated, loop-free undirected adjacency
+    /// (sorted per row): vertex `v`'s row merges its out- and
+    /// in-neighbors. CC and TC operate on this view.
+    pub fn undirected(&self) -> UndirectedCsr {
+        let mut ptr = Vec::with_capacity(self.n + 1);
+        ptr.push(0usize);
+        let mut adj = Vec::with_capacity(self.out_adj.len() + self.in_adj.len());
+        for v in 0..self.n {
+            merge_into(
+                self.out_neighbors(v),
+                self.in_neighbors(v),
+                v as u32,
+                &mut adj,
+            );
+            ptr.push(adj.len());
+        }
+        UndirectedCsr { ptr, adj }
+    }
+}
+
+/// Symmetrized adjacency produced by [`Graph::undirected`]: per-vertex
+/// sorted, deduplicated neighbor lists with self-loops removed.
+#[derive(Debug, Clone)]
+pub struct UndirectedCsr {
+    /// Row pointer, length `n + 1`.
+    pub ptr: Vec<usize>,
+    /// Concatenated neighbor lists.
+    pub adj: Vec<u32>,
+}
+
+impl UndirectedCsr {
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.ptr.len() - 1
+    }
+
+    /// Neighbors of `v`, sorted ascending.
+    #[inline]
+    pub fn neighbors(&self, v: usize) -> &[u32] {
+        &self.adj[self.ptr[v]..self.ptr[v + 1]]
+    }
+
+    /// Undirected degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: usize) -> usize {
+        self.ptr[v + 1] - self.ptr[v]
+    }
+}
+
+/// Sorted-merge of two ascending lists into `out`, dropping duplicates
+/// and the value `skip` (the vertex itself, to remove self-loops).
+fn merge_into(a: &[u32], b: &[u32], skip: u32, out: &mut Vec<u32>) {
+    let (mut i, mut j) = (0usize, 0usize);
+    // Dedup against the last value pushed for *this* row only — `out` is
+    // the shared adjacency array, so its tail may belong to the previous
+    // row.
+    let mut last: Option<u32> = None;
+    let mut push = |out: &mut Vec<u32>, x: u32| {
+        if x != skip && last != Some(x) {
+            out.push(x);
+            last = Some(x);
+        }
+    };
+    while i < a.len() && j < b.len() {
+        let (x, y) = (a[i], b[j]);
+        if x <= y {
+            push(out, x);
+            i += 1;
+            if x == y {
+                j += 1;
+            }
+        } else {
+            push(out, y);
+            j += 1;
+        }
+    }
+    for &x in &a[i..] {
+        push(out, x);
+    }
+    for &y in &b[j..] {
+        push(out, y);
+    }
+}
+
+/// Counting-sort transpose of a CSR pattern; per-row outputs come out
+/// sorted because rows are scanned in ascending order.
+fn transpose(n: usize, row_ptr: &[usize], cols: &[u32]) -> (Vec<usize>, Vec<u32>) {
+    let mut in_ptr = vec![0usize; n + 1];
+    for &c in cols {
+        in_ptr[c as usize + 1] += 1;
+    }
+    for i in 0..n {
+        in_ptr[i + 1] += in_ptr[i];
+    }
+    let mut cursor = in_ptr.clone();
+    let mut in_adj = vec![0u32; cols.len()];
+    for u in 0..n {
+        for &c in &cols[row_ptr[u]..row_ptr[u + 1]] {
+            in_adj[cursor[c as usize]] = u as u32;
+            cursor[c as usize] += 1;
+        }
+    }
+    (in_ptr, in_adj)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 0→1, 0→2, 1→2, 2→0, 3→3 (self loop), 4 isolated... n = 5.
+    fn sample() -> Graph {
+        Graph::from_edges(5, &[(0, 1), (0, 2), (1, 2), (2, 0), (3, 3)]).unwrap()
+    }
+
+    #[test]
+    fn adjacency_and_transpose_agree() {
+        let g = sample();
+        assert_eq!(g.num_vertices(), 5);
+        assert_eq!(g.num_edges(), 5);
+        assert_eq!(g.out_neighbors(0), &[1, 2]);
+        assert_eq!(g.out_neighbors(4), &[] as &[u32]);
+        assert_eq!(g.in_neighbors(2), &[0, 1]);
+        assert_eq!(g.in_neighbors(0), &[2]);
+        assert_eq!(g.in_neighbors(3), &[3]);
+        assert_eq!(g.out_degree(0), 2);
+    }
+
+    #[test]
+    fn from_edges_dedups() {
+        let g = Graph::from_edges(3, &[(0, 1), (0, 1), (1, 0)]).unwrap();
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.out_neighbors(0), &[1]);
+    }
+
+    #[test]
+    fn from_edges_rejects_out_of_bounds() {
+        assert!(Graph::from_edges(2, &[(0, 2)]).is_err());
+    }
+
+    #[test]
+    fn from_adjacency_matches_from_edges() {
+        let g = sample();
+        let cols: Vec<u64> = g.out_adj.iter().map(|&c| u64::from(c)).collect();
+        let h = Graph::from_adjacency(5, g.out_ptr(), &cols).unwrap();
+        assert_eq!(h.out_adj, g.out_adj);
+        assert_eq!(h.in_adj, g.in_adj);
+        assert!(Graph::from_adjacency(4, g.out_ptr(), &cols).is_err());
+    }
+
+    #[test]
+    fn undirected_view_symmetrizes_and_drops_loops() {
+        let und = sample().undirected();
+        assert_eq!(und.neighbors(0), &[1, 2]);
+        assert_eq!(und.neighbors(2), &[0, 1]);
+        assert_eq!(und.neighbors(3), &[] as &[u32], "self loop dropped");
+        assert_eq!(und.neighbors(4), &[] as &[u32]);
+        assert_eq!(und.degree(1), 2);
+        // Symmetric: v in N(u) iff u in N(v).
+        for u in 0..und.num_vertices() {
+            for &v in und.neighbors(u) {
+                assert!(und.neighbors(v as usize).contains(&(u as u32)));
+            }
+        }
+    }
+
+    #[test]
+    fn empty_graph_works() {
+        let g = Graph::from_edges(0, &[]).unwrap();
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.undirected().num_vertices(), 0);
+    }
+}

@@ -78,6 +78,7 @@ pub const RULE_DESCRIPTIONS: &[(&str, &str)] = &[
 /// can break bit-reproducibility (the paper's Table II checksums).
 pub const KERNEL_CRATES: &[&str] = &[
     "ppbench",
+    "ppbench-algo",
     "ppbench-core",
     "ppbench-dist",
     "ppbench-frame",
@@ -92,6 +93,7 @@ pub const KERNEL_CRATES: &[&str] = &[
 /// the service (cache identity) and the bench harness (figures/tables).
 pub const HASHED_OUTPUT_CRATES: &[&str] = &[
     "ppbench",
+    "ppbench-algo",
     "ppbench-bench",
     "ppbench-core",
     "ppbench-dist",

@@ -112,8 +112,8 @@ pub fn classify(rel: &Path) -> FileKind {
 
 /// Finds `code`-index ranges covered by `#[cfg(test)] mod name { … }`
 /// (and `#[cfg(any(test, …))]` etc. — any cfg attribute that mentions the
-/// bare ident `test`). Attributes between the cfg and the `mod` keyword
-/// are tolerated.
+/// bare ident `test`). Attributes and visibility modifiers (`pub`,
+/// `pub(crate)`) between the cfg and the `mod` keyword are tolerated.
 fn find_test_ranges(text: &str, tokens: &[Token], code: &[usize]) -> Vec<(usize, usize)> {
     let t = |i: usize| -> &str { tokens[code[i]].text(text) };
     let mut ranges = Vec::new();
@@ -124,12 +124,21 @@ fn find_test_ranges(text: &str, tokens: &[Token], code: &[usize]) -> Vec<(usize,
             if let Some(close) = matching(code, tokens, text, i + 1, "[", "]") {
                 let mentions_test = (i + 2..close).any(|j| t(j) == "test");
                 if mentions_test {
-                    // Skip any further attributes, then expect `mod`.
+                    // Skip any further attributes and a visibility
+                    // modifier, then expect `mod`.
                     let mut j = close + 1;
                     while j < code.len() && t(j) == "#" {
                         match matching(code, tokens, text, j + 1, "[", "]") {
                             Some(c) => j = c + 1,
                             None => break,
+                        }
+                    }
+                    if j < code.len() && t(j) == "pub" {
+                        j += 1;
+                        if j < code.len() && t(j) == "(" {
+                            if let Some(c) = matching(code, tokens, text, j, "(", ")") {
+                                j = c + 1;
+                            }
                         }
                     }
                     if j + 1 < code.len() && t(j) == "mod" {
@@ -215,6 +224,22 @@ mod tests {
             .find(|&i| f.code_text(i) == "c")
             .expect("fn c");
         assert!(!f.in_test_code(c));
+    }
+
+    #[test]
+    fn cfg_test_pub_crate_mod_is_exempt() {
+        // Shared test-support modules (`#[cfg(test)] pub(crate) mod …`)
+        // are test code like any other.
+        let f = file(
+            "#[cfg(test)]\npub(crate) mod tests_support {\n fn b() { v.unwrap(); }\n}\n\
+             #[cfg(test)]\npub mod helpers {\n fn d() { w.unwrap(); }\n}\n\
+             fn c() { x.unwrap(); }\n",
+        );
+        let unwraps: Vec<bool> = (0..f.code_len())
+            .filter(|&i| f.code_text(i) == "unwrap")
+            .map(|i| f.in_test_code(i))
+            .collect();
+        assert_eq!(unwraps, [true, true, false]);
     }
 
     #[test]

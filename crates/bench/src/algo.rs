@@ -1,0 +1,268 @@
+//! Analytics-workload microbench: workload × implementation × thread
+//! count × scale.
+//!
+//! The GAP Benchmark Suite's case is that one analytic measures one
+//! data-access pattern; `ppbench-algo` adds four more, and this module
+//! measures them the way [`crate::k3`] measures the SpMV variants. Every
+//! point runs on the same normalized kernel-2 matrix the pipeline would
+//! produce (built once per scale), each workload's serial oracle runs
+//! first as the accuracy reference, and the optimized kernel is swept
+//! over explicit thread counts. Because the algo kernels are
+//! bit-deterministic, the comparison against serial is exact equality of
+//! the output vectors, not a tolerance. Results land in
+//! `BENCH_algo.json`; `--check` re-validates that file's schema so CI
+//! catches drift.
+
+use ppbench_core::json::{JsonArray, JsonObject};
+use ppbench_core::workload::{self, Workload};
+use ppbench_core::{PipelineConfig, Stopwatch, Variant};
+
+/// Version tag written into the JSON so schema changes are explicit.
+pub const SCHEMA_VERSION: &str = "ppbench-algo-v1";
+
+/// Top-level keys of the benchmark file, sorted (canonical order).
+pub const TOP_KEYS: &[&str] = &["benchmark", "edge_factor", "results", "seed"];
+
+/// Keys of each result row, sorted (canonical order).
+pub const ROW_KEYS: &[&str] = &[
+    "checksum",
+    "edges",
+    "impl",
+    "matches_serial",
+    "meps",
+    "scale",
+    "seconds",
+    "stat",
+    "threads",
+    "vertices",
+    "workload",
+];
+
+/// The analytics workloads under measurement (every workload except
+/// PageRank, which `k3bench` covers on its own axis).
+pub const ALGO_WORKLOADS: [Workload; 4] =
+    [Workload::Bfs, Workload::Cc, Workload::Sssp, Workload::Tc];
+
+/// What to sweep.
+#[derive(Debug, Clone)]
+pub struct SweepConfig {
+    /// Graph scales (vertices = 2^scale).
+    pub scales: Vec<u32>,
+    /// Thread counts for the optimized implementations.
+    pub threads: Vec<usize>,
+    /// Edges per vertex.
+    pub edge_factor: u64,
+    /// Master seed for generation, weights, and source selection.
+    pub seed: u64,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        Self {
+            scales: vec![12],
+            threads: vec![1, 2, 4, 8],
+            edge_factor: 16,
+            seed: 1,
+        }
+    }
+}
+
+/// One measured point.
+#[derive(Debug, Clone)]
+pub struct SweepRow {
+    /// Workload name (see [`Workload::name`]).
+    pub workload: &'static str,
+    /// `"serial"` (the oracle) or `"optimized"`.
+    pub impl_name: &'static str,
+    /// Graph scale.
+    pub scale: u32,
+    /// Thread count the pool was sized to (1 for the serial oracle).
+    pub threads: usize,
+    /// Vertex count.
+    pub vertices: u64,
+    /// Directed edges in the adjacency pattern (the work-item count).
+    pub edges: u64,
+    /// Wall-clock seconds for the workload kernel alone.
+    pub seconds: f64,
+    /// Millions of edges per second — the paper's throughput unit.
+    pub meps: f64,
+    /// Headline statistic (reached / components / triangles).
+    pub stat: u64,
+    /// FNV-1a fingerprint of the output vector.
+    pub checksum: u64,
+    /// Whether the output vector equals the serial oracle's, bit for bit.
+    pub matches_serial: bool,
+}
+
+/// Runs the full sweep. Per scale, the kernel-2 matrix is built once;
+/// per workload, the serial oracle runs first (at one thread) as both a
+/// measurement and the equality reference, then the optimized kernel
+/// runs once per requested thread count. Row order is deterministic:
+/// scale-major, then [`ALGO_WORKLOADS`] order, serial before optimized,
+/// then thread order as given.
+pub fn run_sweep(cfg: &SweepConfig) -> Result<Vec<SweepRow>, String> {
+    let mut rows = Vec::new();
+    for &scale in &cfg.scales {
+        let matrix = crate::k3::build_matrix(scale, cfg.edge_factor, cfg.seed);
+        for w in ALGO_WORKLOADS {
+            let pipeline_cfg = |variant: Variant| {
+                PipelineConfig::builder()
+                    .scale(scale)
+                    .edge_factor(cfg.edge_factor)
+                    .seed(cfg.seed)
+                    .workload(w)
+                    .variant(variant)
+                    .build()
+            };
+            crate::k3::size_pool(1)?;
+            let serial_cfg = pipeline_cfg(Variant::Naive);
+            let sw = Stopwatch::start();
+            let serial = workload::run_algo(&serial_cfg, &matrix).map_err(|e| e.to_string())?;
+            let serial_secs = sw.elapsed_secs();
+            rows.push(SweepRow {
+                workload: w.name(),
+                impl_name: "serial",
+                scale,
+                threads: 1,
+                vertices: matrix.rows(),
+                edges: serial.work_items,
+                seconds: serial_secs,
+                meps: serial.work_items as f64 / serial_secs.max(1e-15) / 1e6,
+                stat: serial.stat,
+                checksum: serial.checksum,
+                matches_serial: true,
+            });
+            let opt_cfg = pipeline_cfg(Variant::Optimized);
+            for &threads in &cfg.threads {
+                crate::k3::size_pool(threads)?;
+                let sw = Stopwatch::start();
+                let out = workload::run_algo(&opt_cfg, &matrix).map_err(|e| e.to_string())?;
+                let seconds = sw.elapsed_secs();
+                rows.push(SweepRow {
+                    workload: w.name(),
+                    impl_name: "optimized",
+                    scale,
+                    threads,
+                    vertices: matrix.rows(),
+                    edges: out.work_items,
+                    seconds,
+                    meps: out.work_items as f64 / seconds.max(1e-15) / 1e6,
+                    stat: out.stat,
+                    checksum: out.checksum,
+                    matches_serial: out.values == serial.values,
+                });
+            }
+        }
+        // Leave the pool unpinned for whatever runs next in this process.
+        crate::k3::size_pool(0)?;
+    }
+    Ok(rows)
+}
+
+/// Renders the sweep as the canonical `BENCH_algo.json` document.
+pub fn to_json(cfg: &SweepConfig, rows: &[SweepRow]) -> String {
+    let mut results = JsonArray::new();
+    for row in rows {
+        let mut entry = JsonObject::new();
+        entry
+            .set_str("workload", row.workload)
+            .set_str("impl", row.impl_name)
+            .set_u64("scale", u64::from(row.scale))
+            .set_u64("threads", row.threads as u64)
+            .set_u64("vertices", row.vertices)
+            .set_u64("edges", row.edges)
+            .set_f64("seconds", row.seconds)
+            .set_f64("meps", row.meps)
+            .set_u64("stat", row.stat)
+            .set_str("checksum", &format!("{:016x}", row.checksum))
+            .set_bool("matches_serial", row.matches_serial);
+        results.push_obj(&entry);
+    }
+    let mut obj = JsonObject::new();
+    obj.set_str("benchmark", SCHEMA_VERSION)
+        .set_u64("edge_factor", cfg.edge_factor)
+        .set_raw("results", results.render())
+        .set_u64("seed", cfg.seed);
+    obj.render()
+}
+
+/// Validates a `BENCH_algo.json` document against the expected schema:
+/// correct version tag, exactly [`TOP_KEYS`] at the top level, at least
+/// one result row, and exactly [`ROW_KEYS`] on every row. Fails on drift
+/// in either direction (missing *or* extra keys).
+pub fn check_schema(text: &str) -> Result<(), String> {
+    crate::schema::check_flat_schema(text, SCHEMA_VERSION, TOP_KEYS, ROW_KEYS)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cfg() -> SweepConfig {
+        SweepConfig {
+            scales: vec![7],
+            threads: vec![1, 2],
+            edge_factor: 8,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn sweep_covers_every_workload_and_matches_serial() {
+        let cfg = tiny_cfg();
+        let rows = run_sweep(&cfg).unwrap();
+        // 4 workloads × (1 serial + 2 optimized thread counts).
+        assert_eq!(rows.len(), 4 * 3);
+        for w in ALGO_WORKLOADS {
+            assert!(
+                rows.iter().any(|r| r.workload == w.name()),
+                "missing {}",
+                w.name()
+            );
+        }
+        for row in &rows {
+            assert!(row.matches_serial, "{row:?} diverged from its oracle");
+            assert!(row.meps > 0.0, "{row:?}");
+            assert!(row.edges > 0, "{row:?}");
+        }
+        // Serial and optimized fingerprints agree per workload.
+        for w in ALGO_WORKLOADS {
+            let sums: Vec<u64> = rows
+                .iter()
+                .filter(|r| r.workload == w.name())
+                .map(|r| r.checksum)
+                .collect();
+            assert!(
+                sums.windows(2).all(|p| p[0] == p[1]),
+                "{} checksums vary: {sums:?}",
+                w.name()
+            );
+        }
+    }
+
+    #[test]
+    fn json_roundtrip_passes_schema_check() {
+        let cfg = tiny_cfg();
+        let rows = run_sweep(&cfg).unwrap();
+        let json = to_json(&cfg, &rows);
+        check_schema(&json).unwrap();
+    }
+
+    #[test]
+    fn schema_check_rejects_drift_in_both_directions() {
+        let cfg = tiny_cfg();
+        let rows = run_sweep(&cfg).unwrap();
+        let json = to_json(&cfg, &rows);
+        // Missing row key.
+        let missing = json.replacen("\"meps\":", "\"mepz\":", 1);
+        assert!(check_schema(&missing).is_err());
+        // Extra top-level key.
+        let extra = json.replacen("{\"benchmark\"", "{\"bonus\":1,\"benchmark\"", 1);
+        assert!(check_schema(&extra).is_err());
+        // Wrong version tag.
+        let wrong = json.replace(SCHEMA_VERSION, "ppbench-algo-v9");
+        assert!(check_schema(&wrong).is_err());
+        // Empty results.
+        assert!(check_schema(&to_json(&cfg, &[])).is_err());
+    }
+}

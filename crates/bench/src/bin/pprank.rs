@@ -5,6 +5,7 @@
 //!     [--scale S] [--edge-factor K] [--seed N] [--files N] \
 //!     [--variant optimized|naive|dataframe|parallel] \
 //!     [--generator kronecker|ppl|erdos-renyi] \
+//!     [--workload pagerank|bfs|cc|sssp|tc] [--input-tsv PATH] \
 //!     [--sort-end] [--diagonal] [--budget BYTES] [--validate none|invariants|eigen] \
 //!     [--dir PATH] [--keep] [--top K]
 //! ```
@@ -16,7 +17,7 @@ use std::path::PathBuf;
 use std::process::exit;
 
 use ppbench_core::kernel3::DanglingStrategy;
-use ppbench_core::{Pipeline, PipelineConfig, ValidationLevel, Variant};
+use ppbench_core::{Pipeline, PipelineConfig, ValidationLevel, Variant, Workload};
 use ppbench_dist::{run_distributed, DistConfig};
 use ppbench_gen::GeneratorKind;
 
@@ -24,6 +25,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: pprank [--scale S] [--edge-factor K] [--seed N] [--files N]\n\
          \x20             [--variant NAME] [--generator NAME] [--sort-end] [--diagonal]\n\
+         \x20             [--workload pagerank|bfs|cc|sssp|tc] [--input-tsv PATH]\n\
          \x20             [--budget BYTES] [--validate none|invariants|eigen]\n\
          \x20             [--dangling omit|redistribute|sink] [--converge TOL]\n\
          \x20             [--iterations N] [--damping C] [--dir PATH] [--keep] [--top K]\n\
@@ -57,6 +59,8 @@ fn main() {
                 builder.generator(GeneratorKind::parse(&value()).unwrap_or_else(|| usage()))
             }
             "--sort-end" => builder.sort_key(ppbench_sort::SortKey::StartEnd),
+            "--workload" => builder.workload(Workload::parse(&value()).unwrap_or_else(|| usage())),
+            "--input-tsv" => builder.input_tsv(PathBuf::from(value())),
             "--dangling" => {
                 builder.dangling(DanglingStrategy::parse(&value()).unwrap_or_else(|| usage()))
             }
@@ -218,6 +222,18 @@ fn main() {
             for (v, r) in k3.top_k(top) {
                 println!("  vertex {v:>10}  rank {r:.6e}");
             }
+        }
+        if let Some(a) = &result.algo {
+            println!(
+                "{} result: {} {} (checksum {:016x}{})",
+                a.workload,
+                a.stat,
+                a.stat_name,
+                a.checksum,
+                a.source
+                    .map(|s| format!(", source vertex {s}"))
+                    .unwrap_or_default()
+            );
         }
         if let Some(v) = &result.validation {
             println!("\nvalidation detail:\n{}", v.detail());

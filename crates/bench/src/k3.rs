@@ -159,7 +159,7 @@ pub fn build_matrix(scale: u32, edge_factor: u64, seed: u64) -> Csr<f64> {
 
 /// Sizes the global thread pool, surfacing the error as a string (the
 /// shim never fails; real rayon could).
-fn size_pool(threads: usize) -> Result<(), String> {
+pub(crate) fn size_pool(threads: usize) -> Result<(), String> {
     rayon::ThreadPoolBuilder::new()
         .num_threads(threads)
         .build_global()

@@ -11,13 +11,15 @@
 //! plus Criterion microbenches (`cargo bench`) for each kernel and the
 //! ablations DESIGN.md calls out (sort algorithm, SpMV form, generator,
 //! file count), the kernel-3 variant sweep (`k3bench` / [`k3`]) that
-//! produces `BENCH_k3.json`, and the K0→K1 front-end sweep (`k01bench` /
-//! [`k01`]) that produces `BENCH_k01.json`.
+//! produces `BENCH_k3.json`, the K0→K1 front-end sweep (`k01bench` /
+//! [`k01`]) that produces `BENCH_k01.json`, and the analytics-workload
+//! sweep (`algobench` / [`algo`]) that produces `BENCH_algo.json`.
 
 #![forbid(unsafe_code)]
 #![deny(unreachable_pub)]
 #![warn(missing_docs)]
 
+pub mod algo;
 pub mod k01;
 pub mod k3;
 pub mod plot;

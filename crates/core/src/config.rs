@@ -6,11 +6,14 @@
 //! are bit-identical (up to the floating-point reassociation of the
 //! parallel backend).
 
+use std::path::PathBuf;
+
 use ppbench_gen::{GeneratorKind, GraphSpec};
 use ppbench_sort::SortKey;
 
 use crate::backend::Variant;
 use crate::kernel3::{DanglingStrategy, PageRankOptions};
+use crate::workload::Workload;
 use crate::{DAMPING, ITERATIONS};
 
 /// How much checking the pipeline performs after the kernels finish.
@@ -72,6 +75,12 @@ pub struct PipelineConfig {
     pub convergence_tolerance: Option<f64>,
     /// Post-run validation level.
     pub validation: ValidationLevel,
+    /// What runs in the kernel-3 slot: the spec's PageRank (default) or
+    /// one of the GAP-style analytics workloads.
+    pub workload: Workload,
+    /// Optional on-disk TSV edge list to ingest in place of the kernel-0
+    /// generator; kernels 1–3 run unchanged on the ingested data.
+    pub input_tsv: Option<PathBuf>,
 }
 
 impl PipelineConfig {
@@ -142,6 +151,13 @@ impl PipelineConfig {
                 },
             ),
             ("variant", self.variant.name().to_string()),
+            ("workload", self.workload.name().to_string()),
+            (
+                "input_tsv",
+                self.input_tsv
+                    .as_ref()
+                    .map_or_else(|| "none".to_string(), |p| p.display().to_string()),
+            ),
         ];
         fields.sort_by_key(|(k, _)| *k);
         fields
@@ -204,6 +220,8 @@ pub struct PipelineConfigBuilder {
     dangling: DanglingStrategy,
     convergence_tolerance: Option<f64>,
     validation: ValidationLevel,
+    workload: Workload,
+    input_tsv: Option<PathBuf>,
 }
 
 impl Default for PipelineConfigBuilder {
@@ -225,6 +243,8 @@ impl Default for PipelineConfigBuilder {
             dangling: DanglingStrategy::Omit,
             convergence_tolerance: None,
             validation: ValidationLevel::Invariants,
+            workload: Workload::PageRank,
+            input_tsv: None,
         }
     }
 }
@@ -327,6 +347,19 @@ impl PipelineConfigBuilder {
         self
     }
 
+    /// Selects the kernel-3-slot workload (PageRank or a GAP analytic).
+    pub fn workload(mut self, w: Workload) -> Self {
+        self.workload = w;
+        self
+    }
+
+    /// Feeds kernels 1–3 from an on-disk TSV edge list instead of the
+    /// kernel-0 generator.
+    pub fn input_tsv(mut self, path: impl Into<PathBuf>) -> Self {
+        self.input_tsv = Some(path.into());
+        self
+    }
+
     /// Finalizes the configuration.
     ///
     /// # Panics
@@ -359,6 +392,8 @@ impl PipelineConfigBuilder {
             dangling: self.dangling,
             convergence_tolerance: self.convergence_tolerance,
             validation: self.validation,
+            workload: self.workload,
+            input_tsv: self.input_tsv,
         }
     }
 }
@@ -378,6 +413,27 @@ mod tests {
         assert!(cfg.permute_vertices);
         assert!(!cfg.shuffle_edges);
         assert!(!cfg.add_diagonal_to_empty);
+        assert_eq!(cfg.workload, Workload::PageRank);
+        assert!(cfg.input_tsv.is_none());
+    }
+
+    #[test]
+    fn workloads_never_share_a_cache_identity() {
+        // The serve cache keys on canonical_hash; a BFS run and a PageRank
+        // run over the same graph config must never collide.
+        let hashes: Vec<u64> = Workload::ALL
+            .iter()
+            .map(|&w| {
+                PipelineConfig::builder()
+                    .scale(9)
+                    .seed(7)
+                    .workload(w)
+                    .build()
+                    .canonical_hash()
+            })
+            .collect();
+        let unique: std::collections::HashSet<u64> = hashes.iter().copied().collect();
+        assert_eq!(unique.len(), Workload::ALL.len());
     }
 
     #[test]
@@ -435,7 +491,7 @@ mod tests {
         let mut sorted = keys.clone();
         sorted.sort_unstable();
         assert_eq!(keys, sorted, "keys must come out sorted");
-        assert_eq!(keys.len(), 16, "one entry per PipelineConfig field");
+        assert_eq!(keys.len(), 18, "one entry per PipelineConfig field");
     }
 
     #[test]
@@ -459,6 +515,8 @@ mod tests {
             base().permute_vertices(false).build(),
             base().shuffle_edges(true).build(),
             base().validation(ValidationLevel::None).build(),
+            base().workload(Workload::Bfs).build(),
+            base().input_tsv("/tmp/edges.tsv").build(),
         ];
         let mut hashes: Vec<u64> = variations.iter().map(|c| c.canonical_hash()).collect();
         hashes.push(reference);

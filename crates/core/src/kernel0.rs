@@ -60,6 +60,45 @@ pub fn write_streamed(
     )?)
 }
 
+/// Ingests an on-disk plain TSV edge list (`u<TAB>v` per line, `#`
+/// comments allowed) as the kernel-0 output, in place of the generator:
+/// the edges are rewritten into `dir` in the standard kernel-file layout
+/// so kernels 1–3 run unchanged on real-world graphs.
+///
+/// Vertex ids must lie below the configured `2^scale` bound — the
+/// downstream kernels size the adjacency matrix from the spec — and the
+/// edge count becomes whatever the file holds (recorded in the manifest;
+/// callers must take `M` from there, not from the spec).
+///
+/// # Errors
+///
+/// Parse/I/O failures from the TSV reader, or [`crate::Error::Contract`]
+/// when a vertex id is out of range or the file holds no edges.
+pub fn ingest_tsv(cfg: &PipelineConfig, path: &Path, dir: &Path) -> Result<Manifest> {
+    let frame = ppbench_frame::read_plain_tsv(path)?;
+    let edges = ppbench_frame::frame_to_edges(&frame)?;
+    if edges.is_empty() {
+        return Err(crate::Error::Contract(format!(
+            "input TSV {} holds no edges",
+            path.display()
+        )));
+    }
+    let n = cfg.spec.num_vertices();
+    if let Some(e) = edges.iter().find(|e| e.u >= n || e.v >= n) {
+        return Err(crate::Error::Contract(format!(
+            "input TSV {} has edge ({}, {}) outside the scale-{} vertex bound {}",
+            path.display(),
+            e.u,
+            e.v,
+            cfg.spec.scale(),
+            n
+        )));
+    }
+    let mut writer = EdgeWriter::create(dir, "edges", cfg.num_files, edges.len() as u64)?;
+    writer.write_all(&edges)?;
+    Ok(writer.finish(Some(cfg.spec.scale()), Some(n), SortState::Unsorted)?)
+}
+
 /// Generates and writes the edge stream through `cfg.num_files` parallel
 /// [`ShardWriter`]s, one per output file, each streaming its contiguous
 /// slice of the stream in [`GENERATION_CHUNK`] pieces.
@@ -201,6 +240,39 @@ mod tests {
         let (back_m, back) = ppbench_io::EdgeReader::read_dir_all(td.path()).unwrap();
         assert_eq!(back.len(), 2);
         assert_eq!(back_m.edges, 2);
+    }
+
+    #[test]
+    fn ingest_tsv_replaces_the_generator() {
+        let td = ppbench_io::tempdir::TempDir::new("ppbench-k0").unwrap();
+        let tsv = td.join("real.tsv");
+        std::fs::write(&tsv, "# comment\n0\t1\n1\t2\n2\t0\n2\t0\n").unwrap();
+        let cfg = PipelineConfig::builder().scale(2).num_files(2).build();
+        let out = td.join("ingested");
+        let manifest = ingest_tsv(&cfg, &tsv, &out).unwrap();
+        assert_eq!(
+            manifest.edges, 4,
+            "duplicates are kept (kernel 2 sums them)"
+        );
+        assert_eq!(manifest.files.len(), 2);
+        let (_, back) = ppbench_io::EdgeReader::read_dir_all(&out).unwrap();
+        assert_eq!(back.len(), 4);
+        assert_eq!(back[0], ppbench_io::Edge::new(0, 1));
+    }
+
+    #[test]
+    fn ingest_tsv_rejects_out_of_bound_vertices_and_empty_files() {
+        let td = ppbench_io::tempdir::TempDir::new("ppbench-k0").unwrap();
+        let tsv = td.join("big.tsv");
+        std::fs::write(&tsv, "0\t4\n").unwrap();
+        let cfg = PipelineConfig::builder().scale(2).build(); // bound = 4
+        let err = ingest_tsv(&cfg, &tsv, &td.join("x")).unwrap_err();
+        assert!(matches!(err, crate::Error::Contract(_)), "{err}");
+        assert!(err.to_string().contains("vertex bound"), "{err}");
+        let empty = td.join("empty.tsv");
+        std::fs::write(&empty, "# only comments\n").unwrap();
+        let err = ingest_tsv(&cfg, &empty, &td.join("y")).unwrap_err();
+        assert!(err.to_string().contains("no edges"), "{err}");
     }
 
     #[test]

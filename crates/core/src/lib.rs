@@ -57,6 +57,7 @@ mod results;
 pub mod table;
 mod timing;
 pub mod validate;
+pub mod workload;
 
 pub use backend::Variant;
 pub use config::{PipelineConfig, PipelineConfigBuilder, ValidationLevel};
@@ -66,6 +67,7 @@ pub use pipeline::{NoopObserver, Pipeline, PipelineObserver};
 pub use report::RunRecord;
 pub use results::{Kernel0Result, Kernel1Result, Kernel2Result, Kernel3Result, PipelineResult};
 pub use timing::{timed, KernelTiming, Stopwatch};
+pub use workload::Workload;
 
 /// The damping factor `c` fixed by the benchmark specification.
 pub const DAMPING: f64 = 0.85;

@@ -11,9 +11,12 @@ use std::path::{Path, PathBuf};
 use crate::backend::Kernel2Output;
 use crate::config::{PipelineConfig, ValidationLevel};
 use crate::error::{Error, Result};
-use crate::results::{Kernel0Result, Kernel1Result, Kernel2Result, Kernel3Result, PipelineResult};
+use crate::results::{
+    Kernel0Result, Kernel1Result, Kernel2Result, Kernel3Result, PipelineResult, WorkloadResult,
+};
 use crate::timing::{KernelTiming, Stopwatch};
-use crate::{kernel3, validate};
+use crate::workload::Workload;
+use crate::{kernel0, kernel3, validate, workload};
 
 /// Observes pipeline progress kernel by kernel.
 ///
@@ -104,12 +107,17 @@ impl Pipeline {
         }
         let cfg = &self.cfg;
         let backend = cfg.variant.backend();
-        let m = cfg.spec.num_edges();
 
-        // Kernel 0 — untimed by spec, measured for Figure 4.
+        // Kernel 0 — untimed by spec, measured for Figure 4. With an
+        // input TSV configured, ingestion replaces generation and the
+        // actual edge count `m` comes from the file, not the spec.
         observer.kernel_started(0);
         let sw = Stopwatch::start();
-        let manifest0 = backend.kernel0(cfg, &self.k0_dir())?;
+        let manifest0 = match &cfg.input_tsv {
+            Some(path) => kernel0::ingest_tsv(cfg, path, &self.k0_dir())?,
+            None => backend.kernel0(cfg, &self.k0_dir())?,
+        };
+        let m = manifest0.edges;
         let k0 = Kernel0Result {
             timing: sw.finish(m),
             edges: manifest0.edges,
@@ -123,10 +131,12 @@ impl Pipeline {
             scale: cfg.spec.scale(),
             edges: m,
             variant: cfg.variant.name(),
+            workload: cfg.workload.name(),
             kernel0: Some(k0),
             kernel1: None,
             kernel2: None,
             kernel3: None,
+            algo: None,
             validation: None,
         };
 
@@ -158,6 +168,7 @@ impl Pipeline {
             });
             k2_output = Some(out);
         }
+        let mut algo_values: Option<Vec<u64>> = None;
         if last_kernel >= 3 {
             let Some(k2) = k2_output.as_ref() else {
                 return Err(crate::Error::Contract(
@@ -166,23 +177,40 @@ impl Pipeline {
             };
             let matrix = &k2.matrix;
             observer.kernel_started(3);
-            let sw = Stopwatch::start();
-            let run = backend.kernel3(cfg, matrix)?;
-            // Kernel 3's work-item count is iterations × M ("20M divided by
-            // the run time"), using the iterations actually performed.
-            let timing = sw.finish(m * run.iterations as u64);
-            observer.kernel_finished(3, &timing);
-            let mass = kernel3::rank_mass(&run.ranks);
-            result.kernel3 = Some(Kernel3Result {
-                timing,
-                ranks: run.ranks,
-                mass,
-                iterations: run.iterations,
-                final_delta: run.final_delta,
-            });
+            if cfg.workload == Workload::PageRank {
+                let sw = Stopwatch::start();
+                let run = backend.kernel3(cfg, matrix)?;
+                // Kernel 3's work-item count is iterations × M ("20M divided
+                // by the run time"), using the iterations actually performed.
+                let timing = sw.finish(m * run.iterations as u64);
+                observer.kernel_finished(3, &timing);
+                let mass = kernel3::rank_mass(&run.ranks);
+                result.kernel3 = Some(Kernel3Result {
+                    timing,
+                    ranks: run.ranks,
+                    mass,
+                    iterations: run.iterations,
+                    final_delta: run.final_delta,
+                });
+            } else {
+                let sw = Stopwatch::start();
+                let out = workload::run_algo(cfg, matrix)?;
+                let timing = sw.finish(out.work_items);
+                observer.kernel_finished(3, &timing);
+                result.algo = Some(WorkloadResult {
+                    workload: cfg.workload.name(),
+                    timing,
+                    output_len: out.values.len(),
+                    stat: out.stat,
+                    stat_name: out.stat_name,
+                    source: out.source,
+                    checksum: out.checksum,
+                });
+                algo_values = Some(out.values);
+            }
         }
 
-        self.validate(&mut result, k2_output.as_ref())?;
+        self.validate(&mut result, k2_output.as_ref(), m, algo_values.as_deref())?;
         Ok(result)
     }
 
@@ -190,13 +218,15 @@ impl Pipeline {
         &self,
         result: &mut PipelineResult,
         k2_output: Option<&Kernel2Output>,
+        expected_edges: u64,
+        algo_values: Option<&[u64]>,
     ) -> Result<()> {
         let cfg = &self.cfg;
         if cfg.validation == ValidationLevel::None {
             return Ok(());
         }
         let mut report = validate::check_invariants(
-            cfg.spec.num_edges(),
+            expected_edges,
             cfg.spec.num_vertices(),
             result.kernel0.as_ref().map(|k| &k.digest),
             result.kernel1.as_ref().map(|k| &k.digest),
@@ -207,6 +237,18 @@ impl Pipeline {
             report
                 .checks
                 .extend(validate::check_matrix(&out.matrix).checks);
+        }
+        if let (Some(values), Some(algo)) = (algo_values, &result.algo) {
+            report.checks.extend(
+                validate::check_workload_output(
+                    algo.workload,
+                    cfg.spec.num_vertices(),
+                    values,
+                    algo.stat,
+                    algo.stat_name,
+                )
+                .checks,
+            );
         }
         if cfg.validation == ValidationLevel::Eigenvector {
             if let (Some(out), Some(k3)) = (k2_output, &result.kernel3) {
@@ -341,6 +383,108 @@ mod tests {
         let events = rec.0.into_inner().unwrap();
         let expected: Vec<(u8, bool)> = (0..4u8).flat_map(|k| [(k, false), (k, true)]).collect();
         assert_eq!(events, expected);
+    }
+
+    #[test]
+    fn algo_workloads_run_end_to_end_and_validate() {
+        for w in [
+            crate::Workload::Bfs,
+            crate::Workload::Cc,
+            crate::Workload::Sssp,
+            crate::Workload::Tc,
+        ] {
+            let td = TempDir::new("ppbench-pipe").unwrap();
+            let cfg = base(6).workload(w).build();
+            let result = Pipeline::new(cfg, td.path()).run().unwrap();
+            assert!(result.kernel3.is_none(), "{}: no PageRank ran", w.name());
+            let algo = result.algo.as_ref().unwrap();
+            assert_eq!(algo.workload, w.name());
+            if w != crate::Workload::Tc {
+                assert!(algo.stat >= 1, "{}", w.name());
+            }
+            let v = result.validation.as_ref().unwrap();
+            assert!(v.passed(), "{}: {}", w.name(), v.detail());
+            assert!(
+                result.summary().contains(&format!("K3 {}", w.name())),
+                "{}",
+                result.summary()
+            );
+        }
+    }
+
+    #[test]
+    fn algo_workload_is_deterministic_across_runs_and_variants() {
+        let run = |variant: Variant| {
+            let td = TempDir::new("ppbench-pipe").unwrap();
+            let cfg = base(6)
+                .workload(crate::Workload::Bfs)
+                .variant(variant)
+                .build();
+            let result = Pipeline::new(cfg, td.path()).run().unwrap();
+            let algo = result.algo.unwrap();
+            (algo.checksum, algo.stat, algo.source)
+        };
+        let a = run(Variant::Optimized);
+        let b = run(Variant::Optimized);
+        assert_eq!(a, b, "same config must be bit-identical");
+        let naive = run(Variant::Naive);
+        assert_eq!(a, naive, "serial oracle must agree with optimized");
+    }
+
+    /// A bidirectional triangle 0↔1↔2↔0 (in-degree 2 each, so kernel 2's
+    /// leaf filter keeps it) plus a supernode column 7 (in-degree 3, so it
+    /// absorbs the supernode filter).
+    fn filter_proof_tsv(dir: &std::path::Path) -> std::path::PathBuf {
+        let tsv = dir.join("input.tsv");
+        let mut body = String::from("# test graph\n");
+        for (u, v) in [
+            (0u32, 1u32),
+            (1, 0),
+            (1, 2),
+            (2, 1),
+            (2, 0),
+            (0, 2),
+            (4, 7),
+            (5, 7),
+            (6, 7),
+        ] {
+            body.push_str(&format!("{u}\t{v}\n"));
+        }
+        std::fs::write(&tsv, body).unwrap();
+        tsv
+    }
+
+    #[test]
+    fn tsv_input_feeds_the_pipeline() {
+        let td = TempDir::new("ppbench-pipe").unwrap();
+        let tsv = filter_proof_tsv(td.path());
+        let cfg = base(5).input_tsv(&tsv).build();
+        let result = Pipeline::new(cfg, td.join("work").as_path()).run().unwrap();
+        assert_eq!(result.edges, 9, "M comes from the file, not the spec");
+        assert_eq!(result.kernel0.as_ref().unwrap().edges, 9);
+        let v = result.validation.as_ref().unwrap();
+        assert!(v.passed(), "{}", v.detail());
+        assert!(
+            result.kernel3.is_some(),
+            "PageRank ran on the ingested graph"
+        );
+    }
+
+    #[test]
+    fn tsv_input_composes_with_algo_workloads() {
+        let td = TempDir::new("ppbench-pipe").unwrap();
+        let tsv = filter_proof_tsv(td.path());
+        let cfg = base(5)
+            .input_tsv(&tsv)
+            .workload(crate::Workload::Tc)
+            .build();
+        let result = Pipeline::new(cfg, td.join("work").as_path()).run().unwrap();
+        let algo = result.algo.as_ref().unwrap();
+        assert_eq!(
+            algo.stat, 1,
+            "the bidirectional triangle survives the kernel-2 filter"
+        );
+        assert!(result.validation.as_ref().unwrap().passed());
     }
 
     #[test]

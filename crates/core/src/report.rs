@@ -17,6 +17,9 @@ use crate::{Error, Result};
 pub struct RunRecord {
     /// Backend name.
     pub variant: String,
+    /// Kernel-3-slot workload name (`"pagerank"`, `"bfs"`, …). Legacy
+    /// records predate the field and parse as `"pagerank"`.
+    pub workload: String,
     /// Scale factor.
     pub scale: u32,
     /// Edge count M.
@@ -30,24 +33,37 @@ pub struct RunRecord {
     /// caller did not pin one — e.g. legacy records, or runs that never
     /// set `pprank --threads`).
     pub threads: Option<u64>,
+    /// Output fingerprint of an analytics workload (`None` for PageRank
+    /// runs and legacy records) — lets two archived runs be compared for
+    /// bit-identical outputs, not just rates.
+    pub checksum: Option<u64>,
 }
 
 impl RunRecord {
     /// Extracts the record from a completed result.
     pub fn from_result(result: &PipelineResult) -> Self {
         let timing = |t: Option<&crate::KernelTiming>| t.map(|t| (t.seconds, t.rate()));
+        // The kernel-3 slot is PageRank or the analytics workload,
+        // whichever ran; both report through kernels[3].
+        let k3_slot = result
+            .kernel3
+            .as_ref()
+            .map(|k| &k.timing)
+            .or_else(|| result.algo.as_ref().map(|a| &a.timing));
         Self {
             variant: result.variant.to_string(),
+            workload: result.workload.to_string(),
             scale: result.scale,
             edges: result.edges,
             kernels: [
                 timing(result.kernel0.as_ref().map(|k| &k.timing)),
                 timing(result.kernel1.as_ref().map(|k| &k.timing)),
                 timing(result.kernel2.as_ref().map(|k| &k.timing)),
-                timing(result.kernel3.as_ref().map(|k| &k.timing)),
+                timing(k3_slot),
             ],
             validation_passed: result.validation.as_ref().map(|v| v.passed()),
             threads: None,
+            checksum: result.algo.as_ref().map(|a| a.checksum),
         }
     }
 
@@ -55,6 +71,7 @@ impl RunRecord {
     pub fn to_text(&self) -> String {
         let mut out = String::from("record\tppbench-run-v1\n");
         out.push_str(&format!("variant\t{}\n", self.variant));
+        out.push_str(&format!("workload\t{}\n", self.workload));
         out.push_str(&format!("scale\t{}\n", self.scale));
         out.push_str(&format!("edges\t{}\n", self.edges));
         for (k, slot) in self.kernels.iter().enumerate() {
@@ -67,6 +84,9 @@ impl RunRecord {
         }
         if let Some(threads) = self.threads {
             out.push_str(&format!("threads\t{threads}\n"));
+        }
+        if let Some(checksum) = self.checksum {
+            out.push_str(&format!("checksum\t{checksum:016x}\n"));
         }
         out
     }
@@ -97,6 +117,7 @@ impl RunRecord {
         let mut obj = crate::json::JsonObject::new();
         obj.set_str("record", "ppbench-run-v1")
             .set_str("variant", &self.variant)
+            .set_str("workload", &self.workload)
             .set_u64("scale", u64::from(self.scale))
             .set_u64("edges", self.edges)
             .set_raw("kernels", kernels.render());
@@ -108,6 +129,10 @@ impl RunRecord {
             Some(threads) => obj.set_u64("threads", threads),
             None => obj.set_null("threads"),
         };
+        match self.checksum {
+            Some(checksum) => obj.set_str("checksum", &format!("{checksum:016x}")),
+            None => obj.set_null("checksum"),
+        };
         obj.render()
     }
 
@@ -115,11 +140,15 @@ impl RunRecord {
     pub fn from_text(text: &str) -> Result<Self> {
         let mut record = RunRecord {
             variant: String::new(),
+            // Records written before the workload axis existed are all
+            // PageRank runs.
+            workload: "pagerank".to_string(),
             scale: 0,
             edges: 0,
             kernels: [None; 4],
             validation_passed: None,
             threads: None,
+            checksum: None,
         };
         let mut saw_header = false;
         for (lineno, line) in text.lines().enumerate() {
@@ -139,6 +168,12 @@ impl RunRecord {
                     record.variant = fields
                         .get(1)
                         .ok_or_else(|| bad("missing variant"))?
+                        .to_string();
+                }
+                "workload" => {
+                    record.workload = fields
+                        .get(1)
+                        .ok_or_else(|| bad("missing workload"))?
                         .to_string();
                 }
                 "scale" => {
@@ -183,6 +218,14 @@ impl RunRecord {
                             .get(1)
                             .and_then(|v| v.parse().ok())
                             .ok_or_else(|| bad("bad thread count"))?,
+                    );
+                }
+                "checksum" => {
+                    record.checksum = Some(
+                        fields
+                            .get(1)
+                            .and_then(|v| u64::from_str_radix(v, 16).ok())
+                            .ok_or_else(|| bad("bad checksum"))?,
                     );
                 }
                 other => return Err(bad(&format!("unknown key {other:?}"))),
@@ -272,8 +315,8 @@ mod tests {
     fn json_mentions_all_fields() {
         let record = sample();
         let json = record.to_json();
-        // Canonical form: keys sorted bytewise, so `edges` leads.
-        assert!(json.starts_with("{\"edges\":"), "{json}");
+        // Canonical form: keys sorted bytewise, so `checksum` leads.
+        assert!(json.starts_with("{\"checksum\":"), "{json}");
         assert!(json.contains("\"record\":\"ppbench-run-v1\""), "{json}");
         assert!(json.contains("\"variant\":\"optimized\""), "{json}");
         assert!(json.contains("\"scale\":6"), "{json}");
@@ -320,6 +363,40 @@ mod tests {
         // Legacy records without the key still parse.
         let legacy = RunRecord::from_text("record\tppbench-run-v1\nscale\t6\n").unwrap();
         assert_eq!(legacy.threads, None);
+    }
+
+    #[test]
+    fn workload_and_checksum_roundtrip() {
+        let td = TempDir::new("report").unwrap();
+        let cfg = PipelineConfig::builder()
+            .scale(6)
+            .edge_factor(4)
+            .seed(2)
+            .workload(crate::Workload::Bfs)
+            .build();
+        let result = Pipeline::new(cfg, td.path()).run().unwrap();
+        let record = RunRecord::from_result(&result);
+        assert_eq!(record.workload, "bfs");
+        assert!(record.checksum.is_some());
+        assert!(
+            record.kernels[3].is_some(),
+            "the workload reports through the kernel-3 slot"
+        );
+        let parsed = RunRecord::from_text(&record.to_text()).unwrap();
+        assert_eq!(parsed.workload, "bfs");
+        assert_eq!(parsed.checksum, record.checksum);
+        let json = record.to_json();
+        assert!(json.contains("\"workload\":\"bfs\""), "{json}");
+        assert!(json.contains("\"checksum\":\""), "{json}");
+        // PageRank runs carry the workload name but no checksum.
+        let pr = sample();
+        assert_eq!(pr.workload, "pagerank");
+        assert_eq!(pr.checksum, None);
+        assert!(pr.to_json().contains("\"checksum\":null"));
+        // Legacy records without the keys parse as PageRank.
+        let legacy = RunRecord::from_text("record\tppbench-run-v1\nscale\t6\n").unwrap();
+        assert_eq!(legacy.workload, "pagerank");
+        assert_eq!(legacy.checksum, None);
     }
 
     #[test]

@@ -78,6 +78,27 @@ impl Kernel3Result {
     }
 }
 
+/// Analytics-workload (kernel-3 slot, non-PageRank) outcome.
+#[derive(Debug, Clone)]
+pub struct WorkloadResult {
+    /// Workload name (`"bfs"`, `"cc"`, `"sssp"`, `"tc"`).
+    pub workload: &'static str,
+    /// Wall-clock; work items are `M` so [`KernelTiming::rate`] stays the
+    /// paper's edges/second.
+    pub timing: KernelTiming,
+    /// Length of the output vector (vertex count; 1 for TC).
+    pub output_len: usize,
+    /// Headline statistic (see `stat_name`).
+    pub stat: u64,
+    /// What `stat` counts: `"reached"`, `"components"`, or `"triangles"`.
+    pub stat_name: &'static str,
+    /// Source vertex, for the traversal workloads.
+    pub source: Option<u64>,
+    /// FNV-1a fingerprint of the output vector — the determinism handle
+    /// run records and benches compare.
+    pub checksum: u64,
+}
+
 /// Complete outcome of a pipeline run.
 #[derive(Debug, Clone)]
 pub struct PipelineResult {
@@ -89,14 +110,18 @@ pub struct PipelineResult {
     pub edges: u64,
     /// Backend name.
     pub variant: &'static str,
+    /// Name of the kernel-3-slot workload that ran (or would run).
+    pub workload: &'static str,
     /// Kernel 0 outcome (`None` if the run stopped before it).
     pub kernel0: Option<Kernel0Result>,
     /// Kernel 1 outcome.
     pub kernel1: Option<Kernel1Result>,
     /// Kernel 2 outcome.
     pub kernel2: Option<Kernel2Result>,
-    /// Kernel 3 outcome.
+    /// Kernel 3 outcome (PageRank workload only).
     pub kernel3: Option<Kernel3Result>,
+    /// Analytics-workload outcome (non-PageRank workloads only).
+    pub algo: Option<WorkloadResult>,
     /// Validation report, when validation ran.
     pub validation: Option<ValidationReport>,
 }
@@ -134,6 +159,12 @@ impl PipelineResult {
             out.push_str(&format!(
                 "  K3 pagerank: {} (mass {:.6})\n",
                 k.timing, k.mass
+            ));
+        }
+        if let Some(k) = &self.algo {
+            out.push_str(&format!(
+                "  K3 {}: {} ({} {}, checksum {:016x})\n",
+                k.workload, k.timing, k.stat, k.stat_name, k.checksum
             ));
         }
         if let Some(v) = &self.validation {
@@ -206,15 +237,46 @@ mod tests {
             scale: 4,
             edges: 64,
             variant: "optimized",
+            workload: "pagerank",
             kernel0: None,
             kernel1: None,
             kernel2: None,
             kernel3: Some(k3(vec![1.0])),
+            algo: None,
             validation: None,
         };
         let s = result.summary();
         assert!(s.contains("K3 pagerank"), "{s}");
         assert!(!s.contains("K0"), "{s}");
+    }
+
+    #[test]
+    fn summary_reports_algo_workloads() {
+        let result = PipelineResult {
+            config: "test".into(),
+            scale: 4,
+            edges: 64,
+            variant: "optimized",
+            workload: "bfs",
+            kernel0: None,
+            kernel1: None,
+            kernel2: None,
+            kernel3: None,
+            algo: Some(WorkloadResult {
+                workload: "bfs",
+                timing: KernelTiming::new(0.5, 64),
+                output_len: 16,
+                stat: 12,
+                stat_name: "reached",
+                source: Some(3),
+                checksum: 0xdead_beef,
+            }),
+            validation: None,
+        };
+        let s = result.summary();
+        assert!(s.contains("K3 bfs"), "{s}");
+        assert!(s.contains("12 reached"), "{s}");
+        assert!(!s.contains("pagerank"), "{s}");
     }
 
     #[test]
@@ -224,10 +286,12 @@ mod tests {
             scale: 4,
             edges: 64,
             variant: "naive",
+            workload: "pagerank",
             kernel0: None,
             kernel1: None,
             kernel2: None,
             kernel3: Some(k3(vec![1.0])),
+            algo: None,
             validation: None,
         };
         let header_fields = PipelineResult::csv_header().split(',').count();

@@ -155,6 +155,43 @@ pub fn check_invariants(
     report
 }
 
+/// Sanity checks on an analytics-workload output (the non-PageRank
+/// kernel-3 slot): the output vector must have one entry per vertex (one
+/// total for triangle counting) and the headline statistic must be
+/// consistent with it.
+pub fn check_workload_output(
+    workload: &str,
+    n: u64,
+    values: &[u64],
+    stat: u64,
+    stat_name: &str,
+) -> ValidationReport {
+    let mut report = ValidationReport::default();
+    let expected_len = if workload == "tc" { 1 } else { n };
+    report.push(
+        "workload-output-length",
+        values.len() as u64 == expected_len,
+        format!(
+            "{workload} produced {} values, expected {expected_len}",
+            values.len()
+        ),
+    );
+    let stat_ok = match stat_name {
+        // A traversal reaches at least its source and at most every vertex;
+        // components number between 1 and N.
+        "reached" | "components" => stat >= 1 && stat <= n,
+        // The count workloads report their own value back.
+        "triangles" => values.first().copied() == Some(stat),
+        _ => false,
+    };
+    report.push(
+        "workload-stat-consistent",
+        stat_ok,
+        format!("{workload}: {stat} {stat_name} over {n} vertices"),
+    );
+    report
+}
+
 /// Structural checks on the kernel-2 output matrix: every row must be
 /// stochastic (sums to 1) or empty, entries must lie in (0, 1], and the
 /// stored structure must satisfy the CSR invariants.
@@ -318,6 +355,22 @@ mod tests {
         garbage[3] = 1.0;
         let report = check_eigenvector(&a, &garbage, 0.85, 20);
         assert!(!report.passed(), "{}", report.detail());
+    }
+
+    #[test]
+    fn workload_output_checks_catch_inconsistencies() {
+        let good = check_workload_output("bfs", 4, &[0, 1, 1, u64::MAX], 3, "reached");
+        assert!(good.passed(), "{}", good.detail());
+        let short = check_workload_output("bfs", 4, &[0, 1], 2, "reached");
+        assert!(!short.passed());
+        let zero = check_workload_output("cc", 4, &[0, 0, 0, 0], 0, "components");
+        assert!(!zero.passed(), "zero components is impossible");
+        let tc_ok = check_workload_output("tc", 4, &[7], 7, "triangles");
+        assert!(tc_ok.passed(), "{}", tc_ok.detail());
+        let tc_bad = check_workload_output("tc", 4, &[7], 8, "triangles");
+        assert!(!tc_bad.passed());
+        let unknown = check_workload_output("bfs", 4, &[0, 1, 1, 2], 3, "mystery");
+        assert!(!unknown.passed());
     }
 
     #[test]

@@ -1,0 +1,255 @@
+//! Workload selection — what runs in the kernel-3 slot.
+//!
+//! The paper measures the pipeline with PageRank in kernel 3; the GAP
+//! Benchmark Suite argues a credible graph benchmark needs more than one
+//! data-access pattern. A [`Workload`] picks which analytic consumes the
+//! kernel-2 matrix: the spec's PageRank (default), or one of the
+//! `ppbench-algo` kernels (BFS, connected components, SSSP, triangle
+//! counting). Kernels 0–2 are identical in every case — the workload only
+//! swaps the compute stage, so per-workload timings are directly
+//! comparable over the same data.
+//!
+//! The `variant` axis keeps its meaning: [`crate::Variant::Naive`] runs
+//! the workload's serial oracle, every other variant its optimized
+//! implementation — the same style split the PageRank backends encode.
+
+use ppbench_algo::{bfs, cc, sssp, tc, Graph};
+use ppbench_sparse::Csr;
+
+use crate::backend::Variant;
+use crate::config::PipelineConfig;
+use crate::error::{Error, Result};
+
+/// Number of work chunks the optimized workload kernels decompose into.
+/// Fixed (not derived from the machine) so results and work decomposition
+/// are environment-independent; the chunks execute on however many pool
+/// threads exist.
+pub const WORKLOAD_CHUNKS: usize = 64;
+
+/// The analytic that runs in the kernel-3 slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Workload {
+    /// The spec's 20-iteration PageRank (the default).
+    #[default]
+    PageRank,
+    /// Direction-optimizing breadth-first search from a seeded source.
+    Bfs,
+    /// Connected components of the undirected view.
+    Cc,
+    /// Delta-stepping single-source shortest paths over derived weights.
+    Sssp,
+    /// Triangle count of the undirected view.
+    Tc,
+}
+
+impl Workload {
+    /// Every workload, in CLI/documentation order.
+    pub const ALL: [Workload; 5] = [
+        Workload::PageRank,
+        Workload::Bfs,
+        Workload::Cc,
+        Workload::Sssp,
+        Workload::Tc,
+    ];
+
+    /// Stable name used by the CLI, the serve API, and run records.
+    pub fn name(self) -> &'static str {
+        match self {
+            Workload::PageRank => "pagerank",
+            Workload::Bfs => "bfs",
+            Workload::Cc => "cc",
+            Workload::Sssp => "sssp",
+            Workload::Tc => "tc",
+        }
+    }
+
+    /// Parses a [`Workload::name`]; `None` for unknown names.
+    pub fn parse(s: &str) -> Option<Workload> {
+        Workload::ALL.into_iter().find(|w| w.name() == s)
+    }
+}
+
+/// Outcome of an analytics (non-PageRank) workload run.
+#[derive(Debug, Clone)]
+pub struct AlgoOutcome {
+    /// The per-vertex output vector — BFS depths or CC labels widened to
+    /// `u64`, SSSP distances, or the single-element triangle count.
+    pub values: Vec<u64>,
+    /// Headline statistic (see `stat_name`).
+    pub stat: u64,
+    /// What `stat` counts: `"reached"` (BFS/SSSP), `"components"` (CC),
+    /// `"triangles"` (TC).
+    pub stat_name: &'static str,
+    /// Source vertex, for the traversal workloads.
+    pub source: Option<u64>,
+    /// FNV-1a fingerprint of `values` — the cross-run determinism handle.
+    pub checksum: u64,
+    /// Work items for the timing rate (directed edges examined bound:
+    /// `m`, matching the paper's edges/second metric).
+    pub work_items: u64,
+}
+
+/// Runs the configured analytics workload on the kernel-2 matrix pattern.
+///
+/// # Errors
+///
+/// [`Error::Contract`] when called with [`Workload::PageRank`] (that path
+/// belongs to the backends) or when the matrix cannot be adapted (vertex
+/// ids beyond `u32`).
+pub fn run_algo(cfg: &PipelineConfig, matrix: &Csr<f64>) -> Result<AlgoOutcome> {
+    let graph = Graph::from_adjacency(matrix.rows(), matrix.row_ptr(), matrix.col_indices())
+        .map_err(Error::Contract)?;
+    let serial = cfg.variant == Variant::Naive;
+    let chunks = WORKLOAD_CHUNKS;
+    let m = graph.num_edges() as u64;
+    let (values, stat, stat_name, source) = match cfg.workload {
+        Workload::PageRank => {
+            return Err(Error::Contract(
+                "pagerank runs through the kernel-3 backends, not run_algo".to_string(),
+            ))
+        }
+        Workload::Bfs => {
+            let src = ppbench_algo::pick_source(&graph, cfg.seed);
+            let depths = if serial {
+                bfs::bfs_serial(&graph, src)
+            } else {
+                bfs::bfs(&graph, src, chunks)
+            };
+            let reached = depths
+                .iter()
+                .filter(|&&d| d != ppbench_algo::UNREACHED)
+                .count() as u64;
+            let values: Vec<u64> = depths.into_iter().map(u64::from).collect();
+            (values, reached, "reached", Some(u64::from(src)))
+        }
+        Workload::Cc => {
+            let labels = if serial {
+                cc::cc_serial(&graph)
+            } else {
+                cc::cc(&graph, chunks)
+            };
+            let components = labels
+                .iter()
+                .enumerate()
+                .filter(|&(v, &l)| v as u32 == l)
+                .count() as u64;
+            let values: Vec<u64> = labels.into_iter().map(u64::from).collect();
+            (values, components, "components", None)
+        }
+        Workload::Sssp => {
+            let src = ppbench_algo::pick_source(&graph, cfg.seed);
+            let dists = if serial {
+                sssp::sssp_serial(&graph, src, cfg.seed)
+            } else {
+                sssp::sssp(&graph, src, cfg.seed, chunks)
+            };
+            let reached = dists
+                .iter()
+                .filter(|&&d| d != ppbench_algo::UNREACHED_DIST)
+                .count() as u64;
+            (dists, reached, "reached", Some(u64::from(src)))
+        }
+        Workload::Tc => {
+            let count = if serial {
+                tc::tc_serial(&graph)
+            } else {
+                tc::tc(&graph, chunks)
+            };
+            (vec![count], count, "triangles", None)
+        }
+    };
+    let checksum = ppbench_algo::checksum_u64s(&values);
+    Ok(AlgoOutcome {
+        values,
+        stat,
+        stat_name,
+        source,
+        checksum,
+        work_items: m.max(1),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_roundtrip() {
+        for w in Workload::ALL {
+            assert_eq!(Workload::parse(w.name()), Some(w));
+        }
+        assert_eq!(Workload::parse("page-rank"), None);
+        assert_eq!(Workload::parse(""), None);
+        assert_eq!(Workload::default(), Workload::PageRank);
+    }
+
+    fn matrix() -> Csr<f64> {
+        // 0→1, 1→2, 2→0 cycle plus 3 isolated.
+        let mut coo = ppbench_sparse::Coo::<f64>::new(4, 4);
+        coo.push(0, 1, 1.0);
+        coo.push(1, 2, 1.0);
+        coo.push(2, 0, 1.0);
+        coo.compress()
+    }
+
+    #[test]
+    fn pagerank_is_not_dispatched_here() {
+        let cfg = PipelineConfig::builder().build();
+        assert!(matches!(run_algo(&cfg, &matrix()), Err(Error::Contract(_))));
+    }
+
+    #[test]
+    fn every_algo_workload_runs_on_a_small_matrix() {
+        for w in [Workload::Bfs, Workload::Cc, Workload::Sssp, Workload::Tc] {
+            for variant in [Variant::Optimized, Variant::Naive] {
+                let cfg = PipelineConfig::builder()
+                    .workload(w)
+                    .variant(variant)
+                    .seed(3)
+                    .build();
+                let out = run_algo(&cfg, &matrix()).unwrap();
+                match w {
+                    Workload::Bfs | Workload::Sssp => {
+                        assert_eq!(out.values.len(), 4);
+                        assert_eq!(out.stat, 3, "cycle reaches all three members");
+                        assert!(out.source.is_some());
+                    }
+                    Workload::Cc => {
+                        assert_eq!(out.values.len(), 4);
+                        assert_eq!(out.stat, 2, "cycle component + isolated vertex");
+                    }
+                    Workload::Tc => {
+                        assert_eq!(
+                            out.values,
+                            vec![1],
+                            "the directed 3-cycle symmetrizes to one triangle"
+                        );
+                    }
+                    Workload::PageRank => unreachable!(),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn naive_and_optimized_agree_bitwise() {
+        for w in [Workload::Bfs, Workload::Cc, Workload::Sssp, Workload::Tc] {
+            let opt = run_algo(
+                &PipelineConfig::builder().workload(w).seed(9).build(),
+                &matrix(),
+            )
+            .unwrap();
+            let naive = run_algo(
+                &PipelineConfig::builder()
+                    .workload(w)
+                    .seed(9)
+                    .variant(Variant::Naive)
+                    .build(),
+                &matrix(),
+            )
+            .unwrap();
+            assert_eq!(opt.values, naive.values, "{}", w.name());
+            assert_eq!(opt.checksum, naive.checksum);
+        }
+    }
+}

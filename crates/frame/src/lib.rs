@@ -36,7 +36,7 @@ mod tsv;
 
 pub use frame::Frame;
 pub use series::Series;
-pub use tsv::{frame_from_edges, frame_to_edges, read_edge_tsv, write_edge_tsv};
+pub use tsv::{frame_from_edges, frame_to_edges, read_edge_tsv, read_plain_tsv, write_edge_tsv};
 
 /// Errors from dataframe operations.
 #[derive(Debug, PartialEq, Eq)]

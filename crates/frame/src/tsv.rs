@@ -38,6 +38,49 @@ pub fn frame_to_edges(frame: &Frame) -> crate::Result<Vec<Edge>> {
     Ok(u.iter().zip(v).map(|(&a, &b)| Edge::new(a, b)).collect())
 }
 
+/// Reads a *plain* TSV edge list — one `u<TAB>v` pair per line, no
+/// manifest — into a ("u", "v") frame, so real-world graphs can feed the
+/// pipeline in place of the kernel-0 generator.
+///
+/// Blank lines and lines starting with `#` (the conventional SNAP /
+/// edge-list comment marker) are skipped. Vertex ids go through the same
+/// bounds-checked [`ppbench_io::atoi`] path the kernel files use: bare
+/// ASCII digits, overflow rejected. A trailing `\r` (CRLF files) is
+/// tolerated.
+///
+/// # Errors
+///
+/// I/O errors, or [`ppbench_io::Error::Parse`] with 1-based line context
+/// for any malformed line.
+pub fn read_plain_tsv(path: &Path) -> IoResult<Frame> {
+    let bytes = std::fs::read(path).map_err(|e| ppbench_io::Error::io(path.to_path_buf(), e))?;
+    let mut u = Vec::new();
+    let mut v = Vec::new();
+    for (idx, raw) in bytes.split(|&b| b == b'\n').enumerate() {
+        let line = raw.strip_suffix(b"\r").unwrap_or(raw);
+        if line.is_empty() || line[0] == b'#' {
+            continue;
+        }
+        let bad = |msg: &str| ppbench_io::Error::parse(path.to_path_buf(), idx as u64 + 1, msg);
+        let (a, used) =
+            ppbench_io::atoi::parse_u64_prefix(line).ok_or_else(|| bad("expected start vertex"))?;
+        let rest = &line[used..];
+        let rest = rest
+            .strip_prefix(b"\t")
+            .ok_or_else(|| bad("expected tab after start vertex"))?;
+        let b = ppbench_io::atoi::parse_u64(rest)
+            .ok_or_else(|| bad("expected end vertex after tab"))?;
+        u.push(a);
+        v.push(b);
+    }
+    Ok(Frame::new(vec![
+        (COL_U.to_string(), Series::U64(u)),
+        (COL_V.to_string(), Series::U64(v)),
+    ])
+    // ppbench: allow(panic, reason = "the two columns are built right here with equal lengths and distinct names, so Frame::new cannot fail")
+    .expect("two equal-length fresh columns"))
+}
+
 /// Reads a manifest-described edge directory into a ("u", "v") frame.
 pub fn read_edge_tsv(dir: &Path) -> IoResult<Frame> {
     let (manifest, iter) = EdgeReader::open_dir(dir)?;
@@ -118,6 +161,41 @@ mod tests {
     fn frame_to_edges_needs_columns() {
         let f = Frame::new(vec![("x".into(), Series::U64(vec![1]))]).unwrap();
         assert!(frame_to_edges(&f).is_err());
+    }
+
+    #[test]
+    fn plain_tsv_reads_edges_skipping_comments_and_blanks() {
+        let td = TempDir::new("ppbench-frame").unwrap();
+        let path = td.join("graph.tsv");
+        std::fs::write(
+            &path,
+            "# SNAP-style header\n3\t1\n\n0\t2\r\n3\t3\n# trailing comment\n",
+        )
+        .unwrap();
+        let f = read_plain_tsv(&path).unwrap();
+        assert_eq!(frame_to_edges(&f).unwrap(), edges());
+    }
+
+    #[test]
+    fn plain_tsv_rejects_malformed_lines_with_context() {
+        let td = TempDir::new("ppbench-frame").unwrap();
+        let cases = [
+            ("1 2\n", "space instead of tab"),
+            ("1\t-2\n", "negative vertex"),
+            ("1\t2\t3\n", "extra column"),
+            ("x\t2\n", "non-numeric"),
+            ("1\t2\n18446744073709551616\t0\n", "overflow"),
+        ];
+        for (body, what) in cases {
+            let path = td.join("bad.tsv");
+            std::fs::write(&path, body).unwrap();
+            let err = read_plain_tsv(&path).unwrap_err();
+            assert!(
+                matches!(err, ppbench_io::Error::Parse { .. }),
+                "{what}: {err}"
+            );
+        }
+        assert!(read_plain_tsv(&td.join("missing.tsv")).is_err());
     }
 
     #[test]

@@ -112,11 +112,13 @@ mod tests {
         Arc::new(RunSummary {
             record: RunRecord {
                 variant: "optimized".to_string(),
+                workload: "pagerank".to_string(),
                 scale: 4,
                 edges: 64,
                 kernels: [None; 4],
                 validation_passed: Some(true),
                 threads: None,
+                checksum: None,
             },
             ranks: vec![0.5; rank_count],
             total_seconds: 1.0,

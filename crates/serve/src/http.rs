@@ -531,11 +531,13 @@ mod tests {
         done.summary = Some(Arc::new(RunSummary {
             record: RunRecord {
                 variant: "optimized".to_string(),
+                workload: "pagerank".to_string(),
                 scale: 4,
                 edges: 64,
                 kernels: [Some((0.5, 128.0)), None, None, None],
                 validation_passed: Some(true),
                 threads: None,
+                checksum: None,
             },
             ranks: vec![0.25; 16],
             total_seconds: 1.5,

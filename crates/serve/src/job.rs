@@ -115,11 +115,13 @@ mod tests {
         RunSummary {
             record: RunRecord {
                 variant: "optimized".to_string(),
+                workload: "pagerank".to_string(),
                 scale: 4,
                 edges: 64,
                 kernels: [None; 4],
                 validation_passed: None,
                 threads: None,
+                checksum: None,
             },
             ranks,
             total_seconds: 0.0,

@@ -5,14 +5,17 @@
 //! are checked here with proper errors instead of letting the builder
 //! panic inside a worker.
 
-use ppbench_core::{DanglingStrategy, PipelineConfig, ValidationLevel, Variant};
+use ppbench_core::{DanglingStrategy, PipelineConfig, ValidationLevel, Variant, Workload};
 use ppbench_gen::GeneratorKind;
 use ppbench_sort::SortKey;
 
 use crate::json::Json;
 
-/// Fields `POST /runs` accepts, mirroring `PipelineConfig` one to one.
-pub const ACCEPTED_FIELDS: [&str; 16] = [
+/// Fields `POST /runs` accepts, mirroring `PipelineConfig` one to one —
+/// except `input_tsv`, which is deliberately not exposed: letting HTTP
+/// clients name server-side paths would be a file-disclosure hazard, so
+/// TSV ingestion stays a CLI/library feature.
+pub const ACCEPTED_FIELDS: [&str; 17] = [
     "add_diagonal_to_empty",
     "convergence_tolerance",
     "damping",
@@ -29,6 +32,7 @@ pub const ACCEPTED_FIELDS: [&str; 16] = [
     "sort_key",
     "validation",
     "variant",
+    "workload",
 ];
 
 /// Builds a [`PipelineConfig`] from a parsed JSON object. Every field is
@@ -179,6 +183,15 @@ pub fn config_from_json(body: &Json) -> Result<PipelineConfig, String> {
         }
         b = b.convergence_tolerance(tol);
     }
+    if let Some(name) = str_field("workload")? {
+        let w = Workload::parse(name).ok_or_else(|| {
+            format!(
+                "unknown workload {name:?} ({})",
+                Workload::ALL.map(|w| w.name()).join(", ")
+            )
+        })?;
+        b = b.workload(w);
+    }
     if let Some(name) = str_field("validation")? {
         b = b.validation(match name {
             "none" => ValidationLevel::None,
@@ -308,6 +321,39 @@ mod tests {
         assert!(parse(r#"{"dangling": "drop"}"#).is_err());
         assert!(parse(r#"{"sort_key": "end"}"#).is_err());
         assert!(parse(r#"{"validation": "full"}"#).is_err());
+    }
+
+    #[test]
+    fn workload_parses_and_unknown_names_get_a_diagnostic() {
+        let cfg = parse(r#"{"scale": 9, "workload": "bfs"}"#).unwrap();
+        assert_eq!(cfg.workload, Workload::Bfs);
+        let cfg = parse("{}").unwrap();
+        assert_eq!(cfg.workload, Workload::PageRank, "default stays PageRank");
+        // An unknown workload must 400 with the accepted list, never
+        // silently fall back to PageRank.
+        let err = parse(r#"{"workload": "page-rank"}"#).unwrap_err();
+        assert!(err.contains("unknown workload"), "{err}");
+        for name in ["pagerank", "bfs", "cc", "sssp", "tc"] {
+            assert!(err.contains(name), "{err} should list {name}");
+        }
+        assert!(parse(r#"{"workload": 3}"#).is_err(), "must be a string");
+    }
+
+    #[test]
+    fn input_tsv_is_not_servable() {
+        let err = parse(r#"{"input_tsv": "/etc/passwd"}"#).unwrap_err();
+        assert!(err.contains("unknown field"), "{err}");
+    }
+
+    #[test]
+    fn workload_changes_the_cache_identity() {
+        let bfs = parse(r#"{"scale": 9, "workload": "bfs"}"#).unwrap();
+        let pr = parse(r#"{"scale": 9}"#).unwrap();
+        assert_ne!(
+            bfs.canonical_hash(),
+            pr.canonical_hash(),
+            "BFS and PageRank results for the same graph must never share a cache slot"
+        );
     }
 
     #[test]

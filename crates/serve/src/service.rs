@@ -547,6 +547,41 @@ mod tests {
     }
 
     #[test]
+    fn algo_workloads_are_servable_and_cached_per_workload() {
+        let service = test_service(1, 8);
+        let bfs_cfg = || {
+            PipelineConfig::builder()
+                .scale(6)
+                .edge_factor(4)
+                .seed(4)
+                .workload(ppbench_core::Workload::Bfs)
+                .build()
+        };
+        let receipt = service.submit(bfs_cfg()).unwrap();
+        assert!(!receipt.cached);
+        let job = service
+            .wait(receipt.id, Duration::from_secs(30))
+            .expect("bfs job finishes");
+        assert_eq!(job.state, JobState::Done, "{:?}", job.error);
+        let summary = job.summary.expect("done job has a summary");
+        assert_eq!(summary.record.workload, "bfs");
+        assert!(summary.record.checksum.is_some());
+        assert!(summary.ranks.is_empty(), "bfs produces no rank vector");
+        // The same graph config with the default (PageRank) workload must
+        // MISS the cache — workload is part of the run identity.
+        let pr = service.submit(tiny_config(4)).unwrap();
+        assert!(!pr.cached, "pagerank must not reuse the bfs result");
+        service
+            .wait(pr.id, Duration::from_secs(30))
+            .expect("pagerank run finishes");
+        // Resubmitting the bfs config is a hit.
+        let again = service.submit(bfs_cfg()).unwrap();
+        assert!(again.cached, "identical bfs config must be a cache hit");
+        let cached = service.job(again.id).unwrap().summary.unwrap();
+        assert_eq!(cached.record.checksum, summary.record.checksum);
+    }
+
+    #[test]
     fn queue_overflow_is_rejected() {
         // Zero-depth queue: no submission can wait, so the first
         // non-cached submission after the workers are busy is rejected.

@@ -166,11 +166,13 @@ fn lru_eviction_respects_byte_budget_under_churn() {
         Arc::new(RunSummary {
             record: ppbench_core::RunRecord {
                 variant: "optimized".to_string(),
+                workload: "pagerank".to_string(),
                 scale: 10,
                 edges: 1 << 13,
                 kernels: [Some((0.1, 8192.0)); 4],
                 validation_passed: Some(true),
                 threads: None,
+                checksum: None,
             },
             ranks: vec![0.125; rank_count],
             total_seconds: 0.5,

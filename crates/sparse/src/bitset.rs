@@ -1,0 +1,141 @@
+//! Fixed-size bit set — the frontier / visited representation shared by
+//! graph-traversal workloads.
+//!
+//! Direction-optimizing BFS flips between a sparse frontier (a vertex
+//! list) and a dense one (this bitmap); connected components and the
+//! other `ppbench-algo` kernels use it for visited tracking. The storage
+//! is a plain `Vec<u64>` word array so chunk-parallel writers can split
+//! it with `split_at_mut` on word boundaries — no atomics, no `unsafe`.
+
+/// A fixed-capacity set of vertex indices backed by 64-bit words.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitSet {
+    /// An empty set over the universe `0..len`.
+    pub fn new(len: usize) -> Self {
+        Self {
+            words: vec![0u64; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// Size of the universe (number of addressable bits).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the universe is empty (`len() == 0`).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts `i`. Out-of-universe indices are a caller bug and panic
+    /// via the slice bound.
+    #[inline]
+    pub fn set(&mut self, i: usize) {
+        debug_assert!(i < self.len, "bit {i} out of universe {}", self.len);
+        self.words[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.len, "bit {i} out of universe {}", self.len);
+        self.words[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    /// Removes every element, keeping the capacity.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// The backing word array (bit `i` lives in word `i / 64`).
+    pub fn as_words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Mutable backing word array, for chunk-parallel writers that split
+    /// it on word boundaries.
+    pub fn as_words_mut(&mut self) -> &mut [u64] {
+        &mut self.words
+    }
+
+    /// Set members in ascending order.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(move |(wi, &w)| {
+            let mut w = w;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    return None;
+                }
+                let bit = w.trailing_zeros() as usize;
+                w &= w - 1;
+                Some(wi * 64 + bit)
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut s = BitSet::new(130);
+        assert_eq!(s.len(), 130);
+        assert!(!s.get(0));
+        s.set(0);
+        s.set(63);
+        s.set(64);
+        s.set(129);
+        assert!(s.get(0) && s.get(63) && s.get(64) && s.get(129));
+        assert!(!s.get(1) && !s.get(65) && !s.get(128));
+        assert_eq!(s.count_ones(), 4);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut s = BitSet::new(70);
+        s.set(3);
+        s.set(69);
+        s.clear();
+        assert_eq!(s.count_ones(), 0);
+        assert!(!s.get(3));
+    }
+
+    #[test]
+    fn iter_ones_is_ascending_and_complete() {
+        let mut s = BitSet::new(200);
+        for i in [0usize, 5, 63, 64, 127, 128, 199] {
+            s.set(i);
+        }
+        let got: Vec<usize> = s.iter_ones().collect();
+        assert_eq!(got, vec![0, 5, 63, 64, 127, 128, 199]);
+    }
+
+    #[test]
+    fn empty_universe_is_fine() {
+        let s = BitSet::new(0);
+        assert!(s.is_empty());
+        assert_eq!(s.count_ones(), 0);
+        assert_eq!(s.iter_ones().count(), 0);
+    }
+
+    #[test]
+    fn word_array_is_directly_addressable() {
+        let mut s = BitSet::new(128);
+        s.as_words_mut()[1] = 1; // bit 64
+        assert!(s.get(64));
+        assert_eq!(s.as_words().len(), 2);
+    }
+}

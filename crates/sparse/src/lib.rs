@@ -19,6 +19,8 @@
 //!   epilogue;
 //! * [`narrow`] — the `u32`-column-index CSR form ([`Csr32`]) that halves
 //!   index bandwidth at every paper scale;
+//! * [`bitset`] — the frontier/visited bitmap the `ppbench-algo`
+//!   graph-traversal workloads share;
 //! * [`vector`] — the dense-vector helpers the PageRank update needs;
 //! * [`eigen`] — matrix-free power iteration, used to validate kernel 3
 //!   against the dominant eigenvector of `c·Aᵀ + (1−c)/N·𝟙` exactly as the
@@ -47,6 +49,7 @@
 #![deny(unreachable_pub)]
 #![warn(missing_docs)]
 
+pub mod bitset;
 pub mod coo;
 pub mod csr;
 pub mod dense;
@@ -57,6 +60,7 @@ pub mod ops;
 pub mod spmv;
 pub mod vector;
 
+pub use bitset::BitSet;
 pub use coo::Coo;
 pub use csr::{ColIndex, Csr, CsrView};
 pub use dense::Dense;

@@ -22,6 +22,7 @@
 //! * [`sort`] — in-memory, external and parallel edge sorting
 //! * [`frame`] — a minimal columnar dataframe (the "Pandas" execution style)
 //! * [`sparse`] — sparse matrices, GraphBLAS-style ops, the eigensolver
+//! * [`algo`] — GAP-style analytics workloads (BFS, CC, SSSP, TC)
 //! * [`core`] — the four kernels, pipeline backends, timing and validation
 //! * [`dist`] — simulated distributed-memory execution with communication accounting
 //! * [`serve`] — benchmark-as-a-service: job queue, result cache, HTTP API
@@ -46,6 +47,7 @@
 #![deny(unreachable_pub)]
 #![warn(missing_docs)]
 
+pub use ppbench_algo as algo;
 pub use ppbench_core as core;
 pub use ppbench_dist as dist;
 pub use ppbench_frame as frame;
