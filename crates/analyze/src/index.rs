@@ -1,0 +1,137 @@
+//! A per-crate symbol index over the structural view.
+//!
+//! The cross-file consistency rules need to answer "which file in crate X
+//! defines `canonical_fields` / `ACCEPTED_FIELDS`?" without re-walking
+//! every file per query. The engine builds one [`SymbolIndex`] per
+//! analysis run from the per-file [`Structure`]s; entries point back into
+//! the file list by position, so rules can recover both the
+//! [`SourceFile`](crate::source::SourceFile) and the item ranges.
+
+use std::collections::BTreeMap;
+
+use crate::parse::Structure;
+use crate::source::SourceFile;
+
+/// Where one named item lives: which file (by position in the analyzed
+/// file slice) and which item slot inside that file's [`Structure`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SymbolRef {
+    /// Index into the slice of files handed to the engine.
+    pub file: usize,
+    /// Index into `Structure::fns` or `Structure::consts`.
+    pub item: usize,
+}
+
+/// Symbols of one crate: function and const/static definitions by name.
+/// Names are not unique across modules; each name maps to every
+/// definition site, in file-walk order.
+#[derive(Debug, Default)]
+pub struct CrateSymbols {
+    /// `fn` definitions by name.
+    pub fns: BTreeMap<String, Vec<SymbolRef>>,
+    /// `const`/`static` definitions by name.
+    pub consts: BTreeMap<String, Vec<SymbolRef>>,
+}
+
+/// The workspace-wide index: crate name → its symbols.
+#[derive(Debug, Default)]
+pub struct SymbolIndex {
+    crates: BTreeMap<String, CrateSymbols>,
+}
+
+impl SymbolIndex {
+    /// Builds the index from files and their parallel structural views
+    /// (`structures[i]` must describe `files[i]`). Only production files
+    /// contribute; test-like files never define workspace invariants.
+    pub fn build(files: &[SourceFile], structures: &[Option<Structure>]) -> Self {
+        let mut index = SymbolIndex::default();
+        for (fi, (file, structure)) in files.iter().zip(structures).enumerate() {
+            let Some(s) = structure else { continue };
+            let krate = index.crates.entry(file.crate_name.clone()).or_default();
+            for (ii, f) in s.fns.iter().enumerate() {
+                krate
+                    .fns
+                    .entry(f.name.clone())
+                    .or_default()
+                    .push(SymbolRef { file: fi, item: ii });
+            }
+            for (ii, c) in s.consts.iter().enumerate() {
+                krate
+                    .consts
+                    .entry(c.name.clone())
+                    .or_default()
+                    .push(SymbolRef { file: fi, item: ii });
+            }
+        }
+        index
+    }
+
+    /// The first definition of `fn name` in `crate_name`, if any.
+    pub fn find_fn(&self, crate_name: &str, name: &str) -> Option<SymbolRef> {
+        self.crates.get(crate_name)?.fns.get(name)?.first().copied()
+    }
+
+    /// The first definition of const/static `name` in `crate_name`.
+    pub fn find_const(&self, crate_name: &str, name: &str) -> Option<SymbolRef> {
+        self.crates
+            .get(crate_name)?
+            .consts
+            .get(name)?
+            .first()
+            .copied()
+    }
+
+    /// Every definition of const/static `name` in `crate_name`.
+    pub fn find_consts(&self, crate_name: &str, name: &str) -> &[SymbolRef] {
+        self.crates
+            .get(crate_name)
+            .and_then(|c| c.consts.get(name))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::FileKind;
+    use std::path::PathBuf;
+
+    fn file(path: &str, krate: &str, src: &str) -> SourceFile {
+        SourceFile::new(
+            PathBuf::from(path),
+            src.to_string(),
+            krate.into(),
+            FileKind::Lib,
+        )
+    }
+
+    #[test]
+    fn symbols_resolve_per_crate() {
+        let files = vec![
+            file(
+                "crates/a/src/lib.rs",
+                "crate-a",
+                "pub fn alpha() {}\npub const K: u32 = 1;",
+            ),
+            file("crates/b/src/lib.rs", "crate-b", "pub fn alpha() {}"),
+        ];
+        let structures: Vec<Option<Structure>> =
+            files.iter().map(|f| Some(Structure::build(f))).collect();
+        let idx = SymbolIndex::build(&files, &structures);
+        assert_eq!(
+            idx.find_fn("crate-a", "alpha"),
+            Some(SymbolRef { file: 0, item: 0 })
+        );
+        assert_eq!(
+            idx.find_fn("crate-b", "alpha"),
+            Some(SymbolRef { file: 1, item: 0 })
+        );
+        assert_eq!(
+            idx.find_const("crate-a", "K"),
+            Some(SymbolRef { file: 0, item: 0 })
+        );
+        assert!(idx.find_const("crate-b", "K").is_none());
+        assert!(idx.find_fn("crate-c", "alpha").is_none());
+    }
+}

@@ -88,6 +88,12 @@ impl<'a> Cursor<'a> {
     }
 
     fn bump(&mut self) {
+        // Never step past EOF: `bump_n(2)` over a backslash escape that is
+        // the final byte would otherwise leave `pos > src.len()` and
+        // produce a token whose span panics when sliced.
+        if self.pos >= self.src.len() {
+            return;
+        }
         if self.peek(0) == b'\n' {
             self.line += 1;
             self.col = 1;
@@ -458,5 +464,28 @@ mod tests {
         let ts = kinds(r#""a\"b" x"#);
         assert_eq!(ts.len(), 2);
         assert_eq!(ts[1].1, "x");
+    }
+
+    #[test]
+    fn truncated_escape_at_eof_stays_in_bounds() {
+        // A backslash escape as the very last byte must not push the token
+        // span past the end of the source (`Token::text` would panic).
+        for src in ["let s = \"abc\\", "let c = '\\", "b'\\", "\"\\"] {
+            let ts = lex(src);
+            for t in &ts {
+                assert!(t.end <= src.len(), "token {t:?} out of bounds in {src:?}");
+                let _ = t.text(src); // must not panic
+            }
+        }
+    }
+
+    #[test]
+    fn unterminated_literals_run_to_eof() {
+        let ts = kinds("let s = \"never closed");
+        let last = ts.last().expect("tokens");
+        assert_eq!(last.0, TokenKind::StrLit);
+        assert_eq!(last.1, "\"never closed");
+        let ts = kinds("r#\"raw never closed");
+        assert_eq!(ts.last().expect("tokens").0, TokenKind::StrLit);
     }
 }

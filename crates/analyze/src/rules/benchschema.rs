@@ -1,0 +1,204 @@
+//! `bench-schema` — the key lists the schema gate validates must match
+//! the keys the sweep emitter actually writes.
+//!
+//! Every sweep binary (`k3bench`, `k01bench`, `algobench`) declares its
+//! document shape as two sorted const lists (`TOP_KEYS`, `ROW_KEYS`) that
+//! `--check` validates committed trajectories against, and builds the
+//! JSON in a `to_json` function via `set_*("key", …)` chains. Those two
+//! artifacts live lines apart and nothing ties them together: add a row
+//! field to the emitter and forget the const, and the schema gate rejects
+//! every new sweep while CI still passes on the stale committed file.
+//!
+//! Within each `ppbench-bench` file that defines all three anchors
+//! (`TOP_KEYS`, `ROW_KEYS`, `to_json`), the rule splits the emitter body
+//! into statements and collects the string keys of `set_*` calls per
+//! statement. The statement that sets `benchmark` (the version tag every
+//! document carries) is the top-level group; the union of the remaining
+//! key-setting statements is the row group. Each group must equal its
+//! declared const, both directions.
+
+use std::collections::BTreeSet;
+
+use crate::diag::Diagnostic;
+use crate::lexer::TokenKind;
+use crate::parse::Structure;
+use crate::source::SourceFile;
+
+/// Checks one file; silent unless all three anchors are present.
+pub fn check(file: &SourceFile, structure: &Structure, out: &mut Vec<Diagnostic>) {
+    let (Some(top_const), Some(row_const), Some(to_json)) = (
+        structure.const_named("TOP_KEYS"),
+        structure.const_named("ROW_KEYS"),
+        structure.fn_named("to_json"),
+    ) else {
+        return;
+    };
+    let Some((body_open, body_close)) = to_json.body else {
+        return;
+    };
+    if file.in_test_code(body_open) {
+        return;
+    }
+
+    let declared = |c: &crate::parse::ConstItem| -> BTreeSet<String> {
+        (c.value.0..=c.value.1)
+            .filter(|&i| file.code_token(i).kind == TokenKind::StrLit)
+            .filter_map(|i| unquote(file.code_text(i)))
+            .collect()
+    };
+    let declared_top = declared(top_const);
+    let declared_row = declared(row_const);
+
+    // Emitted keys, grouped by statement.
+    let mut top_emitted: BTreeSet<String> = BTreeSet::new();
+    let mut row_emitted: BTreeSet<String> = BTreeSet::new();
+    let mut statement: Vec<String> = Vec::new();
+    for i in body_open + 1..=body_close {
+        let text = file.code_text(i);
+        if text == ";" || i == body_close {
+            if !statement.is_empty() {
+                if statement.iter().any(|k| k == "benchmark") {
+                    top_emitted.extend(statement.drain(..));
+                } else {
+                    row_emitted.extend(statement.drain(..));
+                }
+            }
+            statement.clear();
+            continue;
+        }
+        if text.starts_with("set_")
+            && file.code_token(i).kind == TokenKind::Ident
+            && i + 2 < body_close
+            && file.code_text(i + 1) == "("
+            && file.code_token(i + 2).kind == TokenKind::StrLit
+        {
+            if let Some(key) = unquote(file.code_text(i + 2)) {
+                statement.push(key);
+            }
+        }
+    }
+
+    let mut report = |const_item: &crate::parse::ConstItem,
+                      const_name: &str,
+                      declared: &BTreeSet<String>,
+                      emitted: &BTreeSet<String>| {
+        if emitted.is_empty() || declared == emitted {
+            return;
+        }
+        let missing: Vec<&str> = declared.difference(emitted).map(String::as_str).collect();
+        let extra: Vec<&str> = emitted.difference(declared).map(String::as_str).collect();
+        let tok = file.code_token(const_item.name_idx);
+        let mut parts = Vec::new();
+        if !missing.is_empty() {
+            parts.push(format!("declares {missing:?} the emitter never sets"));
+        }
+        if !extra.is_empty() {
+            parts.push(format!("misses {extra:?} the emitter sets"));
+        }
+        out.push(Diagnostic {
+            rule: "bench-schema",
+            path: file.path.clone(),
+            line: tok.line,
+            col: tok.col,
+            message: format!(
+                "`{const_name}` drifted from `to_json`: {} — the schema gate would \
+                 reject every sweep this binary writes",
+                parts.join("; ")
+            ),
+        });
+    };
+    report(top_const, "TOP_KEYS", &declared_top, &top_emitted);
+    report(row_const, "ROW_KEYS", &declared_row, &row_emitted);
+}
+
+/// The contents of a plain `"…"` literal, or `None` for raw/byte forms.
+fn unquote(text: &str) -> Option<String> {
+    text.strip_prefix('"')?
+        .strip_suffix('"')
+        .map(str::to_string)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::FileKind;
+    use std::path::PathBuf;
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        let f = SourceFile::new(
+            PathBuf::from("crates/bench/src/k3.rs"),
+            src.to_string(),
+            "ppbench-bench".into(),
+            FileKind::Lib,
+        );
+        let s = Structure::build(&f);
+        let mut out = Vec::new();
+        check(&f, &s, &mut out);
+        out
+    }
+
+    const CONSISTENT: &str = "\
+        pub const TOP_KEYS: &[&str] = &[\"benchmark\", \"results\", \"seed\"];\n\
+        pub const ROW_KEYS: &[&str] = &[\"scale\", \"seconds\", \"variant\"];\n\
+        pub fn to_json(cfg: &SweepConfig, rows: &[SweepRow]) -> String {\n\
+            let mut results = JsonArray::new();\n\
+            for row in rows {\n\
+                let mut entry = JsonObject::new();\n\
+                entry.set_str(\"variant\", row.variant)\n\
+                    .set_u64(\"scale\", row.scale)\n\
+                    .set_f64(\"seconds\", row.seconds);\n\
+                results.push_obj(&entry);\n\
+            }\n\
+            let mut obj = JsonObject::new();\n\
+            obj.set_str(\"benchmark\", VERSION)\n\
+                .set_raw(\"results\", results.render())\n\
+                .set_u64(\"seed\", cfg.seed);\n\
+            obj.render()\n\
+        }\n";
+
+    #[test]
+    fn consistent_schema_is_clean() {
+        assert!(run(CONSISTENT).is_empty());
+    }
+
+    #[test]
+    fn row_key_missing_from_emitter_is_flagged() {
+        let src = CONSISTENT.replace(
+            "&[\"scale\", \"seconds\", \"variant\"]",
+            "&[\"gflops\", \"scale\", \"seconds\", \"variant\"]",
+        );
+        let out = run(&src);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].rule, "bench-schema");
+        assert!(out[0].message.contains("gflops"), "{}", out[0].message);
+        assert!(out[0].message.contains("ROW_KEYS"), "{}", out[0].message);
+    }
+
+    #[test]
+    fn emitted_key_missing_from_const_is_flagged() {
+        let src = CONSISTENT.replace(
+            ".set_f64(\"seconds\", row.seconds)",
+            ".set_f64(\"seconds\", row.seconds).set_f64(\"meps\", row.meps)",
+        );
+        let out = run(&src);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("meps"), "{}", out[0].message);
+    }
+
+    #[test]
+    fn top_key_drift_is_flagged_separately() {
+        let src = CONSISTENT.replace(
+            "&[\"benchmark\", \"results\", \"seed\"]",
+            "&[\"benchmark\", \"edge_factor\", \"results\", \"seed\"]",
+        );
+        let out = run(&src);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("TOP_KEYS"), "{}", out[0].message);
+        assert!(out[0].message.contains("edge_factor"), "{}", out[0].message);
+    }
+
+    #[test]
+    fn files_without_the_anchors_are_silent() {
+        assert!(run("pub fn unrelated() { obj.set_str(\"x\", v); }").is_empty());
+    }
+}

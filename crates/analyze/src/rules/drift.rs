@@ -1,0 +1,271 @@
+//! `config-drift` — the canonical config field set, the serve request
+//! parser, and the config-hash function must stay in lockstep.
+//!
+//! PR 5 grew the canonical field set 16 → 18; nothing forced the serve
+//! JSON parser to follow, and the gap was caught by hand. This rule wires
+//! the three artifacts together through the symbol index:
+//!
+//! * `PipelineConfig::canonical_fields` (crate `ppbench-core`) is the
+//!   source of truth. Its keys are the string literals in the shape
+//!   `("key", …)` inside the function body whose text is a plain
+//!   identifier — exactly how the field vector is built.
+//! * `ACCEPTED_FIELDS` (crate `ppbench-serve`) must contain **every**
+//!   canonical key and **nothing else**. A deliberate exclusion (today:
+//!   `input_tsv`, a file-disclosure hazard over HTTP) is waived at the
+//!   key's definition site in `canonical_fields`, so each excluded key
+//!   carries its own reviewed justification and a *new* drifting key is
+//!   still caught.
+//! * `canonical_hash` must consume `canonical_fields()` — a hash built
+//!   from a private field list would drift silently.
+//!
+//! Findings anchor at the drifting key's own definition line (core side
+//! for missing keys, serve side for unknown keys), which is where the fix
+//! — or the waiver — belongs. When either anchor symbol is absent the
+//! rule stays silent: single-file runs and fixtures for other rules must
+//! not fabricate drift. A dedicated workspace test asserts the anchors
+//! exist in the real tree, so the rule cannot be disabled by renaming.
+
+use crate::diag::Diagnostic;
+use crate::index::SymbolIndex;
+use crate::lexer::TokenKind;
+use crate::parse::Structure;
+use crate::source::SourceFile;
+
+/// Crate expected to define `canonical_fields` / `canonical_hash`.
+const CORE_CRATE: &str = "ppbench-core";
+/// Crate expected to define `ACCEPTED_FIELDS`.
+const SERVE_CRATE: &str = "ppbench-serve";
+
+/// Runs the cross-file comparison over the whole analyzed set.
+pub fn check(
+    files: &[SourceFile],
+    structures: &[Option<Structure>],
+    index: &SymbolIndex,
+    out: &mut Vec<Diagnostic>,
+) {
+    let Some(fields_ref) = index.find_fn(CORE_CRATE, "canonical_fields") else {
+        return;
+    };
+    let core_file = &files[fields_ref.file];
+    let Some(core_structure) = structures[fields_ref.file].as_ref() else {
+        return;
+    };
+    let fields_fn = &core_structure.fns[fields_ref.item];
+    let Some((body_open, body_close)) = fields_fn.body else {
+        return;
+    };
+
+    // Canonical keys with their defining token (for anchoring).
+    let canonical: Vec<(String, usize)> = (body_open + 1..body_close)
+        .filter(|&i| {
+            core_file.code_token(i).kind == TokenKind::StrLit
+                && i > 0
+                && core_file.code_text(i - 1) == "("
+                && i + 1 < body_close
+                && core_file.code_text(i + 1) == ","
+        })
+        .filter_map(|i| {
+            let key = unquote(core_file.code_text(i))?;
+            is_identifier(&key).then_some((key, i))
+        })
+        .collect();
+
+    // The hash must consume the field list.
+    if let Some(hash_ref) = index.find_fn(CORE_CRATE, "canonical_hash") {
+        let hash_file = &files[hash_ref.file];
+        if let Some(hash_structure) = structures[hash_ref.file].as_ref() {
+            let hash_fn = &hash_structure.fns[hash_ref.item];
+            if let Some((open, close)) = hash_fn.body {
+                let consumes =
+                    (open + 1..close).any(|i| hash_file.code_text(i) == "canonical_fields");
+                if !consumes {
+                    let tok = hash_file.code_token(hash_fn.name_idx);
+                    out.push(Diagnostic {
+                        rule: "config-drift",
+                        path: hash_file.path.clone(),
+                        line: tok.line,
+                        col: tok.col,
+                        message: "`canonical_hash` does not consume `canonical_fields()`: \
+                                  the hash and the field set can drift independently"
+                            .into(),
+                    });
+                }
+            }
+        }
+    }
+
+    // The serve parser's accepted set.
+    let Some(accepted_ref) = index.find_const(SERVE_CRATE, "ACCEPTED_FIELDS") else {
+        return;
+    };
+    let serve_file = &files[accepted_ref.file];
+    let Some(serve_structure) = structures[accepted_ref.file].as_ref() else {
+        return;
+    };
+    let accepted_const = &serve_structure.consts[accepted_ref.item];
+    let (v0, v1) = accepted_const.value;
+    let accepted: Vec<(String, usize)> = (v0..=v1)
+        .filter(|&i| serve_file.code_token(i).kind == TokenKind::StrLit)
+        .filter_map(|i| unquote(serve_file.code_text(i)).map(|k| (k, i)))
+        .collect();
+
+    for (key, tok_idx) in &canonical {
+        if !accepted.iter().any(|(k, _)| k == key) {
+            let tok = core_file.code_token(*tok_idx);
+            out.push(Diagnostic {
+                rule: "config-drift",
+                path: core_file.path.clone(),
+                line: tok.line,
+                col: tok.col,
+                message: format!(
+                    "canonical config field `{key}` is not accepted by the serve \
+                     request parser (`ACCEPTED_FIELDS` in {}): HTTP clients cannot \
+                     set it — add it there, or waive here if the exclusion is \
+                     deliberate",
+                    serve_file.path.display()
+                ),
+            });
+        }
+    }
+    for (key, tok_idx) in &accepted {
+        if !canonical.iter().any(|(k, _)| k == key) {
+            let tok = serve_file.code_token(*tok_idx);
+            out.push(Diagnostic {
+                rule: "config-drift",
+                path: serve_file.path.clone(),
+                line: tok.line,
+                col: tok.col,
+                message: format!(
+                    "`ACCEPTED_FIELDS` names `{key}`, which is not a canonical config \
+                     field ({}): the parser accepts a field the pipeline ignores",
+                    core_file.path.display()
+                ),
+            });
+        }
+    }
+}
+
+/// The contents of a plain `"…"` literal, or `None` for raw/byte forms.
+fn unquote(text: &str) -> Option<String> {
+    text.strip_prefix('"')?
+        .strip_suffix('"')
+        .map(str::to_string)
+}
+
+fn is_identifier(s: &str) -> bool {
+    let mut chars = s.chars();
+    chars
+        .next()
+        .is_some_and(|c| c == '_' || c.is_ascii_alphabetic())
+        && chars.all(|c| c == '_' || c.is_ascii_alphanumeric())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::FileKind;
+    use std::path::PathBuf;
+
+    fn analyze_pair(core_src: &str, serve_src: &str) -> Vec<Diagnostic> {
+        let files = vec![
+            SourceFile::new(
+                PathBuf::from("crates/core/src/config.rs"),
+                core_src.to_string(),
+                CORE_CRATE.into(),
+                FileKind::Lib,
+            ),
+            SourceFile::new(
+                PathBuf::from("crates/serve/src/request.rs"),
+                serve_src.to_string(),
+                SERVE_CRATE.into(),
+                FileKind::Lib,
+            ),
+        ];
+        let structures: Vec<Option<Structure>> =
+            files.iter().map(|f| Some(Structure::build(f))).collect();
+        let index = SymbolIndex::build(&files, &structures);
+        let mut out = Vec::new();
+        check(&files, &structures, &index, &mut out);
+        out
+    }
+
+    const CORE_OK: &str = "impl C {\n\
+        pub fn canonical_fields(&self) -> Vec<(&'static str, String)> {\n\
+            let mut fields = vec![(\"scale\", self.scale.to_string()),\n\
+                (\"seed\", self.seed.to_string()),\n\
+                (\"damping\", format!(\"f64:{:016x}\", self.damping.to_bits()))];\n\
+            fields.sort_by_key(|(k, _)| *k);\n\
+            fields\n\
+        }\n\
+        pub fn canonical_hash(&self) -> u64 {\n\
+            let mut h = FNV;\n\
+            for (key, value) in self.canonical_fields() { h = mix(h, key, &value); }\n\
+            h\n\
+        }\n\
+    }\n";
+
+    #[test]
+    fn lockstep_sets_are_clean() {
+        let out = analyze_pair(
+            CORE_OK,
+            "pub const ACCEPTED_FIELDS: [&str; 3] = [\"damping\", \"scale\", \"seed\"];",
+        );
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn missing_accepted_key_anchors_at_the_core_definition() {
+        let out = analyze_pair(
+            CORE_OK,
+            "pub const ACCEPTED_FIELDS: [&str; 2] = [\"damping\", \"scale\"];",
+        );
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("`seed`"), "{}", out[0].message);
+        assert!(out[0].path.ends_with("config.rs"), "{:?}", out[0].path);
+    }
+
+    #[test]
+    fn unknown_accepted_key_anchors_at_the_serve_definition() {
+        let out = analyze_pair(
+            CORE_OK,
+            "pub const ACCEPTED_FIELDS: [&str; 4] = [\"damping\", \"scale\", \"seed\", \"turbo\"];",
+        );
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("`turbo`"), "{}", out[0].message);
+        assert!(out[0].path.ends_with("request.rs"), "{:?}", out[0].path);
+    }
+
+    #[test]
+    fn hash_not_consuming_fields_is_flagged() {
+        let core = "impl C {\n\
+            pub fn canonical_fields(&self) -> Vec<(&'static str, String)> {\n\
+                vec![(\"scale\", self.scale.to_string())]\n\
+            }\n\
+            pub fn canonical_hash(&self) -> u64 { mix(FNV, self.scale) }\n\
+        }\n";
+        let out = analyze_pair(core, "pub const ACCEPTED_FIELDS: [&str; 1] = [\"scale\"];");
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(
+            out[0].message.contains("canonical_hash"),
+            "{}",
+            out[0].message
+        );
+    }
+
+    #[test]
+    fn format_strings_in_values_are_not_keys() {
+        // `format!("f64:{:016x}", …)` sits in `("…", …)` shape but is not
+        // an identifier, so it must not be reported as an unaccepted key.
+        let out = analyze_pair(
+            CORE_OK,
+            "pub const ACCEPTED_FIELDS: [&str; 3] = [\"damping\", \"scale\", \"seed\"];",
+        );
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn absent_anchors_keep_the_rule_silent() {
+        let out = analyze_pair("fn unrelated() {}", "pub fn also_unrelated() {}");
+        assert!(out.is_empty(), "{out:?}");
+    }
+}

@@ -7,15 +7,21 @@
 //! point of the serving and bench crates, but a determinism hazard in a
 //! kernel crate.
 
+pub mod accum;
+pub mod benchschema;
+pub mod condvar;
 pub mod determinism;
+pub mod drift;
 pub mod hygiene;
+pub mod joins;
 pub mod locks;
 pub mod panics;
 
 use crate::source::SourceFile;
 
 /// Every rule id, in the order `--list-rules` prints them. `waiver` is
-/// the meta-rule for malformed waivers and cannot itself be waived.
+/// the meta-rule for malformed waivers and `stale-waiver` for waivers
+/// that no longer suppress anything; neither can itself be waived.
 pub const ALL_RULES: &[&str] = &[
     "panic",
     "indexing",
@@ -24,10 +30,48 @@ pub const ALL_RULES: &[&str] = &[
     "env-dependence",
     "lock-order",
     "lock-panic",
+    "condvar-wait",
+    "join-order",
+    "shared-accumulator",
+    "config-drift",
+    "bench-schema",
     "forbid-unsafe",
     "discarded-result",
     "waiver",
+    "stale-waiver",
 ];
+
+/// How severe a rule's findings are. Errors gate CI; warnings are
+/// heuristic findings budgeted by the committed baseline (they may only
+/// ratchet downward).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// Heuristic finding: review it, budget it in the baseline if sound.
+    Warning,
+    /// Hard invariant: fails the analyzer run.
+    Error,
+}
+
+impl Severity {
+    /// Lowercase label used in text and SARIF output.
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+/// The intrinsic severity of a rule. `shared-accumulator` is a heuristic
+/// (a compound assignment through an index inside a parallel closure is
+/// *suspicious*, not proven wrong), so it warns; everything else states
+/// an invariant and errors.
+pub fn severity_of(rule: &str) -> Severity {
+    match rule {
+        "shared-accumulator" => Severity::Warning,
+        _ => Severity::Error,
+    }
+}
 
 /// One-line description per rule, aligned with [`ALL_RULES`].
 pub const RULE_DESCRIPTIONS: &[(&str, &str)] = &[
@@ -60,6 +104,26 @@ pub const RULE_DESCRIPTIONS: &[(&str, &str)] = &[
         "no .lock().unwrap()/expect() while already holding a lock",
     ),
     (
+        "condvar-wait",
+        "Condvar::wait / wait_timeout only inside a predicate re-check loop",
+    ),
+    (
+        "join-order",
+        "drop channel endpoints before joining the threads that drain them",
+    ),
+    (
+        "shared-accumulator",
+        "no indexed compound assignment inside a parallel closure (false sharing)",
+    ),
+    (
+        "config-drift",
+        "canonical config fields, the serve parser, and the config hash stay in lockstep",
+    ),
+    (
+        "bench-schema",
+        "bench schema key lists match the keys the sweep emitters actually set",
+    ),
+    (
         "forbid-unsafe",
         "every crate root carries #![forbid(unsafe_code)]",
     ),
@@ -70,6 +134,10 @@ pub const RULE_DESCRIPTIONS: &[(&str, &str)] = &[
     (
         "waiver",
         "waivers must name a known rule and carry a reason",
+    ),
+    (
+        "stale-waiver",
+        "a waiver whose rule no longer fires on its line must be deleted",
     ),
 ];
 
@@ -129,6 +197,7 @@ pub fn in_scope(rule: &str, file: &SourceFile) -> bool {
         "env-dependence" => {
             KERNEL_CRATES.contains(&name) || name == "ppbench-serve" || name == "ppbench-bench"
         }
+        "bench-schema" => name == "ppbench-bench",
         _ => true,
     }
 }

@@ -22,6 +22,8 @@ pub struct Waiver {
     pub path: PathBuf,
     /// Lines (1-based) the waiver covers: its own and the next code line.
     pub lines: [u32; 2],
+    /// 1-based column of the waiver comment (stale-waiver anchoring).
+    pub col: u32,
 }
 
 /// Scans comment tokens for waivers. Returns the usable waivers and
@@ -84,6 +86,12 @@ pub fn scan(file: &SourceFile, known_rules: &[&str], out: &mut Vec<Diagnostic>) 
             )));
             continue;
         }
+        // The meta-rules police the waiver system itself; letting them be
+        // waived would let a typo'd waiver silence its own malformed-ness.
+        if rule == "waiver" || rule == "stale-waiver" {
+            out.push(diag(format!("rule `{rule}` cannot be waived")));
+            continue;
+        }
         let reason = tail
             .strip_prefix("reason")
             .map(str::trim_start)
@@ -99,29 +107,74 @@ pub fn scan(file: &SourceFile, known_rules: &[&str], out: &mut Vec<Diagnostic>) 
             )));
             continue;
         }
-        let next_code_line = file
+        // Waivers inside `#[cfg(test)]` blocks are dead weight (no rule
+        // fires there); skip them so they neither suppress nor count as
+        // stale.
+        let next_code = file
             .code
             .iter()
-            .map(|&i| file.tokens[i].line)
-            .find(|&l| l > tok.line)
+            .position(|&i| file.tokens[i].line > tok.line);
+        if next_code.is_some_and(|i| file.in_test_code(i)) {
+            continue;
+        }
+        let next_code_line = next_code
+            .map(|i| file.code_token(i).line)
             .unwrap_or(tok.line);
         waivers.push(Waiver {
             rule: rule.to_string(),
             path: file.path.clone(),
             lines: [tok.line, next_code_line],
+            col: tok.col,
         });
     }
     waivers
 }
 
-/// Applies waivers: removes diagnostics covered by one.
-pub fn apply(diags: Vec<Diagnostic>, waivers: &[Waiver]) -> Vec<Diagnostic> {
-    diags
+/// Applies waivers: removes diagnostics covered by one. Returns the
+/// surviving diagnostics and, aligned with `waivers`, whether each waiver
+/// suppressed at least one finding.
+pub fn apply_tracking(diags: Vec<Diagnostic>, waivers: &[Waiver]) -> (Vec<Diagnostic>, Vec<bool>) {
+    let mut used = vec![false; waivers.len()];
+    let surviving = diags
         .into_iter()
         .filter(|d| {
-            !waivers
-                .iter()
-                .any(|w| w.rule == d.rule && w.path == d.path && w.lines.contains(&d.line))
+            let mut suppressed = false;
+            for (w, u) in waivers.iter().zip(used.iter_mut()) {
+                if w.rule == d.rule && w.path == d.path && w.lines.contains(&d.line) {
+                    *u = true;
+                    suppressed = true;
+                }
+            }
+            !suppressed
+        })
+        .collect();
+    (surviving, used)
+}
+
+/// Applies waivers: removes diagnostics covered by one.
+pub fn apply(diags: Vec<Diagnostic>, waivers: &[Waiver]) -> Vec<Diagnostic> {
+    apply_tracking(diags, waivers).0
+}
+
+/// One `stale-waiver` diagnostic per unused waiver: the rule it names no
+/// longer fires on the covered lines, so the waiver misstates what the
+/// code needs and must be deleted (or the regression it hid has returned
+/// elsewhere).
+pub fn stale(waivers: &[Waiver], used: &[bool]) -> Vec<Diagnostic> {
+    waivers
+        .iter()
+        .zip(used)
+        .filter(|&(_, &u)| !u)
+        .map(|(w, _)| Diagnostic {
+            rule: "stale-waiver",
+            path: w.path.clone(),
+            line: w.lines[0],
+            col: w.col,
+            message: format!(
+                "waiver for `{}` suppresses nothing: the rule no longer fires on \
+                 line {} or {} — delete the waiver",
+                w.rule, w.lines[0], w.lines[1]
+            ),
         })
         .collect()
 }
@@ -217,6 +270,55 @@ mod tests {
         scan(&f, RULES, &mut out);
         assert_eq!(out.len(), 1);
         assert!(out[0].message.contains("unknown rule"));
+    }
+
+    #[test]
+    fn unused_waiver_is_reported_stale() {
+        let f = file("// ppbench: allow(panic, reason = \"was needed once\")\nsafe();\n");
+        let mut out = Vec::new();
+        let ws = scan(&f, RULES, &mut out);
+        assert_eq!(ws.len(), 1);
+        let (left, used) = apply_tracking(Vec::new(), &ws);
+        assert!(left.is_empty());
+        assert_eq!(used, [false]);
+        let stale_diags = stale(&ws, &used);
+        assert_eq!(stale_diags.len(), 1);
+        assert_eq!(stale_diags[0].rule, "stale-waiver");
+        assert!(stale_diags[0].message.contains("panic"));
+    }
+
+    #[test]
+    fn used_waiver_is_not_stale() {
+        let f = file("x.unwrap(); // ppbench: allow(panic, reason = \"startup only\")\n");
+        let mut out = Vec::new();
+        let ws = scan(&f, RULES, &mut out);
+        let (left, used) = apply_tracking(vec![diag("panic", 1)], &ws);
+        assert!(left.is_empty());
+        assert_eq!(used, [true]);
+        assert!(stale(&ws, &used).is_empty());
+    }
+
+    #[test]
+    fn meta_rules_cannot_be_waived() {
+        let f = file("// ppbench: allow(waiver, reason = \"nope\")\nx();\n");
+        let mut out = Vec::new();
+        let ws = scan(&f, &["panic", "waiver", "stale-waiver"], &mut out);
+        assert!(ws.is_empty());
+        assert_eq!(out.len(), 1);
+        assert!(out[0].message.contains("cannot be waived"));
+    }
+
+    #[test]
+    fn waivers_inside_test_modules_are_skipped() {
+        let f = file(
+            "#[cfg(test)]\nmod tests {\n\
+             // ppbench: allow(panic, reason = \"pointless here\")\n\
+             fn t() { x.unwrap(); }\n}\n",
+        );
+        let mut out = Vec::new();
+        let ws = scan(&f, RULES, &mut out);
+        assert!(ws.is_empty(), "{ws:?}");
+        assert!(out.is_empty());
     }
 
     #[test]

@@ -1,0 +1,22 @@
+//! Positive fixture for `bench-schema`: both consts drifted from the
+//! emitter — `ROW_KEYS` declares `gflops` that `to_json` never sets, and
+//! the emitter sets a top-level `hostname` that `TOP_KEYS` misses.
+
+pub const TOP_KEYS: &[&str] = &["benchmark", "results"];
+pub const ROW_KEYS: &[&str] = &["gflops", "scale", "seconds"];
+
+pub fn to_json(cfg: &SweepConfig, rows: &[SweepRow]) -> String {
+    let mut results = JsonArray::new();
+    for row in rows {
+        let mut entry = JsonObject::new();
+        entry
+            .set_u64("scale", row.scale)
+            .set_f64("seconds", row.seconds);
+        results.push_obj(&entry);
+    }
+    let mut obj = JsonObject::new();
+    obj.set_str("benchmark", VERSION)
+        .set_str("hostname", cfg.hostname)
+        .set_raw("results", results.render());
+    obj.render()
+}

@@ -1,0 +1,22 @@
+//! Negative fixture for `bench-schema`: consts and emitter in lockstep,
+//! shaped like the real `crates/bench/src/k3.rs`.
+
+pub const TOP_KEYS: &[&str] = &["benchmark", "results", "seed"];
+pub const ROW_KEYS: &[&str] = &["scale", "seconds", "variant"];
+
+pub fn to_json(cfg: &SweepConfig, rows: &[SweepRow]) -> String {
+    let mut results = JsonArray::new();
+    for row in rows {
+        let mut entry = JsonObject::new();
+        entry
+            .set_str("variant", row.variant)
+            .set_u64("scale", row.scale)
+            .set_f64("seconds", row.seconds);
+        results.push_obj(&entry);
+    }
+    let mut obj = JsonObject::new();
+    obj.set_str("benchmark", VERSION)
+        .set_raw("results", results.render())
+        .set_u64("seed", cfg.seed);
+    obj.render()
+}

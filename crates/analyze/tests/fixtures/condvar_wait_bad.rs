@@ -1,0 +1,21 @@
+//! Positive fixture for `condvar-wait`: single-guard waits outside any
+//! loop miss spurious wakeups and wake-before-wait races.
+
+pub fn take_job(&self) -> Job {
+    let mut guard = self.inner.lock();
+    if guard.queue.is_empty() {
+        // Wrong: a spurious wakeup returns with the queue still empty.
+        guard = self.ready.wait(guard);
+    }
+    guard.queue.pop()
+}
+
+pub fn take_job_with_deadline(&self, deadline: Duration) -> Option<Job> {
+    let guard = self.inner.lock();
+    // Wrong for the same reason, timeout form.
+    let (guard, timed_out) = self.ready.wait_timeout(guard, deadline);
+    if timed_out.timed_out() {
+        return None;
+    }
+    Some(guard.queue.pop())
+}

@@ -1,0 +1,41 @@
+//! Negative fixture for `condvar-wait`: every wait shape that must stay
+//! silent — loop-wrapped waits, predicate forms, and non-Condvar `.wait`.
+
+pub fn take_job(&self) -> Job {
+    let mut guard = self.inner.lock();
+    while guard.queue.is_empty() {
+        guard = self.ready.wait(guard);
+    }
+    guard.queue.pop()
+}
+
+pub fn take_job_loop(&self) -> Job {
+    let mut guard = self.inner.lock();
+    loop {
+        if let Some(job) = guard.queue.pop() {
+            return job;
+        }
+        guard = self.ready.wait(guard);
+    }
+}
+
+pub fn take_job_predicate(&self) -> Job {
+    let mut guard = self.inner.lock();
+    // The predicate forms re-check internally; no loop needed.
+    guard = self.ready.wait_while(guard, |s| s.queue.is_empty());
+    let (mut guard, _) =
+        self.ready
+            .wait_timeout_while(guard, TICK, |s| s.queue.is_empty());
+    guard.queue.pop()
+}
+
+pub fn rendezvous(&self) {
+    // Zero-arg wait is `Barrier::wait`, not a Condvar.
+    self.barrier.wait();
+}
+
+pub fn drain(&self, deadline: Instant) -> bool {
+    let guard = self.inner.lock();
+    // Two-arg wait is a helper method, not `Condvar::wait`.
+    self.service.wait(guard, deadline)
+}

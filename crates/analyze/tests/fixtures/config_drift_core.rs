@@ -1,0 +1,24 @@
+//! Core half of the cross-crate `config-drift` fixture pair: a miniature
+//! `canonical_fields` / `canonical_hash`, mirroring the real shape in
+//! `crates/core/src/config.rs` (including a format-string value that must
+//! not be mistaken for a key).
+
+impl PipelineConfig {
+    pub fn canonical_fields(&self) -> Vec<(&'static str, String)> {
+        let mut fields = vec![
+            ("damping", format!("f64:{:016x}", self.damping.to_bits())),
+            ("scale", self.scale.to_string()),
+            ("seed", self.seed.to_string()),
+        ];
+        fields.sort_by_key(|(k, _)| *k);
+        fields
+    }
+
+    pub fn canonical_hash(&self) -> u64 {
+        let mut h = FNV_OFFSET;
+        for (key, value) in self.canonical_fields() {
+            h = mix(h, key.as_bytes(), value.as_bytes());
+        }
+        h
+    }
+}

@@ -1,0 +1,5 @@
+//! Serve half (positive): drifted both ways — `seed` went missing (a
+//! canonical field HTTP clients can no longer set) and `turbo` appeared
+//! (the parser accepts a field the pipeline ignores).
+
+pub const ACCEPTED_FIELDS: [&str; 3] = ["damping", "scale", "turbo"];

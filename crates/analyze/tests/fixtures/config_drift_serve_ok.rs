@@ -1,0 +1,4 @@
+//! Serve half (negative): `ACCEPTED_FIELDS` in lockstep with the core
+//! fixture's canonical set.
+
+pub const ACCEPTED_FIELDS: [&str; 3] = ["damping", "scale", "seed"];

@@ -1,0 +1,16 @@
+//! Positive fixture for `join-order`: joining a consumer thread while
+//! this side still holds a live channel endpoint. If the consumer loops
+//! on `recv()`, it never sees disconnect and the join deadlocks.
+
+pub fn run_sorter(edges: Vec<Edge>) -> Vec<Edge> {
+    let (tx, rx) = bounded::<Vec<Edge>>(4);
+    let sorter = thread::spawn(move || sort_worker(rx));
+    for chunk in edges.chunks(1024) {
+        tx.send(chunk.to_vec());
+    }
+    // Wrong order: the worker blocks in recv() until tx drops, but we
+    // block in join() first.
+    let sorted = sorter.join();
+    drop(tx);
+    sorted
+}

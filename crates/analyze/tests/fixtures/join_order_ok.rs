@@ -1,0 +1,23 @@
+//! Negative fixture for `join-order`: endpoints dropped (or moved) before
+//! the join — the shutdown protocol the sort pipeline actually uses.
+
+pub fn run_sorter(edges: Vec<Edge>) -> Vec<Edge> {
+    let (tx, rx) = bounded::<Vec<Edge>>(4);
+    let sorter = thread::spawn(move || sort_worker(rx));
+    for chunk in edges.chunks(1024) {
+        tx.send(chunk.to_vec());
+    }
+    // Right order: disconnect first, then wait.
+    drop(tx);
+    sorter.join()
+}
+
+pub fn run_fanout(edges: Vec<Edge>) -> Vec<Edge> {
+    let (tx, rx) = channel::unbounded();
+    let (out_tx, out_rx) = channel::bounded(2);
+    let worker = thread::spawn(move || relay(rx, out_tx));
+    feed(&tx, edges);
+    drop(tx);
+    drop(out_rx);
+    worker.join()
+}

@@ -1,0 +1,22 @@
+//! Positive fixture for `shared-accumulator`: indexed compound-assign
+//! into a shared buffer inside parallel closures — adjacent indices share
+//! cache lines, so the cores serialize on coherence traffic.
+
+pub fn degree_histogram(edges: &[Edge], counts: &mut [u64]) {
+    let shards = partition(edges);
+    thread::scope(|scope| {
+        for shard in shards {
+            scope.spawn(|| {
+                for e in shard {
+                    counts[e.start as usize] += 1;
+                }
+            });
+        }
+    });
+}
+
+pub fn accumulate_ranks(contrib: &[f64], ranks: &mut [f64], edges: &[Edge]) {
+    edges.par_iter().for_each(|e| {
+        ranks[e.end as usize] += contrib[e.start as usize];
+    });
+}

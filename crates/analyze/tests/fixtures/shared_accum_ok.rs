@@ -1,0 +1,24 @@
+//! Negative fixture for `shared-accumulator`: the patterns the kernels
+//! actually use — serial accumulation, and chunk-local scalars inside
+//! parallel closures that write disjoint ranges once at the end.
+
+pub fn degree_histogram_serial(edges: &[Edge], counts: &mut [u64]) {
+    for e in edges {
+        counts[e.start as usize] += 1;
+    }
+}
+
+pub fn accumulate_ranks_chunked(contrib: &[f64], ranks: &mut [f64]) {
+    ranks.par_chunks_mut(4096).enumerate().for_each(|(c, out)| {
+        let mut local = 0.0f64;
+        for (i, slot) in out.iter_mut().enumerate() {
+            local += contrib[c * 4096 + i];
+            *slot = local;
+        }
+    });
+}
+
+pub fn compare_counts(counts: &[u64], expect: &[u64]) -> bool {
+    // `==` after an index is a comparison, not a compound assign.
+    counts[0] == expect[0]
+}

@@ -1,0 +1,13 @@
+//! Fixture for `stale-waiver`: one waiver that still earns its keep, one
+//! that suppresses nothing and must be deleted.
+
+pub fn startup(path: &Path) -> Config {
+    // ppbench: allow(panic, reason = "startup-only; a missing config file is fatal by design")
+    let text = std::fs::read_to_string(path).unwrap();
+    parse(&text)
+}
+
+pub fn steady_state(cfg: &Config) -> u64 {
+    // ppbench: allow(panic, reason = "left behind after the unwrap below was fixed")
+    cfg.iterations.max(1)
+}

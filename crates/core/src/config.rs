@@ -153,6 +153,7 @@ impl PipelineConfig {
             ("variant", self.variant.name().to_string()),
             ("workload", self.workload.name().to_string()),
             (
+                // ppbench: allow(config-drift, reason = "deliberately absent from serve ACCEPTED_FIELDS: accepting a server-side path over HTTP would let clients probe the filesystem")
                 "input_tsv",
                 self.input_tsv
                     .as_ref()
