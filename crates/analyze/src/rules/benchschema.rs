@@ -1,8 +1,9 @@
 //! `bench-schema` — the key lists the schema gate validates must match
 //! the keys the sweep emitter actually writes.
 //!
-//! Every sweep binary (`k3bench`, `k01bench`, `algobench`) declares its
-//! document shape as two sorted const lists (`TOP_KEYS`, `ROW_KEYS`) that
+//! Every sweep binary (`k3bench`, `k01bench`, `algobench`, `pipebench`)
+//! declares its document shape as two sorted const lists (`TOP_KEYS`,
+//! `ROW_KEYS`) that
 //! `--check` validates committed trajectories against, and builds the
 //! JSON in a `to_json` function via `set_*("key", …)` chains. Those two
 //! artifacts live lines apart and nothing ties them together: add a row

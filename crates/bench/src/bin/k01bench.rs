@@ -3,7 +3,7 @@
 //! ```text
 //! cargo run --release -p ppbench-bench --bin k01bench -- \
 //!     [--scales LO:HI] [--threads 1,2,4] [--edge-factor K] [--seed N] \
-//!     [--num-files N] [--budget-divisor D] [--out PATH]
+//!     [--num-files N] [--budget-divisor D] [--trials N] [--out PATH]
 //! cargo run -p ppbench-bench --bin k01bench -- --check BENCH_k01.json
 //! ```
 //!
@@ -21,7 +21,8 @@ use ppbench_bench::k3::parse_thread_list;
 fn usage() -> ! {
     eprintln!(
         "usage: k01bench [--scales LO:HI] [--threads N,N,...] [--edge-factor K]\n\
-         \x20               [--seed N] [--num-files N] [--budget-divisor D] [--out PATH]\n\
+         \x20               [--seed N] [--num-files N] [--budget-divisor D]\n\
+         \x20               [--trials N] [--out PATH]\n\
          \x20       k01bench --check PATH   (validate an existing BENCH_k01.json)"
     );
     exit(2)
@@ -55,6 +56,13 @@ fn main() {
             }
             "--budget-divisor" => {
                 cfg.budget_divisor = value()
+                    .parse()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| usage());
+            }
+            "--trials" => {
+                cfg.trials = value()
                     .parse()
                     .ok()
                     .filter(|&n| n >= 1)

@@ -1,35 +1,38 @@
-//! Kernel-3 microbench driver.
+//! Staged-vs-fused end-to-end pipeline bench driver.
 //!
 //! ```text
-//! cargo run --release -p ppbench-bench --bin k3bench -- \
-//!     [--scales LO:HI] [--threads 1,2,4,8] [--edge-factor K] [--seed N] \
-//!     [--iterations N] [--damping C] [--trials N] [--out PATH]
-//! cargo run -p ppbench-bench --bin k3bench -- --check BENCH_k3.json
+//! cargo run --release -p ppbench-bench --bin pipebench -- \
+//!     [--scales LO:HI] [--threads 1,2,4] [--edge-factor K] [--seed N] \
+//!     [--num-files N] [--trials N] [--out PATH]
+//! cargo run -p ppbench-bench --bin pipebench -- --check BENCH_pipeline.json
 //! ```
 //!
-//! Sweeps the kernel-3 SpMV variants (scatter, gather, parallel gather,
-//! nnz-balanced fused with wide and narrow indices) over explicit thread
-//! counts and scales, prints a human-readable table, and writes the
-//! canonical-JSON trajectory file. `--check` validates an existing file
-//! against the expected schema and exits nonzero on drift.
+//! Measures the K1→K2 data path end to end — the staged serial baseline
+//! (sort to disk, re-read, build) against the fused path (CSR built
+//! straight from the merge stream) at each requested thread count — and
+//! writes the canonical-JSON trajectory file. Every repetition is gated
+//! on bit-identical matrix, filter stats, and sorted-stream digest
+//! against the staged reference, so a fast-but-wrong fused run fails the
+//! sweep instead of producing a row. `--check` validates an existing
+//! file against the expected schema and exits nonzero on drift.
 
 use std::process::exit;
 
-use ppbench_bench::k3::{self, SweepConfig};
+use ppbench_bench::k3::parse_thread_list;
+use ppbench_bench::pipe::{self, SweepConfig};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: k3bench [--scales LO:HI] [--threads N,N,...] [--edge-factor K]\n\
-         \x20              [--seed N] [--iterations N] [--damping C] [--trials N]\n\
-         \x20              [--out PATH]\n\
-         \x20       k3bench --check PATH   (validate an existing BENCH_k3.json)"
+        "usage: pipebench [--scales LO:HI] [--threads N,N,...] [--edge-factor K]\n\
+         \x20               [--seed N] [--num-files N] [--trials N] [--out PATH]\n\
+         \x20       pipebench --check PATH   (validate an existing BENCH_pipeline.json)"
     );
     exit(2)
 }
 
 fn main() {
     let mut cfg = SweepConfig::default();
-    let mut out = std::path::PathBuf::from("BENCH_k3.json");
+    let mut out = std::path::PathBuf::from("BENCH_pipeline.json");
     let mut check: Option<std::path::PathBuf> = None;
 
     let mut argv = std::env::args().skip(1);
@@ -42,18 +45,17 @@ fn main() {
                     .collect();
             }
             "--threads" => {
-                cfg.threads = k3::parse_thread_list(&value()).unwrap_or_else(|| usage());
+                cfg.threads = parse_thread_list(&value()).unwrap_or_else(|| usage());
             }
             "--edge-factor" => cfg.edge_factor = value().parse().unwrap_or_else(|_| usage()),
             "--seed" => cfg.seed = value().parse().unwrap_or_else(|_| usage()),
-            "--iterations" => {
-                cfg.iterations = value()
+            "--num-files" => {
+                cfg.num_files = value()
                     .parse()
                     .ok()
                     .filter(|&n| n >= 1)
                     .unwrap_or_else(|| usage());
             }
-            "--damping" => cfg.damping = value().parse().unwrap_or_else(|_| usage()),
             "--trials" => {
                 cfg.trials = value()
                     .parse()
@@ -76,9 +78,9 @@ fn main() {
                 exit(1);
             }
         };
-        match k3::check_schema(&text) {
+        match pipe::check_schema(&text) {
             Ok(()) => {
-                println!("{}: schema ok ({})", path.display(), k3::SCHEMA_VERSION);
+                println!("{}: schema ok ({})", path.display(), pipe::SCHEMA_VERSION);
                 return;
             }
             Err(e) => {
@@ -88,7 +90,7 @@ fn main() {
         }
     }
 
-    let rows = match k3::run_sweep(&cfg) {
+    let rows = match pipe::run_sweep(&cfg) {
         Ok(rows) => rows,
         Err(e) => {
             eprintln!("sweep failed: {e}");
@@ -97,17 +99,24 @@ fn main() {
     };
 
     println!(
-        "{:>5} {:>20} {:>7} {:>12} {:>12} {:>10} {:>9} {:>12}",
-        "scale", "variant", "threads", "vertices", "nnz", "seconds", "GFLOPs", "L1 vs serial"
+        "{:>5} {:>7} {:>7} {:>12} {:>10} {:>10} {:>10} {:>12}",
+        "scale", "mode", "threads", "edges", "k1 (s)", "k2 (s)", "total (s)", "edges/s"
     );
     for r in &rows {
         println!(
-            "{:>5} {:>20} {:>7} {:>12} {:>12} {:>10.4} {:>9.4} {:>12.3e}",
-            r.scale, r.variant, r.threads, r.vertices, r.nnz, r.seconds, r.gflops, r.l1_vs_serial
+            "{:>5} {:>7} {:>7} {:>12} {:>10.4} {:>10.4} {:>10.4} {:>12.3e}",
+            r.scale,
+            r.mode,
+            r.threads,
+            r.edges,
+            r.k1_seconds,
+            r.k2_seconds,
+            r.seconds,
+            r.edges_per_s
         );
     }
 
-    let json = k3::to_json(&cfg, &rows);
+    let json = pipe::to_json(&cfg, &rows);
     if let Err(e) = std::fs::write(&out, format!("{json}\n")) {
         eprintln!("failed to write {}: {e}", out.display());
         exit(1);

@@ -6,8 +6,8 @@
 //!     [--variant optimized|naive|dataframe|parallel] \
 //!     [--generator kronecker|ppl|erdos-renyi] \
 //!     [--workload pagerank|bfs|cc|sssp|tc] [--input-tsv PATH] \
-//!     [--sort-end] [--diagonal] [--budget BYTES] [--validate none|invariants|eigen] \
-//!     [--dir PATH] [--keep] [--top K]
+//!     [--sort-end] [--fused] [--diagonal] [--budget BYTES] \
+//!     [--validate none|invariants|eigen] [--dir PATH] [--keep] [--top K]
 //! ```
 //!
 //! Runs all four kernels, prints per-kernel timings in the paper's
@@ -24,7 +24,8 @@ use ppbench_gen::GeneratorKind;
 fn usage() -> ! {
     eprintln!(
         "usage: pprank [--scale S] [--edge-factor K] [--seed N] [--files N]\n\
-         \x20             [--variant NAME] [--generator NAME] [--sort-end] [--diagonal]\n\
+         \x20             [--variant NAME] [--generator NAME] [--sort-end] [--fused]\n\
+         \x20             [--diagonal]\n\
          \x20             [--workload pagerank|bfs|cc|sssp|tc] [--input-tsv PATH]\n\
          \x20             [--budget BYTES] [--validate none|invariants|eigen]\n\
          \x20             [--dangling omit|redistribute|sink] [--converge TOL]\n\
@@ -59,6 +60,7 @@ fn main() {
                 builder.generator(GeneratorKind::parse(&value()).unwrap_or_else(|| usage()))
             }
             "--sort-end" => builder.sort_key(ppbench_sort::SortKey::StartEnd),
+            "--fused" => builder.fused(true),
             "--workload" => builder.workload(Workload::parse(&value()).unwrap_or_else(|| usage())),
             "--input-tsv" => builder.input_tsv(PathBuf::from(value())),
             "--dangling" => {

@@ -3,9 +3,12 @@
 //! The paper's compute-bound kernel is the one expected to "show a wider
 //! dispersion in performance" once parallelized (§IV.D), so this module
 //! measures exactly that axis: the historical scatter and gather forms,
-//! the allocate-per-iteration parallel gather, and the nnz-balanced fused
-//! kernels (wide and narrow indices) the hot path now uses — each swept
-//! over explicit thread counts. Results land in `BENCH_k3.json` as
+//! the row-parallel gather (nnz-balanced ranges writing into one reused
+//! output allocation), and the nnz-balanced fused kernels (wide and
+//! narrow indices) the hot path now uses — each swept over explicit
+//! thread counts, keeping the fastest of `trials` repetitions per point
+//! so one scheduler hiccup cannot masquerade as a scaling regression.
+//! Results land in `BENCH_k3.json` as
 //! canonical JSON (sorted keys, shortest-roundtrip floats, rendered by
 //! `ppbench_core::json`), giving later PRs a baseline to beat; the
 //! `--check` mode re-validates that file's schema so CI catches drift in
@@ -23,7 +26,7 @@ use ppbench_sort::SortKey;
 use ppbench_sparse::{ops, spmv, vector, Csr, Csr32};
 
 /// Version tag written into the JSON so schema changes are explicit.
-pub const SCHEMA_VERSION: &str = "ppbench-k3-v1";
+pub const SCHEMA_VERSION: &str = "ppbench-k3-v2";
 
 /// Top-level keys of the benchmark file, sorted (canonical order).
 pub const TOP_KEYS: &[&str] = &[
@@ -33,6 +36,7 @@ pub const TOP_KEYS: &[&str] = &[
     "iterations",
     "results",
     "seed",
+    "trials",
 ];
 
 /// Keys of each result row, sorted (canonical order).
@@ -54,8 +58,8 @@ pub enum K3Variant {
     Scatter,
     /// Serial gather over the precomputed transpose.
     Gather,
-    /// The historical parallel path: row-parallel gather that allocates a
-    /// fresh output vector every iteration.
+    /// Row-parallel gather over the transpose: nnz-balanced row ranges
+    /// gathered into a single output allocation per call.
     ParGather,
     /// nnz-balanced fused kernel over wide (`u64`) column indices.
     BalancedFusedU64,
@@ -109,6 +113,9 @@ pub struct SweepConfig {
     pub iterations: u32,
     /// Damping factor.
     pub damping: f64,
+    /// Measurement repetitions per point; the fastest trial is kept
+    /// (best-of-N damps scheduler and page-cache noise).
+    pub trials: usize,
 }
 
 impl Default for SweepConfig {
@@ -120,6 +127,7 @@ impl Default for SweepConfig {
             seed: 1,
             iterations: ppbench_core::ITERATIONS,
             damping: ppbench_core::DAMPING,
+            trials: 1,
         }
     }
 }
@@ -228,9 +236,10 @@ fn run_variant(
 
 /// Runs the full sweep. For each scale the serial variants run once at
 /// one thread; the parallel variants run once per requested thread count
-/// (the global pool is resized between points). Row order is
-/// deterministic: scale-major, then [`K3Variant::ALL`] order, then thread
-/// order as given.
+/// (the global pool is resized between points). Each point is measured
+/// [`SweepConfig::trials`] times and the fastest repetition is kept. Row
+/// order is deterministic: scale-major, then [`K3Variant::ALL`] order,
+/// then thread order as given.
 pub fn run_sweep(cfg: &SweepConfig) -> Result<Vec<SweepRow>, String> {
     let mut rows = Vec::new();
     for &scale in &cfg.scales {
@@ -265,8 +274,18 @@ pub fn run_sweep(cfg: &SweepConfig) -> Result<Vec<SweepRow>, String> {
             };
             for &threads in thread_counts {
                 size_pool(threads)?;
-                let Some((run, seconds)) = run_variant(&fx, variant, threads) else {
-                    // u32 variant on a >2^32-column matrix: nothing to measure.
+                let mut best: Option<(PageRankRun, f64)> = None;
+                for _trial in 0..cfg.trials.max(1) {
+                    let Some(measured) = run_variant(&fx, variant, threads) else {
+                        // u32 variant on a >2^32-column matrix: nothing
+                        // to measure.
+                        break;
+                    };
+                    if best.as_ref().is_none_or(|(_, b)| measured.1 < *b) {
+                        best = Some(measured);
+                    }
+                }
+                let Some((run, seconds)) = best else {
                     continue;
                 };
                 rows.push(SweepRow {
@@ -309,7 +328,8 @@ pub fn to_json(cfg: &SweepConfig, rows: &[SweepRow]) -> String {
         .set_u64("edge_factor", cfg.edge_factor)
         .set_u64("iterations", u64::from(cfg.iterations))
         .set_raw("results", results.render())
-        .set_u64("seed", cfg.seed);
+        .set_u64("seed", cfg.seed)
+        .set_u64("trials", cfg.trials as u64);
     obj.render()
 }
 
@@ -384,6 +404,19 @@ mod tests {
         let rows = run_sweep(&cfg).unwrap();
         let json = to_json(&cfg, &rows);
         check_schema(&json).unwrap();
+    }
+
+    #[test]
+    fn best_of_n_trials_still_yields_one_row_per_point() {
+        let cfg = SweepConfig {
+            trials: 3,
+            ..tiny_cfg()
+        };
+        let rows = run_sweep(&cfg).unwrap();
+        assert_eq!(rows.len(), 2 + 3 * 2);
+        for row in &rows {
+            assert!(row.l1_vs_serial < 1e-12, "{row:?}");
+        }
     }
 
     #[test]

@@ -12,8 +12,10 @@
 //! ablations DESIGN.md calls out (sort algorithm, SpMV form, generator,
 //! file count), the kernel-3 variant sweep (`k3bench` / [`k3`]) that
 //! produces `BENCH_k3.json`, the K0→K1 front-end sweep (`k01bench` /
-//! [`k01`]) that produces `BENCH_k01.json`, and the analytics-workload
-//! sweep (`algobench` / [`algo`]) that produces `BENCH_algo.json`.
+//! [`k01`]) that produces `BENCH_k01.json`, the analytics-workload
+//! sweep (`algobench` / [`algo`]) that produces `BENCH_algo.json`, and
+//! the staged-vs-fused end-to-end pipeline sweep (`pipebench` / [`pipe`])
+//! that produces `BENCH_pipeline.json`.
 
 #![forbid(unsafe_code)]
 #![deny(unreachable_pub)]
@@ -22,6 +24,7 @@
 pub mod algo;
 pub mod k01;
 pub mod k3;
+pub mod pipe;
 pub mod plot;
 mod schema;
 pub mod sloc;

@@ -75,6 +75,76 @@ pub trait Backend: Send + Sync {
         cfg: &PipelineConfig,
         matrix: &Csr<f64>,
     ) -> Result<crate::kernel3::PageRankRun>;
+
+    /// Fused kernels 1+2: build the CSR directly from the sorted-run merge
+    /// stream of `k0_dir`'s edges, spilling runs under `scratch_dir`.
+    ///
+    /// The default implementation is [`crate::fused::kernel12`] — shared by
+    /// all backends because the fused data path *is* the implementation;
+    /// its output is bit-identical to `kernel1` + `kernel2` composed.
+    fn kernel12_fused(
+        &self,
+        cfg: &PipelineConfig,
+        k0_dir: &Path,
+        scratch_dir: &Path,
+    ) -> Result<crate::fused::FusedOutcome> {
+        crate::fused::kernel12(cfg, k0_dir, scratch_dir)
+    }
+}
+
+/// Shared streaming kernel-2 body: read a sorted file set, verify the
+/// manifest's contracts (digest and claimed sort order), accumulate counts
+/// straight into CSR with no intermediate edge vector, and funnel through
+/// [`kernel2::filter_matrix`]. The optimized and parallel backends both
+/// delegate here — their kernel-2 data paths are identical, only kernels
+/// 0/1/3 differ.
+pub(crate) fn kernel2_streamed(cfg: &PipelineConfig, in_dir: &Path) -> Result<Kernel2Output> {
+    let (manifest, iter) = ppbench_io::EdgeReader::open_dir(in_dir)?;
+    require_sorted(&manifest, in_dir)?;
+    // Stream the sorted edges straight into CSR construction while checking
+    // the manifest's contracts: the digest (catches tampered/truncated
+    // files) and the sort order (catches a forged sort state) both surface
+    // as errors, not silent bad math.
+    let mut digest = ppbench_io::checksum::EdgeDigest::new();
+    let mut stream_err: Option<crate::Error> = None;
+    let mut prev_start: Option<u64> = None;
+    let counts = {
+        let digest = &mut digest;
+        let stream_err = &mut stream_err;
+        let prev_start = &mut prev_start;
+        Csr::<u64>::from_sorted_edge_iter(
+            cfg.spec.num_vertices(),
+            iter.map_while(move |r| match r {
+                Ok(e) => {
+                    if let Some(p) = prev_start.filter(|&p| p > e.u) {
+                        *stream_err = Some(crate::Error::Contract(format!(
+                            "claims sorted order but start {} follows {p}",
+                            e.u
+                        )));
+                        return None;
+                    }
+                    *prev_start = Some(e.u);
+                    digest.update(e);
+                    Some((e.u, e.v))
+                }
+                Err(e) => {
+                    *stream_err = Some(e.into());
+                    None
+                }
+            }),
+        )
+    };
+    if let Some(e) = stream_err {
+        return Err(e);
+    }
+    if !digest.same_stream(&manifest.digest) {
+        return Err(crate::Error::Contract(format!(
+            "{}: edge stream does not match manifest digest",
+            in_dir.display()
+        )));
+    }
+    let (matrix, stats) = crate::kernel2::filter_matrix(&counts, cfg.add_diagonal_to_empty);
+    Ok(Kernel2Output { matrix, stats })
 }
 
 /// Backend selector.

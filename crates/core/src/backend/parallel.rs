@@ -13,14 +13,14 @@
 
 use std::path::Path;
 
-use ppbench_io::{EdgeReader, Manifest};
+use ppbench_io::Manifest;
 use ppbench_sort::Algorithm;
 use ppbench_sparse::{spmv, Csr, Csr32};
 
-use crate::backend::{require_sorted, Backend, Kernel2Output};
+use crate::backend::{Backend, Kernel2Output};
 use crate::config::PipelineConfig;
 use crate::error::Result;
-use crate::{kernel0, kernel1, kernel2, kernel3};
+use crate::{kernel0, kernel1, kernel3};
 
 /// rayon-parallel implementation of the four kernels.
 #[derive(Debug, Clone, Copy, Default)]
@@ -52,53 +52,7 @@ impl Backend for ParallelBackend {
     }
 
     fn kernel2(&self, cfg: &PipelineConfig, in_dir: &Path) -> Result<Kernel2Output> {
-        let (manifest, iter) = EdgeReader::open_dir(in_dir)?;
-        require_sorted(&manifest, in_dir)?;
-        // Stream the sorted edges straight into CSR construction — no
-        // intermediate edge vector — while checking the manifest's
-        // contracts: the digest (catches tampered/truncated files) and the
-        // sort order (catches a forged sort state) both surface as errors,
-        // not silent bad math.
-        let mut digest = ppbench_io::checksum::EdgeDigest::new();
-        let mut stream_err: Option<crate::Error> = None;
-        let mut prev_start: Option<u64> = None;
-        let counts = {
-            let digest = &mut digest;
-            let stream_err = &mut stream_err;
-            let prev_start = &mut prev_start;
-            Csr::<u64>::from_sorted_edge_iter(
-                cfg.spec.num_vertices(),
-                iter.map_while(move |r| match r {
-                    Ok(e) => {
-                        if let Some(p) = prev_start.filter(|&p| p > e.u) {
-                            *stream_err = Some(crate::Error::Contract(format!(
-                                "claims sorted order but start {} follows {p}",
-                                e.u
-                            )));
-                            return None;
-                        }
-                        *prev_start = Some(e.u);
-                        digest.update(e);
-                        Some((e.u, e.v))
-                    }
-                    Err(e) => {
-                        *stream_err = Some(e.into());
-                        None
-                    }
-                }),
-            )
-        };
-        if let Some(e) = stream_err {
-            return Err(e);
-        }
-        if !digest.same_stream(&manifest.digest) {
-            return Err(crate::Error::Contract(format!(
-                "{}: edge stream does not match manifest digest",
-                in_dir.display()
-            )));
-        }
-        let (matrix, stats) = kernel2::filter_matrix(&counts, cfg.add_diagonal_to_empty);
-        Ok(Kernel2Output { matrix, stats })
+        crate::backend::kernel2_streamed(cfg, in_dir)
     }
 
     fn kernel3(&self, cfg: &PipelineConfig, matrix: &Csr<f64>) -> Result<kernel3::PageRankRun> {

@@ -81,6 +81,11 @@ pub struct PipelineConfig {
     /// Optional on-disk TSV edge list to ingest in place of the kernel-0
     /// generator; kernels 1–3 run unchanged on the ingested data.
     pub input_tsv: Option<PathBuf>,
+    /// Fuse kernels 1 and 2: build the CSR directly from the sorted-run
+    /// merge stream instead of materializing the sorted edge files. The
+    /// resulting matrix and filter statistics are bit-identical to the
+    /// staged path; only the data movement differs.
+    pub fused: bool,
 }
 
 impl PipelineConfig {
@@ -123,6 +128,7 @@ impl PipelineConfig {
             ("damping", f64_bits(self.damping)),
             ("dangling", self.dangling.name().to_string()),
             ("edge_factor", self.spec.edge_factor().to_string()),
+            ("fused", self.fused.to_string()),
             ("generator", self.generator.name().to_string()),
             ("iterations", self.iterations.to_string()),
             ("num_files", self.num_files.to_string()),
@@ -223,6 +229,7 @@ pub struct PipelineConfigBuilder {
     validation: ValidationLevel,
     workload: Workload,
     input_tsv: Option<PathBuf>,
+    fused: bool,
 }
 
 impl Default for PipelineConfigBuilder {
@@ -246,6 +253,7 @@ impl Default for PipelineConfigBuilder {
             validation: ValidationLevel::Invariants,
             workload: Workload::PageRank,
             input_tsv: None,
+            fused: false,
         }
     }
 }
@@ -361,6 +369,13 @@ impl PipelineConfigBuilder {
         self
     }
 
+    /// Fuses kernels 1 and 2 into a single streaming pass (CSR built
+    /// straight from the sorted-run merge; bit-identical output).
+    pub fn fused(mut self, on: bool) -> Self {
+        self.fused = on;
+        self
+    }
+
     /// Finalizes the configuration.
     ///
     /// # Panics
@@ -395,6 +410,7 @@ impl PipelineConfigBuilder {
             validation: self.validation,
             workload: self.workload,
             input_tsv: self.input_tsv,
+            fused: self.fused,
         }
     }
 }
@@ -416,6 +432,7 @@ mod tests {
         assert!(!cfg.add_diagonal_to_empty);
         assert_eq!(cfg.workload, Workload::PageRank);
         assert!(cfg.input_tsv.is_none());
+        assert!(!cfg.fused);
     }
 
     #[test]
@@ -492,7 +509,7 @@ mod tests {
         let mut sorted = keys.clone();
         sorted.sort_unstable();
         assert_eq!(keys, sorted, "keys must come out sorted");
-        assert_eq!(keys.len(), 18, "one entry per PipelineConfig field");
+        assert_eq!(keys.len(), 19, "one entry per PipelineConfig field");
     }
 
     #[test]
@@ -518,6 +535,7 @@ mod tests {
             base().validation(ValidationLevel::None).build(),
             base().workload(Workload::Bfs).build(),
             base().input_tsv("/tmp/edges.tsv").build(),
+            base().fused(true).build(),
         ];
         let mut hashes: Vec<u64> = variations.iter().map(|c| c.canonical_hash()).collect();
         hashes.push(reference);

@@ -44,6 +44,7 @@
 pub mod backend;
 mod config;
 mod error;
+pub mod fused;
 pub mod json;
 pub mod kernel0;
 pub mod kernel1;
@@ -62,6 +63,7 @@ pub mod workload;
 pub use backend::Variant;
 pub use config::{PipelineConfig, PipelineConfigBuilder, ValidationLevel};
 pub use error::{Error, Result};
+pub use fused::FusedOutcome;
 pub use kernel3::DanglingStrategy;
 pub use pipeline::{NoopObserver, Pipeline, PipelineObserver};
 pub use report::RunRecord;

@@ -141,32 +141,48 @@ impl Pipeline {
         };
 
         let mut k2_output: Option<Kernel2Output> = None;
-        if last_kernel >= 1 {
+        if cfg.fused && last_kernel >= 2 {
+            // Fused kernels 1+2: CSR built straight from the sorted-run
+            // merge stream, no sorted file set on disk. The observer still
+            // sees both kernels, with timings split at the run-seal
+            // boundary. A fused run stopping at kernel 1 falls through to
+            // the staged path — there is nothing to fuse with.
             observer.kernel_started(1);
-            let sw = Stopwatch::start();
-            let manifest1 = backend.kernel1(cfg, &self.k0_dir(), &self.k1_dir())?;
-            let timing = sw.finish(m);
-            observer.kernel_finished(1, &timing);
-            result.kernel1 = Some(Kernel1Result {
-                timing,
-                digest: manifest1.digest,
-                sort_state: manifest1.sort_state,
-                out_of_core: cfg
-                    .sort_budget_bytes
-                    .is_some_and(|b| m.saturating_mul(ppbench_io::BYTES_PER_EDGE as u64) > b),
-            });
-        }
-        if last_kernel >= 2 {
+            let fused = backend.kernel12_fused(cfg, &self.k0_dir(), &self.k1_dir())?;
+            observer.kernel_finished(1, &fused.k1.timing);
             observer.kernel_started(2);
-            let sw = Stopwatch::start();
-            let out = backend.kernel2(cfg, &self.k1_dir())?;
-            let timing = sw.finish(m);
-            observer.kernel_finished(2, &timing);
-            result.kernel2 = Some(Kernel2Result {
-                timing,
-                stats: out.stats,
-            });
-            k2_output = Some(out);
+            observer.kernel_finished(2, &fused.k2.timing);
+            result.kernel1 = Some(fused.k1);
+            result.kernel2 = Some(fused.k2);
+            k2_output = Some(fused.output);
+        } else {
+            if last_kernel >= 1 {
+                observer.kernel_started(1);
+                let sw = Stopwatch::start();
+                let manifest1 = backend.kernel1(cfg, &self.k0_dir(), &self.k1_dir())?;
+                let timing = sw.finish(m);
+                observer.kernel_finished(1, &timing);
+                result.kernel1 = Some(Kernel1Result {
+                    timing,
+                    digest: manifest1.digest,
+                    sort_state: manifest1.sort_state,
+                    out_of_core: cfg
+                        .sort_budget_bytes
+                        .is_some_and(|b| m.saturating_mul(ppbench_io::BYTES_PER_EDGE as u64) > b),
+                });
+            }
+            if last_kernel >= 2 {
+                observer.kernel_started(2);
+                let sw = Stopwatch::start();
+                let out = backend.kernel2(cfg, &self.k1_dir())?;
+                let timing = sw.finish(m);
+                observer.kernel_finished(2, &timing);
+                result.kernel2 = Some(Kernel2Result {
+                    timing,
+                    stats: out.stats,
+                });
+                k2_output = Some(out);
+            }
         }
         let mut algo_values: Option<Vec<u64>> = None;
         if last_kernel >= 3 {
@@ -338,6 +354,73 @@ mod tests {
                 result.validation.as_ref().unwrap().detail()
             );
         }
+    }
+
+    #[test]
+    fn fused_run_matches_staged_bit_for_bit() {
+        let td = TempDir::new("ppbench-pipe").unwrap();
+        let staged = Pipeline::new(base(7).build(), &td.join("staged"))
+            .run()
+            .unwrap();
+        let fused = Pipeline::new(base(7).fused(true).build(), &td.join("fused"))
+            .run()
+            .unwrap();
+        assert!(fused.validation.as_ref().unwrap().passed());
+        let (s2, f2) = (staged.kernel2.unwrap(), fused.kernel2.unwrap());
+        assert_eq!(s2.stats, f2.stats);
+        // Same filter funnel, same serial kernel 3 ⇒ identical ranks.
+        assert_eq!(staged.kernel3.unwrap().ranks, fused.kernel3.unwrap().ranks);
+        // No sorted file set is materialized on the fused path.
+        assert!(!td
+            .join("fused")
+            .join("k1")
+            .join(ppbench_io::MANIFEST_NAME)
+            .exists());
+    }
+
+    #[test]
+    fn fused_observer_still_sees_both_kernels_in_order() {
+        use std::sync::Mutex;
+
+        #[derive(Default)]
+        struct Recorder(Mutex<Vec<(u8, bool)>>);
+        impl PipelineObserver for Recorder {
+            fn kernel_started(&self, k: u8) {
+                self.0.lock().unwrap().push((k, false));
+            }
+            fn kernel_finished(&self, k: u8, _timing: &KernelTiming) {
+                self.0.lock().unwrap().push((k, true));
+            }
+        }
+
+        let td = TempDir::new("ppbench-pipe").unwrap();
+        let rec = Recorder::default();
+        Pipeline::new(base(6).fused(true).build(), td.path())
+            .run_with_observer(&rec)
+            .unwrap();
+        let events = rec.0.into_inner().unwrap();
+        let expected: Vec<(u8, bool)> = (0..4u8).flat_map(|k| [(k, false), (k, true)]).collect();
+        assert_eq!(events, expected);
+    }
+
+    #[test]
+    fn fused_with_last_kernel_one_falls_back_to_staged_sort() {
+        let td = TempDir::new("ppbench-pipe").unwrap();
+        let result = Pipeline::new(base(6).fused(true).build(), td.path())
+            .run_through(1)
+            .unwrap();
+        assert!(result.kernel1.is_some());
+        assert!(result.kernel2.is_none());
+        assert!(td.join("k1").join(ppbench_io::MANIFEST_NAME).exists());
+    }
+
+    #[test]
+    fn fused_out_of_core_run_validates() {
+        let td = TempDir::new("ppbench-pipe").unwrap();
+        let cfg = base(6).fused(true).sort_budget_bytes(64 * 16).build();
+        let result = Pipeline::new(cfg, td.path()).run().unwrap();
+        assert!(result.kernel1.as_ref().unwrap().out_of_core);
+        assert!(result.validation.as_ref().unwrap().passed());
     }
 
     #[test]

@@ -15,12 +15,13 @@ use crate::json::Json;
 /// except `input_tsv`, which is deliberately not exposed: letting HTTP
 /// clients name server-side paths would be a file-disclosure hazard, so
 /// TSV ingestion stays a CLI/library feature.
-pub const ACCEPTED_FIELDS: [&str; 17] = [
+pub const ACCEPTED_FIELDS: [&str; 18] = [
     "add_diagonal_to_empty",
     "convergence_tolerance",
     "damping",
     "dangling",
     "edge_factor",
+    "fused",
     "generator",
     "iterations",
     "num_files",
@@ -159,6 +160,9 @@ pub fn config_from_json(body: &Json) -> Result<PipelineConfig, String> {
     if let Some(on) = bool_field("add_diagonal_to_empty")? {
         b = b.add_diagonal_to_empty(on);
     }
+    if let Some(on) = bool_field("fused")? {
+        b = b.fused(on);
+    }
     if let Some(c) = f64_field("damping")? {
         if !(c > 0.0 && c < 1.0) {
             return Err("damping must lie strictly between 0 and 1".to_string());
@@ -233,7 +237,8 @@ mod tests {
                 "sort_key": "start-end", "sort_budget_bytes": 5000,
                 "add_diagonal_to_empty": true, "damping": 0.9,
                 "iterations": 5, "dangling": "sink",
-                "convergence_tolerance": 1e-9, "validation": "eigen"
+                "convergence_tolerance": 1e-9, "validation": "eigen",
+                "fused": true
             }"#,
         )
         .unwrap();
@@ -253,6 +258,19 @@ mod tests {
         assert_eq!(cfg.dangling, DanglingStrategy::Sink);
         assert_eq!(cfg.convergence_tolerance, Some(1e-9));
         assert_eq!(cfg.validation, ValidationLevel::Eigenvector);
+        assert!(cfg.fused);
+    }
+
+    #[test]
+    fn fused_changes_the_cache_identity() {
+        let fused = parse(r#"{"scale": 9, "fused": true}"#).unwrap();
+        let staged = parse(r#"{"scale": 9}"#).unwrap();
+        assert_ne!(
+            fused.canonical_hash(),
+            staged.canonical_hash(),
+            "fused and staged runs report different timings and must not share a cache slot"
+        );
+        assert!(parse(r#"{"fused": "yes"}"#).is_err(), "must be a boolean");
     }
 
     #[test]

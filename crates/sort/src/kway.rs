@@ -116,6 +116,83 @@ impl<I: Iterator<Item = Edge>> Iterator for KWayMerge<I> {
     }
 }
 
+/// Specialized merge of exactly two sorted runs: one comparison per
+/// element instead of heap pop/push (each `O(log k)` with a branchy
+/// sift). Two runs is the common case for both the parallel in-memory
+/// chunk sort on small worker counts and lightly spilled external sorts,
+/// so the fast path pays for itself exactly where the heap overhead hurt.
+///
+/// Ties prefer run `a` — the same "earlier run wins" rule as
+/// [`KWayMerge`], so swapping one merge for the other never changes the
+/// output of a stable sort.
+pub struct TwoWayMerge<I: Iterator<Item = Edge>> {
+    a: I,
+    b: I,
+    head_a: Option<Edge>,
+    head_b: Option<Edge>,
+    key: SortKey,
+}
+
+impl<I: Iterator<Item = Edge>> TwoWayMerge<I> {
+    /// Builds the merge over two runs, each already sorted under `key`.
+    pub fn new(mut a: I, mut b: I, key: SortKey) -> Self {
+        let head_a = a.next();
+        let head_b = b.next();
+        Self {
+            a,
+            b,
+            head_a,
+            head_b,
+            key,
+        }
+    }
+}
+
+impl<I: Iterator<Item = Edge>> Iterator for TwoWayMerge<I> {
+    type Item = Edge;
+
+    #[inline]
+    fn next(&mut self) -> Option<Edge> {
+        match (self.head_a, self.head_b) {
+            (Some(x), Some(y)) => {
+                if self.key.cmp(&x, &y) != Ordering::Greater {
+                    self.head_a = self.a.next();
+                    debug_assert!(self
+                        .head_a
+                        .is_none_or(|n| self.key.cmp(&x, &n) != Ordering::Greater));
+                    Some(x)
+                } else {
+                    self.head_b = self.b.next();
+                    debug_assert!(self
+                        .head_b
+                        .is_none_or(|n| self.key.cmp(&y, &n) != Ordering::Greater));
+                    Some(y)
+                }
+            }
+            (Some(x), None) => {
+                self.head_a = self.a.next();
+                Some(x)
+            }
+            (None, Some(y)) => {
+                self.head_b = self.b.next();
+                Some(y)
+            }
+            (None, None) => None,
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let pending = usize::from(self.head_a.is_some()) + usize::from(self.head_b.is_some());
+        let (la, ha) = self.a.size_hint();
+        let (lb, hb) = self.b.size_hint();
+        let hi = match (ha, hb) {
+            (Some(x), Some(y)) => x.checked_add(y).and_then(|s| s.checked_add(pending)),
+            _ => None,
+        };
+        (la + lb + pending, hi)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -179,6 +256,64 @@ mod tests {
             vec![e(2, 0)].into_iter(),
         ];
         let merge = KWayMerge::new(runs, SortKey::Start);
+        assert_eq!(merge.size_hint(), (3, Some(3)));
+    }
+
+    #[test]
+    fn two_way_matches_kway_on_every_split() {
+        // One sorted sequence cut at every point: the specialized merge
+        // must reproduce the heap merge exactly, ties included.
+        let all: Vec<Edge> = vec![
+            e(0, 1),
+            e(1, 0),
+            e(1, 0),
+            e(1, 2),
+            e(3, 1),
+            e(3, 1),
+            e(7, 0),
+        ];
+        for cut in 0..=all.len() {
+            let (a, b) = all.split_at(cut);
+            for key in [SortKey::Start, SortKey::StartEnd] {
+                let two: Vec<Edge> =
+                    TwoWayMerge::new(a.iter().copied(), b.iter().copied(), key).collect();
+                let heap: Vec<Edge> =
+                    KWayMerge::new(vec![a.iter().copied(), b.iter().copied()], key).collect();
+                assert_eq!(two, heap, "cut {cut} key {key:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn two_way_ties_prefer_first_run() {
+        let a = vec![e(5, 100)];
+        let b = vec![e(5, 200)];
+        let merged: Vec<Edge> =
+            TwoWayMerge::new(a.into_iter(), b.into_iter(), SortKey::Start).collect();
+        assert_eq!(merged, vec![e(5, 100), e(5, 200)]);
+    }
+
+    #[test]
+    fn two_way_handles_empty_sides() {
+        let empty: Vec<Edge> = Vec::new();
+        let one = vec![e(1, 1), e(2, 2)];
+        let left: Vec<Edge> =
+            TwoWayMerge::new(one.iter().copied(), empty.iter().copied(), SortKey::Start).collect();
+        assert_eq!(left, one);
+        let right: Vec<Edge> =
+            TwoWayMerge::new(empty.iter().copied(), one.iter().copied(), SortKey::Start).collect();
+        assert_eq!(right, one);
+        let none: Vec<Edge> =
+            TwoWayMerge::new(empty.iter().copied(), empty.iter().copied(), SortKey::Start)
+                .collect();
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn two_way_size_hint_is_exact_for_vec_runs() {
+        let a = vec![e(0, 0), e(1, 0)];
+        let b = vec![e(2, 0)];
+        let merge = TwoWayMerge::new(a.into_iter(), b.into_iter(), SortKey::Start);
         assert_eq!(merge.size_hint(), (3, Some(3)));
     }
 }

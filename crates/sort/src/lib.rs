@@ -49,7 +49,8 @@ pub mod kway;
 pub mod pipelined;
 mod radix;
 
-pub use external::{ExternalSorter, ExternalStats};
+pub use external::{ExternalSorter, ExternalStats, MergeStream, RunSet, RunWriter};
+pub use kway::{KWayMerge, TwoWayMerge};
 pub use pipelined::pipelined_sort;
 pub use radix::{radix_sort, radix_sort_by_u64_key, radix_sort_slice, radix_sort_slice_by_u64_key};
 

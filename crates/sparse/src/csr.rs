@@ -403,6 +403,250 @@ impl Csr<f64> {
     }
 }
 
+/// Internal column buffer of [`CsrStreamBuilder`]: `u32` whenever the
+/// column bound fits (half the index bandwidth and footprint during the
+/// build), widened to the canonical `u64` form only at finish.
+#[derive(Debug)]
+enum ColBuf {
+    Narrow(Vec<u32>),
+    Wide(Vec<u64>),
+}
+
+impl ColBuf {
+    fn new(col_bound: u64) -> Self {
+        if col_bound <= u64::from(u32::MAX) + 1 {
+            ColBuf::Narrow(Vec::new())
+        } else {
+            ColBuf::Wide(Vec::new())
+        }
+    }
+
+    #[inline]
+    fn push(&mut self, c: u64) {
+        match self {
+            // The bound check in `CsrStreamBuilder::push` guarantees the
+            // narrow form is only chosen when every column fits.
+            ColBuf::Narrow(v) => v.push(c as u32),
+            ColBuf::Wide(v) => v.push(c),
+        }
+    }
+
+    #[inline]
+    fn len(&self) -> usize {
+        match self {
+            ColBuf::Narrow(v) => v.len(),
+            ColBuf::Wide(v) => v.len(),
+        }
+    }
+
+    fn widen(self) -> Vec<u64> {
+        match self {
+            ColBuf::Narrow(v) => v.into_iter().map(u64::from).collect(),
+            ColBuf::Wide(v) => v,
+        }
+    }
+}
+
+/// One finished row range `[lo, hi)` of a matrix under construction, with
+/// row offsets relative to the segment. Segments built over disjoint,
+/// contiguous ranges concatenate into a full matrix via
+/// [`Csr::from_row_segments`] — this is how the fused kernel-2 path builds
+/// per-vertex-range pieces on separate workers and joins them without a
+/// global fix-up pass.
+#[derive(Debug)]
+pub struct CsrSegment<T> {
+    lo: u64,
+    hi: u64,
+    row_ptr: Vec<usize>,
+    col_idx: ColBuf,
+    values: Vec<T>,
+}
+
+impl<T> CsrSegment<T> {
+    /// The row range `[lo, hi)` this segment covers.
+    pub fn row_range(&self) -> (u64, u64) {
+        (self.lo, self.hi)
+    }
+
+    /// Number of stored entries in the segment.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+}
+
+/// Streaming CSR construction from a `(row, col)`-sorted stream with
+/// duplicate accumulation — the merge-stream counterpart of
+/// [`Csr::from_sorted_edge_iter`]. Where that path buffers a full triplet
+/// vector (24 bytes per entry on top of the final matrix), this one holds
+/// only the open `(row, col, count)` cell plus the growing output arrays,
+/// with narrow (`u32`) column indices during the build whenever the
+/// column bound fits.
+///
+/// The stream must be sorted by `(row, col)` — exactly what a
+/// `SortKey::StartEnd` merge produces — which is what makes dedup a
+/// constant-state comparison instead of a per-row sort.
+#[derive(Debug)]
+pub struct CsrStreamBuilder<T> {
+    cols: u64,
+    lo: u64,
+    hi: u64,
+    row_ptr: Vec<usize>,
+    col_idx: ColBuf,
+    values: Vec<T>,
+    cur: Option<(u64, u64, T)>,
+    closed: u64,
+}
+
+impl<T: Scalar> CsrStreamBuilder<T> {
+    /// A builder for the full `n × n` matrix.
+    pub fn new(n: u64) -> Self {
+        Self::for_rows(n, 0, n)
+    }
+
+    /// A builder for rows `[lo, hi)` of an `n × n` matrix, producing a
+    /// [`CsrSegment`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi` or `hi > n`.
+    pub fn for_rows(n: u64, lo: u64, hi: u64) -> Self {
+        assert!(lo <= hi && hi <= n, "row range [{lo}, {hi}) outside 0..{n}");
+        Self {
+            cols: n,
+            lo,
+            hi,
+            row_ptr: vec![0],
+            col_idx: ColBuf::new(n),
+            values: Vec::new(),
+            cur: None,
+            closed: lo,
+        }
+    }
+
+    /// Feeds one `(u, v)` pair; consecutive duplicates accumulate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is outside the builder's row range, `v >= n`, or the
+    /// stream is not sorted by `(row, col)`.
+    #[inline]
+    pub fn push(&mut self, u: u64, v: u64) {
+        assert!(
+            self.lo <= u && u < self.hi,
+            "start vertex {u} outside row range [{}, {})",
+            self.lo,
+            self.hi
+        );
+        assert!(v < self.cols, "end vertex {v} out of bounds {}", self.cols);
+        match &mut self.cur {
+            Some((r, c, acc)) if *r == u && *c == v => {
+                *acc = acc.add(T::ONE);
+            }
+            Some((prev_r, prev_c, prev_acc)) => {
+                let (r, c, acc) = (*prev_r, *prev_c, *prev_acc);
+                assert!(
+                    (r, c) < (u, v),
+                    "edges not sorted by (start, end): ({r}, {c}) before ({u}, {v})"
+                );
+                self.col_idx.push(c);
+                self.values.push(acc);
+                while self.closed < u {
+                    self.row_ptr.push(self.col_idx.len());
+                    self.closed += 1;
+                }
+                self.cur = Some((u, v, T::ONE));
+            }
+            None => {
+                while self.closed < u {
+                    self.row_ptr.push(self.col_idx.len());
+                    self.closed += 1;
+                }
+                self.cur = Some((u, v, T::ONE));
+            }
+        }
+    }
+
+    fn seal(mut self) -> CsrSegment<T> {
+        if let Some((_, c, acc)) = self.cur.take() {
+            self.col_idx.push(c);
+            self.values.push(acc);
+        }
+        while self.closed < self.hi {
+            self.row_ptr.push(self.col_idx.len());
+            self.closed += 1;
+        }
+        CsrSegment {
+            lo: self.lo,
+            hi: self.hi,
+            row_ptr: self.row_ptr,
+            col_idx: self.col_idx,
+            values: self.values,
+        }
+    }
+
+    /// Finishes a range builder into its segment.
+    pub fn finish_segment(self) -> CsrSegment<T> {
+        self.seal()
+    }
+
+    /// Finishes a full-matrix builder (`lo == 0`, `hi == n`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the builder covers only a sub-range.
+    pub fn finish(self) -> Csr<T> {
+        let n = self.cols;
+        assert!(
+            self.lo == 0 && self.hi == n,
+            "finish() needs a full-matrix builder; use finish_segment()"
+        );
+        Csr::from_row_segments(n, vec![self.seal()])
+    }
+}
+
+impl<T: Scalar> Csr<T> {
+    /// Concatenates segments covering `0..n` contiguously (in order, no
+    /// gaps, no overlap) into the full `n × n` matrix. Row pointers are
+    /// offset by the running entry count; columns widen from the narrow
+    /// build form one segment at a time, so the transient overhead is one
+    /// segment's narrow buffer rather than the whole matrix's.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the segments do not tile `0..n` exactly.
+    pub fn from_row_segments(n: u64, segments: Vec<CsrSegment<T>>) -> Self {
+        let nnz: usize = segments.iter().map(CsrSegment::nnz).sum();
+        let mut row_ptr = Vec::with_capacity(n as usize + 1);
+        row_ptr.push(0usize);
+        let mut col_idx: Vec<u64> = Vec::with_capacity(nnz);
+        let mut values: Vec<T> = Vec::with_capacity(nnz);
+        let mut next_row = 0u64;
+        for seg in segments {
+            assert!(
+                seg.lo == next_row && seg.hi <= n,
+                "segment [{}, {}) does not continue coverage at row {next_row}",
+                seg.lo,
+                seg.hi
+            );
+            let base = col_idx.len();
+            row_ptr.extend(seg.row_ptr[1..].iter().map(|&p| base + p));
+            col_idx.extend(seg.col_idx.widen());
+            values.extend(seg.values);
+            next_row = seg.hi;
+        }
+        assert!(next_row == n, "segments cover only 0..{next_row} of 0..{n}");
+        let m = Self {
+            rows: n,
+            cols: n,
+            row_ptr,
+            col_idx,
+            values,
+        };
+        debug_assert_eq!(m.check_invariants(), Ok(()));
+        m
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -512,6 +756,110 @@ mod tests {
     #[should_panic(expected = "not sorted")]
     fn streaming_construction_rejects_unsorted() {
         let _ = Csr::<u64>::from_sorted_edge_iter(4, [(2u64, 0u64), (1, 0)]);
+    }
+
+    fn sorted_pairs(n: u64, count: u64) -> Vec<(u64, u64)> {
+        let mut pairs: Vec<(u64, u64)> = (0..count)
+            .map(|i| ((i * 7 + 3) % n, (i * 13 + 1) % n))
+            .collect();
+        pairs.sort_unstable();
+        pairs
+    }
+
+    #[test]
+    fn stream_builder_equals_edge_iter_construction() {
+        let pairs = sorted_pairs(32, 900);
+        let oracle = Csr::<u64>::from_sorted_edge_iter(32, pairs.iter().copied());
+        let mut b = CsrStreamBuilder::<u64>::new(32);
+        for &(u, v) in &pairs {
+            b.push(u, v);
+        }
+        let m = b.finish();
+        assert_eq!(m, oracle);
+        m.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn stream_builder_handles_empty_all_duplicate_and_hub() {
+        // Empty stream: the zero matrix.
+        let empty = CsrStreamBuilder::<u64>::new(5).finish();
+        assert_eq!(empty, Csr::<u64>::zero(5, 5));
+        // All duplicates of one pair: a single accumulated cell.
+        let mut dup = CsrStreamBuilder::<u64>::new(5);
+        for _ in 0..40 {
+            dup.push(2, 3);
+        }
+        let dup = dup.finish();
+        assert_eq!(dup.nnz(), 1);
+        assert_eq!(dup.get(2, 3), Some(40));
+        // Single hub row holding every entry.
+        let mut hub = CsrStreamBuilder::<u64>::new(8);
+        for v in 0..8 {
+            hub.push(4, v);
+        }
+        let hub = hub.finish();
+        assert_eq!(hub.row_nnz(4), 8);
+        assert_eq!(hub.nnz(), 8);
+        hub.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn stream_builder_segments_concat_to_full_matrix() {
+        let pairs = sorted_pairs(40, 1200);
+        let oracle = Csr::<u64>::from_sorted_edge_iter(40, pairs.iter().copied());
+        for buckets in [1u64, 2, 3, 7, 40] {
+            let mut segments = Vec::new();
+            for b in 0..buckets {
+                let lo = 40 * b / buckets;
+                let hi = 40 * (b + 1) / buckets;
+                let mut builder = CsrStreamBuilder::<u64>::for_rows(40, lo, hi);
+                for &(u, v) in pairs.iter().filter(|&&(u, _)| lo <= u && u < hi) {
+                    builder.push(u, v);
+                }
+                segments.push(builder.finish_segment());
+            }
+            let m = Csr::from_row_segments(40, segments);
+            assert_eq!(m, oracle, "{buckets} buckets");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not sorted")]
+    fn stream_builder_rejects_unsorted() {
+        let mut b = CsrStreamBuilder::<u64>::new(4);
+        b.push(1, 3);
+        b.push(1, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside row range")]
+    fn stream_builder_rejects_rows_outside_range() {
+        let mut b = CsrStreamBuilder::<u64>::for_rows(8, 2, 4);
+        b.push(5, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not continue coverage")]
+    fn from_row_segments_rejects_gaps() {
+        let a = CsrStreamBuilder::<u64>::for_rows(8, 0, 3).finish_segment();
+        let c = CsrStreamBuilder::<u64>::for_rows(8, 5, 8).finish_segment();
+        let _ = Csr::from_row_segments(8, vec![a, c]);
+    }
+
+    #[test]
+    fn col_buf_narrow_for_small_bounds_wide_above_u32() {
+        assert!(matches!(ColBuf::new(1 << 20), ColBuf::Narrow(_)));
+        assert!(matches!(
+            ColBuf::new(u64::from(u32::MAX) + 1),
+            ColBuf::Narrow(_)
+        ));
+        assert!(matches!(
+            ColBuf::new(u64::from(u32::MAX) + 2),
+            ColBuf::Wide(_)
+        ));
+        let mut buf = ColBuf::new(1 << 62);
+        buf.push(1 << 40);
+        assert_eq!(buf.widen(), vec![1u64 << 40]);
     }
 
     #[test]

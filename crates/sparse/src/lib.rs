@@ -62,7 +62,7 @@ pub mod vector;
 
 pub use bitset::BitSet;
 pub use coo::Coo;
-pub use csr::{ColIndex, Csr, CsrView};
+pub use csr::{ColIndex, Csr, CsrSegment, CsrStreamBuilder, CsrView};
 pub use dense::Dense;
 pub use narrow::Csr32;
 

@@ -81,14 +81,11 @@ pub fn mxv(a: &Csr<f64>, x: &[f64]) -> Vec<f64> {
         a.cols(),
         "vector length must equal column count"
     );
-    (0..a.rows())
-        .map(|r| {
-            let (cols, vals) = a.row(r);
-            cols.iter()
-                .zip(vals)
-                .map(|(&c, &w)| x[c as usize] * w)
-                .sum()
-        })
+    // Shares the unrolled [`gather_row`] dot with the parallel kernels, so
+    // every gather form produces bit-identical rows.
+    let view = a.view();
+    (0..a.rows() as usize)
+        .map(|r| gather_row(x, &view, r))
         .collect()
 }
 
@@ -101,22 +98,23 @@ pub fn vxm_gather(x: &[f64], at: &Csr<f64>) -> Vec<f64> {
 
 /// Rayon-parallel gather `x * A` over a precomputed transpose. Each output
 /// element is an independent reduction, so no synchronization is needed.
+///
+/// Partitions into one nnz-balanced chunk per worker and writes each chunk
+/// through a disjoint output slice — a fixed number of tasks over one
+/// allocation, instead of a task (and several intermediate vectors) per
+/// row, which is what made this kernel lose to its serial twin in the
+/// committed sweeps.
 pub fn par_vxm_gather(x: &[f64], at: &Csr<f64>) -> Vec<f64> {
     assert_eq!(
         x.len() as u64,
         at.cols(),
         "vector length must equal A's row count"
     );
-    (0..at.rows())
-        .into_par_iter()
-        .map(|r| {
-            let (cols, vals) = at.row(r);
-            cols.iter()
-                .zip(vals)
-                .map(|(&c, &w)| x[c as usize] * w)
-                .sum()
-        })
-        .collect()
+    let mut out = vec![0.0; at.rows() as usize];
+    let chunks = rayon::current_num_threads().max(1);
+    let boundaries = balanced_boundaries(at.row_ptr(), chunks);
+    gather_into(x, &at.view(), &mut out, &boundaries);
+    out
 }
 
 /// Partitions rows `0..rows` into `chunks` contiguous ranges of roughly
@@ -172,14 +170,29 @@ fn chunk_slices<'a>(out: &'a mut [f64], boundaries: &[usize]) -> Vec<(&'a mut [f
 
 /// Dot product of row `r` of the transposed matrix with `x` — the gather
 /// form of one output element.
+///
+/// Four independent accumulators break the loop-carried add dependency, so
+/// the gathers for a heavy row overlap instead of serializing on one
+/// register; callers document the resulting (deterministic) reassociation
+/// under their 1e-12 tolerance.
 #[inline(always)]
 fn gather_row<I: ColIndex>(x: &[f64], at: &CsrView<'_, I>, r: usize) -> f64 {
     let (cols, vals) = at.row(r);
-    let mut acc = 0.0;
-    for (&c, &w) in cols.iter().zip(vals) {
-        acc += x[c.to_index()] * w;
+    let c4 = cols.chunks_exact(4);
+    let v4 = vals.chunks_exact(4);
+    let (c_tail, v_tail) = (c4.remainder(), v4.remainder());
+    let mut acc = [0.0f64; 4];
+    for (c, v) in c4.zip(v4) {
+        acc[0] += x[c[0].to_index()] * v[0];
+        acc[1] += x[c[1].to_index()] * v[1];
+        acc[2] += x[c[2].to_index()] * v[2];
+        acc[3] += x[c[3].to_index()] * v[3];
     }
-    acc
+    let mut sum = (acc[0] + acc[1]) + (acc[2] + acc[3]);
+    for (&c, &w) in c_tail.iter().zip(v_tail) {
+        sum += x[c.to_index()] * w;
+    }
+    sum
 }
 
 /// nnz-balanced parallel gather `x * A` over a precomputed transpose view,
