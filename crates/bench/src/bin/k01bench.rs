@@ -2,30 +2,44 @@
 //!
 //! ```text
 //! cargo run --release -p ppbench-bench --bin k01bench -- \
-//!     [--scales LO:HI] [--threads 1,2,4] [--edge-factor K] [--seed N] \
-//!     [--num-files N] [--budget-divisor D] [--trials N] [--out PATH]
+//!     [--scales LO:HI,N,...] [--threads 1,2,4] [--edge-factor K] [--seed N] \
+//!     [--num-files N] [--budget-divisor D] [--trials N] \
+//!     [--gens faithful,linear] [--faithful-max-scale S] [--k1-max-scale S] \
+//!     [--out PATH]
 //! cargo run -p ppbench-bench --bin k01bench -- --check BENCH_k01.json
 //! ```
 //!
-//! Sweeps the kernel-0 write strategies (materialize, stream, sharded) and
-//! the kernel-1 sort paths (in-memory, external, pipelined) over explicit
-//! thread counts and scales, prints a human-readable table, and writes the
-//! canonical-JSON trajectory file. `--check` validates an existing file
-//! against the expected schema and exits nonzero on drift.
+//! Sweeps the kernel-0 write strategies (materialize, stream, sharded)
+//! under each requested R-MAT sampler and the kernel-1 sort paths
+//! (in-memory, external, pipelined) over explicit thread counts and
+//! scales, prints a human-readable table, and writes the canonical-JSON
+//! trajectory file. The max-scale caps let one sweep mix a full
+//! comparison matrix at moderate scales with linear-only kernel-0 stress
+//! points at the top end. `--check` validates an existing file against
+//! the expected schema (shape plus rate consistency) and exits nonzero
+//! on drift.
 
 use std::process::exit;
 
 use ppbench_bench::k01::{self, SweepConfig};
 use ppbench_bench::k3::parse_thread_list;
+use ppbench_gen::RmatSampler;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: k01bench [--scales LO:HI] [--threads N,N,...] [--edge-factor K]\n\
+        "usage: k01bench [--scales LO:HI,N,...] [--threads N,N,...] [--edge-factor K]\n\
          \x20               [--seed N] [--num-files N] [--budget-divisor D]\n\
-         \x20               [--trials N] [--out PATH]\n\
+         \x20               [--trials N] [--gens faithful,linear]\n\
+         \x20               [--faithful-max-scale S] [--k1-max-scale S] [--out PATH]\n\
          \x20       k01bench --check PATH   (validate an existing BENCH_k01.json)"
     );
     exit(2)
+}
+
+/// Parses the `--gens` comma list into samplers, rejecting unknown names.
+fn parse_gen_list(s: &str) -> Option<Vec<RmatSampler>> {
+    let gens: Option<Vec<RmatSampler>> = s.split(',').map(RmatSampler::parse).collect();
+    gens.filter(|g| !g.is_empty())
 }
 
 fn main() {
@@ -38,9 +52,16 @@ fn main() {
         let mut value = || argv.next().unwrap_or_else(|| usage());
         match flag.as_str() {
             "--scales" => {
-                cfg.scales = ppbench_bench::parse_scale_range(&value())
-                    .unwrap_or_else(|| usage())
-                    .collect();
+                cfg.scales = ppbench_bench::parse_scale_list(&value()).unwrap_or_else(|| usage());
+            }
+            "--gens" => {
+                cfg.gens = parse_gen_list(&value()).unwrap_or_else(|| usage());
+            }
+            "--faithful-max-scale" => {
+                cfg.faithful_max_scale = Some(value().parse().unwrap_or_else(|_| usage()));
+            }
+            "--k1-max-scale" => {
+                cfg.k1_max_scale = Some(value().parse().unwrap_or_else(|_| usage()));
             }
             "--threads" => {
                 cfg.threads = parse_thread_list(&value()).unwrap_or_else(|| usage());
@@ -104,13 +125,22 @@ fn main() {
     };
 
     println!(
-        "{:>5} {:>6} {:>12} {:>7} {:>12} {:>10} {:>10} {:>10}",
-        "scale", "kernel", "variant", "threads", "edges", "MB", "seconds", "MB/s"
+        "{:>5} {:>6} {:>9} {:>12} {:>7} {:>12} {:>10} {:>10} {:>10} {:>8}",
+        "scale", "kernel", "gen", "variant", "threads", "edges", "MB", "seconds", "MB/s", "GB/s"
     );
     for r in &rows {
         println!(
-            "{:>5} {:>6} {:>12} {:>7} {:>12} {:>10.2} {:>10.4} {:>10.2}",
-            r.scale, r.kernel, r.variant, r.threads, r.edges, r.mbytes, r.seconds, r.mb_per_s
+            "{:>5} {:>6} {:>9} {:>12} {:>7} {:>12} {:>10.2} {:>10.4} {:>10.2} {:>8.4}",
+            r.scale,
+            r.kernel,
+            r.gen,
+            r.variant,
+            r.threads,
+            r.edges,
+            r.mbytes,
+            r.seconds,
+            r.mb_per_s,
+            r.gb_per_s
         );
     }
 

@@ -4,7 +4,7 @@
 //! cargo run --release -p ppbench-bench --bin pprank -- \
 //!     [--scale S] [--edge-factor K] [--seed N] [--files N] \
 //!     [--variant optimized|naive|dataframe|parallel] \
-//!     [--generator kronecker|ppl|erdos-renyi] \
+//!     [--generator kronecker|ppl|erdos-renyi] [--gen faithful|linear] \
 //!     [--workload pagerank|bfs|cc|sssp|tc] [--input-tsv PATH] \
 //!     [--sort-end] [--fused] [--diagonal] [--budget BYTES] \
 //!     [--validate none|invariants|eigen] [--dir PATH] [--keep] [--top K]
@@ -19,12 +19,13 @@ use std::process::exit;
 use ppbench_core::kernel3::DanglingStrategy;
 use ppbench_core::{Pipeline, PipelineConfig, ValidationLevel, Variant, Workload};
 use ppbench_dist::{run_distributed, DistConfig};
-use ppbench_gen::GeneratorKind;
+use ppbench_gen::{GeneratorKind, RmatSampler};
 
 fn usage() -> ! {
     eprintln!(
         "usage: pprank [--scale S] [--edge-factor K] [--seed N] [--files N]\n\
-         \x20             [--variant NAME] [--generator NAME] [--sort-end] [--fused]\n\
+         \x20             [--variant NAME] [--generator NAME] [--gen faithful|linear]\n\
+         \x20             [--sort-end] [--fused]\n\
          \x20             [--diagonal]\n\
          \x20             [--workload pagerank|bfs|cc|sssp|tc] [--input-tsv PATH]\n\
          \x20             [--budget BYTES] [--validate none|invariants|eigen]\n\
@@ -56,6 +57,7 @@ fn main() {
             "--seed" => builder.seed(value().parse().unwrap_or_else(|_| usage())),
             "--files" => builder.num_files(value().parse().unwrap_or_else(|_| usage())),
             "--variant" => builder.variant(Variant::parse(&value()).unwrap_or_else(|| usage())),
+            "--gen" => builder.gen(RmatSampler::parse(&value()).unwrap_or_else(|| usage())),
             "--generator" => {
                 builder.generator(GeneratorKind::parse(&value()).unwrap_or_else(|| usage()))
             }

@@ -1,17 +1,20 @@
-//! K0→K1 front-end microbench: write/sort variant × thread count × scale.
+//! K0→K1 front-end microbench: gen × write/sort variant × threads × scale.
 //!
 //! The paper's I/O-bound kernels are the front of the pipeline: kernel 0
 //! writes the generated edge list "to files on non-volatile storage as
 //! pairs of tab separated numeric strings", and kernel 1 reads it back,
 //! sorts by start vertex, and writes it again. This module measures the
 //! three kernel-0 write strategies (full materialization, serial
-//! streaming, sharded parallel streaming) and the three kernel-1 sort
-//! paths (in-memory, plain external merge, pipelined external merge),
-//! each swept over explicit thread counts and scales. Results land in
-//! `BENCH_k01.json` as canonical JSON (sorted keys, shortest-roundtrip
-//! floats, rendered by `ppbench_core::json`), giving later PRs a baseline
-//! to beat; the `--check` mode re-validates that file's schema so CI
-//! catches drift in either direction.
+//! streaming, sharded parallel streaming) under each requested R-MAT
+//! sampler (`faithful` per-level recursion vs the `linear` block-table
+//! sampler) and the three kernel-1 sort paths (in-memory, plain external
+//! merge, pipelined external merge), each swept over explicit thread
+//! counts and scales. Results land in `BENCH_k01.json` as canonical JSON
+//! (sorted keys, shortest-roundtrip floats, rendered by
+//! `ppbench_core::json`), giving later PRs a baseline to beat; the
+//! `--check` mode re-validates that file's schema — including a >1%
+//! rate-vs-raw-measurement consistency gate — so CI catches drift in
+//! either direction.
 //!
 //! Generation is interleaved with writing on the streaming paths, so every
 //! kernel-0 measurement times generate+write as one unit — the same work
@@ -26,18 +29,25 @@ use std::path::Path;
 
 use ppbench_core::json::{JsonArray, JsonObject};
 use ppbench_core::{kernel0, kernel1, PipelineConfig, Stopwatch};
+use ppbench_gen::RmatSampler;
 use ppbench_io::tempdir::TempDir;
 use ppbench_io::{EdgeReader, EdgeWriter, Manifest, SortState, BYTES_PER_EDGE};
 use ppbench_sort::{Algorithm, ExternalSorter, SortKey};
 
 /// Version tag written into the JSON so schema changes are explicit.
-pub const SCHEMA_VERSION: &str = "ppbench-k01-v2";
+/// v3 added the `gen` axis (R-MAT sampler per kernel-0 row), the
+/// `gb_per_s` rate column, and the `faithful_max_scale`/`k1_max_scale`
+/// sweep caps.
+pub const SCHEMA_VERSION: &str = "ppbench-k01-v3";
 
 /// Top-level keys of the benchmark file, sorted (canonical order).
 pub const TOP_KEYS: &[&str] = &[
     "benchmark",
     "budget_divisor",
     "edge_factor",
+    "faithful_max_scale",
+    "gens",
+    "k1_max_scale",
     "num_files",
     "results",
     "seed",
@@ -46,7 +56,8 @@ pub const TOP_KEYS: &[&str] = &[
 
 /// Keys of each result row, sorted (canonical order).
 pub const ROW_KEYS: &[&str] = &[
-    "edges", "kernel", "mb_per_s", "mbytes", "scale", "seconds", "threads", "variant",
+    "edges", "gb_per_s", "gen", "kernel", "mb_per_s", "mbytes", "scale", "seconds", "threads",
+    "variant",
 ];
 
 /// The kernel-0 write strategies under measurement.
@@ -140,6 +151,16 @@ pub struct SweepConfig {
     /// (best-of-N damps scheduler and page-cache noise, which dominates
     /// the I/O-bound kernels at small scales).
     pub trials: usize,
+    /// R-MAT samplers to sweep on kernel 0 (the `gen` axis). Kernel 1
+    /// runs once per scale, from the first swept sampler's output.
+    pub gens: Vec<RmatSampler>,
+    /// Skip the faithful sampler above this scale. Its per-edge recursion
+    /// is `scale`-fold slower than the linear block-table sampler, so the
+    /// largest scales sweep linear-only instead of dropping the scale.
+    pub faithful_max_scale: Option<u32>,
+    /// Skip kernel 1 above this scale (the sort paths are measured at the
+    /// comparison scale; the top-end rows are a kernel-0 stress point).
+    pub k1_max_scale: Option<u32>,
 }
 
 impl Default for SweepConfig {
@@ -152,6 +173,9 @@ impl Default for SweepConfig {
             num_files: 4,
             budget_divisor: 4,
             trials: 1,
+            gens: vec![RmatSampler::Faithful, RmatSampler::Linear],
+            faithful_max_scale: None,
+            k1_max_scale: None,
         }
     }
 }
@@ -163,6 +187,9 @@ pub struct SweepRow {
     pub kernel: &'static str,
     /// Variant name (see [`K0Variant::name`] / [`K1Variant::name`]).
     pub variant: &'static str,
+    /// R-MAT sampler name (see [`RmatSampler::name`]). Kernel-1 rows
+    /// carry the sampler whose output they sorted.
+    pub gen: &'static str,
     /// Graph scale.
     pub scale: u32,
     /// Thread count the pool was sized to (1 for serial variants).
@@ -175,6 +202,9 @@ pub struct SweepRow {
     pub seconds: f64,
     /// `mbytes / seconds` — the paper's Figure-4 axis.
     pub mb_per_s: f64,
+    /// `mb_per_s / 1000` — the same rate in decimal GB/s, for reading
+    /// the large-scale rows against device bandwidth.
+    pub gb_per_s: f64,
 }
 
 /// Sizes the global thread pool, surfacing the error as a string (the
@@ -279,174 +309,228 @@ fn run_k1(
     }
 }
 
-/// Runs the full sweep. For each scale the serial variants run once at one
-/// thread; the parallel variants run once per requested thread count (the
-/// global pool is resized between points). Each point is measured
-/// [`SweepConfig::trials`] times and the fastest repetition is kept, with
-/// every repetition digest-checked against its first. Row order is
-/// deterministic:
-/// scale-major, kernel 0 before kernel 1, then `ALL` order, then thread
-/// order as given. Every measurement's output digest is checked against
-/// the kernel's first-measured variant; a mismatch fails the sweep.
+/// Derives a row's `(mbytes, mb_per_s, gb_per_s)` from raw bytes and
+/// seconds, so every rate in the document is computed in exactly one
+/// place (the schema gate cross-checks them against the raw fields).
+fn rates(bytes: u64, seconds: f64) -> (f64, f64, f64) {
+    let mbytes = bytes as f64 / 1e6;
+    let mb_per_s = mbytes / seconds.max(1e-15);
+    (mbytes, mb_per_s, mb_per_s / 1e3)
+}
+
+/// Runs the full sweep. For each scale, kernel 0 runs once per requested
+/// sampler (the `gen` axis; the faithful sampler is skipped above
+/// [`SweepConfig::faithful_max_scale`]); within a sampler the serial
+/// variants run once at one thread and the parallel variants once per
+/// requested thread count (the global pool is resized between points).
+/// Kernel 1 then runs once per scale from the first sampler's verified
+/// kernel-0 output, unless the scale exceeds [`SweepConfig::k1_max_scale`].
+/// Each point is measured [`SweepConfig::trials`] times and the fastest
+/// repetition is kept, with every repetition digest-checked against its
+/// first. Row order is deterministic: scale-major, kernel 0 before
+/// kernel 1, then `gens` order, then `ALL` order, then thread order as
+/// given. Every measurement's output digest is checked against its
+/// kernel's first-measured variant under the same sampler; a mismatch
+/// fails the sweep.
 pub fn run_sweep(cfg: &SweepConfig) -> Result<Vec<SweepRow>, String> {
     let td = TempDir::new("k01bench").map_err(|e| format!("cannot create scratch dir: {e}"))?;
+    if cfg.gens.is_empty() {
+        return Err("no samplers to sweep (gens is empty)".to_string());
+    }
     let mut rows = Vec::new();
     for &scale in &cfg.scales {
-        let pcfg = PipelineConfig::builder()
-            .scale(scale)
-            .edge_factor(cfg.edge_factor)
-            .seed(cfg.seed)
-            .num_files(cfg.num_files)
-            .build();
+        let gens: Vec<RmatSampler> = cfg
+            .gens
+            .iter()
+            .copied()
+            .filter(|g| {
+                *g != RmatSampler::Faithful || cfg.faithful_max_scale.is_none_or(|cap| scale <= cap)
+            })
+            .collect();
+        if gens.is_empty() {
+            continue;
+        }
+        // Kernel 1's input: the first sampler's verified kernel-0 output.
+        let mut k1_input: Option<(Manifest, std::path::PathBuf, &'static str)> = None;
 
-        // --- Kernel 0: generate + write ---
-        // The first variant measured doubles as the byte-level reference
-        // and, after verification, as kernel 1's input.
-        let mut k0_ref: Option<(Manifest, std::path::PathBuf)> = None;
-        for variant in K0Variant::ALL {
-            let thread_counts: &[usize] = if variant.is_parallel() {
-                &cfg.threads
-            } else {
-                &[1]
-            };
-            for &threads in thread_counts {
-                size_pool(threads)?;
-                // Best-of-N: the first trial's output is kept (for the
-                // digest reference and as kernel 1's input); every later
-                // trial must reproduce its byte stream and is deleted.
-                let mut kept: Option<(Manifest, std::path::PathBuf)> = None;
-                let mut seconds = f64::INFINITY;
-                for trial in 0..cfg.trials.max(1) {
-                    let dir = td.join(&format!(
-                        "s{scale}-k0-{}-t{threads}-r{trial}",
-                        variant.name()
-                    ));
-                    let sw = Stopwatch::start();
-                    let manifest = run_k0(&pcfg, variant, &dir)?;
-                    seconds = seconds.min(sw.elapsed_secs());
-                    match &kept {
-                        None => kept = Some((manifest, dir)),
-                        Some((first, _)) => {
-                            if !manifest.digest.same_stream(&first.digest) {
+        // --- Kernel 0: generate + write, once per sampler ---
+        for &gen in &gens {
+            let pcfg = PipelineConfig::builder()
+                .scale(scale)
+                .edge_factor(cfg.edge_factor)
+                .seed(cfg.seed)
+                .num_files(cfg.num_files)
+                .gen(gen)
+                .build();
+            // The first variant measured under each sampler doubles as
+            // that sampler's byte-level reference (the two samplers emit
+            // different — equally distributed — streams, so references
+            // are per-(scale, gen)).
+            let mut k0_ref: Option<(Manifest, std::path::PathBuf)> = None;
+            for variant in K0Variant::ALL {
+                let thread_counts: &[usize] = if variant.is_parallel() {
+                    &cfg.threads
+                } else {
+                    &[1]
+                };
+                for &threads in thread_counts {
+                    size_pool(threads)?;
+                    // Best-of-N: the first trial's output is kept (for
+                    // the digest reference and as kernel 1's input);
+                    // every later trial must reproduce its byte stream
+                    // and is deleted.
+                    let mut kept: Option<(Manifest, std::path::PathBuf)> = None;
+                    let mut seconds = f64::INFINITY;
+                    for trial in 0..cfg.trials.max(1) {
+                        let dir = td.join(&format!(
+                            "s{scale}-{}-k0-{}-t{threads}-r{trial}",
+                            gen.name(),
+                            variant.name()
+                        ));
+                        let sw = Stopwatch::start();
+                        let manifest = run_k0(&pcfg, variant, &dir)?;
+                        seconds = seconds.min(sw.elapsed_secs());
+                        match &kept {
+                            None => kept = Some((manifest, dir)),
+                            Some((first, _)) => {
+                                if !manifest.digest.same_stream(&first.digest) {
+                                    return Err(format!(
+                                        "k0 {} {} trial {trial} (t{threads}, scale {scale}) \
+                                         wrote a different edge stream than its first trial",
+                                        gen.name(),
+                                        variant.name()
+                                    ));
+                                }
+                                std::fs::remove_dir_all(&dir)
+                                    .map_err(|e| format!("cannot clean {}: {e}", dir.display()))?;
+                            }
+                        }
+                    }
+                    let Some((manifest, dir)) = kept else {
+                        return Err(format!("k0 {} measured no trials", variant.name()));
+                    };
+                    let bytes = dir_bytes(&dir, &manifest)?;
+                    let (mbytes, mb_per_s, gb_per_s) = rates(bytes, seconds);
+                    rows.push(SweepRow {
+                        kernel: "k0",
+                        variant: variant.name(),
+                        gen: gen.name(),
+                        scale,
+                        threads,
+                        edges: manifest.edges,
+                        mbytes,
+                        seconds,
+                        mb_per_s,
+                        gb_per_s,
+                    });
+                    match &k0_ref {
+                        None => k0_ref = Some((manifest, dir)),
+                        Some((reference, _)) => {
+                            if !manifest.digest.same_stream(&reference.digest) {
                                 return Err(format!(
-                                    "k0 {} trial {trial} (t{threads}, scale {scale}) wrote \
-                                     a different edge stream than its first trial",
+                                    "k0 {} {} (t{threads}, scale {scale}) wrote a different \
+                                     edge stream than the reference",
+                                    gen.name(),
                                     variant.name()
                                 ));
                             }
                             std::fs::remove_dir_all(&dir)
                                 .map_err(|e| format!("cannot clean {}: {e}", dir.display()))?;
                         }
-                    }
-                }
-                let Some((manifest, dir)) = kept else {
-                    return Err(format!("k0 {} measured no trials", variant.name()));
-                };
-                let bytes = dir_bytes(&dir, &manifest)?;
-                let mbytes = bytes as f64 / 1e6;
-                rows.push(SweepRow {
-                    kernel: "k0",
-                    variant: variant.name(),
-                    scale,
-                    threads,
-                    edges: manifest.edges,
-                    mbytes,
-                    seconds,
-                    mb_per_s: mbytes / seconds.max(1e-15),
-                });
-                match &k0_ref {
-                    None => k0_ref = Some((manifest, dir)),
-                    Some((reference, _)) => {
-                        if !manifest.digest.same_stream(&reference.digest) {
-                            return Err(format!(
-                                "k0 {} (t{threads}, scale {scale}) wrote a different \
-                                 edge stream than the reference",
-                                variant.name()
-                            ));
-                        }
-                        std::fs::remove_dir_all(&dir)
-                            .map_err(|e| format!("cannot clean {}: {e}", dir.display()))?;
                     }
                 }
             }
+            let Some((k0_manifest, k0_dir)) = k0_ref else {
+                return Err("kernel 0 measured no variants".to_string());
+            };
+            if k1_input.is_none() {
+                k1_input = Some((k0_manifest, k0_dir, gen.name()));
+            } else {
+                std::fs::remove_dir_all(&k0_dir)
+                    .map_err(|e| format!("cannot clean {}: {e}", k0_dir.display()))?;
+            }
         }
-        let Some((k0_manifest, k0_dir)) = k0_ref else {
-            return Err("kernel 0 measured no variants".to_string());
+        let Some((k0_manifest, k0_dir, k1_gen)) = k1_input else {
+            return Err("kernel 0 measured no samplers".to_string());
         };
 
-        // --- Kernel 1: read + sort + write ---
-        let in_bytes = k0_manifest.edges.saturating_mul(BYTES_PER_EDGE as u64);
-        let budget_bytes = (in_bytes / cfg.budget_divisor.max(1)).max(BYTES_PER_EDGE as u64);
-        let mut k1_ref: Option<Manifest> = None;
-        for variant in K1Variant::ALL {
-            let thread_counts: &[usize] = if variant.is_parallel() {
-                &cfg.threads
-            } else {
-                &[1]
-            };
-            for &threads in thread_counts {
-                size_pool(threads)?;
-                // Best-of-N mirrors kernel 0: keep the first trial's
-                // output, require every repetition to reproduce it.
-                let mut kept: Option<(Manifest, std::path::PathBuf)> = None;
-                let mut seconds = f64::INFINITY;
-                for trial in 0..cfg.trials.max(1) {
-                    let dir = td.join(&format!(
-                        "s{scale}-k1-{}-t{threads}-r{trial}",
-                        variant.name()
-                    ));
-                    let sw = Stopwatch::start();
-                    let manifest = run_k1(&k0_dir, &dir, cfg.num_files, variant, budget_bytes)?;
-                    seconds = seconds.min(sw.elapsed_secs());
-                    match &kept {
-                        None => kept = Some((manifest, dir)),
-                        Some((first, _)) => {
-                            if !manifest.digest.same_stream(&first.digest) {
+        // --- Kernel 1: read + sort + write, once per scale ---
+        if cfg.k1_max_scale.is_none_or(|cap| scale <= cap) {
+            let in_bytes = k0_manifest.edges.saturating_mul(BYTES_PER_EDGE as u64);
+            let budget_bytes = (in_bytes / cfg.budget_divisor.max(1)).max(BYTES_PER_EDGE as u64);
+            let mut k1_ref: Option<Manifest> = None;
+            for variant in K1Variant::ALL {
+                let thread_counts: &[usize] = if variant.is_parallel() {
+                    &cfg.threads
+                } else {
+                    &[1]
+                };
+                for &threads in thread_counts {
+                    size_pool(threads)?;
+                    // Best-of-N mirrors kernel 0: keep the first trial's
+                    // output, require every repetition to reproduce it.
+                    let mut kept: Option<(Manifest, std::path::PathBuf)> = None;
+                    let mut seconds = f64::INFINITY;
+                    for trial in 0..cfg.trials.max(1) {
+                        let dir = td.join(&format!(
+                            "s{scale}-k1-{}-t{threads}-r{trial}",
+                            variant.name()
+                        ));
+                        let sw = Stopwatch::start();
+                        let manifest = run_k1(&k0_dir, &dir, cfg.num_files, variant, budget_bytes)?;
+                        seconds = seconds.min(sw.elapsed_secs());
+                        match &kept {
+                            None => kept = Some((manifest, dir)),
+                            Some((first, _)) => {
+                                if !manifest.digest.same_stream(&first.digest) {
+                                    return Err(format!(
+                                        "k1 {} trial {trial} (t{threads}, scale {scale}) \
+                                         produced a different sorted stream than its first trial",
+                                        variant.name()
+                                    ));
+                                }
+                                std::fs::remove_dir_all(&dir)
+                                    .map_err(|e| format!("cannot clean {}: {e}", dir.display()))?;
+                            }
+                        }
+                    }
+                    let Some((manifest, dir)) = kept else {
+                        return Err(format!("k1 {} measured no trials", variant.name()));
+                    };
+                    let bytes = dir_bytes(&dir, &manifest)?;
+                    if !manifest.sort_state.is_sorted_by_start() {
+                        return Err(format!("k1 {} output is not sorted", variant.name()));
+                    }
+                    // All three paths are stable sorts, so their output
+                    // streams must be byte-identical.
+                    match &k1_ref {
+                        None => k1_ref = Some(manifest.clone()),
+                        Some(reference) => {
+                            if !manifest.digest.same_stream(&reference.digest) {
                                 return Err(format!(
-                                    "k1 {} trial {trial} (t{threads}, scale {scale}) produced \
-                                     a different sorted stream than its first trial",
+                                    "k1 {} (t{threads}, scale {scale}) produced a different \
+                                     sorted stream than the reference",
                                     variant.name()
                                 ));
                             }
-                            std::fs::remove_dir_all(&dir)
-                                .map_err(|e| format!("cannot clean {}: {e}", dir.display()))?;
                         }
                     }
+                    let (mbytes, mb_per_s, gb_per_s) = rates(bytes, seconds);
+                    rows.push(SweepRow {
+                        kernel: "k1",
+                        variant: variant.name(),
+                        gen: k1_gen,
+                        scale,
+                        threads,
+                        edges: manifest.edges,
+                        mbytes,
+                        seconds,
+                        mb_per_s,
+                        gb_per_s,
+                    });
+                    std::fs::remove_dir_all(&dir)
+                        .map_err(|e| format!("cannot clean {}: {e}", dir.display()))?;
                 }
-                let Some((manifest, dir)) = kept else {
-                    return Err(format!("k1 {} measured no trials", variant.name()));
-                };
-                let bytes = dir_bytes(&dir, &manifest)?;
-                let mbytes = bytes as f64 / 1e6;
-                if !manifest.sort_state.is_sorted_by_start() {
-                    return Err(format!("k1 {} output is not sorted", variant.name()));
-                }
-                // All three paths are stable sorts, so their output
-                // streams must be byte-identical.
-                match &k1_ref {
-                    None => k1_ref = Some(manifest.clone()),
-                    Some(reference) => {
-                        if !manifest.digest.same_stream(&reference.digest) {
-                            return Err(format!(
-                                "k1 {} (t{threads}, scale {scale}) produced a different \
-                                 sorted stream than the reference",
-                                variant.name()
-                            ));
-                        }
-                    }
-                }
-                rows.push(SweepRow {
-                    kernel: "k1",
-                    variant: variant.name(),
-                    scale,
-                    threads,
-                    edges: manifest.edges,
-                    mbytes,
-                    seconds,
-                    mb_per_s: mbytes / seconds.max(1e-15),
-                });
-                std::fs::remove_dir_all(&dir)
-                    .map_err(|e| format!("cannot clean {}: {e}", dir.display()))?;
             }
         }
         std::fs::remove_dir_all(&k0_dir)
@@ -465,18 +549,29 @@ pub fn to_json(cfg: &SweepConfig, rows: &[SweepRow]) -> String {
         entry
             .set_str("kernel", row.kernel)
             .set_str("variant", row.variant)
+            .set_str("gen", row.gen)
             .set_u64("scale", u64::from(row.scale))
             .set_u64("threads", row.threads as u64)
             .set_u64("edges", row.edges)
             .set_f64("mbytes", row.mbytes)
             .set_f64("seconds", row.seconds)
-            .set_f64("mb_per_s", row.mb_per_s);
+            .set_f64("mb_per_s", row.mb_per_s)
+            .set_f64("gb_per_s", row.gb_per_s);
         results.push_obj(&entry);
     }
+    let gens = cfg
+        .gens
+        .iter()
+        .map(|g| g.name())
+        .collect::<Vec<_>>()
+        .join(",");
     let mut obj = JsonObject::new();
     obj.set_str("benchmark", SCHEMA_VERSION)
         .set_u64("budget_divisor", cfg.budget_divisor)
         .set_u64("edge_factor", cfg.edge_factor)
+        .set_raw("faithful_max_scale", cap_json(cfg.faithful_max_scale))
+        .set_str("gens", &gens)
+        .set_raw("k1_max_scale", cap_json(cfg.k1_max_scale))
         .set_u64("num_files", cfg.num_files as u64)
         .set_raw("results", results.render())
         .set_u64("seed", cfg.seed)
@@ -484,12 +579,31 @@ pub fn to_json(cfg: &SweepConfig, rows: &[SweepRow]) -> String {
     obj.render()
 }
 
+/// JSON value for an optional scale cap: the number, or `"none"` for an
+/// uncapped sweep.
+fn cap_json(cap: Option<u32>) -> String {
+    match cap {
+        Some(v) => v.to_string(),
+        None => "\"none\"".to_string(),
+    }
+}
+
 /// Validates a `BENCH_k01.json` document against the expected schema:
 /// correct version tag, exactly [`TOP_KEYS`] at the top level, at least
-/// one result row, and exactly [`ROW_KEYS`] on every row. Fails on drift
-/// in either direction (missing *or* extra keys).
+/// one result row, and exactly [`ROW_KEYS`] on every row, failing on
+/// drift in either direction (missing *or* extra keys). On top of the
+/// shape check, every row's `mb_per_s` and `gb_per_s` must agree with its
+/// own `mbytes / seconds` within 1% — a stale or hand-edited rate is
+/// rejected even though the shape is intact.
 pub fn check_schema(text: &str) -> Result<(), String> {
-    crate::schema::check_flat_schema(text, SCHEMA_VERSION, TOP_KEYS, ROW_KEYS)
+    crate::schema::check_flat_schema(text, SCHEMA_VERSION, TOP_KEYS, ROW_KEYS)?;
+    crate::schema::check_rate_consistency(
+        text,
+        "mbytes",
+        "seconds",
+        &[("mb_per_s", 1.0), ("gb_per_s", 1e-3)],
+        0.01,
+    )
 }
 
 #[cfg(test)]
@@ -505,8 +619,16 @@ mod tests {
             num_files: 2,
             budget_divisor: 4,
             trials: 1,
+            gens: vec![RmatSampler::Faithful, RmatSampler::Linear],
+            faithful_max_scale: None,
+            k1_max_scale: None,
         }
     }
+
+    /// K0: (stream once + 2 parallel variants × 2 thread counts) per
+    /// sampler; K1: inmem once + 2 parallel variants × 2 thread counts,
+    /// once per scale.
+    const TINY_ROWS: usize = (1 + 2 * 2) * 2 + (1 + 2 * 2);
 
     #[test]
     fn best_of_n_trials_still_yields_one_row_per_point() {
@@ -515,23 +637,24 @@ mod tests {
             ..tiny_cfg()
         };
         let rows = run_sweep(&cfg).unwrap();
-        assert_eq!(rows.len(), (1 + 2 * 2) * 2);
+        assert_eq!(rows.len(), TINY_ROWS);
     }
 
     #[test]
     fn sweep_covers_every_variant_and_streams_agree() {
         let cfg = tiny_cfg();
         let rows = run_sweep(&cfg).unwrap();
-        // K0: stream once + 2 parallel variants × 2 thread counts;
-        // K1: inmem once + 2 parallel variants × 2 thread counts.
-        assert_eq!(rows.len(), (1 + 2 * 2) * 2);
+        assert_eq!(rows.len(), TINY_ROWS);
         for v in K0Variant::ALL {
-            assert!(
-                rows.iter()
-                    .any(|r| r.kernel == "k0" && r.variant == v.name()),
-                "missing k0 {}",
-                v.name()
-            );
+            for g in RmatSampler::ALL {
+                assert!(
+                    rows.iter()
+                        .any(|r| r.kernel == "k0" && r.variant == v.name() && r.gen == g.name()),
+                    "missing k0 {} under {}",
+                    v.name(),
+                    g.name()
+                );
+            }
         }
         for v in K1Variant::ALL {
             assert!(
@@ -545,7 +668,38 @@ mod tests {
             assert!(row.mb_per_s > 0.0, "{row:?}");
             assert!(row.edges > 0, "{row:?}");
             assert!(row.mbytes > 0.0, "{row:?}");
+            assert!(
+                (row.gb_per_s - row.mb_per_s / 1e3).abs() <= row.mb_per_s * 1e-12,
+                "{row:?}"
+            );
         }
+        // Kernel 1 sorts the first swept sampler's output and says so.
+        assert!(rows
+            .iter()
+            .filter(|r| r.kernel == "k1")
+            .all(|r| r.gen == "faithful"));
+    }
+
+    #[test]
+    fn sweep_caps_limit_faithful_and_k1_scales() {
+        let cfg = SweepConfig {
+            scales: vec![5, 6],
+            faithful_max_scale: Some(5),
+            k1_max_scale: Some(5),
+            ..tiny_cfg()
+        };
+        let rows = run_sweep(&cfg).unwrap();
+        // Scale 5 runs the full matrix; scale 6 is linear-only with no k1.
+        assert!(rows
+            .iter()
+            .any(|r| r.scale == 5 && r.gen == "faithful" && r.kernel == "k0"));
+        assert!(rows.iter().any(|r| r.scale == 5 && r.kernel == "k1"));
+        assert!(!rows.iter().any(|r| r.scale == 6 && r.gen == "faithful"));
+        assert!(!rows.iter().any(|r| r.scale == 6 && r.kernel == "k1"));
+        assert!(rows
+            .iter()
+            .any(|r| r.scale == 6 && r.gen == "linear" && r.kernel == "k0"));
+        assert_eq!(rows.len(), TINY_ROWS + 5);
     }
 
     #[test]
@@ -572,5 +726,18 @@ mod tests {
         assert!(check_schema(&wrong).is_err());
         // Empty results.
         assert!(check_schema(&to_json(&cfg, &[])).is_err());
+    }
+
+    #[test]
+    fn schema_check_rejects_a_doctored_rate() {
+        let cfg = tiny_cfg();
+        let rows = run_sweep(&cfg).unwrap();
+        let mut fast = rows;
+        // Inflate one row's headline rate by 10× without touching the raw
+        // measurements it is derived from.
+        fast[0].mb_per_s *= 10.0;
+        let json = to_json(&cfg, &fast);
+        let err = check_schema(&json).unwrap_err();
+        assert!(err.contains("mb_per_s"), "{err}");
     }
 }

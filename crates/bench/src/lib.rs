@@ -41,6 +41,29 @@ pub fn parse_scale_range(s: &str) -> Option<std::ops::RangeInclusive<u32>> {
     Some(lo..=hi)
 }
 
+/// Parses a scale-list CLI argument: comma-separated entries, each either
+/// a single scale (`22`) or an inclusive `lo:hi` range (`16:20`), e.g.
+/// `16:18,22,24`. Sparse lists let a sweep mix a dense comparison band
+/// with isolated stress points.
+pub fn parse_scale_list(s: &str) -> Option<Vec<u32>> {
+    let mut scales = Vec::new();
+    for part in s.split(',') {
+        if part.contains(':') {
+            scales.extend(parse_scale_range(part)?);
+        } else {
+            let v: u32 = part.parse().ok()?;
+            if v > 40 {
+                return None;
+            }
+            scales.push(v);
+        }
+    }
+    if scales.is_empty() {
+        return None;
+    }
+    Some(scales)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -52,5 +75,19 @@ mod tests {
         assert_eq!(parse_scale_range("9:4"), None);
         assert_eq!(parse_scale_range("junk"), None);
         assert_eq!(parse_scale_range("1:99"), None);
+    }
+
+    #[test]
+    fn scale_list_parses_singles_ranges_and_mixes() {
+        assert_eq!(parse_scale_list("22"), Some(vec![22]));
+        assert_eq!(parse_scale_list("16:18"), Some(vec![16, 17, 18]));
+        assert_eq!(
+            parse_scale_list("16:18,22,24"),
+            Some(vec![16, 17, 18, 22, 24])
+        );
+        assert_eq!(parse_scale_list("junk"), None);
+        assert_eq!(parse_scale_list("5,99"), None);
+        assert_eq!(parse_scale_list("9:4"), None);
+        assert_eq!(parse_scale_list(""), None);
     }
 }

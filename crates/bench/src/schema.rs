@@ -94,6 +94,105 @@ pub(crate) fn check_flat_schema(
     Ok(())
 }
 
+/// Extracts the text span of every result-row object (objects at depth 3:
+/// top object → results array → row). Strings are skipped with escape
+/// handling, like [`keys_by_depth`].
+pub(crate) fn result_rows(text: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let bytes = text.as_bytes();
+    let mut depth = 0u32;
+    let mut start = None;
+    let mut i = 0usize;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'{' | b'[' => {
+                if bytes[i] == b'{' && depth == 2 {
+                    start = Some(i);
+                }
+                depth += 1;
+                i += 1;
+            }
+            b'}' | b']' => {
+                depth = depth.saturating_sub(1);
+                if bytes[i] == b'}' && depth == 2 {
+                    if let Some(s) = start.take() {
+                        out.push(&text[s..=i]);
+                    }
+                }
+                i += 1;
+            }
+            b'"' => {
+                let mut j = i + 1;
+                while j < bytes.len() && bytes[j] != b'"' {
+                    if bytes[j] == b'\\' {
+                        j += 1;
+                    }
+                    j += 1;
+                }
+                i = j + 1;
+            }
+            _ => i += 1,
+        }
+    }
+    out
+}
+
+/// Parses the numeric value of `key` inside one row's text span.
+pub(crate) fn field_f64(row: &str, key: &str) -> Result<f64, String> {
+    let pat = format!("\"{key}\":");
+    let at = row
+        .find(&pat)
+        .ok_or_else(|| format!("row is missing numeric field {key:?}"))?;
+    let rest = &row[at + pat.len()..];
+    let end = rest
+        .find([',', '}'])
+        .ok_or_else(|| format!("unterminated value for {key:?}"))?;
+    rest[..end]
+        .trim()
+        .parse::<f64>()
+        .map_err(|e| format!("field {key:?} is not a number: {e}"))
+}
+
+/// Cross-checks every result row's reported rates against its own
+/// size/seconds fields: for each `(rate_key, factor)`, the row must satisfy
+/// `rate ≈ size / seconds × factor` within `rel_tol` relative error. A row
+/// whose rate disagrees with its raw measurements by more than the
+/// tolerance is rejected — stale or hand-edited rates cannot survive a
+/// schema check.
+pub(crate) fn check_rate_consistency(
+    text: &str,
+    size_key: &str,
+    secs_key: &str,
+    rates: &[(&str, f64)],
+    rel_tol: f64,
+) -> Result<(), String> {
+    let rows = result_rows(text);
+    if rows.is_empty() {
+        return Err("no result rows to rate-check".to_string());
+    }
+    for (r, row) in rows.iter().enumerate() {
+        let size = field_f64(row, size_key)?;
+        let seconds = field_f64(row, secs_key)?;
+        if !seconds.is_finite() || seconds <= 0.0 {
+            return Err(format!("row {r}: non-positive seconds {seconds}"));
+        }
+        for &(rate_key, factor) in rates {
+            let reported = field_f64(row, rate_key)?;
+            let implied = size / seconds * factor;
+            let rel = (reported - implied).abs() / implied.abs().max(f64::MIN_POSITIVE);
+            if rel > rel_tol {
+                return Err(format!(
+                    "row {r}: {rate_key} = {reported} disagrees with \
+                     {size_key}/{secs_key}·{factor} = {implied} by {:.1}% (> {:.0}%)",
+                    rel * 100.0,
+                    rel_tol * 100.0
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -124,5 +223,49 @@ mod tests {
         );
         let empty = r#"{"benchmark":"v1","results":[]}"#;
         assert!(check_flat_schema(empty, "v1", &["benchmark", "results"], &["x", "y"]).is_err());
+    }
+
+    #[test]
+    fn result_rows_extracts_each_depth_3_object() {
+        let text = r#"{"benchmark":"v1","results":[{"a":1,"b":"x}y"},{"a":2,"b":"z"}]}"#;
+        let rows = result_rows(text);
+        assert_eq!(rows, vec![r#"{"a":1,"b":"x}y"}"#, r#"{"a":2,"b":"z"}"#]);
+        assert!(result_rows(r#"{"benchmark":"v1","results":[]}"#).is_empty());
+    }
+
+    #[test]
+    fn field_f64_parses_and_reports_missing_fields() {
+        let row = r#"{"mbytes":12.5,"seconds":0.25,"gen":"linear"}"#;
+        assert_eq!(field_f64(row, "mbytes").unwrap(), 12.5);
+        assert_eq!(field_f64(row, "seconds").unwrap(), 0.25);
+        assert!(field_f64(row, "absent").is_err());
+        assert!(field_f64(row, "gen").is_err());
+    }
+
+    #[test]
+    fn rate_consistency_accepts_true_rates_and_rejects_drifted_ones() {
+        let rates: &[(&str, f64)] = &[("mb_per_s", 1.0), ("gb_per_s", 1e-3)];
+        let good = concat!(
+            r#"{"benchmark":"v1","results":["#,
+            r#"{"mbytes":10.0,"seconds":2.0,"mb_per_s":5.0,"gb_per_s":0.005}]}"#
+        );
+        check_rate_consistency(good, "mbytes", "seconds", rates, 0.01).unwrap();
+
+        // A rate off by 4% must be rejected; one off by 0.4% must pass.
+        let drifted = good.replace("\"mb_per_s\":5.0", "\"mb_per_s\":5.2");
+        let err = check_rate_consistency(&drifted, "mbytes", "seconds", rates, 0.01).unwrap_err();
+        assert!(err.contains("mb_per_s"), "{err}");
+        let close = good.replace("\"mb_per_s\":5.0", "\"mb_per_s\":5.02");
+        check_rate_consistency(&close, "mbytes", "seconds", rates, 0.01).unwrap();
+
+        // Both rates are checked independently.
+        let bad_gb = good.replace("\"gb_per_s\":0.005", "\"gb_per_s\":0.006");
+        assert!(check_rate_consistency(&bad_gb, "mbytes", "seconds", rates, 0.01).is_err());
+
+        // Degenerate rows cannot slip through.
+        let zero_secs = good.replace("\"seconds\":2.0", "\"seconds\":0.0");
+        assert!(check_rate_consistency(&zero_secs, "mbytes", "seconds", rates, 0.01).is_err());
+        let no_rows = r#"{"benchmark":"v1","results":[]}"#;
+        assert!(check_rate_consistency(no_rows, "mbytes", "seconds", rates, 0.01).is_err());
     }
 }

@@ -8,7 +8,7 @@
 
 use std::path::PathBuf;
 
-use ppbench_gen::{GeneratorKind, GraphSpec};
+use ppbench_gen::{GeneratorKind, GraphSpec, RmatSampler};
 use ppbench_sort::SortKey;
 
 use crate::backend::Variant;
@@ -45,6 +45,12 @@ pub struct PipelineConfig {
     /// Which generator kernel 0 uses (§V: "should a more deterministic
     /// generator be used?").
     pub generator: GeneratorKind,
+    /// Which R-MAT sampling algorithm realizes the Kronecker generator:
+    /// the faithful Graph500 coin-flip port or the linear-work block
+    /// sampler. The two emit different (equally distributed) streams for
+    /// the same seed, so the choice is canonical-hash-bearing. Ignored by
+    /// non-Kronecker generators.
+    pub gen: RmatSampler,
     /// Whether kernel 0 permutes vertex labels (Graph500's `randperm(N)`).
     pub permute_vertices: bool,
     /// Whether kernel 0 shuffles edge order (Graph500's `randperm(M)`).
@@ -129,6 +135,7 @@ impl PipelineConfig {
             ("dangling", self.dangling.name().to_string()),
             ("edge_factor", self.spec.edge_factor().to_string()),
             ("fused", self.fused.to_string()),
+            ("gen", self.gen.name().to_string()),
             ("generator", self.generator.name().to_string()),
             ("iterations", self.iterations.to_string()),
             ("num_files", self.num_files.to_string()),
@@ -216,6 +223,7 @@ pub struct PipelineConfigBuilder {
     seed: u64,
     num_files: usize,
     generator: GeneratorKind,
+    gen: RmatSampler,
     permute_vertices: bool,
     shuffle_edges: bool,
     variant: Variant,
@@ -240,6 +248,7 @@ impl Default for PipelineConfigBuilder {
             seed: 1,
             num_files: 1,
             generator: GeneratorKind::Kronecker,
+            gen: RmatSampler::Faithful,
             permute_vertices: true,
             shuffle_edges: false,
             variant: Variant::Optimized,
@@ -286,6 +295,13 @@ impl PipelineConfigBuilder {
     /// Selects the kernel-0 generator.
     pub fn generator(mut self, g: GeneratorKind) -> Self {
         self.generator = g;
+        self
+    }
+
+    /// Selects the R-MAT sampling algorithm (faithful coin flips or the
+    /// linear-work block sampler) for the Kronecker generator.
+    pub fn gen(mut self, s: RmatSampler) -> Self {
+        self.gen = s;
         self
     }
 
@@ -397,6 +413,7 @@ impl PipelineConfigBuilder {
             seed: self.seed,
             num_files: self.num_files,
             generator: self.generator,
+            gen: self.gen,
             permute_vertices: self.permute_vertices,
             shuffle_edges: self.shuffle_edges,
             variant: self.variant,
@@ -431,6 +448,7 @@ mod tests {
         assert!(!cfg.shuffle_edges);
         assert!(!cfg.add_diagonal_to_empty);
         assert_eq!(cfg.workload, Workload::PageRank);
+        assert_eq!(cfg.gen, RmatSampler::Faithful);
         assert!(cfg.input_tsv.is_none());
         assert!(!cfg.fused);
     }
@@ -509,7 +527,7 @@ mod tests {
         let mut sorted = keys.clone();
         sorted.sort_unstable();
         assert_eq!(keys, sorted, "keys must come out sorted");
-        assert_eq!(keys.len(), 19, "one entry per PipelineConfig field");
+        assert_eq!(keys.len(), 20, "one entry per PipelineConfig field");
     }
 
     #[test]
@@ -523,6 +541,7 @@ mod tests {
             base().num_files(2).build(),
             base().variant(Variant::Naive).build(),
             base().generator(GeneratorKind::PerfectPowerLaw).build(),
+            base().gen(RmatSampler::Linear).build(),
             base().sort_key(SortKey::StartEnd).build(),
             base().sort_budget_bytes(100).build(),
             base().add_diagonal_to_empty(true).build(),

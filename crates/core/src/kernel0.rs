@@ -8,7 +8,9 @@
 
 use std::path::Path;
 
-use ppbench_gen::{chunk_ranges, EdgeGenerator, GeneratorKind, Kronecker};
+use ppbench_gen::{
+    chunk_ranges, EdgeGenerator, GeneratorKind, Kronecker, LinearKronecker, RmatSampler,
+};
 use ppbench_io::checksum::EdgeDigest;
 use ppbench_io::{EdgeEncoding, EdgeWriter, FileEntry, Manifest, ShardWriter, SortState};
 
@@ -20,16 +22,28 @@ use crate::error::Result;
 /// alternatives are deterministic by design).
 pub fn build_generator(cfg: &PipelineConfig) -> Box<dyn EdgeGenerator + Send + Sync> {
     match cfg.generator {
-        GeneratorKind::Kronecker => {
-            let mut g = Kronecker::new(cfg.spec, cfg.seed);
-            if !cfg.permute_vertices {
-                g = g.without_vertex_permutation();
+        GeneratorKind::Kronecker => match cfg.gen {
+            RmatSampler::Faithful => {
+                let mut g = Kronecker::new(cfg.spec, cfg.seed);
+                if !cfg.permute_vertices {
+                    g = g.without_vertex_permutation();
+                }
+                if cfg.shuffle_edges {
+                    g = g.with_edge_shuffle();
+                }
+                Box::new(g)
             }
-            if cfg.shuffle_edges {
-                g = g.with_edge_shuffle();
+            RmatSampler::Linear => {
+                let mut g = LinearKronecker::new(cfg.spec, cfg.seed);
+                if !cfg.permute_vertices {
+                    g = g.without_vertex_permutation();
+                }
+                if cfg.shuffle_edges {
+                    g = g.with_edge_shuffle();
+                }
+                Box::new(g)
             }
-            Box::new(g)
-        }
+        },
         other => other.build(cfg.spec, cfg.seed),
     }
 }
@@ -50,8 +64,10 @@ pub fn write_streamed(
 ) -> Result<Manifest> {
     let m = cfg.spec.num_edges();
     let mut writer = EdgeWriter::create(dir, "edges", cfg.num_files, m)?;
+    let mut chunk = Vec::new();
     for (lo, hi) in chunk_ranges(0, m, GENERATION_CHUNK) {
-        writer.write_all(&generator.edges_chunk(lo, hi))?;
+        generator.edges_into(&mut chunk, lo, hi);
+        writer.write_all(&chunk)?;
     }
     Ok(writer.finish(
         Some(cfg.spec.scale()),
@@ -125,10 +141,10 @@ pub fn write_sharded(
             let lo = (i as u64).saturating_mul(cap).min(m);
             let hi = lo.saturating_add(cap).min(m);
             let mut w = ShardWriter::create(dir, "edges", i, EdgeEncoding::Text, true)?;
+            let mut chunk = Vec::new();
             for (clo, chi) in chunk_ranges(lo, hi, GENERATION_CHUNK) {
-                for e in generator.edges_chunk(clo, chi) {
-                    w.write(e)?;
-                }
+                generator.edges_into(&mut chunk, clo, chi);
+                w.write_all(&chunk)?;
             }
             w.finish()
         })
@@ -273,6 +289,76 @@ mod tests {
         std::fs::write(&empty, "# only comments\n").unwrap();
         let err = ingest_tsv(&cfg, &empty, &td.join("y")).unwrap_err();
         assert!(err.to_string().contains("no edges"), "{err}");
+    }
+
+    #[test]
+    fn gen_axis_selects_the_linear_sampler() {
+        // Same seed, different sampler ⇒ different (equally sized) streams;
+        // the linear stream matches the LinearKronecker directly.
+        let faithful_cfg = cfg(8);
+        let linear_cfg = PipelineConfig::builder()
+            .scale(8)
+            .edge_factor(4)
+            .seed(5)
+            .gen(ppbench_gen::RmatSampler::Linear)
+            .build();
+        let faithful = build_generator(&faithful_cfg).edges();
+        let linear = build_generator(&linear_cfg).edges();
+        assert_eq!(faithful.len(), linear.len());
+        assert_ne!(
+            faithful, linear,
+            "samplers must consume randomness differently"
+        );
+        assert_eq!(
+            linear,
+            ppbench_gen::LinearKronecker::new(linear_cfg.spec, 5).edges()
+        );
+        // Toggles apply to the linear sampler too.
+        let raw_cfg = PipelineConfig::builder()
+            .scale(8)
+            .edge_factor(4)
+            .seed(5)
+            .gen(ppbench_gen::RmatSampler::Linear)
+            .permute_vertices(false)
+            .build();
+        let raw = build_generator(&raw_cfg).edges();
+        assert_ne!(raw, linear);
+        let din = degree::in_degrees(&raw, 256);
+        let argmax = (0..256).max_by_key(|&i| din[i as usize]).unwrap();
+        assert_eq!(argmax, 0, "unpermuted linear hub must be vertex 0");
+    }
+
+    #[test]
+    fn linear_sharded_write_identical_to_streamed() {
+        // The digest-chain/file-layout identity must hold for the linear
+        // sampler across shard counts, exactly as for the faithful one.
+        let td = ppbench_io::tempdir::TempDir::new("ppbench-k0").unwrap();
+        let mut manifests = Vec::new();
+        for num_files in [1, 3, 7] {
+            let cfg = PipelineConfig::builder()
+                .scale(6)
+                .edge_factor(4)
+                .seed(5)
+                .num_files(num_files)
+                .gen(ppbench_gen::RmatSampler::Linear)
+                .build();
+            let g = build_generator(&cfg);
+            let serial_dir = td.join(&format!("lin-serial-{num_files}"));
+            let sharded_dir = td.join(&format!("lin-sharded-{num_files}"));
+            let m_serial = write_streamed(&g, &cfg, &serial_dir).unwrap();
+            let m_sharded = write_sharded(&g, &cfg, &sharded_dir).unwrap();
+            assert_eq!(m_serial.files, m_sharded.files, "{num_files} files");
+            assert!(m_serial.digest.same_stream(&m_sharded.digest));
+            for f in &m_serial.files {
+                let a = std::fs::read(serial_dir.join(&f.name)).unwrap();
+                let b = std::fs::read(sharded_dir.join(&f.name)).unwrap();
+                assert_eq!(a, b, "{} differs with {num_files} files", f.name);
+            }
+            manifests.push(m_serial);
+        }
+        // And the stream digest is independent of the shard count.
+        assert!(manifests[0].digest.same_stream(&manifests[1].digest));
+        assert!(manifests[0].digest.same_stream(&manifests[2].digest));
     }
 
     #[test]

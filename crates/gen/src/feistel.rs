@@ -80,6 +80,31 @@ impl FeistelPermutation {
         (hi << lo_bits) | lo
     }
 
+    /// Applies the permutation restricted to `0..bound` by cycle-walking:
+    /// re-applies the power-of-two permutation until the image lands below
+    /// `bound`. Because the permutation is a bijection on its domain, the
+    /// walk terminates and the restriction is itself a bijection on
+    /// `0..bound`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `x >= bound` or `bound` exceeds the
+    /// permutation's domain.
+    #[inline]
+    pub fn apply_below(&self, x: u64, bound: u64) -> u64 {
+        debug_assert!(x < bound, "input {x} outside restricted domain {bound}");
+        debug_assert!(
+            bound <= self.domain(),
+            "bound {bound} exceeds domain 2^{}",
+            self.bits
+        );
+        let mut y = self.apply(x);
+        while y >= bound {
+            y = self.apply(y);
+        }
+        y
+    }
+
     /// Applies the inverse permutation.
     #[inline]
     pub fn invert(&self, y: u64) -> u64 {

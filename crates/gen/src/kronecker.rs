@@ -20,7 +20,7 @@
 //! serial and parallel generation produce identical streams.
 
 use ppbench_io::Edge;
-use ppbench_prng::{Rng64, SplitMix64};
+use ppbench_prng::{derive_stream_seed, fill_indexed, Rng64, SplitMix64};
 
 use crate::feistel::FeistelPermutation;
 use crate::spec::GraphSpec;
@@ -159,19 +159,41 @@ impl Kronecker {
     /// power-of-two Feistel until it lands below M).
     #[inline]
     fn shuffled_index(&self, idx: u64) -> u64 {
-        let m = self.spec.num_edges();
-        let mut x = self.edge_perm.apply(idx);
-        while x >= m {
-            x = self.edge_perm.apply(x);
+        self.edge_perm.apply_below(idx, self.spec.num_edges())
+    }
+
+    /// Decodes one edge from its `2·scale` pre-drawn uniforms.
+    ///
+    /// Must consume `draws` in exactly the order [`Kronecker::sample_raw`]
+    /// pulls them (ii then jj per level) to stay bit-identical to the
+    /// per-edge path.
+    #[inline]
+    fn decode_raw(&self, draws: &[u64]) -> Edge {
+        // Same u64 → [0, 1) conversion as Rng64::next_f64.
+        let to_f64 = |x: u64| (x >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        let t = self.thresholds;
+        let mut u = 0u64;
+        let mut v = 0u64;
+        for level in 0..self.spec.scale() {
+            let i = 2 * level as usize;
+            let ii = to_f64(draws[i]) > t.ab;
+            let threshold = if ii { t.c_norm } else { t.a_norm };
+            let jj = to_f64(draws[i + 1]) > threshold;
+            u |= (ii as u64) << level;
+            v |= (jj as u64) << level;
         }
-        x
+        Edge::new(u, v)
     }
 }
 
 /// Derives an independent SplitMix seed from (seed, tweak).
+///
+/// Delegates to the prng crate's [`derive_stream_seed`] so the batched fill
+/// ([`fill_indexed`]) and this generator share one definition by
+/// construction.
 #[inline]
 fn derive_seed(seed: u64, tweak: u64) -> u64 {
-    SplitMix64::mix(seed ^ SplitMix64::mix(tweak))
+    derive_stream_seed(seed, tweak)
 }
 
 impl EdgeGenerator for Kronecker {
@@ -180,24 +202,55 @@ impl EdgeGenerator for Kronecker {
     }
 
     fn edges_chunk(&self, lo: u64, hi: u64) -> Vec<Edge> {
+        let mut out = Vec::new();
+        self.edges_into(&mut out, lo, hi);
+        out
+    }
+
+    fn edges_into(&self, out: &mut Vec<Edge>, lo: u64, hi: u64) {
         assert!(
             lo <= hi && hi <= self.spec.num_edges(),
             "bad chunk [{lo}, {hi})"
         );
-        let mut out = Vec::with_capacity((hi - lo) as usize);
-        for idx in lo..hi {
-            let src_idx = if self.shuffle_edges {
-                self.shuffled_index(idx)
-            } else {
-                idx
-            };
-            let mut e = self.sample_raw(src_idx);
-            if let Some(p) = &self.vertex_perm {
-                e = Edge::new(p.apply(e.u), p.apply(e.v));
+        out.clear();
+        out.reserve((hi - lo) as usize);
+        let draws_per_edge = 2 * self.spec.scale() as usize;
+        if self.shuffle_edges || draws_per_edge == 0 {
+            // Shuffled source indices are scattered (and scale 0 consumes no
+            // randomness), so batching contiguous index streams buys nothing.
+            for idx in lo..hi {
+                let src_idx = if self.shuffle_edges {
+                    self.shuffled_index(idx)
+                } else {
+                    idx
+                };
+                let mut e = self.sample_raw(src_idx);
+                if let Some(p) = &self.vertex_perm {
+                    e = Edge::new(p.apply(e.u), p.apply(e.v));
+                }
+                out.push(e);
             }
-            out.push(e);
+            return;
         }
-        out
+        // Unshuffled hot path: fill the per-edge streams in strides, then
+        // decode — bit-identical to sample_raw (same seeding, same draw
+        // order) but without a seed derivation + constructor per edge.
+        const STRIDE: usize = 512;
+        let mut buf = vec![0u64; STRIDE.min((hi - lo) as usize) * draws_per_edge];
+        let mut idx = lo;
+        while idx < hi {
+            let n = STRIDE.min((hi - idx) as usize);
+            let fill = &mut buf[..n * draws_per_edge];
+            fill_indexed(self.seed, idx, draws_per_edge, fill);
+            for draws in fill.chunks_exact(draws_per_edge) {
+                let mut e = self.decode_raw(draws);
+                if let Some(p) = &self.vertex_perm {
+                    e = Edge::new(p.apply(e.u), p.apply(e.v));
+                }
+                out.push(e);
+            }
+            idx += n as u64;
+        }
     }
 }
 
@@ -328,5 +381,75 @@ mod tests {
         let spec = GraphSpec::new(4, 2);
         let g = Kronecker::new(spec, 0);
         let _ = g.edges_chunk(0, spec.num_edges() + 1);
+    }
+
+    /// Known-answer digests of the faithful stream, captured from the
+    /// per-edge (pre-batching) implementation. These pin the batched
+    /// `fill_indexed` path bit-identical to the historical stream: any
+    /// change to seeding, draw order or the f64 conversion fails here.
+    #[test]
+    fn stream_is_pinned_to_the_pre_batching_reference() {
+        use ppbench_io::checksum::EdgeDigest;
+        let cases: [(u32, u64, u64, u64); 4] = [
+            (10, 8, 12345, 0x76e5_edbe_c63a_8400),
+            (8, 8, 5, 0x8896_6918_f0e7_3ade),
+            (14, 16, 1, 0x3ec7_eeef_ed2d_e051),
+            (12, 4, 99, 0x7423_86f2_30a7_6c5d),
+        ];
+        for (scale, ef, seed, chain) in cases {
+            let edges = Kronecker::new(GraphSpec::new(scale, ef), seed).edges();
+            let d = EdgeDigest::of_edges(&edges);
+            assert_eq!(
+                d.chain, chain,
+                "faithful stream drifted at scale {scale} ef {ef} seed {seed}"
+            );
+        }
+        // First edges of the (10, 8, 12345) stream, for a human-readable
+        // failure when the digest moves.
+        let edges = Kronecker::new(GraphSpec::new(10, 8), 12345).edges();
+        assert_eq!(
+            &edges[..4],
+            &[
+                Edge::new(780, 5),
+                Edge::new(109, 397),
+                Edge::new(60, 348),
+                Edge::new(292, 760)
+            ]
+        );
+        // Toggle variants are pinned too.
+        let raw = Kronecker::new(GraphSpec::new(10, 8), 12345)
+            .without_vertex_permutation()
+            .edges();
+        assert_eq!(EdgeDigest::of_edges(&raw).chain, 0x980f_32d7_4422_545f);
+        let sh = Kronecker::new(GraphSpec::new(10, 8), 12345)
+            .with_edge_shuffle()
+            .edges();
+        assert_eq!(EdgeDigest::of_edges(&sh).chain, 0x81f1_51ac_e914_22fc);
+    }
+
+    /// The batched `edges_into` path must agree with per-edge `sample_raw`
+    /// (which the shuffle path still uses) edge for edge.
+    #[test]
+    fn batched_fill_matches_per_edge_sampling() {
+        let spec = GraphSpec::new(9, 8);
+        let g = Kronecker::new(spec, 77).without_vertex_permutation();
+        let batched = g.edges();
+        for (idx, &e) in batched.iter().enumerate() {
+            assert_eq!(e, g.sample_raw(idx as u64), "edge {idx}");
+        }
+    }
+
+    #[test]
+    fn edges_into_reuses_the_buffer_across_chunks() {
+        let spec = GraphSpec::new(8, 4);
+        let g = Kronecker::new(spec, 2);
+        let all = g.edges();
+        let mut buf = Vec::new();
+        let mut tiled = Vec::new();
+        for (lo, hi) in crate::chunk_ranges(0, spec.num_edges(), 100) {
+            g.edges_into(&mut buf, lo, hi);
+            tiled.extend_from_slice(&buf);
+        }
+        assert_eq!(tiled, all);
     }
 }

@@ -44,6 +44,7 @@ pub mod degree;
 mod erdos;
 mod feistel;
 mod kronecker;
+mod linear;
 mod ppl;
 mod spec;
 pub mod validate;
@@ -52,6 +53,7 @@ pub use bter::Bter;
 pub use erdos::ErdosRenyi;
 pub use feistel::FeistelPermutation;
 pub use kronecker::{Kronecker, KroneckerProbs};
+pub use linear::{LinearKronecker, DEFAULT_BLOCK_BITS};
 pub use ppl::PerfectPowerLaw;
 pub use spec::{GraphSpec, DEFAULT_EDGE_FACTOR};
 
@@ -91,6 +93,24 @@ pub trait EdgeGenerator {
     /// Panics if `lo > hi` or `hi > self.spec().num_edges()`.
     fn edges_chunk(&self, lo: u64, hi: u64) -> Vec<Edge>;
 
+    /// Generates edges `lo..hi` into `out`, reusing its allocation.
+    ///
+    /// `out` is cleared first; afterwards it holds exactly
+    /// `edges()[lo..hi]`. Streaming consumers (kernel 0's writers) call this
+    /// once per chunk with one long-lived buffer instead of allocating a
+    /// fresh `Vec` via [`EdgeGenerator::edges_chunk`] each time.
+    ///
+    /// The default implementation delegates to `edges_chunk`; generators
+    /// with a hot path override it to write in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi` or `hi > self.spec().num_edges()`.
+    fn edges_into(&self, out: &mut Vec<Edge>, lo: u64, hi: u64) {
+        out.clear();
+        out.append(&mut self.edges_chunk(lo, hi));
+    }
+
     /// Generates the complete edge list serially.
     fn edges(&self) -> Vec<Edge> {
         self.edges_chunk(0, self.spec().num_edges())
@@ -120,6 +140,13 @@ impl<G: EdgeGenerator + ?Sized> EdgeGenerator for Box<G> {
 
     fn edges_chunk(&self, lo: u64, hi: u64) -> Vec<Edge> {
         (**self).edges_chunk(lo, hi)
+    }
+
+    // Forward explicitly so a generator's native `edges_into` override is
+    // not lost behind the box (the default impl would round-trip through
+    // `edges_chunk` and re-allocate).
+    fn edges_into(&self, out: &mut Vec<Edge>, lo: u64, hi: u64) {
+        (**self).edges_into(out, lo, hi)
     }
 }
 
@@ -177,6 +204,46 @@ impl GeneratorKind {
         GeneratorKind::ErdosRenyi,
         GeneratorKind::Bter,
     ];
+}
+
+/// Which R-MAT sampling algorithm realizes the Kronecker generator.
+///
+/// Both are deterministic in the seed and draw from the same initiator
+/// probabilities, but they consume their PRNG streams differently, so the
+/// two variants emit *different* (equally distributed) edge streams for the
+/// same seed. The choice is therefore part of a pipeline's canonical
+/// configuration. It only affects [`GeneratorKind::Kronecker`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RmatSampler {
+    /// The faithful Graph500 port: `scale` coin-flip pairs per edge
+    /// ([`Kronecker`]).
+    #[default]
+    Faithful,
+    /// The linear-work block sampler: `ceil(scale/8)` table lookups per
+    /// edge ([`LinearKronecker`]), after Hübschle-Schneider & Sanders.
+    Linear,
+}
+
+impl RmatSampler {
+    /// Stable name used in CLI flags, canonical configs and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            RmatSampler::Faithful => "faithful",
+            RmatSampler::Linear => "linear",
+        }
+    }
+
+    /// Parses a CLI/config name.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "faithful" => Some(Self::Faithful),
+            "linear" => Some(Self::Linear),
+            _ => None,
+        }
+    }
+
+    /// All samplers, for sweeps and tests.
+    pub const ALL: [RmatSampler; 2] = [RmatSampler::Faithful, RmatSampler::Linear];
 }
 
 #[cfg(test)]

@@ -1,0 +1,517 @@
+//! Linear-work R-MAT sampling: kernel 0's generator at table-lookup speed.
+//!
+//! The faithful Graph500 port ([`crate::Kronecker`]) spends `SCALE` sequential
+//! coin-flip pairs per edge. Following Hübschle-Schneider & Sanders ("Linear
+//! Work Generation of R-MAT Graphs"), this module collapses `b` consecutive
+//! bit levels into one table draw: a *block table* enumerates all `4^b`
+//! quadrant paths of length `b`, stores each path's probability (the product
+//! of its per-level initiator probabilities) and its pre-assembled `(u, v)`
+//! bit contributions, and turns sampling a whole block into a single uniform
+//! draw resolved through an alias table in O(1). An edge then costs
+//! `ceil(SCALE / b)` draws instead of `SCALE` — with `b = 8`, a scale-24 edge
+//! needs 3 lookups instead of 24 coin-flip pairs.
+//!
+//! Determinism is by construction: the sampler addresses one SplitMix64
+//! stream by *absolute draw position* (`edge_index · draws_per_edge + j`)
+//! via [`SplitMix64::at`]'s O(1) jump, so there is no generator state to
+//! carry across chunk boundaries, and any chunk/thread/shard tiling of the
+//! stream reproduces the serial output bit for bit. The alias method is used
+//! rather than binary search over a CDF because it consumes a *fixed* number
+//! of uniforms per block (exactly one) — rejection-free draws are what keep
+//! absolute positioning possible.
+//!
+//! Note the linear sampler consumes randomness differently from the faithful
+//! port, so for one seed the two emit different (equally distributed) edge
+//! streams; agreement is distributional, checked by [`crate::validate`].
+
+use ppbench_io::Edge;
+use ppbench_prng::{derive_stream_seed, Rng64, SplitMix64};
+
+use crate::feistel::FeistelPermutation;
+use crate::spec::GraphSpec;
+use crate::{EdgeGenerator, KroneckerProbs};
+
+/// Default number of bit levels folded into one block-table draw.
+///
+/// `b = 8` puts the table at `4^8 = 65536` entries — ~768 KiB including the
+/// alias and path-bit arrays, which still fits in a typical L2 cache — while
+/// cutting per-edge work by 8×. `b = 9` would octuple the table to ~6 MiB
+/// (spilling to L3, where lookup latency eats the saving) for only a 12%
+/// further reduction in draws; smaller `b` shrinks the table but pays a draw
+/// per block. Powers up to 8 also keep the path-bit arrays in `u8`.
+pub const DEFAULT_BLOCK_BITS: u32 = 8;
+
+/// Stream tweak keying the per-edge draw stream (distinct from the vertex
+/// permutation's `0xF00D` and the edge shuffle's `0xCAFE`).
+const DRAW_STREAM_TWEAK: u64 = 0xB10C;
+
+/// An alias-method sampler over all quadrant paths of `levels` bit levels.
+///
+/// Entry `p` encodes the path taking quadrant `(p >> 2t) & 3` at level `t`;
+/// its probability is the product of the initiator probabilities along the
+/// path. `upath[p]`/`vpath[p]` hold the pre-assembled source/target bits.
+#[derive(Debug, Clone)]
+struct BlockTable {
+    /// Bits of a draw used as the uniform fraction (64 − 2·levels).
+    frac_bits: u32,
+    /// Alias-method stay thresholds in `frac_bits` fixed point.
+    thresh: Vec<u64>,
+    /// Alias-method redirect targets.
+    alias: Vec<u16>,
+    /// Source-vertex bits contributed by each path.
+    upath: Vec<u8>,
+    /// Target-vertex bits contributed by each path.
+    vpath: Vec<u8>,
+}
+
+impl BlockTable {
+    fn new(probs: &KroneckerProbs, levels: u32) -> Self {
+        assert!(
+            (1..=8).contains(&levels),
+            "block table supports 1..=8 levels, got {levels}"
+        );
+        // Quadrant probabilities indexed by (ubit << 1) | vbit. Derived from
+        // the faithful port's conditional thresholds: P(ubit=0) = a + b,
+        // P(vbit=1 | ubit=0) = b/(a+b), etc. — the joint is exactly
+        // [a, b, c, d].
+        let quad = [probs.a, probs.b, probs.c, 1.0 - probs.a - probs.b - probs.c];
+        assert!(
+            quad.iter().all(|&q| q >= 0.0) && probs.a > 0.0 && quad[3] > 0.0,
+            "initiator probabilities out of range"
+        );
+
+        // Path probabilities by dynamic programming: extend every path of
+        // t levels with each of the 4 quadrants at level t.
+        let mut path_prob = vec![1.0f64];
+        for t in 0..levels {
+            let mut next = vec![0.0f64; path_prob.len() * 4];
+            for (path, &p) in path_prob.iter().enumerate() {
+                for (q, &qp) in quad.iter().enumerate() {
+                    next[path | (q << (2 * t))] = p * qp;
+                }
+            }
+            path_prob = next;
+        }
+        let n = path_prob.len();
+
+        let mut upath = vec![0u8; n];
+        let mut vpath = vec![0u8; n];
+        for (p, (up, vp)) in upath.iter_mut().zip(vpath.iter_mut()).enumerate() {
+            let mut u = 0u8;
+            let mut v = 0u8;
+            for t in 0..levels {
+                let q = (p >> (2 * t)) & 3;
+                u |= (q as u8 >> 1) << t;
+                v |= (q as u8 & 1) << t;
+            }
+            *up = u;
+            *vp = v;
+        }
+
+        // Vose's alias construction, in fixed index order so the table (and
+        // with it the emitted stream) is identical on every platform.
+        let frac_bits = 64 - 2 * levels;
+        let full = 1u64 << frac_bits;
+        let to_fixed = |p: f64| ((p * full as f64).round() as u64).min(full);
+        let mut thresh = vec![full; n];
+        let mut alias: Vec<u16> = (0..n).map(|i| i as u16).collect();
+        let mut scaled: Vec<f64> = path_prob.iter().map(|&p| p * n as f64).collect();
+        let mut small: Vec<usize> = Vec::new();
+        let mut large: Vec<usize> = Vec::new();
+        for (i, &s) in scaled.iter().enumerate() {
+            if s < 1.0 {
+                small.push(i);
+            } else {
+                large.push(i);
+            }
+        }
+        while let (Some(s), Some(l)) = (small.pop(), large.pop()) {
+            thresh[s] = to_fixed(scaled[s]);
+            alias[s] = l as u16;
+            scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+            if scaled[l] < 1.0 {
+                small.push(l);
+            } else {
+                large.push(l);
+            }
+        }
+        // Leftovers on either list have weight 1 up to rounding error: they
+        // keep their full column (thresh = full, alias = self).
+
+        Self {
+            frac_bits,
+            thresh,
+            alias,
+            upath,
+            vpath,
+        }
+    }
+
+    /// Resolves one uniform draw to a path's `(u bits, v bits)`.
+    ///
+    /// The top `2·levels` bits of `r` pick the column, the remaining
+    /// `frac_bits` are the uniform fraction deciding stay-vs-alias — one
+    /// draw, no rejection.
+    #[inline]
+    fn sample(&self, r: u64) -> (u8, u8) {
+        let idx = (r >> self.frac_bits) as usize;
+        let frac = r & ((1u64 << self.frac_bits) - 1);
+        let k = if frac < self.thresh[idx] {
+            idx
+        } else {
+            self.alias[idx] as usize
+        };
+        (self.upath[k], self.vpath[k])
+    }
+}
+
+/// The linear-work R-MAT generator: block-table sampling with absolute
+/// stream positioning. Drop-in peer of [`crate::Kronecker`] behind
+/// [`EdgeGenerator`]; selected by `RmatSampler::Linear`.
+#[derive(Debug, Clone)]
+pub struct LinearKronecker {
+    spec: GraphSpec,
+    block_bits: u32,
+    full_blocks: u32,
+    /// Table for the `block_bits`-level blocks (absent when `scale < block_bits`).
+    full: Option<BlockTable>,
+    /// Table for the `scale % block_bits` trailing levels (absent when the
+    /// scale divides evenly).
+    rem: Option<BlockTable>,
+    draws_per_edge: u64,
+    stream_seed: u64,
+    vertex_perm: Option<FeistelPermutation>,
+    shuffle_edges: bool,
+    edge_perm: FeistelPermutation,
+}
+
+impl LinearKronecker {
+    /// Creates the generator with default probabilities and block size,
+    /// vertex permutation on and edge shuffling off (same defaults as
+    /// [`crate::Kronecker::new`]).
+    pub fn new(spec: GraphSpec, seed: u64) -> Self {
+        Self::with_probs(spec, seed, KroneckerProbs::default())
+    }
+
+    /// Creates the generator with explicit initiator probabilities.
+    pub fn with_probs(spec: GraphSpec, seed: u64, probs: KroneckerProbs) -> Self {
+        Self::with_block_bits(spec, seed, probs, DEFAULT_BLOCK_BITS)
+    }
+
+    /// Creates the generator with an explicit block size `b` (1..=8 levels
+    /// per table draw). Exposed for tests and ablations; the emitted stream
+    /// depends on `b`, so sweeps must hold it fixed (the pipeline always
+    /// uses [`DEFAULT_BLOCK_BITS`]).
+    pub fn with_block_bits(spec: GraphSpec, seed: u64, probs: KroneckerProbs, b: u32) -> Self {
+        assert!((1..=8).contains(&b), "block_bits must be in 1..=8, got {b}");
+        let scale = spec.scale();
+        let full_blocks = scale / b;
+        let rem_levels = scale % b;
+        let full = (full_blocks > 0).then(|| BlockTable::new(&probs, b));
+        let rem = (rem_levels > 0).then(|| BlockTable::new(&probs, rem_levels));
+        let draws_per_edge = u64::from(full_blocks) + u64::from(rem_levels > 0);
+        // Same auxiliary permutations (and tweaks) as the faithful port, so
+        // toggling samplers changes only how raw bits are drawn.
+        let vertex_perm =
+            (scale >= 1).then(|| FeistelPermutation::new(scale, derive_stream_seed(seed, 0xF00D)));
+        let edge_bits = 64 - spec.num_edges().max(2).next_power_of_two().leading_zeros() - 1;
+        let edge_perm = FeistelPermutation::new(edge_bits.max(1), derive_stream_seed(seed, 0xCAFE));
+        Self {
+            spec,
+            block_bits: b,
+            full_blocks,
+            full,
+            rem,
+            draws_per_edge,
+            stream_seed: derive_stream_seed(seed, DRAW_STREAM_TWEAK),
+            vertex_perm,
+            shuffle_edges: false,
+            edge_perm,
+        }
+    }
+
+    /// Disables the vertex-label permutation (raw R-MAT labelling; vertex 0
+    /// is the hub). Useful for validation.
+    pub fn without_vertex_permutation(mut self) -> Self {
+        self.vertex_perm = None;
+        self
+    }
+
+    /// Enables the reference's edge-order shuffle (`randperm(M)`).
+    pub fn with_edge_shuffle(mut self) -> Self {
+        self.shuffle_edges = true;
+        self
+    }
+
+    /// Assembles one edge from the next `draws_per_edge` outputs of `rng`.
+    #[inline]
+    fn assemble(&self, rng: &mut SplitMix64) -> Edge {
+        let mut u = 0u64;
+        let mut v = 0u64;
+        let mut shift = 0u32;
+        if let Some(t) = &self.full {
+            for _ in 0..self.full_blocks {
+                let (ub, vb) = t.sample(rng.next_u64());
+                u |= u64::from(ub) << shift;
+                v |= u64::from(vb) << shift;
+                shift += self.block_bits;
+            }
+        }
+        if let Some(t) = &self.rem {
+            let (ub, vb) = t.sample(rng.next_u64());
+            u |= u64::from(ub) << shift;
+            v |= u64::from(vb) << shift;
+        }
+        match &self.vertex_perm {
+            Some(p) => Edge::new(p.apply(u), p.apply(v)),
+            None => Edge::new(u, v),
+        }
+    }
+
+    /// Positions a generator at stream index `idx`'s first draw.
+    ///
+    /// Draw positions are taken mod 2^64 (`wrapping_mul`) — irrelevant below
+    /// the spec's scale ceiling, and still a pure function of the index.
+    #[inline]
+    fn rng_at(&self, idx: u64) -> SplitMix64 {
+        SplitMix64::at(self.stream_seed, idx.wrapping_mul(self.draws_per_edge))
+    }
+}
+
+impl EdgeGenerator for LinearKronecker {
+    fn spec(&self) -> GraphSpec {
+        self.spec
+    }
+
+    fn edges_chunk(&self, lo: u64, hi: u64) -> Vec<Edge> {
+        let mut out = Vec::new();
+        self.edges_into(&mut out, lo, hi);
+        out
+    }
+
+    fn edges_into(&self, out: &mut Vec<Edge>, lo: u64, hi: u64) {
+        assert!(
+            lo <= hi && hi <= self.spec.num_edges(),
+            "bad chunk [{lo}, {hi})"
+        );
+        out.clear();
+        out.reserve((hi - lo) as usize);
+        if self.draws_per_edge == 0 {
+            // scale 0: the single vertex self-loop, no randomness consumed.
+            out.resize((hi - lo) as usize, Edge::new(0, 0));
+        } else if self.shuffle_edges {
+            // Shuffled source indices are scattered, so each edge jumps to
+            // its own absolute position.
+            for idx in lo..hi {
+                let src = self.edge_perm.apply_below(idx, self.spec.num_edges());
+                let mut rng = self.rng_at(src);
+                out.push(self.assemble(&mut rng));
+            }
+        } else {
+            // Contiguous range: one jump, then a straight sequential walk.
+            let mut rng = self.rng_at(lo);
+            for _ in lo..hi {
+                out.push(self.assemble(&mut rng));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::degree;
+
+    #[test]
+    fn deterministic_in_seed() {
+        let spec = GraphSpec::new(10, 8);
+        let a = LinearKronecker::new(spec, 5).edges();
+        let b = LinearKronecker::new(spec, 5).edges();
+        let c = LinearKronecker::new(spec, 6).edges();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn emits_exactly_m_edges_in_range() {
+        for (scale, ef) in [(0u32, 1u64), (3, 2), (7, 4), (8, 4), (10, 8), (16, 2)] {
+            let spec = GraphSpec::new(scale, ef);
+            let edges = LinearKronecker::new(spec, 1).edges();
+            assert_eq!(edges.len() as u64, spec.num_edges(), "scale {scale}");
+            assert!(
+                edges
+                    .iter()
+                    .all(|e| e.u < spec.num_vertices() && e.v < spec.num_vertices()),
+                "scale {scale} emitted out-of-range vertices"
+            );
+        }
+    }
+
+    #[test]
+    fn any_chunk_tiling_is_bit_identical() {
+        let spec = GraphSpec::new(10, 8);
+        let g = LinearKronecker::new(spec, 42);
+        let all = g.edges();
+        for chunk in [1u64, 7, 64, 1000, 1 << 13, u64::MAX] {
+            let mut tiled = Vec::new();
+            let mut buf = Vec::new();
+            for (lo, hi) in crate::chunk_ranges(0, spec.num_edges(), chunk) {
+                g.edges_into(&mut buf, lo, hi);
+                tiled.extend_from_slice(&buf);
+            }
+            assert_eq!(tiled, all, "chunk size {chunk}");
+        }
+    }
+
+    #[test]
+    fn scattered_single_edge_chunks_match_the_stream() {
+        let spec = GraphSpec::new(12, 4);
+        let g = LinearKronecker::new(spec, 9);
+        let all = g.edges();
+        for idx in [0u64, 1, 17, 1000, spec.num_edges() - 1] {
+            assert_eq!(g.edges_chunk(idx, idx + 1), &all[idx as usize..][..1]);
+        }
+    }
+
+    #[test]
+    fn parallel_equals_serial_for_any_chunk_size() {
+        let spec = GraphSpec::new(9, 8);
+        for g in [
+            LinearKronecker::new(spec, 3),
+            LinearKronecker::new(spec, 3).with_edge_shuffle(),
+        ] {
+            let serial = g.edges();
+            for chunk in [37u64, 256, 5000] {
+                assert_eq!(serial, g.edges_parallel(chunk), "chunk {chunk}");
+            }
+        }
+    }
+
+    #[test]
+    fn block_size_changes_the_stream_but_not_the_contract() {
+        let spec = GraphSpec::new(11, 4);
+        let probs = KroneckerProbs::default();
+        let default_stream = LinearKronecker::new(spec, 8).edges();
+        for b in 1..=8u32 {
+            let g = LinearKronecker::with_block_bits(spec, 8, probs, b);
+            let edges = g.edges();
+            assert_eq!(edges.len() as u64, spec.num_edges(), "b={b}");
+            assert!(
+                edges
+                    .iter()
+                    .all(|e| e.u < spec.num_vertices() && e.v < spec.num_vertices()),
+                "b={b} out of range"
+            );
+            assert_eq!(edges, g.edges_parallel(100), "b={b} parallel mismatch");
+            if b == DEFAULT_BLOCK_BITS {
+                assert_eq!(
+                    edges, default_stream,
+                    "default b must be {DEFAULT_BLOCK_BITS}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unpermuted_hub_is_vertex_zero() {
+        let spec = GraphSpec::new(12, 16);
+        let edges = LinearKronecker::new(spec, 7)
+            .without_vertex_permutation()
+            .edges();
+        let din = degree::in_degrees(&edges, spec.num_vertices());
+        let argmax = (0..din.len()).max_by_key(|&i| din[i]).unwrap();
+        assert_eq!(
+            argmax, 0,
+            "raw R-MAT labelling should make vertex 0 the hub"
+        );
+    }
+
+    #[test]
+    fn vertex_permutation_moves_the_hub() {
+        let spec = GraphSpec::new(12, 16);
+        let edges = LinearKronecker::new(spec, 7).edges();
+        let din = degree::in_degrees(&edges, spec.num_vertices());
+        let argmax = (0..din.len()).max_by_key(|&i| din[i]).unwrap();
+        assert_ne!(argmax, 0, "permuted labelling should hide the hub");
+    }
+
+    #[test]
+    fn edge_shuffle_permutes_the_stream() {
+        let spec = GraphSpec::new(8, 8);
+        let plain = LinearKronecker::new(spec, 3).edges();
+        let shuffled = LinearKronecker::new(spec, 3).with_edge_shuffle().edges();
+        assert_ne!(plain, shuffled, "shuffle should reorder");
+        let mut a = plain;
+        let mut b = shuffled;
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b, "shuffle must preserve the multiset of edges");
+    }
+
+    #[test]
+    fn uniform_probs_give_uniform_degrees() {
+        let spec = GraphSpec::new(12, 16);
+        let probs = KroneckerProbs {
+            a: 0.25,
+            b: 0.25,
+            c: 0.25,
+        };
+        let edges = LinearKronecker::with_probs(spec, 11, probs).edges();
+        let din = degree::in_degrees(&edges, spec.num_vertices());
+        let max = *din.iter().max().unwrap();
+        assert!(
+            max < 4 * spec.edge_factor(),
+            "uniform probs gave max in-degree {max}"
+        );
+    }
+
+    #[test]
+    fn block_table_matches_path_probabilities() {
+        // Sampling frequencies over many uniform draws must track the DP
+        // path probabilities; spot-check levels 1..=3 exhaustively.
+        let probs = KroneckerProbs::default();
+        let quad = [probs.a, probs.b, probs.c, 1.0 - probs.a - probs.b - probs.c];
+        for levels in 1..=3u32 {
+            let t = BlockTable::new(&probs, levels);
+            let n = 1usize << (2 * levels);
+            let mut counts = vec![0u64; n];
+            let mut rng = SplitMix64::new(99);
+            let draws = 200_000;
+            for _ in 0..draws {
+                let (u, v) = t.sample(rng.next_u64());
+                let mut path = 0usize;
+                for lvl in 0..levels {
+                    let q = ((u as usize >> lvl & 1) << 1) | (v as usize >> lvl & 1);
+                    path |= q << (2 * lvl);
+                }
+                counts[path] += 1;
+            }
+            for (p, &c) in counts.iter().enumerate() {
+                let mut expect = 1.0;
+                for lvl in 0..levels {
+                    expect *= quad[(p >> (2 * lvl)) & 3];
+                }
+                let got = c as f64 / draws as f64;
+                assert!(
+                    (got - expect).abs() < 0.01,
+                    "levels {levels} path {p:#x}: got {got:.4}, expected {expect:.4}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "block_bits")]
+    fn rejects_block_size_zero() {
+        let _ =
+            LinearKronecker::with_block_bits(GraphSpec::new(8, 2), 0, KroneckerProbs::default(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad chunk")]
+    fn rejects_out_of_range_chunk() {
+        let spec = GraphSpec::new(4, 2);
+        let g = LinearKronecker::new(spec, 0);
+        let _ = g.edges_chunk(0, spec.num_edges() + 1);
+    }
+}

@@ -125,6 +125,121 @@ pub fn check_kronecker_marginals(
     report
 }
 
+/// Statistical check that (unpermuted!) edges take each R-MAT quadrant with
+/// the initiator probabilities, per bit level: the joint distribution of
+/// `(u bit, v bit)` at every level must be `[a, b, c, d]`. Stronger than
+/// [`check_kronecker_marginals`] (which only tests the two marginals), this
+/// is the natural cross-check between the faithful coin-flip port and the
+/// linear-work block sampler — both must agree with the same quadrant law
+/// even though their streams differ.
+///
+/// `tolerance` bounds the absolute deviation of each measured quadrant
+/// frequency (standard error is ≈ `0.5/sqrt(M)`).
+pub fn check_kronecker_quadrants(
+    spec: &GraphSpec,
+    probs: &KroneckerProbs,
+    edges: &[Edge],
+    tolerance: f64,
+) -> GeneratorReport {
+    let mut report = GeneratorReport::default();
+    if edges.is_empty() {
+        report.push("quadrant-counts", false, "no edges to test".into());
+        return report;
+    }
+    let m = edges.len() as f64;
+    let expect = [probs.a, probs.b, probs.c, 1.0 - probs.a - probs.b - probs.c];
+    let mut worst: f64 = 0.0;
+    let mut worst_at = (0u32, 0usize);
+    for level in 0..spec.scale() {
+        let mut counts = [0u64; 4];
+        for e in edges {
+            let q = (((e.u >> level) & 1) << 1) | ((e.v >> level) & 1);
+            counts[q as usize] += 1;
+        }
+        for (q, &c) in counts.iter().enumerate() {
+            let dev = (c as f64 / m - expect[q]).abs();
+            if dev > worst {
+                worst = dev;
+                worst_at = (level, q);
+            }
+        }
+    }
+    report.push(
+        "quadrant-counts",
+        worst <= tolerance,
+        format!(
+            "worst quadrant deviation {worst:.4} at level {} quadrant {} (tol {tolerance})",
+            worst_at.0, worst_at.1
+        ),
+    );
+    report
+}
+
+/// Checks that two edge lists have matching degree distributions — the
+/// acceptance test for swapping one sampler for another (faithful vs
+/// linear-work R-MAT): their streams differ edge for edge, but the
+/// distribution of vertex degrees must agree.
+///
+/// Compares the in- and out-degree CCDFs (fraction of vertices with degree
+/// ≥ 2^k) at every power of two; `tolerance` bounds the worst absolute gap.
+/// Label permutations do not matter, so this check works on permuted output.
+pub fn check_degree_agreement(
+    spec: &GraphSpec,
+    reference: &[Edge],
+    candidate: &[Edge],
+    tolerance: f64,
+) -> GeneratorReport {
+    let mut report = GeneratorReport::default();
+    let n = spec.num_vertices();
+    if reference.is_empty() || candidate.is_empty() {
+        report.push("degree-agreement", false, "no edges to test".into());
+        return report;
+    }
+    let ccdf = |degs: &[u64]| -> Vec<f64> {
+        // ccdf[k] = fraction of vertices with degree >= 2^k.
+        let mut out = Vec::new();
+        let mut threshold = 1u64;
+        loop {
+            let frac = degs.iter().filter(|&&d| d >= threshold).count() as f64 / n as f64;
+            out.push(frac);
+            if frac == 0.0 || threshold > u64::MAX / 2 {
+                break;
+            }
+            threshold *= 2;
+        }
+        out
+    };
+    let mut worst: f64 = 0.0;
+    let mut worst_side = "in";
+    for (side, degrees) in [
+        (
+            "in",
+            crate::degree::in_degrees as fn(&[Edge], u64) -> Vec<u64>,
+        ),
+        (
+            "out",
+            crate::degree::out_degrees as fn(&[Edge], u64) -> Vec<u64>,
+        ),
+    ] {
+        let a = ccdf(&degrees(reference, n));
+        let b = ccdf(&degrees(candidate, n));
+        for k in 0..a.len().max(b.len()) {
+            let fa = a.get(k).copied().unwrap_or(0.0);
+            let fb = b.get(k).copied().unwrap_or(0.0);
+            if (fa - fb).abs() > worst {
+                worst = (fa - fb).abs();
+                worst_side = side;
+            }
+        }
+    }
+    report.push(
+        "degree-agreement",
+        worst <= tolerance,
+        format!("worst CCDF gap {worst:.4} on {worst_side}-degrees (tol {tolerance})"),
+    );
+    report
+}
+
 /// Checks that the duplicate-edge fraction is in the ballpark the
 /// birthday-style collision estimate for an R-MAT distribution predicts —
 /// very loose (a factor-of-covers band), intended to catch gross generator
@@ -216,6 +331,69 @@ mod tests {
         let edges = Kronecker::new(spec(), 5).edges();
         let report = check_kronecker_marginals(&spec(), &KroneckerProbs::default(), &edges, 0.01);
         assert!(!report.passed());
+    }
+
+    #[test]
+    fn linear_sampler_agrees_with_faithful_at_scales_8_to_14() {
+        // The acceptance suite for the linear-work sampler: at every scale
+        // in 8..=14 its quadrant counts must match the initiator law and its
+        // degree distribution must match the faithful port's. Tolerances
+        // scale with 1/sqrt(M).
+        use crate::LinearKronecker;
+        for scale in (8..=14u32).step_by(2) {
+            let s = GraphSpec::new(scale, 16);
+            let seed = 1000 + scale as u64;
+            let faithful_raw = Kronecker::new(s, seed).without_vertex_permutation().edges();
+            let linear_raw = LinearKronecker::new(s, seed)
+                .without_vertex_permutation()
+                .edges();
+            let tol = (3.0 / (s.num_edges() as f64).sqrt()).max(0.01);
+            for (name, edges) in [("faithful", &faithful_raw), ("linear", &linear_raw)] {
+                let q = check_kronecker_quadrants(&s, &KroneckerProbs::default(), edges, tol);
+                assert!(q.passed(), "scale {scale} {name}: {}", q.detail());
+                let m = check_kronecker_marginals(&s, &KroneckerProbs::default(), edges, tol);
+                assert!(m.passed(), "scale {scale} {name}: {}", m.detail());
+            }
+            // Degree agreement holds on the permuted (production) output too.
+            let faithful = Kronecker::new(s, seed).edges();
+            let linear = LinearKronecker::new(s, seed).edges();
+            let d = check_degree_agreement(&s, &faithful, &linear, 2.5 * tol);
+            assert!(d.passed(), "scale {scale}: {}", d.detail());
+            let st = check_structure(&s, &linear);
+            assert!(st.passed(), "scale {scale}: {}", st.detail());
+        }
+    }
+
+    #[test]
+    fn quadrant_check_rejects_uniform_edges() {
+        let edges = crate::ErdosRenyi::new(spec(), 5).edges();
+        let report = check_kronecker_quadrants(&spec(), &KroneckerProbs::default(), &edges, 0.01);
+        assert!(!report.passed(), "{}", report.detail());
+    }
+
+    #[test]
+    fn degree_agreement_rejects_a_different_distribution() {
+        // Erdős–Rényi degrees are binomial — nothing like the R-MAT tail.
+        let kron = Kronecker::new(spec(), 5).edges();
+        let er = crate::ErdosRenyi::new(spec(), 5).edges();
+        let report = check_degree_agreement(&spec(), &kron, &er, 0.02);
+        assert!(!report.passed(), "{}", report.detail());
+    }
+
+    #[test]
+    fn degree_agreement_accepts_identical_lists() {
+        let edges = Kronecker::new(spec(), 5).edges();
+        let report = check_degree_agreement(&spec(), &edges, &edges, 1e-12);
+        assert!(report.passed(), "{}", report.detail());
+    }
+
+    #[test]
+    fn quadrant_and_degree_checks_handle_empty_input() {
+        assert!(
+            !check_kronecker_quadrants(&spec(), &KroneckerProbs::default(), &[], 0.01).passed()
+        );
+        let edges = Kronecker::new(spec(), 5).edges();
+        assert!(!check_degree_agreement(&spec(), &edges, &[], 0.01).passed());
     }
 
     #[test]

@@ -37,6 +37,7 @@ pub struct EdgeWriter {
     current_count: u64,
     digest: EdgeDigest,
     line_buf: Vec<u8>,
+    batch_buf: Vec<u8>,
     encoding: EdgeEncoding,
     durable: bool,
 }
@@ -44,6 +45,11 @@ pub struct EdgeWriter {
 /// Buffer size for file writes; large enough that syscall overhead is
 /// negligible at every benchmark scale.
 const WRITE_BUF_BYTES: usize = 1 << 20;
+
+/// Edges encoded per segment in the bulk write paths. Bounds the encode
+/// buffer (~700 KiB of text at 20-digit ids) independently of caller chunk
+/// sizes.
+const BATCH_EDGES: u64 = 1 << 14;
 
 /// File name of shard `index` of a file set: `basename-NNNNN.<ext>`.
 ///
@@ -134,6 +140,7 @@ impl EdgeWriter {
             current_count: 0,
             digest: EdgeDigest::new(),
             line_buf: Vec::with_capacity(format::MAX_LINE_BYTES),
+            batch_buf: Vec::new(),
             encoding,
             durable: true,
         })
@@ -207,9 +214,59 @@ impl EdgeWriter {
     }
 
     /// Writes a slice of edges.
+    ///
+    /// Equivalent to calling [`EdgeWriter::write`] per edge (same file
+    /// rolls, same digest), but encodes whole segments into one reused
+    /// buffer and hands them to the file in single `write_all` calls, which
+    /// is what lets kernel 0 stream at device speed.
     pub fn write_all(&mut self, edges: &[Edge]) -> Result<()> {
-        for &e in edges {
-            self.write(e)?;
+        let mut rest = edges;
+        while !rest.is_empty() {
+            let need_roll = match &self.current {
+                None => true,
+                Some(_) => {
+                    self.current_count >= self.capacity_per_file
+                        && self.files.len() < self.num_files
+                }
+            };
+            if need_roll {
+                self.roll_file()?;
+            }
+            // Room left in the current file — unlimited once the last file
+            // is reached (overflow lands there, as in `write`).
+            let room = if self.files.len() < self.num_files {
+                self.capacity_per_file - self.current_count
+            } else {
+                u64::MAX
+            };
+            let take = (rest.len() as u64).min(room).min(BATCH_EDGES) as usize;
+            let (seg, tail) = rest.split_at(take);
+            self.batch_buf.clear();
+            match self.encoding {
+                EdgeEncoding::Text => {
+                    for &e in seg {
+                        format::encode_line(e, &mut self.batch_buf);
+                        self.digest.update(e);
+                    }
+                }
+                EdgeEncoding::Binary => {
+                    for &e in seg {
+                        self.batch_buf.extend_from_slice(&e.u.to_le_bytes());
+                        self.batch_buf.extend_from_slice(&e.v.to_le_bytes());
+                        self.digest.update(e);
+                    }
+                }
+            }
+            let file = self.current.as_mut().ok_or_else(|| {
+                Error::io(
+                    &self.dir,
+                    std::io::Error::other("no open output file after roll"),
+                )
+            })?;
+            file.write_all(&self.batch_buf)
+                .map_err(|e| Error::io(&self.dir, e))?;
+            self.current_count += take as u64;
+            rest = tail;
         }
         Ok(())
     }
@@ -263,6 +320,7 @@ pub struct ShardWriter {
     writer: BufWriter<File>,
     digest: EdgeDigest,
     line_buf: Vec<u8>,
+    batch_buf: Vec<u8>,
     encoding: EdgeEncoding,
     durable: bool,
 }
@@ -288,6 +346,7 @@ impl ShardWriter {
             writer: BufWriter::with_capacity(WRITE_BUF_BYTES, file),
             digest: EdgeDigest::new(),
             line_buf: Vec::with_capacity(format::MAX_LINE_BYTES),
+            batch_buf: Vec::new(),
             encoding,
             durable,
         })
@@ -301,6 +360,33 @@ impl ShardWriter {
             .write_all(&self.line_buf)
             .map_err(|e| Error::io(&self.path, e))?;
         self.digest.update(edge);
+        Ok(())
+    }
+
+    /// Writes a slice of edges; same bytes and digest as per-edge
+    /// [`ShardWriter::write`], with segment-batched encoding.
+    pub fn write_all(&mut self, edges: &[Edge]) -> Result<()> {
+        for seg in edges.chunks(BATCH_EDGES as usize) {
+            self.batch_buf.clear();
+            match self.encoding {
+                EdgeEncoding::Text => {
+                    for &e in seg {
+                        format::encode_line(e, &mut self.batch_buf);
+                        self.digest.update(e);
+                    }
+                }
+                EdgeEncoding::Binary => {
+                    for &e in seg {
+                        self.batch_buf.extend_from_slice(&e.u.to_le_bytes());
+                        self.batch_buf.extend_from_slice(&e.v.to_le_bytes());
+                        self.digest.update(e);
+                    }
+                }
+            }
+            self.writer
+                .write_all(&self.batch_buf)
+                .map_err(|e| Error::io(&self.path, e))?;
+        }
         Ok(())
     }
 
@@ -547,6 +633,62 @@ mod tests {
         assert_eq!(
             Manifest::load(&dir).unwrap(),
             Manifest::load(&td.join("serial")).unwrap()
+        );
+    }
+
+    #[test]
+    fn bulk_write_all_identical_to_per_edge_writes() {
+        // The batched path must reproduce the per-edge path exactly —
+        // same file boundaries, bytes, digest and manifest — including
+        // roll-over mid-slice and overflow into the last file.
+        let td = TempDir::new("ppbench-writer").unwrap();
+        for (n, num_files, expected) in
+            [(10u64, 3usize, 10u64), (9, 2, 4), (100, 7, 100), (5, 1, 5)]
+        {
+            let es = edges(n);
+            let tag = format!("{n}-{num_files}-{expected}");
+            let dir_a = td.join(&format!("a{tag}"));
+            let dir_b = td.join(&format!("b{tag}"));
+            let mut w = EdgeWriter::create(&dir_a, "edges", num_files, expected)
+                .unwrap()
+                .durable(false);
+            for &e in &es {
+                w.write(e).unwrap();
+            }
+            let per_edge = w.finish(None, None, SortState::Unsorted).unwrap();
+            let mut w = EdgeWriter::create(&dir_b, "edges", num_files, expected)
+                .unwrap()
+                .durable(false);
+            w.write_all(&es).unwrap();
+            let bulk = w.finish(None, None, SortState::Unsorted).unwrap();
+            assert_eq!(per_edge, bulk, "case {tag}");
+            for f in &per_edge.files {
+                let a = std::fs::read(dir_a.join(&f.name)).unwrap();
+                let b = std::fs::read(dir_b.join(&f.name)).unwrap();
+                assert_eq!(a, b, "case {tag} file {}", f.name);
+            }
+        }
+    }
+
+    #[test]
+    fn shard_bulk_write_all_matches_per_edge() {
+        let td = TempDir::new("ppbench-writer").unwrap();
+        let es = edges(1000);
+        let mut a =
+            ShardWriter::create(&td.join("a"), "edges", 0, EdgeEncoding::Text, false).unwrap();
+        for &e in &es {
+            a.write(e).unwrap();
+        }
+        let (ea, da) = a.finish().unwrap();
+        let mut b =
+            ShardWriter::create(&td.join("b"), "edges", 0, EdgeEncoding::Text, false).unwrap();
+        b.write_all(&es).unwrap();
+        let (eb, db) = b.finish().unwrap();
+        assert_eq!(ea, eb);
+        assert!(da.same_stream(&db));
+        assert_eq!(
+            std::fs::read(td.join("a").join(&ea.name)).unwrap(),
+            std::fs::read(td.join("b").join(&eb.name)).unwrap()
         );
     }
 

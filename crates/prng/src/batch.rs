@@ -1,0 +1,124 @@
+//! Batched PRNG fills for hot generation loops.
+//!
+//! Kernel 0 consumes SplitMix64 draws by the hundreds of millions. Pulling
+//! them one `next_u64()` at a time through a freshly constructed generator
+//! per edge keeps each edge a pure function of its index but pays seed
+//! derivation and constructor overhead on every edge. The helpers here
+//! produce the *same bit streams* in bulk:
+//!
+//! * [`derive_stream_seed`] — the `(seed, tweak) → sub-stream seed` map the
+//!   generators use to key independent streams (vertex permutation, edge
+//!   shuffle, per-edge draws).
+//! * [`fill_indexed`] — the concatenation of many per-index streams, each
+//!   bit-identical to `SplitMix64::new(derive_stream_seed(seed, index))`
+//!   drawn `draws` times, with one pass of sequential state updates instead
+//!   of a constructor per index.
+//! * [`SplitMix64::at`] — O(1) random access into a single stream, which is
+//!   what lets the linear-work sampler address draw *positions* absolutely
+//!   and stay bit-identical across any chunk/thread/shard split.
+
+use crate::splitmix::SplitMix64;
+use crate::Rng64;
+
+/// Derives an independent SplitMix64 sub-stream seed from `(seed, tweak)`.
+///
+/// This is the derivation the Kronecker generators have always used
+/// (`mix(seed ^ mix(tweak))`); it lives here so batched fills and the
+/// per-edge construction provably share one definition.
+#[inline]
+pub fn derive_stream_seed(seed: u64, tweak: u64) -> u64 {
+    SplitMix64::mix(seed ^ SplitMix64::mix(tweak))
+}
+
+/// Fills `out` with the concatenated per-index SplitMix64 streams: for each
+/// `index` in `first_index..first_index + n`, the first `draws_per_index`
+/// outputs of `SplitMix64::new(derive_stream_seed(seed, index))`, laid out
+/// contiguously. `out.len()` must be `n * draws_per_index` for some `n`.
+///
+/// Bit-identical to the per-edge construction by definition — the per-index
+/// seeding is the same function — but the inner loop is a bare
+/// add-and-finalize with no per-index constructor.
+///
+/// # Panics
+///
+/// Panics if `draws_per_index == 0` or `out.len()` is not a multiple of it.
+pub fn fill_indexed(seed: u64, first_index: u64, draws_per_index: usize, out: &mut [u64]) {
+    assert!(draws_per_index > 0, "draws_per_index must be positive");
+    assert!(
+        out.len().is_multiple_of(draws_per_index),
+        "output length {} is not a multiple of draws_per_index {draws_per_index}",
+        out.len()
+    );
+    for (i, chunk) in out.chunks_exact_mut(draws_per_index).enumerate() {
+        let index = first_index.wrapping_add(i as u64);
+        let mut rng = SplitMix64::new(derive_stream_seed(seed, index));
+        for slot in chunk {
+            *slot = rng.next_u64();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derive_matches_manual_mix() {
+        for (seed, tweak) in [(0u64, 0u64), (1, 2), (u64::MAX, 0xF00D), (42, u64::MAX)] {
+            assert_eq!(
+                derive_stream_seed(seed, tweak),
+                SplitMix64::mix(seed ^ SplitMix64::mix(tweak))
+            );
+        }
+    }
+
+    #[test]
+    fn fill_indexed_matches_per_index_construction() {
+        let seed = 0xDEAD_BEEF;
+        let draws = 7;
+        let n = 13;
+        let mut bulk = vec![0u64; n * draws];
+        fill_indexed(seed, 100, draws, &mut bulk);
+        for i in 0..n {
+            let mut rng = SplitMix64::new(derive_stream_seed(seed, 100 + i as u64));
+            for j in 0..draws {
+                assert_eq!(bulk[i * draws + j], rng.next_u64(), "index {i} draw {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn fill_indexed_is_offset_consistent() {
+        // Filling [lo, hi) in one call or two must agree.
+        let seed = 9;
+        let draws = 3;
+        let mut whole = vec![0u64; 10 * draws];
+        fill_indexed(seed, 50, draws, &mut whole);
+        let mut a = vec![0u64; 4 * draws];
+        let mut b = vec![0u64; 6 * draws];
+        fill_indexed(seed, 50, draws, &mut a);
+        fill_indexed(seed, 54, draws, &mut b);
+        assert_eq!(whole, [a, b].concat());
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple")]
+    fn fill_indexed_rejects_ragged_output() {
+        fill_indexed(1, 0, 3, &mut [0u64; 7]);
+    }
+
+    #[test]
+    fn splitmix_at_random_accesses_the_stream() {
+        let seed = 777;
+        let mut serial = SplitMix64::new(seed);
+        let stream: Vec<u64> = (0..20).map(|_| serial.next_u64()).collect();
+        for pos in [0u64, 1, 5, 19] {
+            let mut jumped = SplitMix64::at(seed, pos);
+            assert_eq!(jumped.next_u64(), stream[pos as usize], "position {pos}");
+        }
+        // And continues in sequence from the jump point.
+        let mut jumped = SplitMix64::at(seed, 10);
+        let tail: Vec<u64> = (0..10).map(|_| jumped.next_u64()).collect();
+        assert_eq!(tail, stream[10..20]);
+    }
+}

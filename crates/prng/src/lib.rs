@@ -36,11 +36,13 @@
 #![deny(unreachable_pub)]
 #![warn(missing_docs)]
 
+pub mod batch;
 mod pcg;
 pub mod seq;
 mod splitmix;
 mod xoshiro;
 
+pub use batch::{derive_stream_seed, fill_indexed};
 pub use pcg::Pcg32;
 pub use splitmix::SplitMix64;
 pub use xoshiro::Xoshiro256pp;

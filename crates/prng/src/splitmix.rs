@@ -15,9 +15,24 @@ pub struct SplitMix64 {
 }
 
 impl SplitMix64 {
+    /// The additive constant ("golden gamma") of the SplitMix64 state walk.
+    /// State after `n` draws is `seed + n·GAMMA`, which is what makes O(1)
+    /// stream jumps ([`SplitMix64::at`]) possible.
+    pub const GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+
     /// Creates a generator seeded with `seed`.
     pub fn new(seed: u64) -> Self {
         Self { state: seed }
+    }
+
+    /// Creates a generator positioned so its next output is the `pos`-th
+    /// (0-based) output of `SplitMix64::new(seed)`'s stream — an O(1) jump,
+    /// since the state is a plain counter in steps of [`SplitMix64::GAMMA`].
+    #[inline]
+    pub fn at(seed: u64, pos: u64) -> Self {
+        Self {
+            state: seed.wrapping_add(pos.wrapping_mul(Self::GAMMA)),
+        }
     }
 
     /// Mixes a single value through the SplitMix64 finalizer.
@@ -26,7 +41,7 @@ impl SplitMix64 {
     /// index" randomness (e.g. deterministic vertex permutations).
     #[inline]
     pub fn mix(mut z: u64) -> u64 {
-        z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = z.wrapping_add(Self::GAMMA);
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
         z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
         z ^ (z >> 31)
@@ -36,7 +51,7 @@ impl SplitMix64 {
 impl Rng64 for SplitMix64 {
     #[inline]
     fn next_u64(&mut self) -> u64 {
-        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        self.state = self.state.wrapping_add(Self::GAMMA);
         let mut z = self.state;
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
         z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);

@@ -6,7 +6,7 @@
 //! panic inside a worker.
 
 use ppbench_core::{DanglingStrategy, PipelineConfig, ValidationLevel, Variant, Workload};
-use ppbench_gen::GeneratorKind;
+use ppbench_gen::{GeneratorKind, RmatSampler};
 use ppbench_sort::SortKey;
 
 use crate::json::Json;
@@ -15,13 +15,14 @@ use crate::json::Json;
 /// except `input_tsv`, which is deliberately not exposed: letting HTTP
 /// clients name server-side paths would be a file-disclosure hazard, so
 /// TSV ingestion stays a CLI/library feature.
-pub const ACCEPTED_FIELDS: [&str; 18] = [
+pub const ACCEPTED_FIELDS: [&str; 19] = [
     "add_diagonal_to_empty",
     "convergence_tolerance",
     "damping",
     "dangling",
     "edge_factor",
     "fused",
+    "gen",
     "generator",
     "iterations",
     "num_files",
@@ -132,6 +133,11 @@ pub fn config_from_json(body: &Json) -> Result<PipelineConfig, String> {
         })?;
         b = b.generator(g);
     }
+    if let Some(name) = str_field("gen")? {
+        let g = RmatSampler::parse(name)
+            .ok_or_else(|| format!("unknown gen {name:?} (faithful, linear)"))?;
+        b = b.gen(g);
+    }
     if let Some(on) = bool_field("permute_vertices")? {
         b = b.permute_vertices(on);
     }
@@ -238,7 +244,7 @@ mod tests {
                 "add_diagonal_to_empty": true, "damping": 0.9,
                 "iterations": 5, "dangling": "sink",
                 "convergence_tolerance": 1e-9, "validation": "eigen",
-                "fused": true
+                "fused": true, "gen": "linear"
             }"#,
         )
         .unwrap();
@@ -259,6 +265,25 @@ mod tests {
         assert_eq!(cfg.convergence_tolerance, Some(1e-9));
         assert_eq!(cfg.validation, ValidationLevel::Eigenvector);
         assert!(cfg.fused);
+        assert_eq!(cfg.gen, RmatSampler::Linear);
+    }
+
+    #[test]
+    fn gen_changes_the_cache_identity() {
+        // The two samplers emit different streams for one seed, so a
+        // linear run must never be served from a faithful run's cache slot.
+        let linear = parse(r#"{"scale": 9, "gen": "linear"}"#).unwrap();
+        let faithful = parse(r#"{"scale": 9, "gen": "faithful"}"#).unwrap();
+        let default = parse(r#"{"scale": 9}"#).unwrap();
+        assert_ne!(linear.canonical_hash(), faithful.canonical_hash());
+        assert_eq!(
+            faithful.canonical_hash(),
+            default.canonical_hash(),
+            "faithful is the default sampler"
+        );
+        let err = parse(r#"{"gen": "fast"}"#).unwrap_err();
+        assert!(err.contains("faithful") && err.contains("linear"), "{err}");
+        assert!(parse(r#"{"gen": 1}"#).is_err(), "must be a string");
     }
 
     #[test]
