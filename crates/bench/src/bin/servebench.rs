@@ -1,0 +1,134 @@
+//! Serving-layer bench driver: latency/saturation of `ppbench-serve`.
+//!
+//! ```text
+//! cargo run --release -p ppbench-bench --bin servebench -- \
+//!     [--scale N] [--edge-factor K] [--seed N] [--workers N] \
+//!     [--rates 500,1000,2000] [--requests N] [--bursts 256,4096] \
+//!     [--spawn] [--out PATH]
+//! cargo run -p ppbench-bench --bin servebench -- --check BENCH_serve.json
+//! ```
+//!
+//! Starts a server (in-process by default; `--spawn` runs the sibling
+//! `ppserved` binary in its own process so driver and server each get
+//! their own fd budget — required for 10k+ connection bursts), prewarms
+//! one pipeline config to `Done`, then measures open-loop rows at each
+//! offered rate and burst rows at each connection count. `--check`
+//! validates an existing file's schema and rate consistency and exits
+//! nonzero on drift.
+
+use std::process::exit;
+
+use ppbench_bench::k3::parse_thread_list;
+use ppbench_bench::serve::{self, parse_rate_list, SweepConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: servebench [--scale N] [--edge-factor K] [--seed N] [--workers N]\n\
+         \x20                [--rates R,R,...] [--requests N] [--bursts N,N,...]\n\
+         \x20                [--spawn] [--out PATH]\n\
+         \x20       servebench --check PATH   (validate an existing BENCH_serve.json)"
+    );
+    exit(2)
+}
+
+fn main() {
+    let mut cfg = SweepConfig::default();
+    let mut out = std::path::PathBuf::from("BENCH_serve.json");
+    let mut check: Option<std::path::PathBuf> = None;
+
+    let mut argv = std::env::args().skip(1);
+    while let Some(flag) = argv.next() {
+        if flag == "--spawn" {
+            cfg.spawn = true;
+            continue;
+        }
+        let mut value = || argv.next().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--scale" => cfg.scale = value().parse().unwrap_or_else(|_| usage()),
+            "--edge-factor" => cfg.edge_factor = value().parse().unwrap_or_else(|_| usage()),
+            "--seed" => cfg.seed = value().parse().unwrap_or_else(|_| usage()),
+            "--workers" => {
+                cfg.workers = value()
+                    .parse()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| usage());
+            }
+            "--rates" => cfg.rates = parse_rate_list(&value()).unwrap_or_else(|| usage()),
+            "--requests" => {
+                cfg.requests = value()
+                    .parse()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| usage());
+            }
+            "--bursts" => cfg.bursts = parse_thread_list(&value()).unwrap_or_else(|| usage()),
+            "--out" => out = std::path::PathBuf::from(value()),
+            "--check" => check = Some(std::path::PathBuf::from(value())),
+            _ => usage(),
+        }
+    }
+
+    // Validation mode: no measurement, just the schema gate CI relies on.
+    if let Some(path) = check {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot read {}: {e}", path.display());
+                exit(1);
+            }
+        };
+        match serve::check_schema(&text) {
+            Ok(()) => {
+                println!("{}: schema ok ({})", path.display(), serve::SCHEMA_VERSION);
+                return;
+            }
+            Err(e) => {
+                eprintln!("{}: schema drift: {e}", path.display());
+                exit(1);
+            }
+        }
+    }
+
+    let rows = match serve::run_sweep(&cfg) {
+        Ok(rows) => rows,
+        Err(e) => {
+            eprintln!("sweep failed: {e}");
+            exit(1);
+        }
+    };
+
+    println!(
+        "{:>6} {:>12} {:>9} {:>7} {:>9} {:>12} {:>10} {:>10} {:>8}",
+        "mode",
+        "offered_rps",
+        "requests",
+        "errors",
+        "secs",
+        "achieved_rps",
+        "p50 (ms)",
+        "p99 (ms)",
+        "max_conn"
+    );
+    for r in &rows {
+        println!(
+            "{:>6} {:>12.0} {:>9} {:>7} {:>9.3} {:>12.0} {:>10.3} {:>10.3} {:>8}",
+            r.mode,
+            r.offered_rps,
+            r.requests,
+            r.errors,
+            r.seconds,
+            r.achieved_rps,
+            r.p50_ms,
+            r.p99_ms,
+            r.max_concurrent
+        );
+    }
+
+    let json = serve::to_json(&cfg, &rows);
+    if let Err(e) = std::fs::write(&out, format!("{json}\n")) {
+        eprintln!("failed to write {}: {e}", out.display());
+        exit(1);
+    }
+    println!("wrote {}", out.display());
+}

@@ -13,9 +13,11 @@
 //! file count), the kernel-3 variant sweep (`k3bench` / [`k3`]) that
 //! produces `BENCH_k3.json`, the K0→K1 front-end sweep (`k01bench` /
 //! [`k01`]) that produces `BENCH_k01.json`, the analytics-workload
-//! sweep (`algobench` / [`algo`]) that produces `BENCH_algo.json`, and
-//! the staged-vs-fused end-to-end pipeline sweep (`pipebench` / [`pipe`])
-//! that produces `BENCH_pipeline.json`.
+//! sweep (`algobench` / [`algo`]) that produces `BENCH_algo.json`, the
+//! staged-vs-fused end-to-end pipeline sweep (`pipebench` / [`pipe`])
+//! that produces `BENCH_pipeline.json`, and the serving-layer
+//! latency/saturation sweep (`servebench` / [`serve`]) that produces
+//! `BENCH_serve.json`.
 
 #![forbid(unsafe_code)]
 #![deny(unreachable_pub)]
@@ -27,6 +29,7 @@ pub mod k3;
 pub mod pipe;
 pub mod plot;
 mod schema;
+pub mod serve;
 pub mod sloc;
 pub mod sweep;
 

@@ -1,5 +1,6 @@
 //! Job model: the lifecycle of one benchmark run inside the service.
 
+use std::net::IpAddr;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -67,7 +68,10 @@ impl RunSummary {
     /// rank vector dominates; the record and struct overhead are charged
     /// at a small flat rate.
     pub fn approx_bytes(&self) -> usize {
-        self.ranks.len() * std::mem::size_of::<f64>() + self.record.variant.len() + 256
+        self.ranks.len() * std::mem::size_of::<f64>()
+            + self.record.variant.len()
+            + self.record.workload.len()
+            + 256
     }
 
     /// The `k` highest-ranked vertices as `(vertex, rank)` pairs,
@@ -105,6 +109,9 @@ pub struct Job {
     pub from_cache: bool,
     /// Submission time, for queue-latency reporting.
     pub submitted_at: Instant,
+    /// IP the submission arrived from (`None` for in-process callers);
+    /// the admission-control key.
+    pub client: Option<IpAddr>,
 }
 
 #[cfg(test)]

@@ -18,6 +18,15 @@
 //! | `GET /metrics` | Prometheus text metrics |
 //! | `POST /shutdown` | Graceful drain: finish accepted jobs, then stop |
 //!
+//! The front end is a single-threaded nonblocking event loop (see
+//! [`http`]) that multiplexes thousands of connections; identical configs
+//! submitted while a run is in flight coalesce onto it (one pipeline run,
+//! N waiters); the result cache is tiered, with a byte-budgeted in-memory
+//! LRU over an on-disk canonical-JSON store ([`cache::DiskCache`]) that
+//! survives restarts; and per-client admission control caps in-flight
+//! jobs per source IP. The [`loadgen`] module is the matching open-loop
+//! load driver.
+//!
 //! Everything is `std`-only: no async runtime, no serde, no HTTP
 //! framework. The `ppserved` binary wires a service to a listener;
 //! `examples/loadgen.rs` exercises one over the wire.
@@ -31,15 +40,17 @@ pub mod client;
 pub mod http;
 pub mod job;
 pub mod json;
+pub mod loadgen;
 pub mod metrics;
 pub mod request;
 pub mod service;
 
-pub use cache::ResultCache;
+pub use cache::{DiskCache, ResultCache};
 pub use client::{http_request, HttpResponse};
-pub use http::HttpServer;
+pub use http::{HttpServer, ServerConfig};
 pub use job::{Job, JobId, JobState, RunSummary};
 pub use json::Json;
+pub use loadgen::{run_load, LoadConfig, LoadReport};
 pub use metrics::{Gauges, Metrics};
 pub use request::config_from_json;
 pub use service::{CancelOutcome, Service, ServiceConfig, SubmitError, SubmitReceipt};

@@ -2,7 +2,8 @@
 //! rendered in the Prometheus text exposition format.
 //!
 //! Everything is atomic so the hot paths (worker observers, request
-//! handlers) never contend on the service mutex just to count.
+//! handlers, the connection event loop) never contend on the service
+//! mutex just to count.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -62,22 +63,56 @@ impl KernelHistogram {
 /// All service-level metrics.
 #[derive(Debug, Default)]
 pub struct Metrics {
-    /// Jobs accepted by `POST /runs` (including cache hits).
+    /// Jobs accepted by `POST /runs` (including cache hits and coalesced
+    /// followers).
     pub jobs_submitted: AtomicU64,
-    /// Jobs that reached `Done` (including cache hits).
+    /// Jobs that reached `Done` (including cache hits and followers).
     pub jobs_done: AtomicU64,
     /// Jobs that reached `Failed`.
     pub jobs_failed: AtomicU64,
     /// Jobs cancelled while queued.
     pub jobs_cancelled: AtomicU64,
+    /// Submissions that coalesced onto an in-flight identical config
+    /// (one pipeline run, N waiters).
+    pub jobs_coalesced: AtomicU64,
+    /// Pipeline executions actually performed by workers. With coalescing
+    /// and caching this is the ground truth for "how many times did we
+    /// really run the kernels".
+    pub pipeline_runs: AtomicU64,
     /// Submissions rejected because the queue was full.
     pub rejected_queue_full: AtomicU64,
-    /// Result-cache hits at submission time.
+    /// Submissions rejected because the client exceeded its quota of
+    /// in-flight jobs.
+    pub rejected_quota: AtomicU64,
+    /// In-memory result-cache hits at submission time.
     pub cache_hits: AtomicU64,
-    /// Result-cache misses at submission time.
+    /// Result-cache misses at submission time (a pipeline run was
+    /// scheduled).
     pub cache_misses: AtomicU64,
+    /// Disk-tier cache hits: results revived from the on-disk store
+    /// (e.g. after a restart) without re-running the pipeline.
+    pub disk_cache_hits: AtomicU64,
     /// HTTP requests served, any route or status.
     pub http_requests: AtomicU64,
+    /// Connections accepted by the event loop.
+    pub conns_accepted: AtomicU64,
+    /// Connections answered 503 (or dropped) because the event loop was
+    /// at its connection capacity.
+    pub rejected_over_capacity: AtomicU64,
+    /// Requests that timed out while the client was still sending the
+    /// head or body (answered 408).
+    pub http_read_timeouts: AtomicU64,
+    /// Responses dropped because the client read too slowly to accept
+    /// the bytes within the write deadline.
+    pub http_write_timeouts: AtomicU64,
+    /// Response write failures (peer reset / broken pipe / short write).
+    pub http_write_errors: AtomicU64,
+    /// Connections closed by the peer before a full request arrived.
+    pub http_half_requests: AtomicU64,
+    /// Connections currently registered in the event loop (a gauge the
+    /// loop stores each tick; atomic so `/metrics` never touches loop
+    /// state).
+    pub open_connections: AtomicU64,
     /// Per-kernel latency histograms, index = kernel number.
     pub kernel_seconds: [KernelHistogram; 4],
 }
@@ -110,6 +145,16 @@ impl Metrics {
                 "ppbench_jobs_total{{state=\"{state}\"}} {value}\n"
             ));
         }
+        out.push_str("# TYPE ppbench_jobs_coalesced_total counter\n");
+        out.push_str(&format!(
+            "ppbench_jobs_coalesced_total {}\n",
+            c(&self.jobs_coalesced)
+        ));
+        out.push_str("# TYPE ppbench_pipeline_runs_total counter\n");
+        out.push_str(&format!(
+            "ppbench_pipeline_runs_total {}\n",
+            c(&self.pipeline_runs)
+        ));
         out.push_str("# TYPE ppbench_jobs_current gauge\n");
         for (state, value) in [
             ("queued", gauges.jobs_queued),
@@ -121,6 +166,18 @@ impl Metrics {
         }
         out.push_str("# TYPE ppbench_queue_depth gauge\n");
         out.push_str(&format!("ppbench_queue_depth {}\n", gauges.queue_depth));
+        out.push_str("# TYPE ppbench_rejected_total counter\n");
+        for (reason, value) in [
+            ("queue_full", c(&self.rejected_queue_full)),
+            ("quota", c(&self.rejected_quota)),
+            ("over_capacity", c(&self.rejected_over_capacity)),
+        ] {
+            out.push_str(&format!(
+                "ppbench_rejected_total{{reason=\"{reason}\"}} {value}\n"
+            ));
+        }
+        // Kept under its historical name as well: dashboards and the CI
+        // smoke grep predate the labeled family.
         out.push_str("# TYPE ppbench_rejected_queue_full_total counter\n");
         out.push_str(&format!(
             "ppbench_rejected_queue_full_total {}\n",
@@ -136,15 +193,51 @@ impl Metrics {
             "ppbench_cache_misses_total {}\n",
             c(&self.cache_misses)
         ));
+        out.push_str("# TYPE ppbench_disk_cache_hits_total counter\n");
+        out.push_str(&format!(
+            "ppbench_disk_cache_hits_total {}\n",
+            c(&self.disk_cache_hits)
+        ));
         out.push_str("# TYPE ppbench_cache_bytes gauge\n");
         out.push_str(&format!("ppbench_cache_bytes {}\n", gauges.cache_bytes));
         out.push_str("# TYPE ppbench_cache_entries gauge\n");
         out.push_str(&format!("ppbench_cache_entries {}\n", gauges.cache_entries));
+        out.push_str("# TYPE ppbench_disk_cache_bytes gauge\n");
+        out.push_str(&format!(
+            "ppbench_disk_cache_bytes {}\n",
+            gauges.disk_cache_bytes
+        ));
+        out.push_str("# TYPE ppbench_disk_cache_entries gauge\n");
+        out.push_str(&format!(
+            "ppbench_disk_cache_entries {}\n",
+            gauges.disk_cache_entries
+        ));
         out.push_str("# TYPE ppbench_http_requests_total counter\n");
         out.push_str(&format!(
             "ppbench_http_requests_total {}\n",
             c(&self.http_requests)
         ));
+        out.push_str("# TYPE ppbench_connections_accepted_total counter\n");
+        out.push_str(&format!(
+            "ppbench_connections_accepted_total {}\n",
+            c(&self.conns_accepted)
+        ));
+        out.push_str("# TYPE ppbench_open_connections gauge\n");
+        out.push_str(&format!(
+            "ppbench_open_connections {}\n",
+            c(&self.open_connections)
+        ));
+        out.push_str("# TYPE ppbench_http_errors_total counter\n");
+        for (kind, value) in [
+            ("read_timeout", c(&self.http_read_timeouts)),
+            ("write_timeout", c(&self.http_write_timeouts)),
+            ("write_error", c(&self.http_write_errors)),
+            ("half_request", c(&self.http_half_requests)),
+        ] {
+            out.push_str(&format!(
+                "ppbench_http_errors_total{{kind=\"{kind}\"}} {value}\n"
+            ));
+        }
         out.push_str("# TYPE ppbench_kernel_seconds histogram\n");
         for (kernel, histogram) in self.kernel_seconds.iter().enumerate() {
             histogram.render_into(&mut out, kernel);
@@ -163,10 +256,14 @@ pub struct Gauges {
     /// Current submission-queue depth (same as `jobs_queued`; kept as its
     /// own gauge because the queue is the backpressure surface).
     pub queue_depth: u64,
-    /// Approximate bytes held by the result cache.
+    /// Approximate bytes held by the in-memory result cache.
     pub cache_bytes: u64,
-    /// Entries in the result cache.
+    /// Entries in the in-memory result cache.
     pub cache_entries: u64,
+    /// Bytes held by the on-disk result store (0 when the tier is off).
+    pub disk_cache_bytes: u64,
+    /// Entries in the on-disk result store.
+    pub disk_cache_entries: u64,
 }
 
 #[cfg(test)]
@@ -197,6 +294,11 @@ mod tests {
         let m = Metrics::default();
         Metrics::inc(&m.jobs_submitted);
         Metrics::inc(&m.cache_hits);
+        Metrics::inc(&m.jobs_coalesced);
+        Metrics::inc(&m.pipeline_runs);
+        Metrics::inc(&m.disk_cache_hits);
+        Metrics::inc(&m.http_write_errors);
+        m.open_connections.store(7, Ordering::Relaxed);
         m.kernel_seconds[0].observe(0.1);
         let text = m.render(&Gauges {
             jobs_queued: 2,
@@ -204,17 +306,32 @@ mod tests {
             queue_depth: 2,
             cache_bytes: 4096,
             cache_entries: 3,
+            disk_cache_bytes: 8192,
+            disk_cache_entries: 2,
         });
         for needle in [
             "ppbench_jobs_submitted_total 1",
             "ppbench_jobs_total{state=\"done\"} 0",
+            "ppbench_jobs_coalesced_total 1",
+            "ppbench_pipeline_runs_total 1",
             "ppbench_jobs_current{state=\"queued\"} 2",
             "ppbench_queue_depth 2",
+            "ppbench_rejected_total{reason=\"queue_full\"} 0",
+            "ppbench_rejected_total{reason=\"quota\"} 0",
+            "ppbench_rejected_total{reason=\"over_capacity\"} 0",
+            "ppbench_rejected_queue_full_total 0",
             "ppbench_cache_hits_total 1",
             "ppbench_cache_misses_total 0",
+            "ppbench_disk_cache_hits_total 1",
             "ppbench_cache_bytes 4096",
             "ppbench_cache_entries 3",
+            "ppbench_disk_cache_bytes 8192",
+            "ppbench_disk_cache_entries 2",
             "ppbench_http_requests_total 0",
+            "ppbench_connections_accepted_total 0",
+            "ppbench_open_connections 7",
+            "ppbench_http_errors_total{kind=\"read_timeout\"} 0",
+            "ppbench_http_errors_total{kind=\"write_error\"} 1",
             "ppbench_kernel_seconds_count{kernel=\"0\"} 1",
         ] {
             assert!(text.contains(needle), "missing {needle:?} in:\n{text}");

@@ -1,13 +1,26 @@
-//! The benchmark service: bounded submission queue, worker pool, result
-//! cache, and job registry behind one mutex + two condvars.
+//! The benchmark service: bounded submission queue, worker pool, tiered
+//! result cache, request coalescing, per-client admission control, and the
+//! job registry behind one mutex + two condvars.
 //!
-//! Locking discipline: the mutex guards only bookkeeping (queue, job map,
-//! cache). Pipeline runs — the expensive part — happen outside the lock;
-//! workers reacquire it only to publish state transitions. `work_available`
-//! wakes idle workers, `job_changed` wakes anyone waiting on a job (the
-//! drain path and the test helpers).
+//! Locking discipline: the state mutex guards only bookkeeping (queue, job
+//! map, in-memory cache, coalescing tables). Pipeline runs — the expensive
+//! part — happen outside the lock; workers reacquire it only to publish
+//! state transitions. The disk tier has its own mutex, acquired only while
+//! the state lock is **not** held (submission drops the state lock before
+//! probing disk; workers publish results first, then persist), so file I/O
+//! never extends a state critical section and the two locks cannot deadlock.
+//! `work_available` wakes idle workers, `job_changed` wakes anyone waiting
+//! on a job (the drain path and the test helpers).
+//!
+//! Coalescing: the pipeline is deterministic per canonical config, so when
+//! a submission matches a config already queued or running, the service
+//! registers the new job as a *follower* of that leader instead of queueing
+//! a second run. When the leader finishes, every follower is published with
+//! the same shared summary — one pipeline run, N waiters, bit-identical
+//! results for all of them.
 
 use std::collections::{BTreeMap, VecDeque};
+use std::net::IpAddr;
 use std::path::PathBuf;
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -17,7 +30,7 @@ use parking_lot::{Condvar, Mutex};
 
 use ppbench_core::{KernelTiming, Pipeline, PipelineConfig, PipelineObserver, RunRecord};
 
-use crate::cache::ResultCache;
+use crate::cache::{DiskCache, ResultCache};
 use crate::job::{Job, JobId, JobState, RunSummary};
 use crate::metrics::{Gauges, Metrics};
 
@@ -27,9 +40,10 @@ pub struct ServiceConfig {
     /// Worker threads executing pipeline runs.
     pub workers: usize,
     /// Maximum queued (not yet running) jobs before submissions are
-    /// rejected with [`SubmitError::QueueFull`].
+    /// rejected with [`SubmitError::QueueFull`]. Coalesced followers do
+    /// not occupy queue slots.
     pub queue_depth: usize,
-    /// Result-cache byte budget.
+    /// In-memory result-cache byte budget.
     pub cache_bytes: usize,
     /// Largest accepted scale factor; protects the host from a request
     /// for 2^40 vertices.
@@ -41,6 +55,17 @@ pub struct ServiceConfig {
     pub max_terminal_jobs: usize,
     /// Directory under which per-job working directories are created.
     pub work_root: PathBuf,
+    /// Directory for the on-disk result tier; `None` disables it. With a
+    /// directory set, completed results are persisted as canonical JSON
+    /// and survive a service restart.
+    pub cache_dir: Option<PathBuf>,
+    /// Byte budget for the on-disk tier (actual file sizes).
+    pub disk_cache_bytes: u64,
+    /// Maximum non-terminal (queued / running, leader or follower) jobs
+    /// any single client IP may hold; further submissions are rejected
+    /// with [`SubmitError::QuotaExceeded`]. `0` disables the quota.
+    /// In-process submissions (no client IP) are never limited.
+    pub max_jobs_per_client: usize,
 }
 
 impl Default for ServiceConfig {
@@ -52,6 +77,9 @@ impl Default for ServiceConfig {
             max_scale: 22,
             max_terminal_jobs: 1024,
             work_root: std::env::temp_dir().join("ppbench-serve"),
+            cache_dir: None,
+            disk_cache_bytes: 256 << 20,
+            max_jobs_per_client: 0,
         }
     }
 }
@@ -61,6 +89,9 @@ impl Default for ServiceConfig {
 pub enum SubmitError {
     /// The queue is at `queue_depth`; retry later (HTTP 429).
     QueueFull,
+    /// The client already holds `max_jobs_per_client` non-terminal jobs
+    /// (HTTP 429).
+    QuotaExceeded,
     /// The service is draining and accepts no new work (HTTP 503).
     Draining,
     /// The requested scale exceeds `max_scale` (HTTP 400).
@@ -76,6 +107,9 @@ impl std::fmt::Display for SubmitError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SubmitError::QueueFull => write!(f, "submission queue is full"),
+            SubmitError::QuotaExceeded => {
+                write!(f, "client has too many jobs in flight")
+            }
             SubmitError::Draining => write!(f, "service is draining"),
             SubmitError::ScaleTooLarge { requested, limit } => {
                 write!(
@@ -98,16 +132,20 @@ pub enum CancelOutcome {
     NotFound,
 }
 
-/// What `submit` returns: the job id plus whether the result came straight
-/// from the cache (in which case the job is already `Done`).
+/// What `submit` returns: the job id plus how the submission was
+/// satisfied.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SubmitReceipt {
     /// Assigned job id.
     pub id: JobId,
     /// Canonical hash of the submitted config.
     pub config_hash: u64,
-    /// True when the job was satisfied from the result cache.
+    /// True when the job was satisfied from the result cache (either
+    /// tier) and is already `Done`.
     pub cached: bool,
+    /// True when the job coalesced onto an identical in-flight run and
+    /// will complete together with it.
+    pub coalesced: bool,
 }
 
 struct State {
@@ -119,6 +157,13 @@ struct State {
     /// Terminal job ids in completion order; the pruning window.
     terminal_order: VecDeque<JobId>,
     cache: ResultCache,
+    /// Canonical config hash → leader job currently queued or running for
+    /// it. Entries exist exactly while a run is in flight.
+    inflight: BTreeMap<u64, JobId>,
+    /// Leader job → followers coalesced onto it, in arrival order.
+    followers: BTreeMap<JobId, Vec<JobId>>,
+    /// Non-terminal jobs per client IP; the admission-control ledger.
+    active_by_client: BTreeMap<IpAddr, u64>,
     next_id: JobId,
     draining: bool,
     shutdown: bool,
@@ -137,14 +182,93 @@ impl State {
             }
         }
     }
+
+    /// Charges one non-terminal job to `client`'s quota ledger.
+    fn charge_client(&mut self, client: Option<IpAddr>) {
+        if let Some(ip) = client {
+            *self.active_by_client.entry(ip).or_insert(0) += 1;
+        }
+    }
+
+    /// Releases one non-terminal job from `client`'s ledger.
+    fn release_client(&mut self, client: Option<IpAddr>) {
+        if let Some(ip) = client {
+            let drained = match self.active_by_client.get_mut(&ip) {
+                Some(n) => {
+                    *n = n.saturating_sub(1);
+                    *n == 0
+                }
+                None => false,
+            };
+            if drained {
+                self.active_by_client.remove(&ip);
+            }
+        }
+    }
+
+    /// Registers an already-`Done` job (cache hit, either tier).
+    fn admit_done(
+        &mut self,
+        config: PipelineConfig,
+        hash: u64,
+        summary: Arc<RunSummary>,
+        client: Option<IpAddr>,
+        cap: usize,
+    ) -> SubmitReceipt {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.jobs.insert(
+            id,
+            Job {
+                id,
+                config,
+                config_hash: hash,
+                state: JobState::Done,
+                summary: Some(summary),
+                error: None,
+                from_cache: true,
+                submitted_at: Instant::now(),
+                client,
+            },
+        );
+        self.retire(id, cap);
+        SubmitReceipt {
+            id,
+            config_hash: hash,
+            cached: true,
+            coalesced: false,
+        }
+    }
 }
 
 struct Inner {
     state: Mutex<State>,
+    /// The on-disk tier, `None` when disabled. Never locked while the
+    /// state mutex is held (see module docs).
+    disk: Option<Mutex<DiskCache>>,
     work_available: Condvar,
     job_changed: Condvar,
     metrics: Metrics,
     cfg: ServiceConfig,
+}
+
+impl Inner {
+    /// Quota gate for one new non-terminal job from `client`.
+    fn check_quota(&self, state: &State, client: Option<IpAddr>) -> Result<(), SubmitError> {
+        let limit = self.cfg.max_jobs_per_client;
+        if limit == 0 {
+            return Ok(());
+        }
+        let Some(ip) = client else {
+            return Ok(());
+        };
+        let active = state.active_by_client.get(&ip).copied().unwrap_or(0);
+        if active >= limit as u64 {
+            Metrics::inc(&self.metrics.rejected_quota);
+            return Err(SubmitError::QuotaExceeded);
+        }
+        Ok(())
+    }
 }
 
 /// The benchmark service. Dropping it (or calling [`Service::drain`])
@@ -157,21 +281,30 @@ pub struct Service {
 }
 
 impl Service {
-    /// Starts the worker pool. Fails only if the OS refuses to spawn a
-    /// worker thread; any threads spawned before the failure are shut
-    /// down cleanly before the error is returned.
+    /// Opens the disk tier (if configured) and starts the worker pool.
+    /// Fails if the cache directory cannot be created or the OS refuses to
+    /// spawn a worker thread; any threads spawned before the failure are
+    /// shut down cleanly before the error is returned.
     pub fn start(cfg: ServiceConfig) -> std::io::Result<Self> {
+        let disk = match &cfg.cache_dir {
+            Some(dir) => Some(Mutex::new(DiskCache::open(dir, cfg.disk_cache_bytes)?)),
+            None => None,
+        };
         let inner = Arc::new(Inner {
             state: Mutex::new(State {
                 jobs: BTreeMap::new(),
                 queue: VecDeque::new(),
                 terminal_order: VecDeque::new(),
                 cache: ResultCache::new(cfg.cache_bytes),
+                inflight: BTreeMap::new(),
+                followers: BTreeMap::new(),
+                active_by_client: BTreeMap::new(),
                 next_id: 1,
                 draining: false,
                 shutdown: false,
                 running: 0,
             }),
+            disk,
             work_available: Condvar::new(),
             job_changed: Condvar::new(),
             metrics: Metrics::default(),
@@ -212,14 +345,24 @@ impl Service {
         &self.inner.metrics
     }
 
-    /// Submits a configuration. On a cache hit the returned job is already
-    /// `Done`; otherwise it is `Queued` and a worker will pick it up.
+    /// Submits a configuration with no client attribution (in-process
+    /// callers; never quota-limited). See [`Service::submit_from`].
     pub fn submit(&self, config: PipelineConfig) -> Result<SubmitReceipt, SubmitError> {
+        self.submit_from(config, None)
+    }
+
+    /// Submits a configuration on behalf of `client`.
+    ///
+    /// Resolution order: in-memory cache hit (job is already `Done`) →
+    /// coalesce onto an identical in-flight run (job completes with the
+    /// leader) → disk-tier hit (revived, promoted to memory, `Done`) →
+    /// queue a fresh run.
+    pub fn submit_from(
+        &self,
+        config: PipelineConfig,
+        client: Option<IpAddr>,
+    ) -> Result<SubmitReceipt, SubmitError> {
         let hash = config.canonical_hash();
-        let mut state = self.inner.state.lock();
-        if state.draining || state.shutdown {
-            return Err(SubmitError::Draining);
-        }
         let scale = config.spec.scale();
         if scale > self.inner.cfg.max_scale {
             return Err(SubmitError::ScaleTooLarge {
@@ -227,32 +370,47 @@ impl Service {
                 limit: self.inner.cfg.max_scale,
             });
         }
-        if let Some(summary) = state.cache.get(hash) {
-            Metrics::inc(&self.inner.metrics.cache_hits);
-            Metrics::inc(&self.inner.metrics.jobs_submitted);
-            Metrics::inc(&self.inner.metrics.jobs_done);
-            let id = state.next_id;
-            state.next_id += 1;
-            state.jobs.insert(
-                id,
-                Job {
-                    id,
-                    config,
-                    config_hash: hash,
-                    state: JobState::Done,
-                    summary: Some(summary),
-                    error: None,
-                    from_cache: true,
-                    submitted_at: Instant::now(),
-                },
-            );
-            state.retire(id, self.inner.cfg.max_terminal_jobs);
-            return Ok(SubmitReceipt {
-                id,
-                config_hash: hash,
-                cached: true,
-            });
+        {
+            let mut state = self.inner.state.lock();
+            if state.draining || state.shutdown {
+                return Err(SubmitError::Draining);
+            }
+            if let Some(receipt) = self.try_admit_locked(&mut state, &config, hash, client)? {
+                return Ok(receipt);
+            }
         }
+        // Miss in memory and nothing in flight: probe the disk tier with
+        // the state lock released (file reads must not stall submissions).
+        if let Some(disk) = &self.inner.disk {
+            let revived = disk.lock().get(hash);
+            if let Some(summary) = revived {
+                let mut state = self.inner.state.lock();
+                if state.draining || state.shutdown {
+                    return Err(SubmitError::Draining);
+                }
+                Metrics::inc(&self.inner.metrics.disk_cache_hits);
+                Metrics::inc(&self.inner.metrics.jobs_submitted);
+                Metrics::inc(&self.inner.metrics.jobs_done);
+                state.cache.insert(hash, Arc::clone(&summary));
+                return Ok(state.admit_done(
+                    config,
+                    hash,
+                    summary,
+                    client,
+                    self.inner.cfg.max_terminal_jobs,
+                ));
+            }
+        }
+        let mut state = self.inner.state.lock();
+        if state.draining || state.shutdown {
+            return Err(SubmitError::Draining);
+        }
+        // Re-check both fast paths: a leader may have completed (memory
+        // hit) or started (coalesce) while the state lock was released.
+        if let Some(receipt) = self.try_admit_locked(&mut state, &config, hash, client)? {
+            return Ok(receipt);
+        }
+        self.inner.check_quota(&state, client)?;
         Metrics::inc(&self.inner.metrics.cache_misses);
         if state.queue.len() >= self.inner.cfg.queue_depth {
             Metrics::inc(&self.inner.metrics.rejected_queue_full);
@@ -272,8 +430,11 @@ impl Service {
                 error: None,
                 from_cache: false,
                 submitted_at: Instant::now(),
+                client,
             },
         );
+        state.inflight.insert(hash, id);
+        state.charge_client(client);
         state.queue.push_back(id);
         drop(state);
         self.inner.work_available.notify_one();
@@ -281,7 +442,69 @@ impl Service {
             id,
             config_hash: hash,
             cached: false,
+            coalesced: false,
         })
+    }
+
+    /// The two under-lock fast paths shared by both submission attempts:
+    /// an in-memory cache hit, or coalescing onto an in-flight leader.
+    /// Returns `Ok(None)` when neither applies.
+    fn try_admit_locked(
+        &self,
+        state: &mut State,
+        config: &PipelineConfig,
+        hash: u64,
+        client: Option<IpAddr>,
+    ) -> Result<Option<SubmitReceipt>, SubmitError> {
+        if let Some(summary) = state.cache.get(hash) {
+            Metrics::inc(&self.inner.metrics.cache_hits);
+            Metrics::inc(&self.inner.metrics.jobs_submitted);
+            Metrics::inc(&self.inner.metrics.jobs_done);
+            return Ok(Some(state.admit_done(
+                config.clone(),
+                hash,
+                summary,
+                client,
+                self.inner.cfg.max_terminal_jobs,
+            )));
+        }
+        if let Some(&leader) = state.inflight.get(&hash) {
+            self.inner.check_quota(state, client)?;
+            Metrics::inc(&self.inner.metrics.jobs_submitted);
+            Metrics::inc(&self.inner.metrics.jobs_coalesced);
+            // A follower mirrors the leader's progress from the moment it
+            // joins (the leader may already be mid-kernel).
+            let leader_state = state
+                .jobs
+                .get(&leader)
+                .map(|j| j.state)
+                .unwrap_or(JobState::Queued);
+            let id = state.next_id;
+            state.next_id += 1;
+            state.jobs.insert(
+                id,
+                Job {
+                    id,
+                    config: config.clone(),
+                    config_hash: hash,
+                    state: leader_state,
+                    summary: None,
+                    error: None,
+                    from_cache: false,
+                    submitted_at: Instant::now(),
+                    client,
+                },
+            );
+            state.followers.entry(leader).or_default().push(id);
+            state.charge_client(client);
+            return Ok(Some(SubmitReceipt {
+                id,
+                config_hash: hash,
+                cached: false,
+                coalesced: true,
+            }));
+        }
+        Ok(None)
     }
 
     /// A point-in-time copy of the job, for rendering.
@@ -289,24 +512,66 @@ impl Service {
         self.inner.state.lock().jobs.get(&id).cloned()
     }
 
-    /// Cancels a queued job.
+    /// Cancels a queued job. Cancelling a queued *leader* promotes its
+    /// first follower (if any) into the queue slot, so the remaining
+    /// waiters still get their run; cancelling a follower detaches only
+    /// that waiter.
     pub fn cancel(&self, id: JobId) -> CancelOutcome {
         let mut state = self.inner.state.lock();
-        let Some(job) = state.jobs.get_mut(&id) else {
-            return CancelOutcome::NotFound;
+        let (job_state, hash, client) = match state.jobs.get(&id) {
+            None => return CancelOutcome::NotFound,
+            Some(job) => (job.state, job.config_hash, job.client),
         };
-        match job.state {
-            JobState::Queued => {
-                job.state = JobState::Cancelled;
-                state.queue.retain(|&qid| qid != id);
-                state.retire(id, self.inner.cfg.max_terminal_jobs);
-                Metrics::inc(&self.inner.metrics.jobs_cancelled);
-                drop(state);
-                self.inner.job_changed.notify_all();
-                CancelOutcome::Cancelled
-            }
-            other => CancelOutcome::NotCancellable(other),
+        if job_state != JobState::Queued {
+            return CancelOutcome::NotCancellable(job_state);
         }
+        let was_leader = state.inflight.get(&hash) == Some(&id) && state.queue.contains(&id);
+        if was_leader {
+            state.queue.retain(|&qid| qid != id);
+            let orphans = state.followers.remove(&id).unwrap_or_default();
+            let mut rest = orphans.into_iter();
+            match rest.next() {
+                Some(promoted) => {
+                    state.inflight.insert(hash, promoted);
+                    state.queue.push_back(promoted);
+                    let remaining: Vec<JobId> = rest.collect();
+                    if !remaining.is_empty() {
+                        state.followers.insert(promoted, remaining);
+                    }
+                }
+                None => {
+                    state.inflight.remove(&hash);
+                }
+            }
+        } else {
+            // A queued non-leader is a follower; detach it from whichever
+            // leader currently owns the hash.
+            if let Some(&leader) = state.inflight.get(&hash) {
+                let emptied = match state.followers.get_mut(&leader) {
+                    Some(list) => {
+                        list.retain(|&fid| fid != id);
+                        list.is_empty()
+                    }
+                    None => false,
+                };
+                if emptied {
+                    state.followers.remove(&leader);
+                }
+            }
+        }
+        if let Some(job) = state.jobs.get_mut(&id) {
+            job.state = JobState::Cancelled;
+        }
+        state.release_client(client);
+        state.retire(id, self.inner.cfg.max_terminal_jobs);
+        Metrics::inc(&self.inner.metrics.jobs_cancelled);
+        drop(state);
+        self.inner.job_changed.notify_all();
+        if was_leader {
+            // A promoted follower is new queue work.
+            self.inner.work_available.notify_one();
+        }
+        CancelOutcome::Cancelled
     }
 
     /// Blocks until job `id` reaches a terminal state, up to `timeout`.
@@ -330,15 +595,33 @@ impl Service {
         }
     }
 
-    /// Current gauge values (brief lock).
+    /// Current gauge values. The state and disk locks are taken briefly
+    /// and strictly in sequence, never nested.
     pub fn gauges(&self) -> Gauges {
-        let state = self.inner.state.lock();
+        let (jobs_queued, jobs_running, cache_bytes, cache_entries) = {
+            let state = self.inner.state.lock();
+            (
+                state.queue.len() as u64,
+                state.running as u64,
+                state.cache.used_bytes() as u64,
+                state.cache.len() as u64,
+            )
+        };
+        let (disk_cache_bytes, disk_cache_entries) = match &self.inner.disk {
+            Some(disk) => {
+                let disk = disk.lock();
+                (disk.used_bytes(), disk.len() as u64)
+            }
+            None => (0, 0),
+        };
         Gauges {
-            jobs_queued: state.queue.len() as u64,
-            jobs_running: state.running as u64,
-            queue_depth: state.queue.len() as u64,
-            cache_bytes: state.cache.used_bytes() as u64,
-            cache_entries: state.cache.len() as u64,
+            jobs_queued,
+            jobs_running,
+            queue_depth: jobs_queued,
+            cache_bytes,
+            cache_entries,
+            disk_cache_bytes,
+            disk_cache_entries,
         }
     }
 
@@ -373,8 +656,8 @@ impl Drop for Service {
     }
 }
 
-/// Observer that publishes kernel progress onto the job record and feeds
-/// the latency histograms.
+/// Observer that publishes kernel progress onto the leader job *and* every
+/// follower coalesced onto it, and feeds the latency histograms.
 struct JobObserver<'a> {
     inner: &'a Inner,
     id: JobId,
@@ -383,8 +666,11 @@ struct JobObserver<'a> {
 impl PipelineObserver for JobObserver<'_> {
     fn kernel_started(&self, kernel: u8) {
         let mut state = self.inner.state.lock();
-        if let Some(job) = state.jobs.get_mut(&self.id) {
-            job.state = JobState::Running(kernel);
+        let members = party(&state, self.id);
+        for jid in members {
+            if let Some(job) = state.jobs.get_mut(&jid) {
+                job.state = JobState::Running(kernel);
+            }
         }
     }
 
@@ -400,9 +686,18 @@ impl PipelineObserver for JobObserver<'_> {
     }
 }
 
+/// The leader plus its current followers, leader first.
+fn party(state: &State, leader: JobId) -> Vec<JobId> {
+    let mut members = vec![leader];
+    if let Some(followers) = state.followers.get(&leader) {
+        members.extend(followers.iter().copied());
+    }
+    members
+}
+
 fn worker_loop(inner: &Inner) {
     loop {
-        let (id, config) = {
+        let (id, hash, config) = {
             let mut state = inner.state.lock();
             loop {
                 if state.shutdown {
@@ -417,12 +712,13 @@ fn worker_loop(inner: &Inner) {
                         continue;
                     };
                     job.state = JobState::Running(0);
-                    break (id, job.config.clone());
+                    break (id, job.config_hash, job.config.clone());
                 }
                 state = inner.work_available.wait(state);
             }
         };
 
+        Metrics::inc(&inner.metrics.pipeline_runs);
         let started = Instant::now();
         let work_dir = inner.cfg.work_root.join(format!("job-{id}"));
         let pipeline = Pipeline::new(config, &work_dir);
@@ -447,8 +743,16 @@ fn worker_loop(inner: &Inner) {
         // ppbench: allow(discarded-result, reason = "best-effort cleanup of a scratch dir; the job outcome must be published even if removal fails")
         let _ = std::fs::remove_dir_all(&work_dir);
 
+        // Publish to the leader and every follower under the state lock;
+        // persist to the disk tier only after releasing it.
+        let mut persist: Option<Arc<RunSummary>> = None;
         let mut state = inner.state.lock();
         state.running -= 1;
+        let members = party(&state, id);
+        state.followers.remove(&id);
+        if state.inflight.get(&hash) == Some(&id) {
+            state.inflight.remove(&hash);
+        }
         match outcome {
             Ok(result) => {
                 let record = RunRecord::from_result(&result);
@@ -458,26 +762,38 @@ fn worker_loop(inner: &Inner) {
                     ranks,
                     total_seconds: started.elapsed().as_secs_f64(),
                 });
-                if let Some(job) = state.jobs.get_mut(&id) {
-                    let hash = job.config_hash;
-                    job.state = JobState::Done;
-                    job.summary = Some(Arc::clone(&summary));
-                    state.cache.insert(hash, summary);
+                state.cache.insert(hash, Arc::clone(&summary));
+                for jid in members {
+                    let client = state.jobs.get(&jid).and_then(|j| j.client);
+                    if let Some(job) = state.jobs.get_mut(&jid) {
+                        job.state = JobState::Done;
+                        job.summary = Some(Arc::clone(&summary));
+                    }
+                    state.release_client(client);
+                    state.retire(jid, inner.cfg.max_terminal_jobs);
+                    Metrics::inc(&inner.metrics.jobs_done);
                 }
-                state.retire(id, inner.cfg.max_terminal_jobs);
-                Metrics::inc(&inner.metrics.jobs_done);
+                persist = Some(summary);
             }
             Err(err) => {
-                if let Some(job) = state.jobs.get_mut(&id) {
-                    job.state = JobState::Failed;
-                    job.error = Some(err);
+                for jid in members {
+                    let client = state.jobs.get(&jid).and_then(|j| j.client);
+                    if let Some(job) = state.jobs.get_mut(&jid) {
+                        job.state = JobState::Failed;
+                        job.error = Some(err.clone());
+                    }
+                    state.release_client(client);
+                    state.retire(jid, inner.cfg.max_terminal_jobs);
+                    Metrics::inc(&inner.metrics.jobs_failed);
                 }
-                state.retire(id, inner.cfg.max_terminal_jobs);
-                Metrics::inc(&inner.metrics.jobs_failed);
             }
         }
         drop(state);
         inner.job_changed.notify_all();
+        if let (Some(disk), Some(summary)) = (&inner.disk, persist) {
+            // ppbench: allow(discarded-result, reason = "persisting to the disk tier is best-effort; the result is already published in memory and a full disk must not fail the job")
+            let _ = disk.lock().insert(hash, &summary);
+        }
     }
 }
 
@@ -493,20 +809,30 @@ mod tests {
             .build()
     }
 
-    fn test_service(workers: usize, queue_depth: usize) -> Service {
-        Service::start(ServiceConfig {
+    fn test_root(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!(
+            "ppbench-serve-test-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ))
+    }
+
+    fn test_config(workers: usize, queue_depth: usize) -> ServiceConfig {
+        ServiceConfig {
             workers,
             queue_depth,
             cache_bytes: 1 << 20,
             max_scale: 10,
             max_terminal_jobs: 64,
-            work_root: std::env::temp_dir().join(format!(
-                "ppbench-serve-test-{}-{:?}",
-                std::process::id(),
-                std::thread::current().id()
-            )),
-        })
-        .expect("service starts")
+            work_root: test_root("work"),
+            cache_dir: None,
+            disk_cache_bytes: 1 << 20,
+            max_jobs_per_client: 0,
+        }
+    }
+
+    fn test_service(workers: usize, queue_depth: usize) -> Service {
+        Service::start(test_config(workers, queue_depth)).expect("service starts")
     }
 
     #[test]
@@ -514,6 +840,7 @@ mod tests {
         let service = test_service(1, 8);
         let receipt = service.submit(tiny_config(1)).unwrap();
         assert!(!receipt.cached);
+        assert!(!receipt.coalesced);
         let job = service
             .wait(receipt.id, Duration::from_secs(30))
             .expect("job finishes");
@@ -617,16 +944,10 @@ mod tests {
 
     #[test]
     fn terminal_jobs_are_pruned_beyond_the_cap() {
-        let service = Service::start(ServiceConfig {
-            workers: 1,
-            queue_depth: 8,
-            cache_bytes: 1 << 20,
-            max_scale: 10,
-            max_terminal_jobs: 2,
-            work_root: std::env::temp_dir()
-                .join(format!("ppbench-serve-prune-{}", std::process::id())),
-        })
-        .expect("service starts");
+        let mut cfg = test_config(1, 8);
+        cfg.max_terminal_jobs = 2;
+        cfg.work_root = test_root("prune");
+        let service = Service::start(cfg).expect("service starts");
         let ids: Vec<JobId> = (0..4)
             .map(|seed| {
                 let receipt = service.submit(tiny_config(200 + seed)).unwrap();

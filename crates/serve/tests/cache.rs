@@ -119,6 +119,7 @@ fn cache_hit_returns_bit_identical_ranks_through_the_service() {
         max_scale: 10,
         max_terminal_jobs: 64,
         work_root: std::env::temp_dir().join(format!("ppbench-cache-e2e-{}", std::process::id())),
+        ..ServiceConfig::default()
     })
     .expect("service starts");
     let config = || {

@@ -28,6 +28,7 @@ impl TestServer {
                     std::process::id(),
                     std::thread::current().id()
                 )),
+                ..ServiceConfig::default()
             })
             .expect("service starts"),
         );
@@ -378,7 +379,8 @@ fn graceful_shutdown_finishes_accepted_jobs() {
 fn mixed_concurrent_load_all_reach_done_with_cache_hits() {
     // The ISSUE's E2E shape, scaled for a unit-test budget: ≥20 concurrent
     // submissions with duplicates, two workers, everything reaches Done,
-    // cache hits occur.
+    // and every duplicate is deduplicated — either by a cache hit (the
+    // original already finished) or by coalescing onto the in-flight run.
     let server = TestServer::start(2, 32);
     let mut ids = Vec::new();
     for i in 0..20u64 {
@@ -392,14 +394,21 @@ fn mixed_concurrent_load_all_reach_done_with_cache_hits() {
         server.wait_done(id);
     }
     let (_, metrics) = server.get("/metrics");
-    let hits: u64 = metrics
-        .lines()
-        .find_map(|l| l.strip_prefix("ppbench_cache_hits_total "))
-        .and_then(|v| v.parse().ok())
-        .expect("cache hit counter present");
+    let counter = |name: &str| -> u64 {
+        metrics
+            .lines()
+            .find_map(|l| l.strip_prefix(name))
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap_or_else(|| panic!("{name} counter present:\n{metrics}"))
+    };
+    let deduped = counter("ppbench_cache_hits_total ") + counter("ppbench_jobs_coalesced_total ");
     assert!(
-        hits > 0,
-        "duplicate configs must produce cache hits:\n{metrics}"
+        deduped > 0,
+        "duplicate configs must hit the cache or coalesce:\n{metrics}"
+    );
+    assert!(
+        counter("ppbench_pipeline_runs_total ") <= 6,
+        "at most one pipeline run per distinct config:\n{metrics}"
     );
     let done: u64 = metrics
         .lines()
